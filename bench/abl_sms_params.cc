@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation study of SMS design choices the paper fixes by fiat:
+ *
+ *  - PHT update policy: Replace (paper) vs Union (OR new bits in);
+ *  - prediction register count (1 / 4 / 16);
+ *  - the filter table: with (paper) vs without (single-table AGT
+ *    where every trigger-only generation occupies an accumulation
+ *    entry).
+ *
+ * Reported as grouped L1 coverage / overprediction deltas against the
+ * practical configuration.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace stems;
+using namespace stems::bench;
+using namespace stems::study;
+
+int
+main()
+{
+    banner("Ablation: SMS parameter choices",
+           "L1 coverage / overpredictions vs the practical config\n"
+           "(16k x 16-way PHT, Replace updates, 32/64 AGT, 16 PRs).");
+
+    auto params = defaultParams();
+    TraceCache traces;
+    L1BaselineCache baselines(traces, params);
+
+    struct Variant
+    {
+        std::string label;
+        core::PhtUpdateMode update = core::PhtUpdateMode::Replace;
+        uint32_t predictionRegisters = 16;
+        core::AgtConfig agt{32, 64};
+    };
+    const Variant variants[] = {
+        {"practical"},
+        {"pht-union", core::PhtUpdateMode::Union, 16, {32, 64}},
+        {"1-pred-reg", core::PhtUpdateMode::Replace, 1, {32, 64}},
+        {"4-pred-regs", core::PhtUpdateMode::Replace, 4, {32, 64}},
+        // no filter: trigger-only generations waste accumulation
+        // entries (filter capacity folded into the accumulation table)
+        {"no-filter", core::PhtUpdateMode::Replace, 16, {1, 96}},
+    };
+
+    TablePrinter table({"Group", "Variant", "Coverage", "Overpred"});
+    for (const auto &group : groupNames()) {
+        for (const auto &v : variants) {
+            CoverageAgg agg;
+            for (const auto &name : workloadsInGroup(group)) {
+                L1StudyConfig cfg;
+                cfg.ncpu = params.ncpu;
+                cfg.sms.pht.update = v.update;
+                cfg.sms.predictionRegisters = v.predictionRegisters;
+                cfg.sms.agt = v.agt;
+                auto r = runL1Study(traces.get(name, params), cfg);
+                agg.add(baselines.baselineMisses(name), r);
+            }
+            table.addRow({group, v.label,
+                          TablePrinter::pct(agg.coverage()),
+                          TablePrinter::pct(agg.overprediction())});
+        }
+    }
+    table.print();
+    std::cout << "\nReading: Union raises coverage on stable dense"
+              << " patterns but\ninflates overpredictions on divergent"
+              << " ones; few prediction\nregisters drop concurrent"
+              << " region streams; removing the filter\nlets"
+              << " trigger-only generations crowd out real patterns.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark harnesses: suite
+ * iteration, group aggregation of coverage runs, and consistent
+ * headers. Every binary runs with no arguments; STEMS_REFS_PER_CPU /
+ * STEMS_SCALE tune trace lengths.
+ */
+
+#ifndef STEMS_BENCH_BENCH_UTIL_HH
+#define STEMS_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "study/l1study.hh"
+#include "study/suite.hh"
+#include "study/table.hh"
+#include "workloads/workload.hh"
+
+namespace stems::bench {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &what, const std::string &detail)
+{
+    std::cout << "\n=== " << what << " ===\n" << detail << "\n\n";
+}
+
+/** Coverage triple aggregated over several workloads. */
+struct CoverageAgg
+{
+    uint64_t baselineMisses = 0;
+    uint64_t covered = 0;
+    uint64_t misses = 0;
+    uint64_t overpred = 0;
+
+    void
+    add(uint64_t baseline, const study::L1StudyResult &r)
+    {
+        baselineMisses += baseline;
+        covered += r.coveredReads;
+        misses += r.readMisses;
+        overpred += r.overpredictions;
+    }
+
+    double
+    coverage() const
+    {
+        return baselineMisses ? double(covered) / baselineMisses : 0.0;
+    }
+
+    double
+    uncovered() const
+    {
+        return baselineMisses ? double(misses) / baselineMisses : 0.0;
+    }
+
+    double
+    overprediction() const
+    {
+        return baselineMisses ? double(overpred) / baselineMisses : 0.0;
+    }
+};
+
+/**
+ * Run baseline L1 passes for every suite workload once and memoize
+ * the baseline read-miss counts.
+ */
+class L1BaselineCache
+{
+  public:
+    L1BaselineCache(study::TraceCache &traces,
+                    const workloads::WorkloadParams &p)
+        : traces(traces), params(p)
+    {}
+
+    uint64_t
+    baselineMisses(const std::string &name)
+    {
+        auto it = misses.find(name);
+        if (it != misses.end())
+            return it->second;
+        study::L1StudyConfig cfg;
+        cfg.ncpu = params.ncpu;
+        cfg.prefetch = false;
+        auto r = study::runL1Study(traces.get(name, params), cfg);
+        misses[name] = r.readMisses;
+        return r.readMisses;
+    }
+
+  private:
+    study::TraceCache &traces;
+    workloads::WorkloadParams params;
+    std::map<std::string, uint64_t> misses;
+};
+
+} // namespace stems::bench
+
+#endif // STEMS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 6 — prediction index comparison (Addr, PC+addr, PC, PC+off)
+ * with an unbounded PHT. Reports L1 read-miss coverage, uncovered
+ * misses, and overpredictions per workload group, normalized to the
+ * baseline (no-prefetch) miss count, exactly as the paper's stacked
+ * bars.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace stems;
+using namespace stems::bench;
+using namespace stems::study;
+
+int
+main()
+{
+    banner("Figure 6: index comparison",
+           "L1 read misses; unbounded PHT; unbounded AGT training.\n"
+           "Coverage / Uncovered / Overpredictions vs baseline misses.");
+
+    auto params = defaultParams();
+    TraceCache traces;
+    L1BaselineCache baselines(traces, params);
+
+    const core::IndexKind kinds[] = {
+        core::IndexKind::Address, core::IndexKind::PcAddress,
+        core::IndexKind::Pc, core::IndexKind::PcOffset};
+
+    TablePrinter table({"Group", "Index", "Coverage", "Uncovered",
+                        "Overpred"});
+    for (const auto &group : groupNames()) {
+        for (auto kind : kinds) {
+            CoverageAgg agg;
+            for (const auto &name : workloadsInGroup(group)) {
+                L1StudyConfig cfg;
+                cfg.ncpu = params.ncpu;
+                cfg.sms.index = kind;
+                cfg.sms.pht.entries = 0;  // unbounded
+                cfg.sms.agt = {0, 0};     // unbounded
+                auto r = runL1Study(traces.get(name, params), cfg);
+                agg.add(baselines.baselineMisses(name), r);
+            }
+            table.addRow({group, core::indexName(kind),
+                          TablePrinter::pct(agg.coverage()),
+                          TablePrinter::pct(agg.uncovered()),
+                          TablePrinter::pct(agg.overprediction())});
+        }
+    }
+    table.print();
+    std::cout << "\nExpected shape: PC+off >= Addr/PC+addr everywhere;"
+              << "\naddress-based indices collapse on DSS (visit-once"
+              << " scans);\nPC alone trails PC+off (cannot distinguish"
+              << " alignments).\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 11 — the practical SMS configuration (16k x 16-way PHT,
+ * 32-entry filter + 64-entry accumulation AGT, 2 kB regions) against
+ * GHB PC/DC with 256-entry and 16k-entry history buffers. Reported on
+ * off-chip (L2) read misses per application, normalized to the
+ * baseline system's misses.
+ */
+
+#include "bench/bench_util.hh"
+#include "study/memstudy.hh"
+
+using namespace stems;
+using namespace stems::bench;
+using namespace stems::study;
+
+int
+main()
+{
+    banner("Figure 11: SMS (practical) vs GHB PC/DC",
+           "Off-chip (L2) read misses: coverage / uncovered /"
+           " overpredictions\nvs the no-prefetch baseline.");
+
+    auto params = defaultParams();
+    TraceCache traces;
+
+    TablePrinter table({"App", "Prefetcher", "Coverage", "Uncovered",
+                        "Overpred"});
+    std::map<std::string, double> sms_cov, ghb_cov;
+
+    for (const auto &entry : workloads::paperSuite()) {
+        const auto &t = traces.get(entry.name, params);
+
+        SystemStudyConfig base;
+        auto rb = runSystem(t, base);
+        const double bm = double(rb.l2ReadMisses);
+
+        struct Variant
+        {
+            std::string label;
+            PfKind pf;
+            uint32_t ghbEntries;
+        };
+        const Variant variants[] = {
+            {"GHB-256", PfKind::Ghb, 256},
+            {"GHB-16k", PfKind::Ghb, 16384},
+            {"SMS", PfKind::Sms, 0},
+        };
+        for (const auto &v : variants) {
+            SystemStudyConfig cfg;
+            cfg.pf = v.pf;
+            if (v.pf == PfKind::Ghb) {
+                cfg.ghb.ghbEntries = v.ghbEntries;
+                cfg.ghb.itEntries = v.ghbEntries >= 16384 ? 1024 : 256;
+            } else {
+                cfg.sms.pht = {16384, 16, core::PhtUpdateMode::Replace};
+                cfg.sms.agt = {32, 64};
+            }
+            auto r = runSystem(t, cfg);
+            double cov = bm > 0 ? r.l2Covered / bm : 0.0;
+            table.addRow({entry.name, v.label, TablePrinter::pct(cov),
+                          TablePrinter::pct(
+                              bm > 0 ? r.l2ReadMisses / bm : 0.0),
+                          TablePrinter::pct(
+                              bm > 0 ? r.l2Overpred / bm : 0.0)});
+            if (v.label == "SMS")
+                sms_cov[entry.name] = cov;
+            if (v.label == "GHB-16k")
+                ghb_cov[entry.name] = cov;
+        }
+    }
+    table.print();
+
+    double sms_comm = 0, ghb_comm = 0;
+    int n_comm = 0;
+    for (const auto &entry : workloads::paperSuite()) {
+        if (entry.cls == workloads::SuiteClass::Scientific)
+            continue;
+        sms_comm += sms_cov[entry.name];
+        ghb_comm += ghb_cov[entry.name];
+        ++n_comm;
+    }
+    std::cout << "\nCommercial-mean off-chip coverage: SMS "
+              << TablePrinter::pct(sms_comm / n_comm) << " vs GHB-16k "
+              << TablePrinter::pct(ghb_comm / n_comm)
+              << "\n(paper: SMS 55% avg / 78% best; GHB ~30% avg)."
+              << "\nExpected shape: SMS >> GHB on OLTP/Web"
+              << " (interleaving defeats\ndelta correlation); parity on"
+              << " DSS scans and scientific kernels.\n";
+    return 0;
+}

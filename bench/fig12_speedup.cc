@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 12 — speedup of SMS over the no-prefetch baseline with 95%
+ * confidence intervals from paired per-seed measurements (the paper's
+ * SMARTS-style sampling reports CIs the same way). The performance
+ * metric is aggregate user IPC over the 16 processors.
+ *
+ * Also prints Table 1's system configuration for reference.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/timing.hh"
+#include "study/stats.hh"
+
+using namespace stems;
+using namespace stems::bench;
+using namespace stems::study;
+
+int
+main()
+{
+    banner("Figure 12: speedup with 95% confidence intervals",
+           "Aggregate user-IPC ratio, SMS vs base; 5 seeds, paired.");
+
+    sim::TimingConfig tc;
+    std::cout << "System (Table 1): " << tc.sys.ncpu << " nodes, "
+              << tc.core.width << "-wide OoO, ROB " << tc.core.robEntries
+              << ", SB " << tc.core.storeBuffer << ", MSHRs "
+              << tc.core.mshrs << "\n  L1 "
+              << tc.sys.l1.sizeBytes / 1024 << "kB/" << tc.sys.l1.assoc
+              << "-way (lat " << tc.core.l1Latency << "), L2 "
+              << tc.sys.l2.sizeBytes / (1024 * 1024) << "MB/"
+              << tc.sys.l2.assoc << "-way (lat " << tc.core.l2Latency
+              << "), mem " << tc.core.memLatency
+              << "cy, 4x4 torus @" << tc.core.hopLatency
+              << "cy/hop\n\n";
+
+    auto params = defaultParams(24000);
+    const uint64_t seeds[] = {1, 2, 3, 4, 5};
+
+    TablePrinter table({"App", "Speedup", "95% CI", "base uIPC",
+                        "SMS uIPC"});
+    std::vector<double> all;
+
+    for (const auto &entry : workloads::paperSuite()) {
+        std::vector<double> ratios;
+        double base_ipc = 0, sms_ipc = 0;
+        for (uint64_t seed : seeds) {
+            workloads::WorkloadParams p = params;
+            p.seed = seed;
+            auto w = entry.make();
+            auto streams = w->generateStreams(p);
+
+            sim::TimingConfig base = tc;
+            auto rb = sim::runTiming(streams, base, seed);
+            sim::TimingConfig sms = tc;
+            sms.useSms = true;
+            auto rs = sim::runTiming(streams, sms, seed);
+
+            ratios.push_back(rs.uipc() / rb.uipc());
+            base_ipc += rb.uipc() / seeds[4];
+            sms_ipc += rs.uipc() / seeds[4];
+        }
+        double m = mean(ratios);
+        all.push_back(m);
+        table.addRow({entry.name, TablePrinter::fixed(m, 3),
+                      "+/- " + TablePrinter::fixed(ci95(ratios), 3),
+                      TablePrinter::fixed(base_ipc, 2),
+                      TablePrinter::fixed(sms_ipc, 2)});
+    }
+    table.print();
+    std::cout << "\nGeometric mean speedup: "
+              << TablePrinter::fixed(geomean(all), 3)
+              << "  (paper: 1.37; best 4.07 on sparse)\n"
+              << "Expected shape: gains everywhere except Qry1"
+              << " (store-buffer bound);\nlargest on sparse; OLTP"
+              << " modest despite coverage (dependent misses\nalready"
+              << " overlap in the window).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Domain scenario 1: the full pipeline on a commercial workload.
+ * Generates the TPC-C-flavoured OLTP trace, runs it through the
+ * 16-node coherent memory system twice (without and with SMS), and
+ * reports miss rates, coverage at both cache levels, and the sharing
+ * profile — the measurements behind the paper's OLTP columns.
+ *
+ *   ./oltp_streaming
+ */
+
+#include <cstdio>
+
+#include "study/memstudy.hh"
+#include "study/suite.hh"
+#include "workloads/oltp.hh"
+
+using namespace stems;
+using namespace stems::study;
+
+int
+main()
+{
+    workloads::OltpWorkload oltp(workloads::OltpWorkload::db2());
+    auto params = defaultParams(50000);
+    std::printf("generating %s: %u cpus x %llu refs...\n",
+                oltp.name().c_str(), params.ncpu,
+                (unsigned long long)params.refsPerCpu);
+    trace::Trace t = workloads::makeTrace(oltp, params);
+
+    SystemStudyConfig base;  // Table 1 defaults: 64kB L1s, 8MB L2s
+    auto rb = runSystem(t, base);
+
+    SystemStudyConfig sms = base;
+    sms.pf = PfKind::Sms;
+    auto rs = runSystem(t, sms);
+
+    std::printf("\n%-28s %12s %12s\n", "", "base", "with SMS");
+    std::printf("%-28s %12llu %12llu\n", "L1 read misses",
+                (unsigned long long)rb.l1ReadMisses,
+                (unsigned long long)rs.l1ReadMisses);
+    std::printf("%-28s %12llu %12llu\n", "off-chip read misses",
+                (unsigned long long)rb.l2ReadMisses,
+                (unsigned long long)rs.l2ReadMisses);
+    std::printf("%-28s %12s %12.1f%%\n", "L1 coverage", "-",
+                100.0 * rs.l1Covered / rb.l1ReadMisses);
+    std::printf("%-28s %12s %12.1f%%\n", "off-chip coverage", "-",
+                100.0 * rs.l2Covered / (rb.l2ReadMisses + 1));
+    std::printf("%-28s %12llu %12llu\n", "coherence read misses",
+                (unsigned long long)rb.readCohMisses,
+                (unsigned long long)rs.readCohMisses);
+    std::printf("%-28s %12llu %12llu\n", "true sharing",
+                (unsigned long long)rb.trueSharing,
+                (unsigned long long)rs.trueSharing);
+    std::printf("%-28s %12llu %12llu\n", "false sharing (>64B)",
+                (unsigned long long)rb.falseSharing,
+                (unsigned long long)rs.falseSharing);
+    std::printf("\nOLTP misses interleave many spatial regions; SMS "
+                "tracks each region's\ngeneration independently in the "
+                "AGT, which is why it beats delta\ncorrelation here "
+                "(see fig11_ghb_vs_sms).\n");
+    return 0;
+}

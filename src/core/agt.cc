@@ -1,0 +1,140 @@
+#include "core/agt.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stems::core {
+
+ActiveGenerationTable::ActiveGenerationTable(const RegionGeometry &geom,
+                                             const AgtConfig &config)
+    : geom(geom), cfg(config)
+{}
+
+void
+ActiveGenerationTable::victimizeFilter()
+{
+    if (cfg.filterEntries == 0 || filter.size() < cfg.filterEntries)
+        return;
+    auto victim = filter.begin();
+    for (auto it = filter.begin(); it != filter.end(); ++it) {
+        if (it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    // a filter victim carries only its trigger access: drop silently
+    filter.erase(victim);
+    ++stats_.filterVictims;
+}
+
+void
+ActiveGenerationTable::victimizeAccum()
+{
+    if (cfg.accumEntries == 0 || accum.size() < cfg.accumEntries)
+        return;
+    auto victim = accum.begin();
+    for (auto it = accum.begin(); it != accum.end(); ++it) {
+        if (it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    // capacity terminates the generation: transfer the pattern to the
+    // PHT exactly as an eviction-triggered ending would
+    TriggerInfo trigger = victim->second.trigger;
+    SpatialPattern pattern = victim->second.pattern;
+    accum.erase(victim);
+    ++stats_.accumVictims;
+    ++stats_.generationsTrained;
+    if (listener)
+        listener->generationEnd(trigger, pattern);
+}
+
+void
+ActiveGenerationTable::onAccess(uint64_t pc, uint64_t addr)
+{
+    const uint64_t rid = geom.regionId(addr);
+    const uint32_t off = geom.offsetOf(addr);
+    ++tick;
+
+    // 1) already accumulating: record the block (step 3 in Figure 2)
+    if (auto it = accum.find(rid); it != accum.end()) {
+        it->second.pattern.set(off);
+        it->second.lastUse = tick;
+        return;
+    }
+
+    // 2) in the filter table: second distinct block promotes the
+    //    generation into the accumulation table (step 2 in Figure 2)
+    if (auto it = filter.find(rid); it != filter.end()) {
+        if (it->second.trigger.offset == off) {
+            it->second.lastUse = tick;  // re-touching the trigger block
+            return;
+        }
+        TriggerInfo trigger = it->second.trigger;
+        filter.erase(it);
+        victimizeAccum();
+        AccumEntry &e = accum[rid];
+        e.trigger = trigger;
+        e.pattern.set(trigger.offset);
+        e.pattern.set(off);
+        e.lastUse = tick;
+        ++stats_.promotions;
+        stats_.peakAccumOccupancy =
+            std::max<uint64_t>(stats_.peakAccumOccupancy, accum.size());
+        return;
+    }
+
+    // 3) trigger access of a new generation (step 1 in Figure 2)
+    victimizeFilter();
+    TriggerInfo trigger;
+    trigger.pc = pc;
+    trigger.address = addr;
+    trigger.regionBase = geom.regionBase(addr);
+    trigger.offset = off;
+    FilterEntry &e = filter[rid];
+    e.trigger = trigger;
+    e.lastUse = tick;
+    ++stats_.generationsStarted;
+    stats_.peakFilterOccupancy =
+        std::max<uint64_t>(stats_.peakFilterOccupancy, filter.size());
+    if (listener)
+        listener->generationStart(trigger);
+}
+
+void
+ActiveGenerationTable::onBlockRemoved(uint64_t block_addr, bool invalidation)
+{
+    (void)invalidation;  // replacements and invalidations both end here
+    const uint64_t rid = geom.regionId(block_addr);
+
+    if (auto it = filter.find(rid); it != filter.end()) {
+        // only the trigger access happened: nothing worth predicting
+        filter.erase(it);
+        ++stats_.filterDiscards;
+        return;
+    }
+    if (auto it = accum.find(rid); it != accum.end()) {
+        TriggerInfo trigger = it->second.trigger;
+        SpatialPattern pattern = it->second.pattern;
+        accum.erase(it);
+        ++stats_.generationsTrained;
+        if (listener)
+            listener->generationEnd(trigger, pattern);
+    }
+}
+
+void
+ActiveGenerationTable::drain()
+{
+    // end every live multi-block generation (end-of-run bookkeeping)
+    while (!accum.empty()) {
+        auto it = accum.begin();
+        TriggerInfo trigger = it->second.trigger;
+        SpatialPattern pattern = it->second.pattern;
+        accum.erase(it);
+        ++stats_.generationsTrained;
+        if (listener)
+            listener->generationEnd(trigger, pattern);
+    }
+    stats_.filterDiscards += filter.size();
+    filter.clear();
+}
+
+} // namespace stems::core

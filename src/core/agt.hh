@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Active Generation Table (Section 3.1): SMS's decoupled training
+ * structure. Logically one table, implemented as two CAMs — a filter
+ * table holding generations that have seen only their trigger access,
+ * and an accumulation table recording the spatial pattern of
+ * generations with two or more distinct blocks. Decoupling training
+ * from the cache organization is the paper's second contribution: it
+ * tolerates interleaved accesses to independent regions that fragment
+ * sectored training structures.
+ */
+
+#ifndef STEMS_CORE_AGT_HH
+#define STEMS_CORE_AGT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/region.hh"
+#include "core/trainer.hh"
+
+namespace stems::core {
+
+/** AGT capacities. Zero means unbounded (for limit studies). */
+struct AgtConfig
+{
+    uint32_t filterEntries = 32;
+    uint32_t accumEntries = 64;
+};
+
+/** AGT event counters. */
+struct AgtStats
+{
+    uint64_t generationsStarted = 0;  //!< trigger accesses observed
+    uint64_t promotions = 0;          //!< filter -> accumulation moves
+    uint64_t filterDiscards = 0;      //!< single-access generations ended
+    uint64_t filterVictims = 0;       //!< filter entries lost to capacity
+    uint64_t accumVictims = 0;        //!< generations ended by capacity
+    uint64_t generationsTrained = 0;  //!< patterns sent to the PHT
+    uint64_t peakFilterOccupancy = 0;
+    uint64_t peakAccumOccupancy = 0;
+};
+
+/**
+ * The AGT. Observes every L1 demand access plus the L1's
+ * eviction/invalidation stream, and reports generation lifecycles to
+ * a GenerationListener.
+ */
+class ActiveGenerationTable : public PatternTrainer
+{
+  public:
+    ActiveGenerationTable(const RegionGeometry &geom,
+                          const AgtConfig &config);
+
+    void onAccess(uint64_t pc, uint64_t addr) override;
+    void onBlockRemoved(uint64_t block_addr, bool invalidation) override;
+    void drain() override;
+
+    const AgtStats &stats() const { return stats_; }
+    size_t filterOccupancy() const { return filter.size(); }
+    size_t accumOccupancy() const { return accum.size(); }
+    const RegionGeometry &geometry() const { return geom; }
+
+  private:
+    struct FilterEntry
+    {
+        TriggerInfo trigger;
+        uint64_t lastUse = 0;
+    };
+
+    struct AccumEntry
+    {
+        TriggerInfo trigger;
+        SpatialPattern pattern;
+        uint64_t lastUse = 0;
+    };
+
+    /** Make room in the filter table if at capacity. */
+    void victimizeFilter();
+    /** Make room in the accumulation table, training the victim. */
+    void victimizeAccum();
+
+    RegionGeometry geom;
+    AgtConfig cfg;
+    std::unordered_map<uint64_t, FilterEntry> filter;
+    std::unordered_map<uint64_t, AccumEntry> accum;
+    uint64_t tick = 0;
+    AgtStats stats_;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_AGT_HH

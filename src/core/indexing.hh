@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prediction index construction (Section 2.2 / 4.2). The index chosen
+ * to look up and update the PHT determines what the predictor can
+ * correlate on: data address, code, or both. PC+offset is the paper's
+ * headline result — code-correlated, cheap, and able to predict
+ * previously-unvisited data.
+ */
+
+#ifndef STEMS_CORE_INDEXING_HH
+#define STEMS_CORE_INDEXING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/region.hh"
+#include "core/trainer.hh"
+
+namespace stems::core {
+
+/** The four prediction indices compared in Figure 6. */
+enum class IndexKind
+{
+    Address,    //!< spatial region address only
+    PcAddress,  //!< PC combined with the region address
+    Pc,         //!< trigger PC only
+    PcOffset    //!< PC combined with the spatial region offset
+};
+
+/** Human-readable label matching the paper's figure axes. */
+inline const char *
+indexName(IndexKind k)
+{
+    switch (k) {
+      case IndexKind::Address: return "Addr";
+      case IndexKind::PcAddress: return "PC+addr";
+      case IndexKind::Pc: return "PC";
+      case IndexKind::PcOffset: return "PC+off";
+    }
+    return "?";
+}
+
+/**
+ * Build the 64-bit prediction key for @p trigger under index scheme
+ * @p kind. Keys feed the PHT's set index (low bits) and tag.
+ */
+inline uint64_t
+makeIndex(IndexKind kind, const TriggerInfo &trigger,
+          const RegionGeometry &geom)
+{
+    switch (kind) {
+      case IndexKind::Address:
+        return geom.regionId(trigger.regionBase);
+      case IndexKind::PcAddress:
+        // mix so unrelated (pc, region) pairs spread over PHT sets
+        return trigger.pc * 0x9e3779b97f4a7c15ULL ^
+            geom.regionId(trigger.regionBase);
+      case IndexKind::Pc:
+        return trigger.pc;
+      case IndexKind::PcOffset:
+        return (trigger.pc << geom.offsetBits()) | trigger.offset;
+    }
+    return 0;
+}
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_INDEXING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The opportunity oracle of Figure 4: a predictor that incurs exactly
+ * one miss per spatial region generation. Tracking the generations a
+ * cache's actual access/eviction behaviour defines yields the maximum
+ * miss reduction any spatial predictor at that region size could
+ * achieve.
+ */
+
+#ifndef STEMS_CORE_ORACLE_HH
+#define STEMS_CORE_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/region.hh"
+
+namespace stems::core {
+
+/**
+ * Counts spatial region generations over an access + departure event
+ * stream at one cache level. A generation begins with a trigger
+ * access to a quiescent region and ends when any block *accessed
+ * during the generation* leaves the cache.
+ */
+class OracleTracker
+{
+  public:
+    explicit OracleTracker(const RegionGeometry &geom) : geom(geom) {}
+
+    /** Observe a demand access at this level. */
+    void
+    onAccess(uint64_t addr)
+    {
+        const uint64_t rid = geom.regionId(addr);
+        auto [it, inserted] = active.try_emplace(rid);
+        if (inserted)
+            ++gens;
+        it->second.set(geom.offsetOf(addr));
+    }
+
+    /** Observe a block departure (replacement or invalidation). */
+    void
+    onBlockRemoved(uint64_t block_addr)
+    {
+        const uint64_t rid = geom.regionId(block_addr);
+        auto it = active.find(rid);
+        if (it == active.end())
+            return;
+        if (it->second.test(geom.offsetOf(block_addr)))
+            active.erase(it);  // an accessed block left: generation over
+    }
+
+    /** Oracle miss count: one per generation started. */
+    uint64_t generations() const { return gens; }
+
+    /** Live generations (for tests). */
+    size_t activeCount() const { return active.size(); }
+
+  private:
+    RegionGeometry geom;
+    std::unordered_map<uint64_t, SpatialPattern> active;
+    uint64_t gens = 0;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_ORACLE_HH

@@ -1,0 +1,116 @@
+#include "core/pht.hh"
+
+#include <stdexcept>
+
+#include "util/bits.hh"
+
+namespace stems::core {
+
+PatternHistoryTable::PatternHistoryTable(const PhtConfig &config)
+    : cfg(config)
+{
+    if (cfg.entries == 0)
+        return;  // unbounded
+    if (cfg.assoc == 0 || cfg.entries % cfg.assoc != 0)
+        throw std::invalid_argument("PHT entries not multiple of assoc");
+    sets = cfg.entries / cfg.assoc;
+    if (!isPow2(sets))
+        throw std::invalid_argument("PHT set count must be a power of 2");
+    setShift = log2i(sets);
+    table.resize(cfg.entries);
+}
+
+void
+PatternHistoryTable::update(uint64_t key, const SpatialPattern &pattern)
+{
+    ++stats_.updates;
+    ++tick;
+
+    if (unbounded()) {
+        auto [it, inserted] = map.try_emplace(key, pattern);
+        if (inserted) {
+            ++stats_.inserts;
+        } else if (cfg.update == PhtUpdateMode::Union) {
+            it->second |= pattern;
+        } else {
+            it->second = pattern;
+        }
+        return;
+    }
+
+    Entry *base = &table[static_cast<size_t>(setOf(key)) * cfg.assoc];
+    const uint64_t tag = tagOf(key);
+
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            if (cfg.update == PhtUpdateMode::Union)
+                e.pattern |= pattern;
+            else
+                e.pattern = pattern;
+            e.lastUse = tick;
+            return;
+        }
+    }
+
+    // no tag match: fill an invalid way, else replace the set's LRU
+    Entry *victim = nullptr;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+
+    if (victim->valid)
+        ++stats_.evictions;
+    else
+        ++stats_.inserts;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->pattern = pattern;
+    victim->lastUse = tick;
+}
+
+std::optional<SpatialPattern>
+PatternHistoryTable::lookup(uint64_t key)
+{
+    ++stats_.lookups;
+    ++tick;
+
+    if (unbounded()) {
+        auto it = map.find(key);
+        if (it == map.end())
+            return std::nullopt;
+        ++stats_.hits;
+        return it->second;
+    }
+
+    Entry *base = &table[static_cast<size_t>(setOf(key)) * cfg.assoc];
+    const uint64_t tag = tagOf(key);
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = tick;
+            ++stats_.hits;
+            return e.pattern;
+        }
+    }
+    return std::nullopt;
+}
+
+size_t
+PatternHistoryTable::occupancy() const
+{
+    if (unbounded())
+        return map.size();
+    size_t n = 0;
+    for (const auto &e : table)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace stems::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Pattern History Table (Section 3.2): long-term storage of
+ * spatial patterns, consulted at the start of every generation. A
+ * set-associative structure (paper default 16k entries, 16-way), with
+ * an unbounded mode for the "infinite PHT" limit studies of
+ * Sections 4.2-4.4.
+ */
+
+#ifndef STEMS_CORE_PHT_HH
+#define STEMS_CORE_PHT_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/region.hh"
+
+namespace stems::core {
+
+/** How an update merges with an existing entry for the same key. */
+enum class PhtUpdateMode
+{
+    Replace,  //!< store the latest observed pattern (paper behaviour)
+    Union     //!< OR new bits into the stored pattern (ablation)
+};
+
+/** PHT shape. entries == 0 selects the unbounded (infinite) mode. */
+struct PhtConfig
+{
+    uint32_t entries = 16384;
+    uint32_t assoc = 16;
+    PhtUpdateMode update = PhtUpdateMode::Replace;
+};
+
+/** PHT event counters. */
+struct PhtStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t updates = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+};
+
+/**
+ * Set-associative (or unbounded) pattern store keyed by a 64-bit
+ * prediction index (see core/indexing.hh). LRU within each set.
+ */
+class PatternHistoryTable
+{
+  public:
+    explicit PatternHistoryTable(const PhtConfig &config);
+
+    /** Record @p pattern under @p key at generation end. */
+    void update(uint64_t key, const SpatialPattern &pattern);
+
+    /**
+     * Predict the pattern for @p key at a trigger access.
+     * @return the stored pattern, or nullopt on a PHT miss.
+     */
+    std::optional<SpatialPattern> lookup(uint64_t key);
+
+    const PhtStats &stats() const { return stats_; }
+    bool unbounded() const { return cfg.entries == 0; }
+    size_t occupancy() const;
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        SpatialPattern pattern;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint32_t setOf(uint64_t key) const { return key & (sets - 1); }
+    uint64_t tagOf(uint64_t key) const { return key >> setShift; }
+
+    PhtConfig cfg;
+    uint32_t sets = 1;
+    uint32_t setShift = 0;
+    uint64_t tick = 0;
+    std::vector<Entry> table;                          //!< bounded mode
+    std::unordered_map<uint64_t, SpatialPattern> map;  //!< unbounded mode
+    PhtStats stats_;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_PHT_HH

@@ -1,0 +1,74 @@
+#include "core/prediction_register.hh"
+
+#include <stdexcept>
+
+namespace stems::core {
+
+PredictionRegisterFile::PredictionRegisterFile(uint32_t nregs,
+                                               const RegionGeometry &geom)
+    : geom(geom), regs(nregs)
+{
+    if (nregs == 0)
+        throw std::invalid_argument("need at least one prediction reg");
+}
+
+bool
+PredictionRegisterFile::allocate(uint64_t region_base,
+                                 SpatialPattern pattern,
+                                 uint32_t trigger_offset)
+{
+    pattern.clear(trigger_offset);
+    if (pattern.none())
+        return false;
+
+    for (auto &r : regs) {
+        if (!r.busy) {
+            r.busy = true;
+            r.regionBase = region_base;
+            r.pending = pattern;
+            ++stats_.allocations;
+            return true;
+        }
+    }
+    ++stats_.rejections;
+    return false;
+}
+
+std::optional<uint64_t>
+PredictionRegisterFile::nextRequest()
+{
+    const uint32_t n = static_cast<uint32_t>(regs.size());
+    for (uint32_t i = 0; i < n; ++i) {
+        Reg &r = regs[(rr + i) % n];
+        if (!r.busy)
+            continue;
+        uint32_t off = r.pending.lowestSet();
+        r.pending.clear(off);
+        if (r.pending.none())
+            r.busy = false;
+        rr = (rr + i + 1) % n;  // resume after this register
+        ++stats_.requests;
+        return geom.blockAddr(r.regionBase, off);
+    }
+    return std::nullopt;
+}
+
+bool
+PredictionRegisterFile::anyPending() const
+{
+    for (const auto &r : regs)
+        if (r.busy)
+            return true;
+    return false;
+}
+
+uint32_t
+PredictionRegisterFile::busyCount() const
+{
+    uint32_t n = 0;
+    for (const auto &r : regs)
+        n += r.busy ? 1 : 0;
+    return n;
+}
+
+} // namespace stems::core

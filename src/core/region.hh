@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Spatial region geometry: fixed-size, aligned portions of the address
+ * space consisting of multiple consecutive cache blocks (Section 2.1
+ * of the paper). Default: 2 kB regions of 64 B blocks (32 blocks).
+ */
+
+#ifndef STEMS_CORE_REGION_HH
+#define STEMS_CORE_REGION_HH
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/bits.hh"
+
+namespace stems::core {
+
+/** A spatial pattern: one bit per block of a region (Section 2.1). */
+using SpatialPattern = Bits128;
+
+/** Address arithmetic for one (region size, block size) choice. */
+class RegionGeometry
+{
+  public:
+    /**
+     * @param region_size bytes per spatial region (power of two)
+     * @param block_size  bytes per cache block (power of two)
+     */
+    explicit RegionGeometry(uint32_t region_size = 2048,
+                            uint32_t block_size = 64)
+        : regionSize_(region_size), blockSize_(block_size)
+    {
+        if (!isPow2(region_size) || !isPow2(block_size) ||
+            region_size < block_size) {
+            throw std::invalid_argument("bad region geometry");
+        }
+        regionShift = log2i(region_size);
+        blockShift = log2i(block_size);
+        if (blocksPerRegion() > Bits128::kMaxBits)
+            throw std::invalid_argument("region too large for pattern");
+    }
+
+    uint32_t regionSize() const { return regionSize_; }
+    uint32_t blockSize() const { return blockSize_; }
+
+    /** Number of blocks (pattern bits) per region. */
+    uint32_t
+    blocksPerRegion() const
+    {
+        return regionSize_ / blockSize_;
+    }
+
+    /** Base byte address of the region containing @p addr. */
+    uint64_t
+    regionBase(uint64_t addr) const
+    {
+        return addr & ~uint64_t{regionSize_ - 1};
+    }
+
+    /** Dense region identifier (the "spatial region tag"). */
+    uint64_t
+    regionId(uint64_t addr) const
+    {
+        return addr >> regionShift;
+    }
+
+    /** Spatial region offset: block distance from the region start. */
+    uint32_t
+    offsetOf(uint64_t addr) const
+    {
+        return static_cast<uint32_t>(
+            (addr & (regionSize_ - 1)) >> blockShift);
+    }
+
+    /** Block-aligned address of block @p offset in @p region_base. */
+    uint64_t
+    blockAddr(uint64_t region_base, uint32_t offset) const
+    {
+        return region_base + (uint64_t{offset} << blockShift);
+    }
+
+    /** Bits needed to encode a spatial region offset. */
+    uint32_t
+    offsetBits() const
+    {
+        return regionShift - blockShift;
+    }
+
+    bool
+    operator==(const RegionGeometry &o) const
+    {
+        return regionSize_ == o.regionSize_ && blockSize_ == o.blockSize_;
+    }
+
+  private:
+    uint32_t regionSize_;
+    uint32_t blockSize_;
+    uint32_t regionShift;
+    uint32_t blockShift;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_REGION_HH

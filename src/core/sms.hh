@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Spatial Memory Streaming: the paper's primary contribution, packaged
+ * as per-CPU units (AGT + PHT + prediction registers) and a controller
+ * that wires the units into a MemorySystem. On each trigger access the
+ * unit consults the PHT and streams the predicted blocks toward the
+ * primary cache; at each generation end it trains the PHT.
+ */
+
+#ifndef STEMS_CORE_SMS_HH
+#define STEMS_CORE_SMS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/agt.hh"
+#include "core/indexing.hh"
+#include "core/pht.hh"
+#include "core/prediction_register.hh"
+#include "core/trainer.hh"
+#include "mem/memsys.hh"
+
+namespace stems::core {
+
+/** Full configuration of one SMS prefetcher. */
+struct SmsConfig
+{
+    RegionGeometry geometry{2048, 64};    //!< 2 kB regions (Section 4.4)
+    AgtConfig agt{32, 64};                //!< practical AGT (Section 4.5)
+    PhtConfig pht{16384, 16,
+                  PhtUpdateMode::Replace};//!< 16k x 16-way (Section 4.6)
+    IndexKind index = IndexKind::PcOffset;
+    uint32_t predictionRegisters = 16;
+    bool intoL1 = true;                   //!< stream into L1 (SMS) or L2
+};
+
+/** Aggregated SMS counters (one unit or summed over a controller). */
+struct SmsStats
+{
+    uint64_t triggers = 0;       //!< generation starts observed
+    uint64_t phtHits = 0;        //!< triggers that produced a prediction
+    uint64_t streamRequests = 0; //!< blocks requested
+    uint64_t trained = 0;        //!< patterns written to the PHT
+
+    SmsStats &
+    operator+=(const SmsStats &o)
+    {
+        triggers += o.triggers;
+        phtHits += o.phtHits;
+        streamRequests += o.streamRequests;
+        trained += o.trained;
+        return *this;
+    }
+};
+
+/**
+ * Sink for SMS stream requests. Bound to MemorySystem::prefetch by
+ * the controller; bound to shadow caches by the trace studies.
+ */
+using IssueFn =
+    std::function<void(uint32_t cpu, uint64_t block_addr, bool into_l1)>;
+
+/**
+ * One per-CPU SMS engine. It is a GenerationListener on its own
+ * trainer and a CacheListener on its CPU's L1 (generations end on
+ * eviction or invalidation of an accessed block).
+ */
+class SmsUnit : public GenerationListener, public mem::CacheListener
+{
+  public:
+    /**
+     * @param cpu     owning processor
+     * @param config  SMS parameters
+     * @param issue   where stream requests go
+     * @param trainer optional external trainer (sectored studies);
+     *                defaults to an AGT built from @p config
+     */
+    SmsUnit(uint32_t cpu, const SmsConfig &config, IssueFn issue,
+            std::unique_ptr<PatternTrainer> trainer = nullptr);
+
+    /** Observe one demand access on this CPU's L1 (hits included). */
+    void onAccess(uint64_t pc, uint64_t addr);
+
+    /** End every live generation and train the PHT with them. */
+    void drain();
+
+    // GenerationListener
+    void generationStart(const TriggerInfo &trigger) override;
+    void generationEnd(const TriggerInfo &trigger,
+                       const SpatialPattern &pattern) override;
+
+    // mem::CacheListener (the owning L1's departures)
+    void
+    evicted(uint64_t addr, bool, bool) override
+    {
+        trainer_->onBlockRemoved(addr, false);
+    }
+
+    void
+    invalidated(uint64_t addr, bool) override
+    {
+        trainer_->onBlockRemoved(addr, true);
+    }
+
+    const SmsStats &stats() const { return stats_; }
+    PatternHistoryTable &pht() { return pht_; }
+    PredictionRegisterFile &predictionRegisters() { return prf; }
+    PatternTrainer &trainer() { return *trainer_; }
+
+  private:
+    uint32_t cpu;
+    SmsConfig cfg;
+    std::unique_ptr<PatternTrainer> trainer_;
+    PatternHistoryTable pht_;
+    PredictionRegisterFile prf;
+    IssueFn issue;
+    SmsStats stats_;
+};
+
+/**
+ * SMS for a whole multiprocessor: one unit per CPU, subscribed to the
+ * memory system's demand stream and L1 listener hooks, issuing stream
+ * requests through MemorySystem::prefetch (which behave as reads in
+ * the coherence protocol, per Section 3.2).
+ */
+class SmsController : public mem::AccessObserver
+{
+  public:
+    SmsController(mem::MemorySystem &sys, const SmsConfig &config);
+
+    void
+    onAccess(const trace::MemAccess &a,
+             const mem::AccessOutcome &) override
+    {
+        units[a.cpu]->onAccess(a.pc, a.addr);
+    }
+
+    /** Drain all units (end-of-run). */
+    void drainAll();
+
+    SmsUnit &unit(uint32_t cpu) { return *units[cpu]; }
+
+    /** Sum of per-unit counters. */
+    SmsStats totalStats() const;
+
+  private:
+    std::vector<std::unique_ptr<SmsUnit>> units;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_SMS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Common vocabulary for spatial-pattern training structures. The AGT
+ * and the prior-work sectored organizations (decoupled / logical
+ * sectored) all emit the same two events: a *generation start* (the
+ * trigger access, when a prediction may be made) and a *generation
+ * end* (when the observed pattern is handed to the pattern history
+ * table).
+ */
+
+#ifndef STEMS_CORE_TRAINER_HH
+#define STEMS_CORE_TRAINER_HH
+
+#include <cstdint>
+
+#include "core/region.hh"
+
+namespace stems::core {
+
+/** Identity of a spatial region generation's trigger access. */
+struct TriggerInfo
+{
+    uint64_t pc = 0;          //!< code site of the trigger access
+    uint64_t address = 0;     //!< full byte address of the trigger
+    uint64_t regionBase = 0;  //!< base address of the spatial region
+    uint32_t offset = 0;      //!< spatial region offset (in blocks)
+};
+
+/** Receiver of generation lifecycle events from a trainer. */
+class GenerationListener
+{
+  public:
+    virtual ~GenerationListener() = default;
+
+    /**
+     * A new spatial region generation began with @p trigger. The
+     * predictor consults the PHT here and may start streaming.
+     */
+    virtual void generationStart(const TriggerInfo &trigger) = 0;
+
+    /**
+     * A generation ended; @p pattern records the blocks accessed over
+     * its lifetime (the trigger's bit included). Only generations with
+     * two or more distinct blocks are reported — single-access
+     * generations carry no predictive value (Section 3.1).
+     */
+    virtual void generationEnd(const TriggerInfo &trigger,
+                               const SpatialPattern &pattern) = 0;
+};
+
+/** Interface shared by the AGT and the sectored training structures. */
+class PatternTrainer
+{
+  public:
+    virtual ~PatternTrainer() = default;
+
+    /** Observe one demand access (hits included). */
+    virtual void onAccess(uint64_t pc, uint64_t addr) = 0;
+
+    /**
+     * A block left the primary cache.
+     * @param invalidation true for coherence invalidations, false for
+     *        replacements. The AGT ends generations on both; the
+     *        logical sectored organization models its own replacement
+     *        and only reacts to invalidations.
+     */
+    virtual void onBlockRemoved(uint64_t block_addr, bool invalidation) = 0;
+
+    /** Flush every live generation (end-of-simulation bookkeeping). */
+    virtual void drain() = 0;
+
+    void setListener(GenerationListener *l) { listener = l; }
+
+  protected:
+    GenerationListener *listener = nullptr;
+};
+
+} // namespace stems::core
+
+#endif // STEMS_CORE_TRAINER_HH

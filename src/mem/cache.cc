@@ -1,0 +1,225 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stems::mem {
+
+Cache::Cache(const CacheConfig &config, std::string name)
+    : cfg(config), name_(std::move(name))
+{
+    if (!isPow2(cfg.blockSize))
+        throw std::invalid_argument(name_ + ": block size not power of 2");
+    if (cfg.assoc == 0)
+        throw std::invalid_argument(name_ + ": zero associativity");
+    uint64_t set_bytes = uint64_t{cfg.blockSize} * cfg.assoc;
+    if (cfg.sizeBytes < set_bytes || cfg.sizeBytes % set_bytes != 0)
+        throw std::invalid_argument(name_ + ": size not a multiple of "
+                                            "assoc * blockSize");
+    sets = static_cast<uint32_t>(cfg.sizeBytes / set_bytes);
+    if (!isPow2(sets))
+        throw std::invalid_argument(name_ + ": set count not power of 2");
+    blockShift = log2i(cfg.blockSize);
+    frames.resize(static_cast<size_t>(sets) * cfg.assoc);
+    repl = makeReplacement(cfg.repl, sets, cfg.assoc);
+}
+
+uint32_t
+Cache::setIndex(uint64_t addr) const
+{
+    return static_cast<uint32_t>((addr >> blockShift) & (sets - 1));
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> (blockShift + log2i(sets));
+}
+
+uint64_t
+Cache::addrOf(uint32_t set, uint64_t tag) const
+{
+    return (tag << (blockShift + log2i(sets))) |
+        (uint64_t{set} << blockShift);
+}
+
+Cache::Frame *
+Cache::find(uint64_t addr)
+{
+    uint32_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Frame *
+Cache::find(uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+Cache::Frame &
+Cache::allocate(uint64_t addr)
+{
+    uint32_t set = setIndex(addr);
+    Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
+
+    // prefer an invalid way
+    uint32_t way = cfg.assoc;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (!base[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == cfg.assoc) {
+        way = repl->victim(set);
+        Frame &victim = base[way];
+        assert(victim.valid);
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.writebacks;
+        if (victim.prefetch)
+            ++stats_.prefetchUnused;
+        if (listener)
+            listener->evicted(addrOf(set, victim.tag), victim.dirty,
+                              victim.prefetch);
+    }
+
+    Frame &f = base[way];
+    f.tag = tagOf(addr);
+    f.valid = true;
+    f.dirty = false;
+    f.prefetch = false;
+    repl->touch(set, way);
+    return f;
+}
+
+AccessResult
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    if (!is_write)
+        ++stats_.readAccesses;
+
+    AccessResult r;
+    if (Frame *f = find(addr)) {
+        r.hit = true;
+        ++stats_.hits;
+        if (f->prefetch) {
+            r.prefetchHit = true;
+            ++stats_.prefetchHits;
+            f->prefetch = false;
+        }
+        if (is_write)
+            f->dirty = true;
+        repl->touch(setIndex(addr),
+                    static_cast<uint32_t>(
+                        f - &frames[static_cast<size_t>(setIndex(addr)) *
+                                    cfg.assoc]));
+        return r;
+    }
+
+    ++stats_.misses;
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    Frame &f = allocate(addr);
+    f.dirty = is_write;
+    return r;
+}
+
+bool
+Cache::fillPrefetch(uint64_t addr)
+{
+    if (find(addr))
+        return false;
+    Frame &f = allocate(addr);
+    f.prefetch = true;
+    ++stats_.prefetchFills;
+    return true;
+}
+
+bool
+Cache::fill(uint64_t addr, bool dirty)
+{
+    if (Frame *f = find(addr)) {
+        f->dirty = f->dirty || dirty;
+        return false;
+    }
+    Frame &f = allocate(addr);
+    f.dirty = dirty;
+    return true;
+}
+
+bool
+Cache::invalidate(uint64_t addr)
+{
+    Frame *f = find(addr);
+    if (!f)
+        return false;
+    ++stats_.invalidations;
+    if (f->dirty)
+        ++stats_.writebacks;
+    if (f->prefetch)
+        ++stats_.prefetchUnused;
+    bool was_prefetch = f->prefetch;
+    f->valid = false;
+    f->dirty = false;
+    f->prefetch = false;
+    if (listener)
+        listener->invalidated(blockBase(addr), was_prefetch);
+    return true;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::isPrefetched(uint64_t addr) const
+{
+    const Frame *f = find(addr);
+    return f && f->prefetch;
+}
+
+bool
+Cache::setDirty(uint64_t addr)
+{
+    Frame *f = find(addr);
+    if (!f)
+        return false;
+    f->dirty = true;
+    return true;
+}
+
+bool
+Cache::clearPrefetch(uint64_t addr)
+{
+    Frame *f = find(addr);
+    if (!f || !f->prefetch)
+        return false;
+    f->prefetch = false;
+    ++stats_.prefetchHits;
+    return true;
+}
+
+void
+Cache::flush()
+{
+    for (auto &f : frames) {
+        f.valid = false;
+        f.dirty = false;
+        f.prefetch = false;
+    }
+}
+
+} // namespace stems::mem

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Set-associative write-back cache model with per-frame prefetch bits
+ * and eviction/invalidation listeners. The listener stream is what
+ * defines spatial region generations for SMS trainers, so the cache
+ * reports *every* departure of a valid block, clean or dirty.
+ */
+
+#ifndef STEMS_MEM_CACHE_HH
+#define STEMS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/replacement.hh"
+#include "util/bits.hh"
+
+namespace stems::mem {
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 64 * 1024;  //!< total data capacity
+    uint32_t assoc = 2;              //!< ways per set
+    uint32_t blockSize = 64;         //!< bytes per block (power of two)
+    ReplKind repl = ReplKind::LRU;   //!< replacement policy
+};
+
+/**
+ * Observer of block departures. Implemented by SMS trainers (to end
+ * spatial region generations) and by the memory system (to maintain
+ * inclusion and coherence bookkeeping).
+ */
+class CacheListener
+{
+  public:
+    virtual ~CacheListener() = default;
+
+    /** A valid block left by replacement. @p addr is block-aligned. */
+    virtual void
+    evicted(uint64_t addr, bool dirty, bool was_prefetch)
+    {
+        (void)addr; (void)dirty; (void)was_prefetch;
+    }
+
+    /** A valid block left by external invalidation. */
+    virtual void
+    invalidated(uint64_t addr, bool was_prefetch)
+    {
+        (void)addr; (void)was_prefetch;
+    }
+};
+
+/** Outcome of one demand access. */
+struct AccessResult
+{
+    bool hit = false;          //!< block was present
+    bool prefetchHit = false;  //!< present only because of a prefetch
+};
+
+/** Event counters for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t readAccesses = 0;
+    uint64_t readMisses = 0;
+    uint64_t writeMisses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t invalidations = 0;
+    uint64_t prefetchFills = 0;     //!< blocks inserted by a prefetcher
+    uint64_t prefetchHits = 0;      //!< first demand touch of such block
+    uint64_t prefetchUnused = 0;    //!< prefetched blocks dropped unused
+
+    void
+    reset()
+    {
+        *this = CacheStats{};
+    }
+};
+
+/**
+ * A single-level set-associative cache holding tags only (no data),
+ * sufficient for miss/coverage studies and timing simulation.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config geometry/policy; size, assoc and blockSize must
+     *               describe at least one full set
+     * @param name   label used in assertions and debug output
+     */
+    explicit Cache(const CacheConfig &config, std::string name = "cache");
+
+    /** Subscribe to eviction/invalidation events (one listener). */
+    void setListener(CacheListener *l) { listener = l; }
+
+    /**
+     * Perform a demand access. Misses allocate the block, evicting a
+     * victim if needed (listener notified). Demand hits on a
+     * prefetched block clear the prefetch bit and report prefetchHit.
+     */
+    AccessResult access(uint64_t addr, bool is_write);
+
+    /**
+     * Insert a block on behalf of a prefetcher; no-op if present.
+     * @return true if the block was newly inserted.
+     */
+    bool fillPrefetch(uint64_t addr);
+
+    /**
+     * Insert a block without counting a demand access (used by upper
+     * levels maintaining inclusion). No-op if present.
+     * @return true if newly inserted.
+     */
+    bool fill(uint64_t addr, bool dirty = false);
+
+    /**
+     * Remove a block (coherence invalidation or inclusion victim).
+     * @return true if the block was present.
+     */
+    bool invalidate(uint64_t addr);
+
+    /** @return true if the block holding @p addr is resident. */
+    bool contains(uint64_t addr) const;
+
+    /** @return true if resident with its prefetch bit still set. */
+    bool isPrefetched(uint64_t addr) const;
+
+    /** Mark the resident block dirty. @return false if absent. */
+    bool setDirty(uint64_t addr);
+
+    /**
+     * Clear the prefetch bit of a resident block because a consumer
+     * above this level made first use of the prefetched data (counts
+     * as a useful prefetch here, too).
+     * @return true if the block was resident with its bit set.
+     */
+    bool clearPrefetch(uint64_t addr);
+
+    /** Drop all blocks without listener notification. */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+
+    uint32_t blockSize() const { return cfg.blockSize; }
+    uint32_t numSets() const { return sets; }
+    uint32_t associativity() const { return cfg.assoc; }
+    uint64_t capacityBytes() const { return cfg.sizeBytes; }
+    const std::string &name() const { return name_; }
+
+    /** Block-align @p addr to this cache's block size. */
+    uint64_t
+    blockBase(uint64_t addr) const
+    {
+        return addr & ~uint64_t{cfg.blockSize - 1};
+    }
+
+  private:
+    struct Frame
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetch = false;
+    };
+
+    uint32_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+    uint64_t addrOf(uint32_t set, uint64_t tag) const;
+    Frame *find(uint64_t addr);
+    const Frame *find(uint64_t addr) const;
+
+    /** Allocate a frame for @p addr, evicting if necessary. */
+    Frame &allocate(uint64_t addr);
+
+    CacheConfig cfg;
+    std::string name_;
+    uint32_t sets;
+    uint32_t blockShift;
+    std::vector<Frame> frames;
+    std::unique_ptr<ReplacementPolicy> repl;
+    CacheListener *listener = nullptr;
+    CacheStats stats_;
+};
+
+} // namespace stems::mem
+
+#endif // STEMS_MEM_CACHE_HH

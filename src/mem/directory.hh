@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Directory-based invalidation coherence with deferred false-sharing
+ * classification.
+ *
+ * The directory tracks, per coherence block, the owner / sharer set
+ * across nodes and fans out invalidations on writes. For block sizes
+ * above the 64 B reference grain it additionally classifies coherence
+ * read misses as *true* or *false* sharing: an invalidated reader's
+ * next-generation miss is false sharing iff the reader never touches a
+ * 64 B sub-block dirtied by the remote writer while it re-holds the
+ * block (the classic Dubois/Torrellas-style deferred classification).
+ * This feeds the "false sharing beyond 64B" series of Figure 4.
+ */
+
+#ifndef STEMS_MEM_DIRECTORY_HH
+#define STEMS_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/bits.hh"
+
+namespace stems::mem {
+
+/** Callbacks the directory uses to reach into per-node caches. */
+class CoherenceClient
+{
+  public:
+    virtual ~CoherenceClient() = default;
+
+    /** Remove the (block-aligned) block from node @p cpu's hierarchy. */
+    virtual void invalidateBlock(uint32_t cpu, uint64_t addr) = 0;
+};
+
+/** Directory event counters. */
+struct DirectoryStats
+{
+    uint64_t invalidationsSent = 0;  //!< copies invalidated by writes
+    uint64_t downgrades = 0;         //!< M -> S transitions serving reads
+    uint64_t readCohMisses = 0;      //!< read misses after invalidation
+    uint64_t writeCohMisses = 0;     //!< write misses after invalidation
+    uint64_t upgrades = 0;           //!< writes hitting a shared copy
+    uint64_t trueSharing = 0;        //!< coherence read misses, true
+    uint64_t falseSharing = 0;       //!< coherence read misses, false
+};
+
+/**
+ * Full-map directory over an @p ncpu-node system at a fixed coherence
+ * block size (the L2 block size in this repo's experiments).
+ */
+class Directory
+{
+  public:
+    /** Outcome of a directory read request. */
+    struct ReadOutcome
+    {
+        bool remoteTransfer = false;  //!< data sourced from a remote M copy
+        bool coherenceMiss = false;   //!< requester lost its copy to a write
+    };
+
+    /** Outcome of a directory write notification. */
+    struct WriteOutcome
+    {
+        bool coherenceMiss = false;  //!< writer lost its copy to a write
+        bool upgrade = false;        //!< writer held a shared copy
+        bool remoteTransfer = false; //!< ownership taken from a remote M copy
+    };
+
+    /**
+     * @param ncpu       number of nodes (max 16)
+     * @param block_size coherence granularity in bytes (power of two,
+     *                   >= 64)
+     * @param client     invalidation sink; may be null for unit tests,
+     *                   in which case invalidations are counted only
+     */
+    Directory(uint32_t ncpu, uint32_t block_size, CoherenceClient *client);
+
+    /**
+     * Note a demand access by @p cpu (hit or miss, any level); resolves
+     * pending false-sharing classifications. Must be called before the
+     * caches process the access.
+     */
+    void noteAccess(uint32_t cpu, uint64_t addr);
+
+    /**
+     * Handle a read request that missed node @p cpu's L2.
+     * @param demand false for prefetch/stream requests: coherence state
+     *               updates happen but no miss is classified
+     */
+    ReadOutcome read(uint32_t cpu, uint64_t addr, bool demand = true);
+
+    /**
+     * Handle a write by @p cpu (called for every store, hit or miss,
+     * so upgrades of shared copies are observed). Invalidates all
+     * other copies through the CoherenceClient.
+     */
+    WriteOutcome write(uint32_t cpu, uint64_t addr);
+
+    /** Node @p cpu's L2 silently dropped its copy (replacement). */
+    void evicted(uint32_t cpu, uint64_t addr);
+
+    /**
+     * Resolve all still-pending classifications (as false sharing) and
+     * return the stats. Call once at end of simulation.
+     */
+    const DirectoryStats &finalize();
+
+    const DirectoryStats &stats() const { return stats_; }
+
+    uint32_t blockSize() const { return uint32_t{1} << blockShift; }
+
+  private:
+    struct Entry
+    {
+        uint16_t sharers = 0;  //!< bit per node holding a copy
+        int8_t owner = -1;     //!< node with the modified copy, or -1
+        uint16_t hadCopy = 0;  //!< nodes invalidated, not yet refetched
+    };
+
+    /** Unresolved classification for one (block, reader). */
+    struct Pending
+    {
+        Bits128 written;  //!< 64 B sub-blocks dirtied while reader absent
+    };
+
+    uint64_t blockIndex(uint64_t addr) const { return addr >> blockShift; }
+
+    /** Key for per-(block, cpu) side tables. */
+    uint64_t
+    key(uint64_t addr, uint32_t cpu) const
+    {
+        return (blockIndex(addr) << 4) | cpu;
+    }
+
+    /** Bit index of the 64 B chunk of @p addr within its block. */
+    uint32_t
+    chunkOf(uint64_t addr) const
+    {
+        return static_cast<uint32_t>(
+            (addr & ((uint64_t{1} << blockShift) - 1)) >> 6);
+    }
+
+    void invalidateCopy(uint32_t cpu, uint64_t addr, Entry &e);
+    void resolveAsFalse(uint64_t k);
+
+    uint32_t ncpu_;
+    uint32_t blockShift;
+    CoherenceClient *client;
+    std::unordered_map<uint64_t, Entry> entries;
+    /** keyed by key(): writes accumulated since reader was invalidated */
+    std::unordered_map<uint64_t, Bits128> sinceInval;
+    /** keyed by key(): classification pending while reader re-holds */
+    std::unordered_map<uint64_t, Pending> pending;
+    DirectoryStats stats_;
+    bool finalized = false;
+};
+
+} // namespace stems::mem
+
+#endif // STEMS_MEM_DIRECTORY_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Miss status holding registers: bounded tracking of outstanding
+ * misses with secondary-miss merging, used by the timing model to
+ * limit memory-level parallelism the way real L1s do.
+ */
+
+#ifndef STEMS_MEM_MSHR_HH
+#define STEMS_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace stems::mem {
+
+/**
+ * A file of MSHRs keyed by block address. Each entry carries the
+ * cycle its fill completes; the owner retires entries by calling
+ * completeReady().
+ */
+class MshrFile
+{
+  public:
+    /** @param entries capacity (32 in the paper's L1s) */
+    explicit MshrFile(uint32_t entries) : capacity(entries) {}
+
+    bool full() const { return inflight.size() >= capacity; }
+    size_t size() const { return inflight.size(); }
+    uint32_t numEntries() const { return capacity; }
+
+    /** @return true if a miss on @p block_addr is already outstanding. */
+    bool
+    outstanding(uint64_t block_addr) const
+    {
+        return inflight.count(block_addr) != 0;
+    }
+
+    /**
+     * Allocate an entry completing at @p ready_cycle.
+     * @return false if the file is full (caller must stall).
+     */
+    bool
+    allocate(uint64_t block_addr, uint64_t ready_cycle)
+    {
+        // secondary misses merge into the existing entry even when the
+        // file is full — they need no new register
+        if (auto it = inflight.find(block_addr); it != inflight.end()) {
+            ++merged;
+            return true;
+        }
+        if (full())
+            return false;
+        inflight.emplace(block_addr, ready_cycle);
+        ++allocations;
+        return true;
+    }
+
+    /**
+     * Completion cycle of the outstanding miss on @p block_addr.
+     * @pre outstanding(block_addr)
+     */
+    uint64_t
+    readyAt(uint64_t block_addr) const
+    {
+        return inflight.at(block_addr);
+    }
+
+    /** Retire every entry whose fill completed by @p now. */
+    void
+    completeReady(uint64_t now)
+    {
+        for (auto it = inflight.begin(); it != inflight.end();) {
+            if (it->second <= now)
+                it = inflight.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /** Earliest completion among outstanding entries (or UINT64_MAX). */
+    uint64_t
+    nextReady() const
+    {
+        uint64_t best = UINT64_MAX;
+        for (const auto &[a, c] : inflight)
+            best = c < best ? c : best;
+        return best;
+    }
+
+    void
+    clear()
+    {
+        inflight.clear();
+    }
+
+    uint64_t mergedMisses() const { return merged; }
+    uint64_t totalAllocations() const { return allocations; }
+
+  private:
+    uint32_t capacity;
+    uint64_t merged = 0;
+    uint64_t allocations = 0;
+    std::unordered_map<uint64_t, uint64_t> inflight;
+};
+
+} // namespace stems::mem
+
+#endif // STEMS_MEM_MSHR_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures (caches, PHT).
+ */
+
+#ifndef STEMS_MEM_REPLACEMENT_HH
+#define STEMS_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/rng.hh"
+
+namespace stems::mem {
+
+/** Which replacement policy a set-associative structure uses. */
+enum class ReplKind { LRU, Random, TreePLRU };
+
+/**
+ * Replacement state for a (sets x assoc) structure. The owning
+ * structure is responsible for preferring invalid ways; the policy is
+ * only consulted to pick a victim among valid ways.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a use of (set, way). */
+    virtual void touch(uint32_t set, uint32_t way) = 0;
+
+    /** Pick the way to victimize in @p set. */
+    virtual uint32_t victim(uint32_t set) = 0;
+};
+
+/** True LRU via monotonic use timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(uint32_t sets, uint32_t assoc)
+        : assoc_(assoc), stamp(static_cast<size_t>(sets) * assoc, 0)
+    {}
+
+    void
+    touch(uint32_t set, uint32_t way) override
+    {
+        stamp[static_cast<size_t>(set) * assoc_ + way] = ++tick;
+    }
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        uint32_t best = 0;
+        uint64_t best_stamp = UINT64_MAX;
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            uint64_t s = stamp[static_cast<size_t>(set) * assoc_ + w];
+            if (s < best_stamp) {
+                best_stamp = s;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    uint32_t assoc_;
+    uint64_t tick = 0;
+    std::vector<uint64_t> stamp;
+};
+
+/** Uniform random victim selection (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(uint32_t sets, uint32_t assoc, uint64_t seed = 7)
+        : assoc_(assoc), rng(seed)
+    {
+        (void)sets;
+    }
+
+    void touch(uint32_t, uint32_t) override {}
+
+    uint32_t
+    victim(uint32_t) override
+    {
+        return static_cast<uint32_t>(rng.below(assoc_));
+    }
+
+  private:
+    uint32_t assoc_;
+    trace::Rng rng;
+};
+
+/**
+ * Tree pseudo-LRU. Each set keeps assoc-1 direction bits arranged as
+ * a complete binary tree. @pre assoc is a power of two.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(uint32_t sets, uint32_t assoc)
+        : assoc_(assoc),
+          bits(static_cast<size_t>(sets) * (assoc > 1 ? assoc - 1 : 1),
+               false)
+    {}
+
+    void
+    touch(uint32_t set, uint32_t way) override
+    {
+        if (assoc_ < 2)
+            return;
+        // walk root->leaf, pointing each node away from `way`
+        uint32_t node = 0;
+        uint32_t lo = 0, hi = assoc_;
+        while (hi - lo > 1) {
+            uint32_t mid = (lo + hi) / 2;
+            bool right = way >= mid;
+            setBit(set, node, !right);
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+    }
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        if (assoc_ < 2)
+            return 0;
+        uint32_t node = 0;
+        uint32_t lo = 0, hi = assoc_;
+        while (hi - lo > 1) {
+            uint32_t mid = (lo + hi) / 2;
+            bool right = getBit(set, node);
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    bool
+    getBit(uint32_t set, uint32_t node) const
+    {
+        return bits[static_cast<size_t>(set) * (assoc_ - 1) + node];
+    }
+
+    void
+    setBit(uint32_t set, uint32_t node, bool v)
+    {
+        bits[static_cast<size_t>(set) * (assoc_ - 1) + node] = v;
+    }
+
+    uint32_t assoc_;
+    std::vector<bool> bits;
+};
+
+/** Factory over ReplKind. */
+inline std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, uint32_t sets, uint32_t assoc)
+{
+    switch (kind) {
+      case ReplKind::Random:
+        return std::make_unique<RandomPolicy>(sets, assoc);
+      case ReplKind::TreePLRU:
+        return std::make_unique<TreePlruPolicy>(sets, assoc);
+      case ReplKind::LRU:
+      default:
+        return std::make_unique<LruPolicy>(sets, assoc);
+    }
+}
+
+} // namespace stems::mem
+
+#endif // STEMS_MEM_REPLACEMENT_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Common interface for baseline prefetchers (GHB PC/DC, stride,
+ * next-line) and the controller that wires a per-CPU instance of an
+ * algorithm into the memory system.
+ */
+
+#ifndef STEMS_PREFETCH_PREFETCHER_HH
+#define STEMS_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/memsys.hh"
+#include "trace/access.hh"
+
+namespace stems::prefetch {
+
+/** One demand access as seen by a prefetch algorithm. */
+struct ObservedAccess
+{
+    uint64_t pc = 0;
+    uint64_t addr = 0;
+    bool isWrite = false;
+    mem::HitLevel level = mem::HitLevel::L1;
+
+    bool l1Miss() const { return level != mem::HitLevel::L1; }
+
+    bool
+    offChipMiss() const
+    {
+        return level == mem::HitLevel::Remote ||
+            level == mem::HitLevel::Memory;
+    }
+};
+
+/**
+ * A per-CPU prefetch algorithm: observes the demand stream and emits
+ * block addresses to prefetch.
+ */
+class PrefetchAlgorithm
+{
+  public:
+    virtual ~PrefetchAlgorithm() = default;
+
+    /**
+     * Observe one access; append any prefetch requests (block-aligned
+     * byte addresses) to @p out.
+     */
+    virtual void observe(const ObservedAccess &a,
+                         std::vector<uint64_t> &out) = 0;
+
+    /** Destination level: true streams into L1, false stops at L2. */
+    virtual bool intoL1() const { return false; }
+
+    /** Algorithm name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Counters for a prefetcher deployment. */
+struct PrefetchControllerStats
+{
+    uint64_t issued = 0;  //!< prefetch requests sent to the hierarchy
+};
+
+/**
+ * Deploys one PrefetchAlgorithm instance per CPU onto a MemorySystem.
+ */
+class PrefetchController : public mem::AccessObserver
+{
+  public:
+    using Factory = std::function<std::unique_ptr<PrefetchAlgorithm>()>;
+
+    PrefetchController(mem::MemorySystem &sys, const Factory &make)
+        : sys(sys)
+    {
+        for (uint32_t c = 0; c < sys.numCpus(); ++c)
+            algos.push_back(make());
+        sys.addObserver(this);
+    }
+
+    void
+    onAccess(const trace::MemAccess &a,
+             const mem::AccessOutcome &o) override
+    {
+        ObservedAccess oa{a.pc, a.addr, a.isWrite, o.level};
+        scratch.clear();
+        algos[a.cpu]->observe(oa, scratch);
+        for (uint64_t addr : scratch) {
+            ++stats_.issued;
+            sys.prefetch(a.cpu, addr, algos[a.cpu]->intoL1());
+        }
+    }
+
+    PrefetchAlgorithm &algo(uint32_t cpu) { return *algos[cpu]; }
+    const PrefetchControllerStats &stats() const { return stats_; }
+
+  private:
+    mem::MemorySystem &sys;
+    std::vector<std::unique_ptr<PrefetchAlgorithm>> algos;
+    std::vector<uint64_t> scratch;
+    PrefetchControllerStats stats_;
+};
+
+} // namespace stems::prefetch
+
+#endif // STEMS_PREFETCH_PREFETCHER_HH

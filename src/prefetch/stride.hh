@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Classic per-PC stride prefetcher (reference prediction table), the
+ * "simple prefetching scheme" of Section 2 that suffices for dense
+ * array codes but not for the commercial access patterns SMS targets.
+ */
+
+#ifndef STEMS_PREFETCH_STRIDE_HH
+#define STEMS_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace stems::prefetch {
+
+/** Stride prefetcher parameters. */
+struct StrideConfig
+{
+    uint32_t entries = 256;   //!< RPT entries (direct-mapped by PC)
+    uint32_t degree = 2;      //!< prefetch depth once confident
+    uint32_t threshold = 2;   //!< confirmations before prefetching
+    uint32_t blockSize = 64;
+    bool l1Destination = true;
+};
+
+/** Reference-prediction-table stride prefetcher. */
+class StridePrefetcher : public PrefetchAlgorithm
+{
+  public:
+    explicit StridePrefetcher(const StrideConfig &config) : cfg(config)
+    {
+        table.resize(cfg.entries);
+    }
+
+    const StrideConfig &config() const { return cfg; }
+
+    void
+    observe(const ObservedAccess &a, std::vector<uint64_t> &out) override
+    {
+        Entry &e = table[a.pc % cfg.entries];
+        if (!e.valid || e.pc != a.pc) {
+            e = Entry{};
+            e.pc = a.pc;
+            e.lastAddr = a.addr;
+            e.valid = true;
+            return;
+        }
+        const int64_t stride = static_cast<int64_t>(a.addr) -
+            static_cast<int64_t>(e.lastAddr);
+        if (stride == e.stride && stride != 0) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+        }
+        e.lastAddr = a.addr;
+        if (e.confidence >= cfg.threshold && e.stride != 0) {
+            uint64_t addr = a.addr;
+            for (uint32_t k = 0; k < cfg.degree; ++k) {
+                addr = static_cast<uint64_t>(
+                    static_cast<int64_t>(addr) + e.stride);
+                out.push_back(addr & ~uint64_t{cfg.blockSize - 1});
+            }
+        }
+    }
+
+    bool intoL1() const override { return cfg.l1Destination; }
+    const char *name() const override { return "stride"; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        uint32_t confidence = 0;
+        bool valid = false;
+    };
+
+    StrideConfig cfg;
+    std::vector<Entry> table;
+};
+
+/** Prefetch the sequentially next block on every miss. */
+class NextLinePrefetcher : public PrefetchAlgorithm
+{
+  public:
+    explicit NextLinePrefetcher(uint32_t block_size = 64,
+                                uint32_t degree = 1)
+        : blockSize(block_size), degree(degree)
+    {}
+
+    void
+    observe(const ObservedAccess &a, std::vector<uint64_t> &out) override
+    {
+        if (!a.l1Miss())
+            return;
+        uint64_t base = a.addr & ~uint64_t{blockSize - 1};
+        for (uint32_t k = 1; k <= degree; ++k)
+            out.push_back(base + uint64_t{k} * blockSize);
+    }
+
+    bool intoL1() const override { return true; }
+    const char *name() const override { return "next-line"; }
+
+  private:
+    uint32_t blockSize;
+    uint32_t degree;
+};
+
+} // namespace stems::prefetch
+
+#endif // STEMS_PREFETCH_STRIDE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The 4x4 2D torus interconnect latency model of Table 1 (25 ns per
+ * hop at 4 GHz = 100 cycles/hop). Off-chip requests traverse from the
+ * requesting node to the block's home node and back.
+ */
+
+#ifndef STEMS_SIM_TORUS_HH
+#define STEMS_SIM_TORUS_HH
+
+#include <cstdint>
+
+namespace stems::sim {
+
+/** 2D torus hop/latency arithmetic. */
+class Torus
+{
+  public:
+    /**
+     * @param dim_x      nodes per row
+     * @param dim_y      nodes per column
+     * @param hop_cycles per-hop latency in cycles
+     */
+    Torus(uint32_t dim_x = 4, uint32_t dim_y = 4,
+          uint32_t hop_cycles = 100)
+        : dimX(dim_x), dimY(dim_y), hopCycles(hop_cycles)
+    {}
+
+    /** Minimal hop count between nodes @p a and @p b. */
+    uint32_t
+    hops(uint32_t a, uint32_t b) const
+    {
+        uint32_t ax = a % dimX, ay = a / dimX % dimY;
+        uint32_t bx = b % dimX, by = b / dimX % dimY;
+        uint32_t dx = ax > bx ? ax - bx : bx - ax;
+        uint32_t dy = ay > by ? ay - by : by - ay;
+        // torus wrap-around
+        if (dx > dimX / 2)
+            dx = dimX - dx;
+        if (dy > dimY / 2)
+            dy = dimY - dy;
+        return dx + dy;
+    }
+
+    /** Home node of a block (address-interleaved across nodes). */
+    uint32_t
+    homeNode(uint64_t block_addr) const
+    {
+        return static_cast<uint32_t>((block_addr >> 6) % (dimX * dimY));
+    }
+
+    /** Round-trip network latency between @p a and @p b. */
+    uint32_t
+    roundTrip(uint32_t a, uint32_t b) const
+    {
+        return 2 * hops(a, b) * hopCycles;
+    }
+
+    uint32_t nodes() const { return dimX * dimY; }
+    uint32_t perHop() const { return hopCycles; }
+
+  private:
+    uint32_t dimX;
+    uint32_t dimY;
+    uint32_t hopCycles;
+};
+
+} // namespace stems::sim
+
+#endif // STEMS_SIM_TORUS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Memory access density tracking (Figure 5): the distribution of
+ * blocks touched per spatial region generation, bucketed exactly as
+ * the paper charts it (1, 2-3, 4-7, 8-15, 16-23, 24-31, 32 blocks of
+ * a 2 kB region).
+ */
+
+#ifndef STEMS_STUDY_DENSITY_HH
+#define STEMS_STUDY_DENSITY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/region.hh"
+#include "mem/cache.hh"
+
+namespace stems::study {
+
+/** The paper's seven density buckets. */
+constexpr size_t kDensityBuckets = 7;
+
+/** Bucket labels matching Figure 5's legend. */
+inline const char *
+densityBucketName(size_t b)
+{
+    static const char *names[kDensityBuckets] = {
+        "1 Block", "2-3 Blocks", "4-7 Blocks", "8-15 Blocks",
+        "16-23 Blocks", "24-31 Blocks", "32 Blocks",
+    };
+    return b < kDensityBuckets ? names[b] : "?";
+}
+
+/** Bucket index for a generation that touched @p count blocks. */
+inline size_t
+densityBucket(uint32_t count)
+{
+    if (count <= 1)
+        return 0;
+    if (count <= 3)
+        return 1;
+    if (count <= 7)
+        return 2;
+    if (count <= 15)
+        return 3;
+    if (count <= 23)
+        return 4;
+    if (count <= 31)
+        return 5;
+    return 6;
+}
+
+/**
+ * Tracks generations at one cache level and histograms both the
+ * number of generations per density bucket and — what Figure 5
+ * plots — the number of *accesses* (misses at that level) coming from
+ * generations of each density.
+ */
+class DensityTracker : public mem::CacheListener
+{
+  public:
+    explicit DensityTracker(const core::RegionGeometry &geom) : geom(geom)
+    {}
+
+    /** Observe one demand access at this level. */
+    void
+    onAccess(uint64_t addr)
+    {
+        Gen &g = active[geom.regionId(addr)];
+        g.pattern.set(geom.offsetOf(addr));
+        ++g.accesses;
+    }
+
+    void
+    evicted(uint64_t addr, bool, bool) override
+    {
+        end(addr);
+    }
+
+    void
+    invalidated(uint64_t addr, bool) override
+    {
+        end(addr);
+    }
+
+    /** Flush live generations into the histogram. */
+    void
+    finalize()
+    {
+        for (auto &[rid, g] : active)
+            account(g);
+        active.clear();
+    }
+
+    /** Accesses from generations of each density bucket. */
+    const std::array<uint64_t, kDensityBuckets> &
+    accessHist() const
+    {
+        return accessHist_;
+    }
+
+    /** Generation counts per density bucket. */
+    const std::array<uint64_t, kDensityBuckets> &
+    generationHist() const
+    {
+        return genHist_;
+    }
+
+  private:
+    struct Gen
+    {
+        core::SpatialPattern pattern;
+        uint64_t accesses = 0;
+    };
+
+    void
+    account(const Gen &g)
+    {
+        size_t b = densityBucket(g.pattern.count());
+        ++genHist_[b];
+        accessHist_[b] += g.accesses;
+    }
+
+    void
+    end(uint64_t addr)
+    {
+        auto it = active.find(geom.regionId(addr));
+        if (it == active.end())
+            return;
+        if (!it->second.pattern.test(geom.offsetOf(addr)))
+            return;
+        account(it->second);
+        active.erase(it);
+    }
+
+    core::RegionGeometry geom;
+    std::unordered_map<uint64_t, Gen> active;
+    std::array<uint64_t, kDensityBuckets> accessHist_{};
+    std::array<uint64_t, kDensityBuckets> genHist_{};
+};
+
+} // namespace stems::study
+
+#endif // STEMS_STUDY_DENSITY_HH

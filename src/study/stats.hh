@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small-sample statistics for the performance experiments: means,
+ * geometric means, and 95% confidence intervals over per-seed paired
+ * measurements (the paper's sampling methodology reports 95% CIs on
+ * the change in performance).
+ */
+
+#ifndef STEMS_STUDY_STATS_HH
+#define STEMS_STUDY_STATS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace stems::study {
+
+/** Arithmetic mean. @pre !v.empty() */
+inline double
+mean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Geometric mean. @pre all positive */
+inline double
+geomean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Sample standard deviation (n-1). */
+inline double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double s = 0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+/** Two-sided 95% Student t critical value for @p df degrees. */
+inline double
+tCritical95(size_t df)
+{
+    static const double table[] = {
+        0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df < sizeof(table) / sizeof(table[0]))
+        return table[df];
+    return 1.96;
+}
+
+/** Half-width of the 95% CI of the mean of @p v. */
+inline double
+ci95(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    return tCritical95(v.size() - 1) * stddev(v) /
+        std::sqrt(static_cast<double>(v.size()));
+}
+
+} // namespace stems::study
+
+#endif // STEMS_STUDY_STATS_HH

@@ -1,0 +1,68 @@
+#include "study/suite.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace stems::study {
+
+workloads::WorkloadParams
+defaultParams(uint64_t refs_per_cpu)
+{
+    workloads::WorkloadParams p;
+    p.ncpu = 16;
+    p.seed = 1;
+    p.refsPerCpu = refs_per_cpu;
+    if (const char *env = std::getenv("STEMS_REFS_PER_CPU"))
+        p.refsPerCpu = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("STEMS_SCALE")) {
+        double scale = std::strtod(env, nullptr);
+        if (scale > 0)
+            p.refsPerCpu = static_cast<uint64_t>(
+                static_cast<double>(p.refsPerCpu) * scale);
+    }
+    if (p.refsPerCpu < 1000)
+        p.refsPerCpu = 1000;
+    return p;
+}
+
+const trace::Trace &
+TraceCache::get(const std::string &name,
+                const workloads::WorkloadParams &p)
+{
+    std::ostringstream key;
+    key << name << "/" << p.ncpu << "/" << p.refsPerCpu << "/" << p.seed;
+    auto it = traces.find(key.str());
+    if (it != traces.end())
+        return it->second;
+
+    const workloads::SuiteEntry *entry = workloads::findWorkload(name);
+    if (!entry)
+        throw std::invalid_argument("unknown workload: " + name);
+    auto w = entry->make();
+    auto [pos, ok] = traces.emplace(key.str(),
+                                    workloads::makeTrace(*w, p));
+    return pos->second;
+}
+
+const std::vector<std::string> &
+groupNames()
+{
+    static const std::vector<std::string> groups = {
+        "OLTP", "DSS", "Web", "Scientific",
+    };
+    return groups;
+}
+
+std::vector<std::string>
+workloadsInGroup(const std::string &group)
+{
+    std::vector<std::string> out;
+    for (const auto &e : workloads::paperSuite()) {
+        if (suiteClassName(e.cls) == group)
+            out.push_back(e.name);
+    }
+    return out;
+}
+
+} // namespace stems::study

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Suite-level helpers for the benchmark harnesses: scaled default
+ * trace lengths (env-tunable), a trace cache so parameter sweeps reuse
+ * generated workloads, and group aggregation in the paper's four
+ * classes.
+ */
+
+#ifndef STEMS_STUDY_SUITE_HH
+#define STEMS_STUDY_SUITE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+#include "workloads/workload.hh"
+
+namespace stems::study {
+
+/**
+ * Default workload parameters for benches. Honours two environment
+ * knobs: STEMS_REFS_PER_CPU (absolute) and STEMS_SCALE (multiplier on
+ * the default), so `STEMS_SCALE=4 ./fig04_blocksize` quadruples trace
+ * length.
+ */
+workloads::WorkloadParams defaultParams(uint64_t refs_per_cpu = 100000);
+
+/** Generates-once, reuses-thereafter trace storage for sweeps. */
+class TraceCache
+{
+  public:
+    /** Trace for suite entry @p name under @p p (cached). */
+    const trace::Trace &get(const std::string &name,
+                            const workloads::WorkloadParams &p);
+
+  private:
+    std::map<std::string, trace::Trace> traces;
+};
+
+/** The paper's four workload groups, in figure order. */
+const std::vector<std::string> &groupNames();
+
+/** Names of suite entries belonging to @p group. */
+std::vector<std::string> workloadsInGroup(const std::string &group);
+
+} // namespace stems::study
+
+#endif // STEMS_STUDY_SUITE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory reference records: the unit of exchange between workload
+ * generators, the cache substrate, predictors, and the timing model.
+ */
+
+#ifndef STEMS_TRACE_ACCESS_HH
+#define STEMS_TRACE_ACCESS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace stems::trace {
+
+/**
+ * One memory reference in a workload trace.
+ *
+ * The @c pc field is a synthetic, stable code-site identifier: every
+ * instrumented load/store site in a workload kernel owns a unique
+ * constant, playing the role a hardware program counter plays in the
+ * paper. SMS correlation only requires that the same code site always
+ * presents the same PC, which code-site ids satisfy by construction.
+ */
+struct MemAccess
+{
+    uint64_t pc = 0;        //!< code-site id (synthetic program counter)
+    uint64_t addr = 0;      //!< byte address of the reference
+    uint32_t cpu = 0;       //!< issuing processor
+    uint32_t ninst = 0;     //!< non-memory instructions preceding this ref
+    uint32_t dep = 0;       //!< refs back in same cpu stream this depends
+                            //!< on (0 = independent)
+    uint16_t size = 8;      //!< access size in bytes
+    bool isWrite = false;   //!< store (true) or load (false)
+    bool isKernel = false;  //!< OS-side work, for system-busy attribution
+
+    bool
+    operator==(const MemAccess &o) const
+    {
+        return pc == o.pc && addr == o.addr && cpu == o.cpu &&
+            ninst == o.ninst && dep == o.dep && size == o.size &&
+            isWrite == o.isWrite && isKernel == o.isKernel;
+    }
+};
+
+/** A complete reference stream, in global (interleaved) order. */
+using Trace = std::vector<MemAccess>;
+
+} // namespace stems::trace
+
+#endif // STEMS_TRACE_ACCESS_HH

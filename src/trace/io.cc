@@ -1,0 +1,98 @@
+#include "trace/io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace stems::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'M', 'T'};
+constexpr uint32_t kVersion = 1;
+
+/** On-disk packed record; kept independent of MemAccess layout. */
+struct PackedAccess
+{
+    uint64_t pc;
+    uint64_t addr;
+    uint32_t cpu;
+    uint32_t ninst;
+    uint32_t dep;
+    uint16_t size;
+    uint8_t isWrite;
+    uint8_t isKernel;
+};
+
+struct FileCloser
+{
+    void operator()(FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+} // anonymous namespace
+
+bool
+writeTrace(const Trace &t, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    uint64_t count = t.size();
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+        std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        return false;
+    }
+
+    for (const auto &a : t) {
+        PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
+                       static_cast<uint8_t>(a.isWrite),
+                       static_cast<uint8_t>(a.isKernel)};
+        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+readTrace(const std::string &path, Trace &out)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+
+    char magic[4];
+    uint32_t version = 0;
+    uint64_t count = 0;
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0 ||
+        std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+        version != kVersion ||
+        std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+        return false;
+    }
+
+    out.clear();
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        PackedAccess p;
+        if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+        MemAccess a;
+        a.pc = p.pc;
+        a.addr = p.addr;
+        a.cpu = p.cpu;
+        a.ninst = p.ninst;
+        a.dep = p.dep;
+        a.size = p.size;
+        a.isWrite = p.isWrite != 0;
+        a.isKernel = p.isKernel != 0;
+        out.push_back(a);
+    }
+    return true;
+}
+
+} // namespace stems::trace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary trace serialization, so expensive workload generations can be
+ * captured once and replayed across experiments or shared externally.
+ */
+
+#ifndef STEMS_TRACE_IO_HH
+#define STEMS_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/access.hh"
+
+namespace stems::trace {
+
+/**
+ * Write @p t to @p path in the native STEMS binary format
+ * (magic "STMT", version, count, packed records).
+ *
+ * @return true on success.
+ */
+bool writeTrace(const Trace &t, const std::string &path);
+
+/**
+ * Read a trace previously written by writeTrace().
+ *
+ * @param path file to read
+ * @param out  receives the trace on success
+ * @return true on success (magic/version/count all validated).
+ */
+bool readTrace(const std::string &path, Trace &out);
+
+} // namespace stems::trace
+
+#endif // STEMS_TRACE_IO_HH

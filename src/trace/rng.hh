@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic random-number helpers shared by workload generators.
+ */
+
+#ifndef STEMS_TRACE_RNG_HH
+#define STEMS_TRACE_RNG_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace stems::trace {
+
+/**
+ * Small deterministic PRNG (xoshiro-style splitmix64 + xorshift)
+ * so traces are reproducible across standard-library versions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-seed the generator; identical seeds yield identical streams. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into state
+        state = seed + 0x9e3779b97f4a7c15ULL;
+        for (int i = 0; i < 4; ++i)
+            (void)next64();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next64()
+    {
+        // splitmix64 step: high quality, tiny state, fully portable
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    uint64_t
+    below(uint64_t bound)
+    {
+        assert(bound > 0);
+        return next64() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        assert(hi >= lo);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t state = 0;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n), used to model the
+ * hot-page skew of OLTP buffer pools. Precomputes the CDF once.
+ */
+class Zipf
+{
+  public:
+    /**
+     * @param n     population size
+     * @param theta skew exponent (0 = uniform, ~0.8-1.0 = typical OLTP)
+     */
+    Zipf(uint64_t n, double theta) : cdf(n)
+    {
+        assert(n > 0);
+        double sum = 0.0;
+        for (uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf[i] = sum;
+        }
+        for (uint64_t i = 0; i < n; ++i)
+            cdf[i] /= sum;
+    }
+
+    /** Draw one sample in [0, n). */
+    uint64_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        // binary search the CDF
+        uint64_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            uint64_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    uint64_t populationSize() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace stems::trace
+
+#endif // STEMS_TRACE_RNG_HH

@@ -1,0 +1,36 @@
+#include "trace/stats.hh"
+
+#include <unordered_set>
+
+namespace stems::trace {
+
+TraceStats
+computeStats(const Trace &t, uint32_t ncpu)
+{
+    TraceStats s;
+    s.perCpu.assign(ncpu, 0);
+    std::unordered_set<uint64_t> blocks;
+    std::unordered_set<uint64_t> pcs;
+    blocks.reserve(t.size() / 4);
+
+    for (const auto &a : t) {
+        ++s.references;
+        if (a.isWrite)
+            ++s.writes;
+        if (a.isKernel)
+            ++s.kernelRefs;
+        if (a.dep != 0)
+            ++s.dependentRefs;
+        s.instructions += a.ninst + 1;
+        blocks.insert(a.addr >> 6);
+        pcs.insert(a.pc);
+        if (a.cpu < ncpu)
+            ++s.perCpu[a.cpu];
+    }
+    s.uniqueBlocks = blocks.size();
+    s.uniquePcs = pcs.size();
+    s.footprintBytes = s.uniqueBlocks * 64;
+    return s;
+}
+
+} // namespace stems::trace

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Summary statistics over a trace: footprint, write fraction,
+ * instruction counts, per-CPU balance. Used by tests and examples to
+ * validate structural properties of generated workloads.
+ */
+
+#ifndef STEMS_TRACE_STATS_HH
+#define STEMS_TRACE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace stems::trace {
+
+/** Aggregate statistics describing one trace. */
+struct TraceStats
+{
+    uint64_t references = 0;      //!< total memory references
+    uint64_t writes = 0;          //!< store references
+    uint64_t kernelRefs = 0;      //!< references flagged as OS work
+    uint64_t instructions = 0;    //!< total instructions (ninst + refs)
+    uint64_t uniqueBlocks = 0;    //!< distinct 64 B blocks touched
+    uint64_t uniquePcs = 0;       //!< distinct code sites
+    uint64_t footprintBytes = 0;  //!< uniqueBlocks * 64
+    uint64_t dependentRefs = 0;   //!< refs with dep != 0
+    std::vector<uint64_t> perCpu; //!< references per cpu
+
+    double
+    writeFraction() const
+    {
+        return references ? double(writes) / double(references) : 0.0;
+    }
+};
+
+/** Compute statistics for @p t, sizing perCpu to @p ncpu entries. */
+TraceStats computeStats(const Trace &t, uint32_t ncpu);
+
+} // namespace stems::trace
+
+#endif // STEMS_TRACE_STATS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fixed-capacity 128-bit bit vector used for spatial patterns (up to
+ * 8 kB regions of 64 B blocks) and directory sub-block write masks.
+ */
+
+#ifndef STEMS_UTIL_BITS_HH
+#define STEMS_UTIL_BITS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace stems {
+
+/**
+ * A dense bit vector of up to 128 bits with value semantics.
+ * Bit 0 is the least-significant bit of word 0.
+ */
+class Bits128
+{
+  public:
+    static constexpr uint32_t kMaxBits = 128;
+
+    constexpr Bits128() = default;
+
+    /** Construct from a low word (bits 0-63). */
+    explicit constexpr Bits128(uint64_t low) : w{low, 0} {}
+
+    constexpr Bits128(uint64_t low, uint64_t high) : w{low, high} {}
+
+    void
+    set(uint32_t i)
+    {
+        assert(i < kMaxBits);
+        w[i >> 6] |= (uint64_t{1} << (i & 63));
+    }
+
+    void
+    clear(uint32_t i)
+    {
+        assert(i < kMaxBits);
+        w[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+
+    bool
+    test(uint32_t i) const
+    {
+        assert(i < kMaxBits);
+        return (w[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void reset() { w[0] = w[1] = 0; }
+
+    bool any() const { return (w[0] | w[1]) != 0; }
+    bool none() const { return !any(); }
+
+    uint32_t
+    count() const
+    {
+        return std::popcount(w[0]) + std::popcount(w[1]);
+    }
+
+    /** Index of the lowest set bit. @pre any() */
+    uint32_t
+    lowestSet() const
+    {
+        assert(any());
+        if (w[0])
+            return std::countr_zero(w[0]);
+        return 64 + std::countr_zero(w[1]);
+    }
+
+    Bits128
+    operator&(const Bits128 &o) const
+    {
+        return {w[0] & o.w[0], w[1] & o.w[1]};
+    }
+
+    Bits128
+    operator|(const Bits128 &o) const
+    {
+        return {w[0] | o.w[0], w[1] | o.w[1]};
+    }
+
+    Bits128 &
+    operator|=(const Bits128 &o)
+    {
+        w[0] |= o.w[0];
+        w[1] |= o.w[1];
+        return *this;
+    }
+
+    Bits128 &
+    operator&=(const Bits128 &o)
+    {
+        w[0] &= o.w[0];
+        w[1] &= o.w[1];
+        return *this;
+    }
+
+    bool
+    operator==(const Bits128 &o) const
+    {
+        return w[0] == o.w[0] && w[1] == o.w[1];
+    }
+
+    bool intersects(const Bits128 &o) const { return ((*this) & o).any(); }
+
+    uint64_t low() const { return w[0]; }
+    uint64_t high() const { return w[1]; }
+
+    /** Render the lowest @p nbits as a 0/1 string, bit 0 first. */
+    std::string
+    toString(uint32_t nbits) const
+    {
+        std::string s;
+        s.reserve(nbits);
+        for (uint32_t i = 0; i < nbits; ++i)
+            s.push_back(test(i) ? '1' : '0');
+        return s;
+    }
+
+  private:
+    uint64_t w[2] = {0, 0};
+};
+
+/** Integer log2 for powers of two. @pre x is a nonzero power of two */
+constexpr uint32_t
+log2i(uint64_t x)
+{
+    return static_cast<uint32_t>(std::countr_zero(x));
+}
+
+/** True iff @p x is a nonzero power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace stems
+
+#endif // STEMS_UTIL_BITS_HH

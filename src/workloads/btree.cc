@@ -1,0 +1,207 @@
+#include "workloads/btree.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stems::workloads {
+
+BPlusTree::BPlusTree(uint64_t arena_base, uint32_t pc_module,
+                     uint32_t order)
+    : arenaBase(arena_base), order(order)
+{
+    assert(order >= 4);
+    // header + keys + child pointers, rounded to a 256 B boundary
+    uint64_t raw = kHeaderBytes + uint64_t{order} * 8 +
+        (uint64_t{order} + 1) * 8;
+    nodeBytes_ = (raw + 255) & ~uint64_t{255};
+
+    pcHeader = layout::pcSite(pc_module, 16);
+    pcKeyProbe = layout::pcSite(pc_module, 17);
+    pcChildPtr = layout::pcSite(pc_module, 18);
+    pcLeafValue = layout::pcSite(pc_module, 19);
+    pcLeafChain = layout::pcSite(pc_module, 20);
+
+    root = newNode(true);
+}
+
+BPlusTree::~BPlusTree()
+{
+    freeTree(root);
+}
+
+void
+BPlusTree::freeTree(Node *n)
+{
+    if (!n->leaf)
+        for (Node *c : n->children)
+            freeTree(c);
+    delete n;
+}
+
+BPlusTree::Node *
+BPlusTree::newNode(bool leaf)
+{
+    Node *n = new Node;
+    n->leaf = leaf;
+    n->addr = arenaBase + nodes * nodeBytes_;
+    ++nodes;
+    return n;
+}
+
+uint32_t
+BPlusTree::probe(const Node *n, uint64_t key, StreamEmitter *e) const
+{
+    // binary search over the node's compact slot/prefix directory
+    // (4 B entries packed after the header, as slotted DBMS pages do),
+    // then one full-key check; each probe depends on the previous
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(n->keys.size());
+    while (lo < hi) {
+        uint32_t mid = (lo + hi) / 2;
+        if (e)
+            e->load(pcKeyProbe, n->addr + kHeaderBytes + mid * 4, 2, 1);
+        if (n->keys[mid] <= key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (e && !n->keys.empty()) {
+        uint32_t f = lo < n->keys.size()
+                         ? lo
+                         : static_cast<uint32_t>(n->keys.size()) - 1;
+        e->load(pcLeafChain, n->addr + keyOffset(f), 2, 1);
+    }
+    return lo;
+}
+
+std::optional<uint64_t>
+BPlusTree::search(uint64_t key, StreamEmitter *e) const
+{
+    const Node *n = root;
+    bool first = true;
+    while (true) {
+        if (e)
+            e->load(pcHeader, n->addr, 3, first ? 0 : 1);
+        first = false;
+        if (n->leaf)
+            break;
+        uint32_t slot = probe(n, key, e);
+        if (e)
+            e->load(pcChildPtr, n->addr + childOffset(slot), 2, 1);
+        n = n->children[slot];
+    }
+    // leaf: find exact key
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    if (e && !n->keys.empty()) {
+        uint32_t i = static_cast<uint32_t>(it - n->keys.begin());
+        if (i >= n->keys.size())
+            i = static_cast<uint32_t>(n->keys.size()) - 1;
+        e->load(pcKeyProbe, n->addr + keyOffset(i), 2, 1);
+    }
+    if (it == n->keys.end() || *it != key)
+        return std::nullopt;
+    size_t idx = it - n->keys.begin();
+    if (e)
+        e->load(pcLeafValue, n->addr + childOffset(
+                    static_cast<uint32_t>(idx)), 2, 1);
+    return n->values[idx];
+}
+
+std::vector<uint64_t>
+BPlusTree::rangeRead(uint64_t key, uint32_t count, StreamEmitter *e) const
+{
+    std::vector<uint64_t> out;
+    const Node *n = root;
+    bool first = true;
+    while (!n->leaf) {
+        if (e)
+            e->load(pcHeader, n->addr, 3, first ? 0 : 1);
+        first = false;
+        uint32_t slot = probe(n, key, e);
+        if (e)
+            e->load(pcChildPtr, n->addr + childOffset(slot), 2, 1);
+        n = n->children[slot];
+    }
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    size_t idx = it - n->keys.begin();
+    while (n && out.size() < count) {
+        if (e)
+            e->load(pcLeafChain, n->addr, 3, 1);
+        for (; idx < n->keys.size() && out.size() < count; ++idx) {
+            if (e) {
+                e->load(pcLeafValue,
+                        n->addr + childOffset(static_cast<uint32_t>(idx)),
+                        2, 1);
+            }
+            out.push_back(n->values[idx]);
+        }
+        n = n->next;
+        idx = 0;
+    }
+    return out;
+}
+
+std::optional<std::pair<uint64_t, BPlusTree::Node *>>
+BPlusTree::insertRec(Node *n, uint64_t key, uint64_t value)
+{
+    if (n->leaf) {
+        auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+        size_t idx = it - n->keys.begin();
+        if (it != n->keys.end() && *it == key) {
+            n->values[idx] = value;
+            return std::nullopt;
+        }
+        n->keys.insert(it, key);
+        n->values.insert(n->values.begin() + idx, value);
+        if (n->keys.size() <= order)
+            return std::nullopt;
+
+        // split the leaf
+        Node *right = newNode(true);
+        size_t half = n->keys.size() / 2;
+        right->keys.assign(n->keys.begin() + half, n->keys.end());
+        right->values.assign(n->values.begin() + half, n->values.end());
+        n->keys.resize(half);
+        n->values.resize(half);
+        right->next = n->next;
+        n->next = right;
+        return std::make_pair(right->keys.front(), right);
+    }
+
+    uint32_t slot = probe(n, key, nullptr);
+    auto split = insertRec(n->children[slot], key, value);
+    if (!split)
+        return std::nullopt;
+
+    n->keys.insert(n->keys.begin() + slot, split->first);
+    n->children.insert(n->children.begin() + slot + 1, split->second);
+    if (n->keys.size() <= order)
+        return std::nullopt;
+
+    // split the internal node; middle key moves up
+    Node *right = newNode(false);
+    size_t mid = n->keys.size() / 2;
+    uint64_t up_key = n->keys[mid];
+    right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+    right->children.assign(n->children.begin() + mid + 1,
+                           n->children.end());
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    return std::make_pair(up_key, right);
+}
+
+void
+BPlusTree::insert(uint64_t key, uint64_t value)
+{
+    auto split = insertRec(root, key, value);
+    if (split) {
+        Node *new_root = newNode(false);
+        new_root->keys.push_back(split->first);
+        new_root->children.push_back(root);
+        new_root->children.push_back(split->second);
+        root = new_root;
+        ++height_;
+    }
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A real in-memory B+Tree used as the DBMS index substrate. Nodes are
+ * allocated from a dedicated arena so every node has a stable address;
+ * searches emit the classic non-contiguous pattern the paper's
+ * introduction motivates ("binary search in a B-tree"): node header,
+ * a handful of scattered key probes, then a child pointer — a
+ * pointer-dependent chain across levels.
+ */
+
+#ifndef STEMS_WORKLOADS_BTREE_HH
+#define STEMS_WORKLOADS_BTREE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+/**
+ * B+Tree keyed by uint64, valued by uint64 (row locator). Inserts are
+ * silent (index build happens before tracing); searches optionally
+ * emit their reference stream.
+ */
+class BPlusTree
+{
+  public:
+    /**
+     * @param arena_base base address for node allocation
+     * @param pc_module  code-site module for this index's accesses
+     * @param order      max keys per node
+     */
+    BPlusTree(uint64_t arena_base, uint32_t pc_module,
+              uint32_t order = 120);
+    ~BPlusTree();
+
+    /** Insert (silent; duplicate keys overwrite). */
+    void insert(uint64_t key, uint64_t value);
+
+    /**
+     * Exact-match lookup. If @p e is non-null, emits the traversal's
+     * reference stream.
+     */
+    std::optional<uint64_t> search(uint64_t key, StreamEmitter *e) const;
+
+    /**
+     * Read up to @p count consecutive entries starting at the first
+     * key >= @p key, following the leaf chain; emits if @p e given.
+     * @return values found.
+     */
+    std::vector<uint64_t> rangeRead(uint64_t key, uint32_t count,
+                                    StreamEmitter *e) const;
+
+    uint32_t height() const { return height_; }
+    size_t nodeCount() const { return nodes; }
+    uint64_t nodeBytes() const { return nodeBytes_; }
+
+  private:
+    struct Node
+    {
+        uint64_t addr = 0;
+        bool leaf = true;
+        std::vector<uint64_t> keys;
+        std::vector<Node *> children;  //!< internal nodes
+        std::vector<uint64_t> values;  //!< leaf nodes
+        Node *next = nullptr;          //!< leaf chain
+    };
+
+    Node *newNode(bool leaf);
+    void freeTree(Node *n);
+
+    /** Recursive insert; returns the (key, node) of a split, if any. */
+    std::optional<std::pair<uint64_t, Node *>>
+    insertRec(Node *n, uint64_t key, uint64_t value);
+
+    /**
+     * Binary search for the child/value slot of @p key in @p n,
+     * emitting key-probe reads when @p e is non-null.
+     */
+    uint32_t probe(const Node *n, uint64_t key, StreamEmitter *e) const;
+
+    // in-node layout offsets (for emitted addresses)
+    static constexpr uint32_t kHeaderBytes = 32;
+    uint32_t
+    keyOffset(uint32_t i) const
+    {
+        return kHeaderBytes + i * 8;
+    }
+    uint32_t
+    childOffset(uint32_t i) const
+    {
+        return kHeaderBytes + order * 8 + i * 8;
+    }
+
+    uint64_t arenaBase;
+    uint64_t nodeBytes_;
+    uint32_t order;
+    uint32_t height_ = 1;
+    size_t nodes = 0;
+    Node *root;
+
+    uint64_t pcHeader;
+    uint64_t pcKeyProbe;
+    uint64_t pcChildPtr;
+    uint64_t pcLeafValue;
+    uint64_t pcLeafChain;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_BTREE_HH

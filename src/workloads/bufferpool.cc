@@ -1,0 +1,107 @@
+#include "workloads/bufferpool.hh"
+
+namespace stems::workloads {
+
+Table::Table(BufferPool &pool, std::string name, uint64_t rows,
+             uint32_t tuple_bytes, uint32_t pc_module)
+    : pool(pool), name_(std::move(name)), rows_(rows),
+      tupleBytes_(tuple_bytes)
+{
+    rowsPerPage = PageLayout::tuplesPerPage(tuple_bytes);
+    if (rowsPerPage == 0)
+        throw std::invalid_argument(name_ + ": tuple too wide for page");
+    npages = (rows + rowsPerPage - 1) / rowsPerPage;
+    if (npages == 0)
+        npages = 1;
+    firstPage_ = pool.allocPages(npages);
+    insertCursor = 0;
+
+    // distinct, stable code sites per access type
+    pcHeader = layout::pcSite(pc_module, 0);
+    pcSlot = layout::pcSite(pc_module, 1);
+    pcTuple = layout::pcSite(pc_module, 2);
+    pcTupleWrite = layout::pcSite(pc_module, 3);
+    pcScanHeader = layout::pcSite(pc_module, 4);
+    pcScanSlot = layout::pcSite(pc_module, 5);
+    pcScanTuple = layout::pcSite(pc_module, 6);
+    pcAppendTuple = layout::pcSite(pc_module, 7);
+    pcAppendSlot = layout::pcSite(pc_module, 8);
+}
+
+uint64_t
+Table::tupleAddr(uint64_t row) const
+{
+    uint64_t page = pageOf(row);
+    return pool.pageAddr(page) +
+        PageLayout::tupleOffset(slotOf(row), tupleBytes_);
+}
+
+void
+Table::readRow(StreamEmitter &e, uint64_t row, uint32_t fields)
+{
+    const uint64_t page_addr = pool.pageAddr(pageOf(row));
+    const uint32_t slot = slotOf(row);
+
+    // header first (LSN / page id checks), then the slot entry that
+    // locates the tuple, then the tuple fields — the slot read depends
+    // on the header, the tuple reads depend on the slot (pointer-ish)
+    e.load(pcHeader, page_addr + PageLayout::lsnOffset(), 6);
+    e.load(pcSlot, page_addr + PageLayout::slotOffset(slot), 3, 1);
+    const uint64_t tuple = tupleAddr(row);
+    for (uint32_t f = 0; f < fields; ++f) {
+        uint32_t field_off = (f * 136) % tupleBytes_;
+        e.load(pcTuple, tuple + field_off, 4, f == 0 ? 1 : 0);
+    }
+    // next-key validation: peek at the neighbouring tuple (clustered
+    // storage engines read the adjacent slot to bound the key)
+    if (slot + 1 < rowsPerPage) {
+        e.load(pcTuple, page_addr + PageLayout::tupleOffset(
+                   slot + 1, tupleBytes_), 2, 1);
+    }
+}
+
+void
+Table::updateRow(StreamEmitter &e, uint64_t row, uint32_t fields)
+{
+    readRow(e, row, 1);
+    const uint64_t page_addr = pool.pageAddr(pageOf(row));
+    const uint64_t tuple = tupleAddr(row);
+    for (uint32_t f = 0; f < fields; ++f) {
+        uint32_t field_off = (8 + f * 136) % tupleBytes_;
+        e.store(pcTupleWrite, tuple + field_off, 3);
+    }
+    // dirty pages update the header LSN
+    e.store(pcHeader, page_addr + PageLayout::lsnOffset(), 2);
+}
+
+void
+Table::scanPage(StreamEmitter &e, uint64_t page_index)
+{
+    const uint64_t page_addr = pool.pageAddr(firstPage_ + page_index);
+    e.load(pcScanHeader, page_addr + PageLayout::lsnOffset(), 8);
+    // scanners read the slot count from the footer before the tuples
+    e.load(pcScanSlot, page_addr + PageLayout::slotOffset(0), 3, 1);
+    uint64_t remaining = rows_ - page_index * rowsPerPage;
+    uint32_t n = static_cast<uint32_t>(
+        remaining < rowsPerPage ? remaining : rowsPerPage);
+    for (uint32_t s = 0; s < n; ++s) {
+        e.load(pcScanTuple,
+               page_addr + PageLayout::tupleOffset(s, tupleBytes_), 5);
+    }
+}
+
+void
+Table::appendRow(StreamEmitter &e)
+{
+    // sequential fill: cursor walks slots/pages, wrapping at the end
+    const uint64_t row = insertCursor;
+    insertCursor = (insertCursor + 1) % rows_;
+    const uint64_t page_addr = pool.pageAddr(pageOf(row));
+    const uint32_t slot = slotOf(row);
+    e.store(pcAppendTuple,
+            page_addr + PageLayout::tupleOffset(slot, tupleBytes_), 4);
+    e.store(pcAppendSlot, page_addr + PageLayout::slotOffset(slot), 2);
+    e.store(pcHeader, page_addr + PageLayout::lsnOffset(), 2);
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Miniature DBMS storage substrate: slotted 8 kB pages in a buffer
+ * pool, and fixed-schema tables packed onto those pages. Page layout
+ * follows the structure the paper calls out (Figure 1): a page header
+ * (log serial number etc.) at the front, a tuple slot index in the
+ * footer, and fixed-size tuples in between — the header and slot
+ * index are touched before any tuple access, which is precisely the
+ * recurring spatial structure SMS learns.
+ */
+
+#ifndef STEMS_WORKLOADS_BUFFERPOOL_HH
+#define STEMS_WORKLOADS_BUFFERPOOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+/** Slotted-page layout arithmetic for one 8 kB page. */
+struct PageLayout
+{
+    static constexpr uint32_t kHeaderBytes = 128; //!< LSN, ids, free ptr
+    static constexpr uint32_t kSlotBytes = 4;     //!< one slot entry
+
+    /** Byte offset of the page header LSN field. */
+    static constexpr uint32_t lsnOffset() { return 0; }
+
+    /** Byte offset of slot @p slot's entry (footer grows downward). */
+    static constexpr uint32_t
+    slotOffset(uint32_t slot)
+    {
+        return layout::kPageSize - kSlotBytes * (slot + 1);
+    }
+
+    /** Byte offset of tuple @p slot for @p tuple_bytes-wide tuples. */
+    static constexpr uint32_t
+    tupleOffset(uint32_t slot, uint32_t tuple_bytes)
+    {
+        return kHeaderBytes + slot * tuple_bytes;
+    }
+
+    /** Tuples that fit on a page at @p tuple_bytes each. */
+    static constexpr uint32_t
+    tuplesPerPage(uint32_t tuple_bytes)
+    {
+        // header + tuples + slot entries must fit
+        return (layout::kPageSize - kHeaderBytes) /
+            (tuple_bytes + kSlotBytes);
+    }
+};
+
+/**
+ * A buffer pool: a contiguous, page-aligned arena of 8 kB pages. The
+ * generators treat it as memory-resident (pages never migrate), so a
+ * page id maps to a stable address — matching a warmed DBMS buffer
+ * pool where the hot working set is resident.
+ */
+class BufferPool
+{
+  public:
+    /**
+     * @param base   arena base address (page aligned)
+     * @param npages capacity in pages
+     */
+    BufferPool(uint64_t base, uint64_t npages)
+        : base_(base), npages_(npages), next(0)
+    {
+        if (base % layout::kPageSize != 0)
+            throw std::invalid_argument("buffer pool base misaligned");
+    }
+
+    /** Address of page @p id. */
+    uint64_t
+    pageAddr(uint64_t id) const
+    {
+        if (id >= npages_)
+            throw std::out_of_range("page id beyond pool");
+        return base_ + id * layout::kPageSize;
+    }
+
+    /** Allocate @p n consecutive pages; returns the first id. */
+    uint64_t
+    allocPages(uint64_t n)
+    {
+        if (next + n > npages_)
+            throw std::length_error("buffer pool exhausted");
+        uint64_t first = next;
+        next += n;
+        return first;
+    }
+
+    uint64_t numPages() const { return npages_; }
+    uint64_t pagesAllocated() const { return next; }
+
+  private:
+    uint64_t base_;
+    uint64_t npages_;
+    uint64_t next;
+};
+
+/**
+ * A fixed-schema table: rows packed in slot order across consecutive
+ * buffer-pool pages, with instrumented row-level operations that emit
+ * the canonical header -> slot index -> tuple access sequence.
+ */
+class Table
+{
+  public:
+    /**
+     * @param pool        backing buffer pool
+     * @param name        diagnostic label
+     * @param rows        row count
+     * @param tuple_bytes fixed tuple width
+     * @param pc_module   code-site module for this table's accessors
+     */
+    Table(BufferPool &pool, std::string name, uint64_t rows,
+          uint32_t tuple_bytes, uint32_t pc_module);
+
+    uint64_t rows() const { return rows_; }
+    uint64_t numPages() const { return npages; }
+    uint32_t tupleBytes() const { return tupleBytes_; }
+    uint64_t firstPage() const { return firstPage_; }
+
+    /** Page id (within the pool) holding @p row. */
+    uint64_t
+    pageOf(uint64_t row) const
+    {
+        return firstPage_ + row / rowsPerPage;
+    }
+
+    /** Slot of @p row within its page. */
+    uint32_t
+    slotOf(uint64_t row) const
+    {
+        return static_cast<uint32_t>(row % rowsPerPage);
+    }
+
+    /** Address of @p row's tuple start. */
+    uint64_t tupleAddr(uint64_t row) const;
+
+    /** Base address of the table's @p page_index-th page. */
+    uint64_t
+    pageBase(uint64_t page_index) const
+    {
+        return pool.pageAddr(firstPage_ + page_index);
+    }
+
+    /** Rows resident on the table's @p page_index-th page. */
+    uint32_t
+    rowsOnPage(uint64_t page_index) const
+    {
+        uint64_t start = page_index * rowsPerPage;
+        if (start >= rows_)
+            return 0;
+        uint64_t remaining = rows_ - start;
+        return static_cast<uint32_t>(
+            remaining < rowsPerPage ? remaining : rowsPerPage);
+    }
+
+    uint32_t rowsPerPageCount() const { return rowsPerPage; }
+
+    /**
+     * Emit the reads of one row access: page header, slot index
+     * entry, then @p fields reads spread across the tuple.
+     */
+    void readRow(StreamEmitter &e, uint64_t row, uint32_t fields = 2);
+
+    /** Emit a row update: the readRow sequence plus field stores. */
+    void updateRow(StreamEmitter &e, uint64_t row, uint32_t fields = 1);
+
+    /**
+     * Emit a full-page sequential read (header, slot index, then every
+     * tuple) — the inner loop of a table scan.
+     */
+    void scanPage(StreamEmitter &e, uint64_t page_index);
+
+    /**
+     * Emit an append of one fresh row into the table's insert frontier
+     * (sequential page fill plus slot-index update).
+     */
+    void appendRow(StreamEmitter &e);
+
+  private:
+    // code sites (one per access type; stable across calls)
+    uint64_t pcHeader;
+    uint64_t pcSlot;
+    uint64_t pcTuple;
+    uint64_t pcTupleWrite;
+    uint64_t pcScanHeader;
+    uint64_t pcScanSlot;
+    uint64_t pcScanTuple;
+    uint64_t pcAppendTuple;
+    uint64_t pcAppendSlot;
+
+    BufferPool &pool;
+    std::string name_;
+    uint64_t rows_;
+    uint32_t tupleBytes_;
+    uint32_t rowsPerPage;
+    uint64_t npages;
+    uint64_t firstPage_;
+    uint64_t insertCursor;  //!< next append slot (wraps over the table)
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_BUFFERPOOL_HH

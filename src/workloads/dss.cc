@@ -1,0 +1,231 @@
+#include "workloads/dss.hh"
+
+#include "workloads/bufferpool.hh"
+
+namespace stems::workloads {
+
+DssQuerySpec
+DssWorkload::qry1()
+{
+    DssQuerySpec s;
+    s.name = "Qry1";
+    s.pcModuleBase = 80;
+    s.scanShare = 1.0;
+    s.tempTableWrites = true;  // large copy into a temporary table
+    return s;
+}
+
+DssQuerySpec
+DssWorkload::qry2()
+{
+    DssQuerySpec s;
+    s.name = "Qry2";
+    s.pcModuleBase = 96;
+    s.scanShare = 0.1;
+    s.probeMatchRate = 0.25;
+    s.buildRows = 96 * 1024;
+    return s;
+}
+
+DssQuerySpec
+DssWorkload::qry16()
+{
+    DssQuerySpec s;
+    s.name = "Qry16";
+    s.pcModuleBase = 112;
+    s.scanShare = 0.15;
+    s.probeMatchRate = 0.45;
+    s.buildRows = 48 * 1024;
+    return s;
+}
+
+DssQuerySpec
+DssWorkload::qry17()
+{
+    DssQuerySpec s;
+    s.name = "Qry17";
+    s.pcModuleBase = 128;
+    s.scanShare = 0.5;  // balanced scan-join
+    s.probeMatchRate = 0.35;
+    s.buildRows = 64 * 1024;
+    return s;
+}
+
+namespace {
+
+/**
+ * Shared hash-join state: a bucket array in the hash arena. Entries
+ * are 16 B (key, row) pairs, four to a 64 B bucket, with overflow
+ * chained into a second array region.
+ */
+struct JoinHash
+{
+    static constexpr uint32_t kBuckets = 1 << 15;
+    static constexpr uint64_t kBucketBytes = 64;
+    static constexpr uint64_t kOverflowBase =
+        layout::kHashBase + kBuckets * kBucketBytes;
+
+    uint64_t pcBucketRead;
+    uint64_t pcEntryWrite;
+    uint64_t pcProbeBucket;
+    uint64_t pcProbeEntry;
+    uint64_t pcOverflow;
+
+    explicit JoinHash(uint32_t pc_module)
+    {
+        pcBucketRead = layout::pcSite(layout::kModHash, pc_module + 0);
+        pcEntryWrite = layout::pcSite(layout::kModHash, pc_module + 1);
+        pcProbeBucket = layout::pcSite(layout::kModHash, pc_module + 2);
+        pcProbeEntry = layout::pcSite(layout::kModHash, pc_module + 3);
+        pcOverflow = layout::pcSite(layout::kModHash, pc_module + 4);
+    }
+
+    static uint64_t
+    bucketAddr(uint64_t key)
+    {
+        uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+        return layout::kHashBase + (h % kBuckets) * kBucketBytes;
+    }
+
+    /** Emit one build-side insert. */
+    void
+    insert(StreamEmitter &e, uint64_t key, uint32_t fill)
+    {
+        uint64_t b = bucketAddr(key);
+        e.load(pcBucketRead, b, 3);
+        e.store(pcEntryWrite, b + 8 + (fill % 3) * 16, 2, 1);
+    }
+
+    /** Emit one probe; returns true on a (simulated) match. */
+    bool
+    probe(StreamEmitter &e, uint64_t key, bool match, trace::Rng &rng)
+    {
+        uint64_t b = bucketAddr(key);
+        e.load(pcProbeBucket, b, 3);
+        e.load(pcProbeEntry, b + 8, 2, 1);
+        if (rng.chance(0.2)) {
+            // overflow chain hop (pointer chase)
+            uint64_t h = key * 0x2545f4914f6cdd1dULL;
+            e.load(pcOverflow, kOverflowBase + (h % (1 << 20)) * 16, 2, 1);
+        }
+        return match;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<trace::Trace>
+DssWorkload::generateStreams(const WorkloadParams &p)
+{
+    BufferPool pool(layout::kBufferPoolBase, 64 * 1024);
+    Table lineitem(pool, "lineitem", 400 * 1024, 128,
+                   spec.pcModuleBase + 0);
+    Table part(pool, "part", spec.buildRows, 192,
+               spec.pcModuleBase + 1);
+    JoinHash hash(spec.pcModuleBase);
+
+    trace::Zipf part_zipf(part.rows(), 0.8);
+    const uint64_t pc_agg_read = layout::pcSite(spec.pcModuleBase + 2, 0);
+    const uint64_t pc_agg_write = layout::pcSite(spec.pcModuleBase + 2, 1);
+    const uint64_t pc_io = layout::pcSite(spec.pcModuleBase + 2, 2);
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    const uint64_t li_pages = (lineitem.rows() +
+                               lineitem.rowsPerPageCount() - 1) /
+        lineitem.rowsPerPageCount();
+    const uint64_t part_pages = (part.rows() +
+                                 part.rowsPerPageCount() - 1) /
+        part.rowsPerPageCount();
+
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0xDEC15 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint64_t scratch = layout::privateArea(cpu);
+
+        // parallel partitioned execution: each CPU owns a page range
+        const uint64_t my_first = li_pages * cpu / p.ncpu;
+        const uint64_t my_last = li_pages * (cpu + 1) / p.ncpu;
+        uint64_t scan_cursor = my_first;
+
+        // temp table lives in the CPU's private arena (Qry1)
+        uint64_t temp_cursor = 0;
+
+        // --- build phase (join queries): hash the part partition ---
+        if (spec.scanShare < 1.0) {
+            const uint64_t b_first = part_pages * cpu / p.ncpu;
+            const uint64_t b_last = part_pages * (cpu + 1) / p.ncpu;
+            for (uint64_t pg = b_first;
+                 pg < b_last && e.count() < p.refsPerCpu / 4; ++pg) {
+                const uint64_t base = part.pageBase(pg);
+                e.load(layout::pcSite(spec.pcModuleBase + 1, 4), base, 8);
+                const uint32_t n = part.rowsOnPage(pg);
+                for (uint32_t s = 0; s < n; ++s) {
+                    uint64_t row = pg * part.rowsPerPageCount() + s;
+                    e.load(layout::pcSite(spec.pcModuleBase + 1, 6),
+                           base + PageLayout::tupleOffset(
+                               s, part.tupleBytes()), 4);
+                    hash.insert(e, row, s);
+                }
+            }
+        }
+
+        // --- scan / probe quanta until the reference budget ---
+        while (e.count() < p.refsPerCpu) {
+            const bool do_scan = rng.uniform() < spec.scanShare;
+            // one page of work per quantum
+            uint64_t pg = scan_cursor;
+            scan_cursor = scan_cursor + 1 < my_last ? scan_cursor + 1
+                                                    : my_first;
+            const uint64_t base = lineitem.pageBase(pg);
+            const uint32_t n = lineitem.rowsOnPage(pg);
+
+            // page header + slot count (every scanner does this first)
+            e.load(layout::pcSite(spec.pcModuleBase + 0, 4), base, 8);
+            e.load(layout::pcSite(spec.pcModuleBase + 0, 5),
+                   base + PageLayout::slotOffset(0), 3, 1);
+
+            for (uint32_t s = 0; s < n; ++s) {
+                const uint64_t row =
+                    pg * lineitem.rowsPerPageCount() + s;
+                e.load(layout::pcSite(spec.pcModuleBase + 0, 6),
+                       base + PageLayout::tupleOffset(
+                           s, lineitem.tupleBytes()), 5);
+
+                if (do_scan) {
+                    // aggregate into a small private group array
+                    uint64_t g = rng.below(spec.aggGroups);
+                    e.load(pc_agg_read, scratch + g * 64, 2);
+                    e.store(pc_agg_write, scratch + g * 64 + 8, 2, 1);
+                    if (spec.tempTableWrites && rng.chance(0.6)) {
+                        // Qry1: copy the tuple into the temp table —
+                        // a store-heavy path that fills store buffers
+                        uint64_t t = scratch + 0x100000 +
+                            (temp_cursor % (1 << 22));
+                        e.store(layout::pcSite(spec.pcModuleBase + 3, 0),
+                                t, 2);
+                        e.store(layout::pcSite(spec.pcModuleBase + 3, 1),
+                                t + 64, 1, 0);
+                        temp_cursor += 128;
+                    }
+                } else {
+                    // hash probe; matches read the build-side tuple
+                    bool match = rng.chance(spec.probeMatchRate);
+                    hash.probe(e, row, match, rng);
+                    if (match) {
+                        uint64_t prow = part_zipf.sample(rng);
+                        part.readRow(e, prow, 2);
+                    }
+                }
+            }
+            // periodic I/O completion bookkeeping (OS work)
+            if (rng.chance(0.3)) {
+                e.load(pc_io, scratch + 0x200000 + rng.below(256) * 64,
+                       12, 0, true);
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

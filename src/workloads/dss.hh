@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TPC-H-flavoured decision support queries on the miniature DBMS,
+ * categorized as in the paper (after DBmbench [23]): Qry1 is
+ * scan-dominated (with heavy temp-table stores — the store-buffer
+ * pressure Section 4.7 discusses), Qry2 and Qry16 are join-dominated
+ * (hash join build + probe), Qry17 mixes scan and join.
+ *
+ * The crucial structural property: scans visit each page exactly once
+ * per query, so most misses are cold — predictable by PC-correlated
+ * indices but invisible to address-correlated ones (Section 4.2).
+ */
+
+#ifndef STEMS_WORKLOADS_DSS_HH
+#define STEMS_WORKLOADS_DSS_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Shape of one DSS query. */
+struct DssQuerySpec
+{
+    std::string name = "Qry1";
+    uint32_t pcModuleBase = 80;
+    double scanShare = 1.0;      //!< fraction of quanta that scan
+    bool tempTableWrites = false;//!< Qry1's temp-table copy
+    double probeMatchRate = 0.3; //!< join probe hit rate
+    uint64_t buildRows = 65536;  //!< build-side table rows
+    uint32_t aggGroups = 8;      //!< aggregate groups (private)
+};
+
+/** DSS query workload generator. */
+class DssWorkload : public Workload
+{
+  public:
+    explicit DssWorkload(DssQuerySpec spec) : spec(std::move(spec)) {}
+
+    static DssQuerySpec qry1();
+    static DssQuerySpec qry2();
+    static DssQuerySpec qry16();
+    static DssQuerySpec qry17();
+
+    std::string name() const override { return spec.name; }
+    SuiteClass suiteClass() const override { return SuiteClass::DSS; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    DssQuerySpec spec;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_DSS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * StreamEmitter: the instrumentation hook workload kernels call at
+ * every annotated load/store site. Appends MemAccess records to one
+ * CPU's stream and offers dependence helpers for pointer chases.
+ */
+
+#ifndef STEMS_WORKLOADS_EMITTER_HH
+#define STEMS_WORKLOADS_EMITTER_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+#include "trace/rng.hh"
+
+namespace stems::workloads {
+
+/** Per-CPU trace emission context. */
+class StreamEmitter
+{
+  public:
+    /**
+     * @param out  destination stream (one CPU)
+     * @param rng  jitter source for instruction gaps
+     */
+    StreamEmitter(trace::Trace &out, trace::Rng &rng) : out(out), rng(rng)
+    {}
+
+    /**
+     * Emit one reference.
+     *
+     * @param pc     code-site id
+     * @param addr   byte address
+     * @param write  store?
+     * @param ninst  typical non-memory instruction gap before this
+     *               reference (jittered by +/- ~25%)
+     * @param dep    references back in this stream the access depends
+     *               on (0 = independent); pointer chases use 1
+     * @param kernel OS-side work (system-busy attribution)
+     */
+    void
+    access(uint64_t pc, uint64_t addr, bool write, uint32_t ninst = 4,
+           uint32_t dep = 0, bool kernel = false)
+    {
+        trace::MemAccess a;
+        a.pc = pc;
+        a.addr = addr;
+        a.isWrite = write;
+        a.ninst = jitter(ninst);
+        a.dep = dep;
+        a.isKernel = kernel;
+        out.push_back(a);
+    }
+
+    /** Shorthand for a load. */
+    void
+    load(uint64_t pc, uint64_t addr, uint32_t ninst = 4, uint32_t dep = 0,
+         bool kernel = false)
+    {
+        access(pc, addr, false, ninst, dep, kernel);
+    }
+
+    /** Shorthand for a store. */
+    void
+    store(uint64_t pc, uint64_t addr, uint32_t ninst = 4, uint32_t dep = 0,
+          bool kernel = false)
+    {
+        access(pc, addr, true, ninst, dep, kernel);
+    }
+
+    /** Number of references emitted so far. */
+    size_t count() const { return out.size(); }
+
+  private:
+    uint32_t
+    jitter(uint32_t n)
+    {
+        if (n <= 1)
+            return n;
+        uint32_t lo = n - n / 4;
+        uint32_t hi = n + n / 4;
+        return static_cast<uint32_t>(rng.range(lo, hi));
+    }
+
+    trace::Trace &out;
+    trace::Rng &rng;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_EMITTER_HH

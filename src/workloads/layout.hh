@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared address-space layout and code-site (synthetic PC) helpers for
+ * the workload generators. Distinct subsystems live in disjoint,
+ * page-aligned arenas so generated addresses never alias.
+ */
+
+#ifndef STEMS_WORKLOADS_LAYOUT_HH
+#define STEMS_WORKLOADS_LAYOUT_HH
+
+#include <cstdint>
+
+namespace stems::workloads::layout {
+
+constexpr uint32_t kPageSize = 8192;  //!< DBMS page = OS page (paper)
+
+// arenas (64 GB apart; addresses are synthetic physical addresses)
+constexpr uint64_t kBufferPoolBase = 0x01'00000000ULL;  //!< DBMS pages
+constexpr uint64_t kIndexBase = 0x02'00000000ULL;       //!< B+Tree nodes
+constexpr uint64_t kLogBase = 0x03'00000000ULL;         //!< DBMS log
+constexpr uint64_t kHashBase = 0x04'00000000ULL;        //!< join hash
+constexpr uint64_t kHeapBase = 0x05'00000000ULL;        //!< misc heap
+constexpr uint64_t kConnBase = 0x06'00000000ULL;        //!< connections
+constexpr uint64_t kFileCacheBase = 0x07'00000000ULL;   //!< web files
+constexpr uint64_t kGridBase = 0x08'00000000ULL;        //!< sci arrays
+constexpr uint64_t kPrivateBase = 0x0F'00000000ULL;     //!< per-cpu heaps
+constexpr uint64_t kPrivateStride = 0x10000000ULL;      //!< 256 MB / cpu
+
+/** Base of CPU @p cpu's private arena (txn scratch, stacks). */
+constexpr uint64_t
+privateArea(uint32_t cpu)
+{
+    return kPrivateBase + uint64_t{cpu} * kPrivateStride;
+}
+
+/**
+ * Build a stable synthetic PC for code site @p site of module
+ * @p module. Modules are assigned per workload/substrate below.
+ */
+constexpr uint64_t
+pcSite(uint32_t module, uint32_t site)
+{
+    return 0x400000ULL + uint64_t{module} * 0x1000 + uint64_t{site} * 4;
+}
+
+// module ids (one per instrumented kernel)
+constexpr uint32_t kModBtree = 1;
+constexpr uint32_t kModPage = 2;
+constexpr uint32_t kModOltp = 3;
+constexpr uint32_t kModDss = 4;
+constexpr uint32_t kModWeb = 5;
+constexpr uint32_t kModEm3d = 6;
+constexpr uint32_t kModOcean = 7;
+constexpr uint32_t kModSparse = 8;
+constexpr uint32_t kModLog = 9;
+constexpr uint32_t kModHash = 10;
+
+} // namespace stems::workloads::layout
+
+#endif // STEMS_WORKLOADS_LAYOUT_HH

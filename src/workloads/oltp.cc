@@ -1,0 +1,211 @@
+#include "workloads/oltp.hh"
+
+#include <memory>
+
+#include "workloads/btree.hh"
+#include "workloads/bufferpool.hh"
+
+namespace stems::workloads {
+
+OltpFlavor
+OltpWorkload::db2()
+{
+    OltpFlavor f;
+    f.name = "OLTP-DB2";
+    f.pcModuleBase = 32;
+    f.warehouses = 64;
+    f.customersPerDistrict = 40;
+    f.customerTupleBytes = 512;
+    f.stockTupleBytes = 192;
+    f.warehouseZipf = 0.85;
+    return f;
+}
+
+OltpFlavor
+OltpWorkload::oracle()
+{
+    OltpFlavor f;
+    f.name = "OLTP-Oracle";
+    f.pcModuleBase = 48;
+    f.warehouses = 96;
+    f.customersPerDistrict = 56;
+    f.customerTupleBytes = 384;
+    f.stockTupleBytes = 160;
+    f.warehouseZipf = 1.0;  // hotter contention (16 heavy clients)
+    f.itemZipf = 0.85;
+    f.maxOrderLines = 10;
+    return f;
+}
+
+namespace {
+
+/** Shared database state built once per generation. */
+struct OltpDb
+{
+    BufferPool pool;
+    Table warehouse;
+    Table district;
+    Table customer;
+    Table stock;
+    Table orders;
+    Table orderLine;
+    Table history;
+    BPlusTree custIdx;
+    BPlusTree stockIdx;
+    BPlusTree orderIdx;
+    uint64_t logCursor = 0;
+    uint64_t nextOrderId = 1;
+    uint64_t pcLogWrite;
+    uint64_t pcLogFlush;
+    uint64_t pcScratch;
+    uint64_t pcKernel;
+
+    explicit OltpDb(const OltpFlavor &f)
+        : pool(layout::kBufferPoolBase, 64 * 1024),
+          warehouse(pool, "warehouse", f.warehouses, 320,
+                    f.pcModuleBase + 0),
+          district(pool, "district", f.warehouses * f.districtsPerWh, 320,
+                   f.pcModuleBase + 1),
+          customer(pool, "customer",
+                   f.warehouses * f.districtsPerWh *
+                       f.customersPerDistrict,
+                   f.customerTupleBytes, f.pcModuleBase + 2),
+          stock(pool, "stock", f.warehouses * f.items / 16,
+                f.stockTupleBytes, f.pcModuleBase + 3),
+          orders(pool, "orders", 64 * 1024, 128, f.pcModuleBase + 4),
+          orderLine(pool, "order_line", 512 * 1024, 64,
+                    f.pcModuleBase + 5),
+          history(pool, "history", 64 * 1024, 64, f.pcModuleBase + 6),
+          custIdx(layout::kIndexBase, f.pcModuleBase + 8),
+          stockIdx(layout::kIndexBase + 0x10000000ULL,
+                   f.pcModuleBase + 9),
+          orderIdx(layout::kIndexBase + 0x20000000ULL,
+                   f.pcModuleBase + 10)
+    {
+        pcLogWrite = layout::pcSite(layout::kModLog, f.pcModuleBase + 0);
+        pcLogFlush = layout::pcSite(layout::kModLog, f.pcModuleBase + 1);
+        pcScratch = layout::pcSite(f.pcModuleBase + 7, 0);
+        pcKernel = layout::pcSite(f.pcModuleBase + 7, 1);
+
+        for (uint64_t r = 0; r < customer.rows(); ++r)
+            custIdx.insert(r * 7919 % (customer.rows() * 8), r);
+        for (uint64_t r = 0; r < stock.rows(); ++r)
+            stockIdx.insert(r, r);
+        for (uint64_t r = 0; r < orders.rows(); ++r)
+            orderIdx.insert(r, r);
+    }
+
+    /** Append @p blocks of redo log (shared tail, all CPUs). */
+    void
+    logAppend(StreamEmitter &e, uint32_t blocks, bool flush)
+    {
+        for (uint32_t b = 0; b < blocks; ++b) {
+            e.store(pcLogWrite,
+                    layout::kLogBase + (logCursor % (1 << 24)), 3);
+            logCursor += 64;
+        }
+        if (flush) {
+            // the log force is OS work (write syscall into the page
+            // cache); attribute it to system time
+            e.store(pcLogFlush,
+                    layout::kLogBase + (logCursor % (1 << 24)), 8, 0,
+                    true);
+        }
+    }
+};
+
+/** Keys used when the index was loaded (see OltpDb constructor). */
+uint64_t
+custKeyOf(uint64_t row, uint64_t rows)
+{
+    return row * 7919 % (rows * 8);
+}
+
+} // anonymous namespace
+
+std::vector<trace::Trace>
+OltpWorkload::generateStreams(const WorkloadParams &p)
+{
+    OltpDb db(flavor);
+    trace::Zipf wh_zipf(flavor.warehouses, flavor.warehouseZipf);
+    trace::Zipf item_zipf(db.stock.rows(), flavor.itemZipf);
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x1234567 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint64_t scratch = layout::privateArea(cpu);
+
+        while (e.count() < p.refsPerCpu) {
+            const uint64_t w = wh_zipf.sample(rng);
+            const uint64_t d =
+                w * flavor.districtsPerWh + rng.below(flavor.districtsPerWh);
+            const double mix = rng.uniform();
+
+            // client request arrives: a little kernel-side work
+            if (rng.chance(flavor.kernelFraction)) {
+                e.load(db.pcKernel, scratch + 0x40000 +
+                       rng.below(64) * 64, 10, 0, true);
+            }
+            // transaction-local scratch (stack, locals)
+            e.store(db.pcScratch, scratch + rng.below(32) * 64, 4);
+
+            if (mix < 0.45) {
+                // --- NewOrder ---
+                db.warehouse.readRow(e, w, 2);
+                db.district.updateRow(e, d, 1);  // d_next_o_id++
+                uint32_t lines = static_cast<uint32_t>(
+                    rng.range(4, flavor.maxOrderLines));
+                for (uint32_t l = 0; l < lines; ++l) {
+                    // stock is clustered by warehouse; items are
+                    // Zipf-popular within the warehouse's partition
+                    uint64_t per_wh = db.stock.rows() / flavor.warehouses;
+                    uint64_t item = w * per_wh +
+                        item_zipf.sample(rng) % per_wh;
+                    auto row = db.stockIdx.search(item, &e);
+                    if (row)
+                        db.stock.updateRow(e, *row, 1);
+                    db.orderLine.appendRow(e);
+                }
+                db.orders.appendRow(e);
+                db.logAppend(e, 2 + lines / 4, true);
+            } else if (mix < 0.88) {
+                // --- Payment ---
+                db.warehouse.updateRow(e, w, 1);  // w_ytd += amount
+                db.district.updateRow(e, d, 1);
+                uint64_t crow =
+                    d * flavor.customersPerDistrict +
+                    rng.below(flavor.customersPerDistrict);
+                auto row = db.custIdx.search(
+                    custKeyOf(crow, db.customer.rows()), &e);
+                db.customer.updateRow(e, row ? *row : crow, 2);
+                db.history.appendRow(e);
+                db.logAppend(e, 1, true);
+            } else {
+                // --- OrderStatus (read only) ---
+                uint64_t crow =
+                    d * flavor.customersPerDistrict +
+                    rng.below(flavor.customersPerDistrict);
+                auto row = db.custIdx.search(
+                    custKeyOf(crow, db.customer.rows()), &e);
+                db.customer.readRow(e, row ? *row : crow, 4);
+                uint64_t order = rng.below(db.orders.rows());
+                auto orow = db.orderIdx.search(order, &e);
+                if (orow) {
+                    db.orders.readRow(e, *orow, 2);
+                    // read this order's lines (sequentially placed)
+                    uint64_t first = (*orow * 8) % db.orderLine.rows();
+                    for (uint32_t l = 0; l < 6; ++l) {
+                        db.orderLine.readRow(
+                            e, (first + l) % db.orderLine.rows(), 1);
+                    }
+                }
+            }
+        }
+        // trim to the exact budget so all streams have equal length
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TPC-C-flavoured OLTP workload over the miniature DBMS: NewOrder /
+ * Payment / OrderStatus transactions against warehouse, district,
+ * customer, stock, order and order-line tables with B+Tree indices, a
+ * shared log, and per-CPU transaction scratch space. Two flavours
+ * parameterize the paper's OLTP-DB2 and OLTP-Oracle configurations.
+ *
+ * Structural properties this generator preserves from the real
+ * workload: Zipf-skewed hot pages shared (and written) by all
+ * processors, pointer-dependent B+Tree descents (low MLP), fine-grain
+ * interleaving of many concurrent transactions, and page-structured
+ * accesses (header -> slot index -> tuple).
+ */
+
+#ifndef STEMS_WORKLOADS_OLTP_HH
+#define STEMS_WORKLOADS_OLTP_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Parameterization of one OLTP system flavour. */
+struct OltpFlavor
+{
+    std::string name = "OLTP-DB2";
+    uint32_t pcModuleBase = 32;   //!< code-site module namespace
+    uint64_t warehouses = 64;
+    uint64_t districtsPerWh = 10;
+    uint64_t customersPerDistrict = 40;
+    uint64_t items = 4096;        //!< stock rows = items * warehouses/16
+    uint32_t customerTupleBytes = 480;
+    uint32_t stockTupleBytes = 192;
+    double warehouseZipf = 0.85;  //!< skew of warehouse selection
+    double itemZipf = 0.75;
+    uint32_t maxOrderLines = 12;
+    double kernelFraction = 0.06; //!< OS work per transaction
+};
+
+/** The OLTP workload generator. */
+class OltpWorkload : public Workload
+{
+  public:
+    explicit OltpWorkload(OltpFlavor flavor) : flavor(std::move(flavor)) {}
+
+    /** IBM DB2-style configuration (64 clients, smaller pool). */
+    static OltpFlavor db2();
+    /** Oracle-style configuration (16 clients, larger SGA, hotter). */
+    static OltpFlavor oracle();
+
+    std::string name() const override { return flavor.name; }
+    SuiteClass suiteClass() const override { return SuiteClass::OLTP; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    OltpFlavor flavor;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_OLTP_HH

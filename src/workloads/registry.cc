@@ -1,0 +1,67 @@
+#include "workloads/workload.hh"
+
+#include "workloads/dss.hh"
+#include "workloads/oltp.hh"
+#include "workloads/scientific.hh"
+#include "workloads/web.hh"
+
+namespace stems::workloads {
+
+trace::Trace
+makeTrace(Workload &w, const WorkloadParams &p)
+{
+    trace::Interleaver il(1, 16, p.seed * 977 + 13);
+    return il.merge(w.generateStreams(p));
+}
+
+const std::vector<SuiteEntry> &
+paperSuite()
+{
+    static const std::vector<SuiteEntry> suite = {
+        {"OLTP-DB2", SuiteClass::OLTP, [] {
+             return std::make_unique<OltpWorkload>(OltpWorkload::db2());
+         }},
+        {"OLTP-Oracle", SuiteClass::OLTP, [] {
+             return std::make_unique<OltpWorkload>(OltpWorkload::oracle());
+         }},
+        {"Qry1", SuiteClass::DSS, [] {
+             return std::make_unique<DssWorkload>(DssWorkload::qry1());
+         }},
+        {"Qry2", SuiteClass::DSS, [] {
+             return std::make_unique<DssWorkload>(DssWorkload::qry2());
+         }},
+        {"Qry16", SuiteClass::DSS, [] {
+             return std::make_unique<DssWorkload>(DssWorkload::qry16());
+         }},
+        {"Qry17", SuiteClass::DSS, [] {
+             return std::make_unique<DssWorkload>(DssWorkload::qry17());
+         }},
+        {"Apache", SuiteClass::Web, [] {
+             return std::make_unique<WebWorkload>(WebWorkload::apache());
+         }},
+        {"Zeus", SuiteClass::Web, [] {
+             return std::make_unique<WebWorkload>(WebWorkload::zeus());
+         }},
+        {"em3d", SuiteClass::Scientific, [] {
+             return std::make_unique<Em3dWorkload>();
+         }},
+        {"ocean", SuiteClass::Scientific, [] {
+             return std::make_unique<OceanWorkload>();
+         }},
+        {"sparse", SuiteClass::Scientific, [] {
+             return std::make_unique<SparseWorkload>();
+         }},
+    };
+    return suite;
+}
+
+const SuiteEntry *
+findWorkload(const std::string &name)
+{
+    for (const auto &e : paperSuite())
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+} // namespace stems::workloads

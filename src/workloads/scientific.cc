@@ -1,0 +1,208 @@
+#include "workloads/scientific.hh"
+
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+// ---------------------------------------------------------------------
+// em3d
+// ---------------------------------------------------------------------
+
+std::vector<trace::Trace>
+Em3dWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_edge = layout::pcSite(layout::kModEm3d, 0);
+    const uint64_t pc_nbr = layout::pcSite(layout::kModEm3d, 1);
+    const uint64_t pc_upd = layout::pcSite(layout::kModEm3d, 2);
+    const uint64_t pc_flag = layout::pcSite(layout::kModEm3d, 3);
+    const uint64_t pc_spin = layout::pcSite(layout::kModEm3d, 4);
+    // per-cpu padded barrier flags (one 64 B block each)
+    const uint64_t barrier = layout::kGridBase + 0x0F000000ULL;
+
+    const uint32_t half = prm.nodes / 2;  // E nodes then H nodes
+    const uint64_t values = layout::kGridBase;
+    const uint64_t edges = layout::kGridBase + 0x10000000ULL;
+
+    // build the bipartite neighbour lists once (deterministic)
+    trace::Rng build(p.seed * 0xE3D + 5);
+    std::vector<uint32_t> nbr(static_cast<size_t>(prm.nodes) * prm.degree);
+    const uint32_t per_cpu = half / p.ncpu;
+    for (uint32_t n = 0; n < prm.nodes; ++n) {
+        const bool is_e = n < half;
+        const uint32_t me = is_e ? n : n - half;
+        const uint32_t my_cpu = per_cpu ? (me / per_cpu) % p.ncpu : 0;
+        for (uint32_t d = 0; d < prm.degree; ++d) {
+            uint32_t target_cpu = my_cpu;
+            if (build.chance(prm.remoteFraction))
+                target_cpu = static_cast<uint32_t>(build.below(p.ncpu));
+            uint32_t pick = target_cpu * per_cpu +
+                static_cast<uint32_t>(build.below(per_cpu ? per_cpu : 1));
+            // E nodes read H values and vice versa
+            nbr[static_cast<size_t>(n) * prm.degree + d] =
+                is_e ? half + pick : pick;
+        }
+    }
+
+    auto value_addr = [&](uint32_t n) { return values + uint64_t{n} * 8; };
+    auto edge_addr = [&](uint32_t n) {
+        return edges + uint64_t{n} * prm.degree * 8;
+    };
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0xE3D0 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint32_t e_first = cpu * per_cpu;
+        const uint32_t e_last = e_first + per_cpu;
+
+        while (e.count() < p.refsPerCpu) {
+            // E phase then H phase, each a sweep over owned nodes
+            for (uint32_t phase = 0; phase < 2; ++phase) {
+                const uint32_t base = phase == 0 ? 0 : half;
+                for (uint32_t i = e_first;
+                     i < e_last && e.count() < p.refsPerCpu; ++i) {
+                    const uint32_t n = base + i;
+                    e.load(pc_edge, edge_addr(n), 2);
+                    for (uint32_t d = 0; d < prm.degree; ++d) {
+                        e.load(pc_nbr, value_addr(
+                            nbr[static_cast<size_t>(n) * prm.degree + d]),
+                            2, 1);
+                    }
+                    e.store(pc_upd, value_addr(n), 3, 1);
+                    // periodic progress flags (fine-grain pipelined
+                    // sync): publish own flag, poll a peer's
+                    if ((i & 511) == 511) {
+                        e.store(pc_flag, barrier + uint64_t{cpu} * 64, 6);
+                        e.load(pc_spin,
+                               barrier + rng.below(p.ncpu) * 64, 10, 1);
+                    }
+                }
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+// ---------------------------------------------------------------------
+// ocean
+// ---------------------------------------------------------------------
+
+std::vector<trace::Trace>
+OceanWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_self = layout::pcSite(layout::kModOcean, 0);
+    const uint64_t pc_ns = layout::pcSite(layout::kModOcean, 1);
+    const uint64_t pc_ew = layout::pcSite(layout::kModOcean, 2);
+    const uint64_t pc_wr = layout::pcSite(layout::kModOcean, 3);
+    const uint64_t pc_q = layout::pcSite(layout::kModOcean, 4);
+    const uint64_t pc_psi = layout::pcSite(layout::kModOcean, 5);
+
+    // the real ocean relaxes over many field arrays (q, psi, gamma,
+    // ...); model three so the per-CPU working set behaves like the
+    // paper's, not like a single L1-resident grid
+    // arenas staggered by odd block counts so same-index elements of
+    // different fields do not collide in the same cache set (the
+    // standard padding trick in SPLASH codes)
+    const uint64_t grid = layout::kGridBase + 0x20000000ULL;
+    const uint64_t qgrid = layout::kGridBase + 0x28000000ULL + 67 * 64;
+    const uint64_t psigrid =
+        layout::kGridBase + 0x30000000ULL + 131 * 64;
+    const uint64_t row_bytes = uint64_t{prm.cols} * 8;
+    auto at = [&](uint32_t r, uint32_t c) {
+        return grid + r * row_bytes + uint64_t{c} * 8;
+    };
+    auto at_q = [&](uint32_t r, uint32_t c) {
+        return qgrid + r * row_bytes + uint64_t{c} * 8;
+    };
+    auto at_psi = [&](uint32_t r, uint32_t c) {
+        return psigrid + r * row_bytes + uint64_t{c} * 8;
+    };
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x0CEA + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint32_t r_first = 1 + (prm.rows - 2) * cpu / p.ncpu;
+        const uint32_t r_last = 1 + (prm.rows - 2) * (cpu + 1) / p.ncpu;
+
+        uint32_t color = 0;
+        while (e.count() < p.refsPerCpu) {
+            // one red or black half-sweep over the owned rows
+            for (uint32_t r = r_first;
+                 r < r_last && e.count() < p.refsPerCpu; ++r) {
+                for (uint32_t c = 1 + ((r + color) & 1);
+                     c < prm.cols - 1 && e.count() < p.refsPerCpu;
+                     c += 2) {
+                    e.load(pc_self, at(r, c), 4);
+                    e.load(pc_ns, at(r - 1, c), 1);  // may be remote row
+                    e.load(pc_ns, at(r + 1, c), 1);
+                    e.load(pc_ew, at(r, c - 1), 1);
+                    e.load(pc_ew, at(r, c + 1), 1);
+                    e.load(pc_q, at_q(r, c), 1);
+                    e.load(pc_psi, at_psi(r, c), 1);
+                    e.store(pc_wr, at(r, c), 4, 1);
+                }
+            }
+            color ^= 1;
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+// ---------------------------------------------------------------------
+// sparse
+// ---------------------------------------------------------------------
+
+std::vector<trace::Trace>
+SparseWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_col = layout::pcSite(layout::kModSparse, 0);
+    const uint64_t pc_val = layout::pcSite(layout::kModSparse, 1);
+    const uint64_t pc_x = layout::pcSite(layout::kModSparse, 2);
+    const uint64_t pc_y = layout::pcSite(layout::kModSparse, 3);
+
+    const uint64_t vals = layout::kGridBase + 0x40000000ULL;
+    const uint64_t cols = layout::kGridBase + 0x50000000ULL + 67 * 64;
+    const uint64_t xvec = layout::kGridBase + 0x60000000ULL + 131 * 64;
+    const uint64_t yvec = layout::kGridBase + 0x70000000ULL + 197 * 64;
+
+    // deterministic sparsity structure shared by all CPUs
+    trace::Rng build(p.seed * 0x5A25 + 3);
+    std::vector<uint32_t> colidx(
+        static_cast<size_t>(prm.rows) * prm.nnzPerRow);
+    for (auto &c : colidx)
+        c = static_cast<uint32_t>(build.below(prm.rows));
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x5A250 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint32_t r_first = prm.rows * cpu / p.ncpu;
+        const uint32_t r_last = prm.rows * (cpu + 1) / p.ncpu;
+
+        while (e.count() < p.refsPerCpu) {
+            for (uint32_t r = r_first;
+                 r < r_last && e.count() < p.refsPerCpu; ++r) {
+                const uint64_t base =
+                    uint64_t{r} * prm.nnzPerRow;
+                for (uint32_t k = 0; k < prm.nnzPerRow; ++k) {
+                    e.load(pc_col, cols + (base + k) * 4, 1);
+                    e.load(pc_val, vals + (base + k) * 8, 1);
+                    // gather from x: irregular, depends on the column
+                    e.load(pc_x, xvec + uint64_t{colidx[base + k]} * 8,
+                           1, 1);
+                }
+                e.store(pc_y, yvec + uint64_t{r} * 8, 2, 1);
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

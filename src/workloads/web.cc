@@ -1,0 +1,150 @@
+#include "workloads/web.hh"
+
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+WebFlavor
+WebWorkload::apache()
+{
+    WebFlavor f;
+    f.name = "Apache";
+    f.pcModuleBase = 160;
+    f.workerModel = true;
+    f.kernelFraction = 0.25;
+    f.batchRequests = 1;
+    return f;
+}
+
+WebFlavor
+WebWorkload::zeus()
+{
+    WebFlavor f;
+    f.name = "Zeus";
+    f.pcModuleBase = 176;
+    f.workerModel = false;
+    f.kernelFraction = 0.18;
+    f.batchRequests = 4;  // event loop services several ready fds
+    return f;
+}
+
+std::vector<trace::Trace>
+WebWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint32_t m = flavor.pcModuleBase;
+    // code sites
+    const uint64_t pc_sock = layout::pcSite(m, 0);
+    const uint64_t pc_conn_rd = layout::pcSite(m, 1);
+    const uint64_t pc_conn_wr = layout::pcSite(m, 2);
+    const uint64_t pc_hdr = layout::pcSite(m, 3);
+    const uint64_t pc_meta = layout::pcSite(m, 4);
+    const uint64_t pc_file = layout::pcSite(m, 5);
+    const uint64_t pc_tx = layout::pcSite(m, 6);
+    const uint64_t pc_send = layout::pcSite(m, 7);
+    const uint64_t pc_stat_rd = layout::pcSite(m, 8);
+    const uint64_t pc_stat_wr = layout::pcSite(m, 9);
+    const uint64_t pc_log = layout::pcSite(m, 10);
+    const uint64_t pc_thread = layout::pcSite(m, 11);
+
+    // deterministic per-file sizes (in 64 B blocks) and offsets
+    trace::Rng size_rng(p.seed * 31 + 7);
+    std::vector<uint32_t> file_blocks(flavor.files);
+    std::vector<uint64_t> file_offset(flavor.files);
+    uint64_t cursor = 0;
+    for (uint32_t f = 0; f < flavor.files; ++f) {
+        // sizes 2 kB .. 64 kB, skewed small (SPECweb file mix)
+        uint32_t cls = static_cast<uint32_t>(size_rng.below(4));
+        uint32_t blocks = 32u << cls;  // 2k, 4k, 8k, 16k... bytes/64
+        file_blocks[f] = blocks / (1u << size_rng.below(3));
+        file_offset[f] = cursor;
+        cursor += uint64_t{file_blocks[f]} * 64;
+        cursor = (cursor + 4095) & ~uint64_t{4095};
+    }
+    trace::Zipf file_zipf(flavor.files, flavor.fileZipf);
+
+    // fixed header-field offsets: sparse but identical every request
+    static const uint32_t hdr_off[] = {0, 8, 16, 40, 72, 96, 160, 224};
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    const uint32_t conns_per_cpu = flavor.connections / p.ncpu;
+
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x3eb + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint64_t scratch = layout::privateArea(cpu);
+        uint64_t log_cursor = 0;
+
+        while (e.count() < p.refsPerCpu) {
+            // one event-loop turn services batchRequests requests
+            for (uint32_t b = 0; b < flavor.batchRequests; ++b) {
+                // --- accept/poll: kernel socket bookkeeping ---
+                uint64_t sock = rng.below(flavor.connections);
+                e.load(pc_sock,
+                       layout::kConnBase + 0x01000000 + sock * 128, 12,
+                       0, true);
+
+                // --- connection struct (this CPU's partition) ---
+                uint64_t conn = cpu * conns_per_cpu +
+                    rng.below(conns_per_cpu);
+                uint64_t caddr = layout::kConnBase +
+                    conn * flavor.connBytes;
+                e.load(pc_conn_rd, caddr + 0, 5);
+                e.load(pc_conn_rd, caddr + 24, 2, 1);
+                e.load(pc_conn_rd, caddr + 64, 2);
+                e.store(pc_conn_wr, caddr + 32, 3);
+                if (flavor.workerModel) {
+                    // thread handoff bookkeeping (Apache worker MPM)
+                    e.store(pc_thread, scratch + 0x8000 +
+                            rng.below(16) * 64, 4);
+                    e.store(pc_conn_wr, caddr + 192, 2);
+                }
+
+                // --- parse the request header (fixed sparse layout) ---
+                uint64_t rx = scratch + 0x10000 +
+                    rng.below(64) * 4096;  // rx buffer ring
+                for (size_t h = 0; h < std::size(hdr_off); ++h) {
+                    e.load(pc_hdr, rx + hdr_off[h], 3,
+                           h == 0 ? 0 : 1,
+                           rng.chance(flavor.kernelFraction));
+                }
+
+                // --- static file: metadata then content ---
+                uint64_t file = file_zipf.sample(rng);
+                e.load(pc_meta, layout::kHeapBase + file * 128, 4);
+                uint64_t fbase = layout::kFileCacheBase +
+                    file_offset[file];
+                uint32_t nb = file_blocks[file];
+                for (uint32_t blk = 0; blk < nb; ++blk) {
+                    e.load(pc_file, fbase + uint64_t{blk} * 64, 2);
+                    if ((blk & 3) == 3) {
+                        // copy into the tx buffer, then kernel send
+                        e.store(pc_tx, scratch + 0x50000 +
+                                (blk % 64) * 64, 2, 1);
+                    }
+                    if ((blk & 15) == 15) {
+                        e.store(pc_send, scratch + 0x60000 +
+                                (blk % 32) * 64, 8, 0, true);
+                    }
+                }
+
+                // --- shared statistics counters (write-shared) ---
+                uint64_t stat = layout::kHeapBase + 0x01000000 +
+                    rng.below(16) * 8;
+                e.load(pc_stat_rd, stat, 2);
+                e.store(pc_stat_wr, stat, 1, 1);
+
+                // --- access log append (shared buffered stream) ---
+                e.store(pc_log, layout::kHeapBase + 0x02000000 +
+                        (log_cursor % (1 << 22)), 3);
+                log_cursor += 128;
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SPECweb99-flavoured web server workload: connection table, packet
+ * header parsing (arbitrary but *fixed* structure, per the paper's
+ * Figure 1 examples), Zipf-popular static file cache reads, shared
+ * statistics counters, and access-log appends. Two flavours model
+ * Apache (worker threading) and Zeus (event-driven).
+ */
+
+#ifndef STEMS_WORKLOADS_WEB_HH
+#define STEMS_WORKLOADS_WEB_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Parameterization of one web server flavour. */
+struct WebFlavor
+{
+    std::string name = "Apache";
+    uint32_t pcModuleBase = 160;
+    uint32_t connections = 16384;
+    uint32_t connBytes = 512;
+    uint32_t files = 2048;
+    double fileZipf = 0.8;
+    double kernelFraction = 0.25;  //!< network stack / syscall share
+    bool workerModel = true;       //!< Apache: per-thread bookkeeping
+    uint32_t batchRequests = 1;    //!< Zeus: event loop batches
+};
+
+/** The web server workload generator. */
+class WebWorkload : public Workload
+{
+  public:
+    explicit WebWorkload(WebFlavor flavor) : flavor(std::move(flavor)) {}
+
+    static WebFlavor apache();
+    static WebFlavor zeus();
+
+    std::string name() const override { return flavor.name; }
+    SuiteClass suiteClass() const override { return SuiteClass::Web; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    WebFlavor flavor;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_WEB_HH

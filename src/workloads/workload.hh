@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload generator interface and the paper's application suite
+ * (Table 1): OLTP on two DBMS flavours, four TPC-H-style DSS queries,
+ * two web servers, and three scientific kernels. Generators are
+ * miniature instrumented systems — they run real data-structure
+ * traversals (buffer-pool pages, B+Trees, hash joins, packet parsing,
+ * stencils) and emit the resulting (PC, address) reference streams.
+ */
+
+#ifndef STEMS_WORKLOADS_WORKLOAD_HH
+#define STEMS_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/interleaver.hh"
+
+namespace stems::workloads {
+
+/** Workload class grouping used by the paper's figures. */
+enum class SuiteClass { OLTP, DSS, Web, Scientific };
+
+inline const char *
+suiteClassName(SuiteClass c)
+{
+    switch (c) {
+      case SuiteClass::OLTP: return "OLTP";
+      case SuiteClass::DSS: return "DSS";
+      case SuiteClass::Web: return "Web";
+      case SuiteClass::Scientific: return "Scientific";
+    }
+    return "?";
+}
+
+/** Generation parameters shared by all workloads. */
+struct WorkloadParams
+{
+    uint32_t ncpu = 16;
+    uint64_t refsPerCpu = 125000;  //!< memory references per CPU stream
+    uint64_t seed = 1;             //!< master seed (fully deterministic)
+};
+
+/** A workload generator producing one reference stream per CPU. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Paper-style label, e.g. "OLTP-DB2", "Qry17", "sparse". */
+    virtual std::string name() const = 0;
+
+    virtual SuiteClass suiteClass() const = 0;
+
+    /**
+     * Generate per-CPU reference streams (index = cpu). Deterministic
+     * in @p p.seed.
+     */
+    virtual std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) = 0;
+};
+
+/** Generate and interleave a workload into one global trace. */
+trace::Trace makeTrace(Workload &w, const WorkloadParams &p);
+
+/** One entry of the registered application suite. */
+struct SuiteEntry
+{
+    std::string name;
+    SuiteClass cls;
+    std::function<std::unique_ptr<Workload>()> make;
+};
+
+/** The paper's 11-application suite, in Table 1 order. */
+const std::vector<SuiteEntry> &paperSuite();
+
+/** Look up a suite entry by name (nullptr if absent). */
+const SuiteEntry *findWorkload(const std::string &name);
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,145 @@
+/** @file Unit tests for the Bits128 bit vector and bit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+using stems::Bits128;
+using stems::isPow2;
+using stems::log2i;
+
+TEST(Bits128, StartsEmpty)
+{
+    Bits128 b;
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bits128, SetTestClearLowWord)
+{
+    Bits128 b;
+    b.set(0);
+    b.set(5);
+    b.set(63);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(5));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 3u);
+    b.clear(5);
+    EXPECT_FALSE(b.test(5));
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bits128, HighWordIndependent)
+{
+    Bits128 b;
+    b.set(64);
+    b.set(127);
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(127));
+    EXPECT_FALSE(b.test(63));
+    EXPECT_EQ(b.low(), 0u);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bits128, LowestSetSpansWords)
+{
+    Bits128 b;
+    b.set(100);
+    EXPECT_EQ(b.lowestSet(), 100u);
+    b.set(3);
+    EXPECT_EQ(b.lowestSet(), 3u);
+    b.clear(3);
+    EXPECT_EQ(b.lowestSet(), 100u);
+}
+
+TEST(Bits128, AndOrIntersects)
+{
+    Bits128 a, b;
+    a.set(1);
+    a.set(70);
+    b.set(70);
+    b.set(2);
+    EXPECT_TRUE(a.intersects(b));
+    Bits128 both = a & b;
+    EXPECT_EQ(both.count(), 1u);
+    EXPECT_TRUE(both.test(70));
+    Bits128 either = a | b;
+    EXPECT_EQ(either.count(), 3u);
+    b.clear(70);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Bits128, EqualityAndReset)
+{
+    Bits128 a, b;
+    a.set(17);
+    b.set(17);
+    EXPECT_EQ(a, b);
+    a.set(90);
+    EXPECT_FALSE(a == b);
+    a.reset();
+    EXPECT_TRUE(a.none());
+}
+
+TEST(Bits128, ToStringOrdersBitZeroFirst)
+{
+    Bits128 b;
+    b.set(0);
+    b.set(3);
+    EXPECT_EQ(b.toString(4), "1001");
+}
+
+TEST(Bits128, CompoundAssignments)
+{
+    Bits128 a, b;
+    a.set(2);
+    b.set(2);
+    b.set(66);
+    a |= b;
+    EXPECT_EQ(a.count(), 2u);
+    a &= Bits128(0xFFFF);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_TRUE(a.test(2));
+}
+
+/** Every power-of-two position round-trips through set/lowestSet. */
+class Bits128EveryBit : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(Bits128EveryBit, SetLowestClearRoundTrip)
+{
+    const uint32_t i = GetParam();
+    Bits128 b;
+    b.set(i);
+    EXPECT_TRUE(b.any());
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.lowestSet(), i);
+    b.clear(i);
+    EXPECT_TRUE(b.none());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, Bits128EveryBit,
+                         ::testing::Range(0u, 128u, 7u));
+
+TEST(BitHelpers, Log2iPowers)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(8192), 13u);
+    EXPECT_EQ(log2i(uint64_t{1} << 40), 40u);
+}
+
+TEST(BitHelpers, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(96));
+    EXPECT_FALSE(isPow2(6144));
+}

@@ -1,0 +1,143 @@
+/** @file B+Tree correctness and instrumentation tests. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/rng.hh"
+#include "workloads/btree.hh"
+
+using namespace stems::workloads;
+using stems::trace::Rng;
+
+TEST(BTree, EmptySearchMisses)
+{
+    BPlusTree t(0x1000000, 1);
+    EXPECT_FALSE(t.search(42, nullptr).has_value());
+}
+
+TEST(BTree, InsertThenFind)
+{
+    BPlusTree t(0x1000000, 1);
+    t.insert(10, 100);
+    t.insert(20, 200);
+    t.insert(5, 50);
+    EXPECT_EQ(t.search(10, nullptr).value(), 100u);
+    EXPECT_EQ(t.search(20, nullptr).value(), 200u);
+    EXPECT_EQ(t.search(5, nullptr).value(), 50u);
+    EXPECT_FALSE(t.search(15, nullptr).has_value());
+}
+
+TEST(BTree, DuplicateInsertOverwrites)
+{
+    BPlusTree t(0x1000000, 1);
+    t.insert(7, 1);
+    t.insert(7, 2);
+    EXPECT_EQ(t.search(7, nullptr).value(), 2u);
+}
+
+TEST(BTree, SplitsGrowHeight)
+{
+    BPlusTree t(0x1000000, 1, 8);
+    EXPECT_EQ(t.height(), 1u);
+    for (uint64_t k = 0; k < 100; ++k)
+        t.insert(k, k * 10);
+    EXPECT_GT(t.height(), 1u);
+    for (uint64_t k = 0; k < 100; ++k)
+        ASSERT_EQ(t.search(k, nullptr).value(), k * 10);
+}
+
+TEST(BTree, AgreesWithStdMapOnRandomOps)
+{
+    BPlusTree t(0x1000000, 1, 16);
+    std::map<uint64_t, uint64_t> ref;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t k = rng.below(2000);
+        uint64_t v = rng.next64();
+        t.insert(k, v);
+        ref[k] = v;
+    }
+    for (const auto &[k, v] : ref)
+        ASSERT_EQ(t.search(k, nullptr).value(), v) << "key " << k;
+    for (uint64_t k = 2000; k < 2100; ++k)
+        ASSERT_FALSE(t.search(k, nullptr).has_value());
+}
+
+TEST(BTree, RangeReadReturnsSortedRun)
+{
+    BPlusTree t(0x1000000, 1, 8);
+    for (uint64_t k = 0; k < 200; k += 2)
+        t.insert(k, k + 1);
+    auto vals = t.rangeRead(50, 10, nullptr);
+    ASSERT_EQ(vals.size(), 10u);
+    for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_EQ(vals[i], 50 + 2 * i + 1);
+}
+
+TEST(BTree, RangeReadStopsAtEnd)
+{
+    BPlusTree t(0x1000000, 1, 8);
+    for (uint64_t k = 0; k < 10; ++k)
+        t.insert(k, k);
+    EXPECT_EQ(t.rangeRead(8, 100, nullptr).size(), 2u);
+    EXPECT_TRUE(t.rangeRead(100, 5, nullptr).empty());
+}
+
+TEST(BTree, SearchEmitsPointerChase)
+{
+    BPlusTree t(0x1000000, 1, 8);
+    for (uint64_t k = 0; k < 500; ++k)
+        t.insert(k, k);
+    ASSERT_GE(t.height(), 2u);
+
+    stems::trace::Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    t.search(250, &e);
+
+    ASSERT_GT(out.size(), 4u);
+    // all addresses fall inside this tree's node arena
+    uint64_t arena_end = 0x1000000 + t.nodeCount() * t.nodeBytes();
+    size_t dependent = 0;
+    for (const auto &a : out) {
+        EXPECT_GE(a.addr, 0x1000000u);
+        EXPECT_LT(a.addr, arena_end);
+        EXPECT_FALSE(a.isWrite);
+        dependent += a.dep != 0;
+    }
+    // a B-tree descent is a dependence chain (the paper's low-MLP case)
+    EXPECT_GT(dependent, out.size() / 2);
+}
+
+TEST(BTree, SearchSitesAreStable)
+{
+    BPlusTree t(0x1000000, 3, 8);
+    for (uint64_t k = 0; k < 300; ++k)
+        t.insert(k, k);
+
+    stems::trace::Trace o1, o2;
+    Rng rng(1);
+    StreamEmitter e1(o1, rng), e2(o2, rng);
+    t.search(10, &e1);
+    t.search(250, &e2);
+
+    std::set<uint64_t> pcs1, pcs2;
+    for (const auto &a : o1)
+        pcs1.insert(a.pc);
+    for (const auto &a : o2)
+        pcs2.insert(a.pc);
+    // different keys traverse different nodes but the same code sites
+    EXPECT_EQ(pcs1, pcs2);
+}
+
+TEST(BTree, NodesHaveDisjointAddresses)
+{
+    BPlusTree t(0x2000000, 1, 8);
+    for (uint64_t k = 0; k < 1000; ++k)
+        t.insert(k, k);
+    EXPECT_GT(t.nodeCount(), 100u);
+    EXPECT_GE(t.nodeBytes(), 8u * 8 + 9 * 8);
+    EXPECT_EQ(t.nodeBytes() % 256, 0u);
+}

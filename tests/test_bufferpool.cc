@@ -1,0 +1,161 @@
+/** @file Slotted page layout and table instrumentation tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/bufferpool.hh"
+
+using namespace stems::workloads;
+using stems::trace::Rng;
+using stems::trace::Trace;
+
+TEST(PageLayout, HeaderSlotsAndTuplesDisjoint)
+{
+    // the canonical layout of the paper's Figure 1: header at the
+    // front, slot index in the footer, tuples in between
+    const uint32_t tuple = 128;
+    const uint32_t n = PageLayout::tuplesPerPage(tuple);
+    EXPECT_GT(n, 0u);
+    EXPECT_EQ(PageLayout::lsnOffset(), 0u);
+    uint32_t last_tuple_end = PageLayout::tupleOffset(n - 1, tuple) + tuple;
+    uint32_t first_slot = PageLayout::slotOffset(n - 1);
+    EXPECT_GE(PageLayout::tupleOffset(0, tuple), PageLayout::kHeaderBytes);
+    EXPECT_LE(last_tuple_end, first_slot);
+    EXPECT_LT(PageLayout::slotOffset(0), layout::kPageSize);
+}
+
+TEST(BufferPool, PageAddressesAreAlignedAndSequential)
+{
+    BufferPool pool(layout::kBufferPoolBase, 100);
+    EXPECT_EQ(pool.pageAddr(0), layout::kBufferPoolBase);
+    EXPECT_EQ(pool.pageAddr(5),
+              layout::kBufferPoolBase + 5 * layout::kPageSize);
+    EXPECT_EQ(pool.pageAddr(7) % layout::kPageSize, 0u);
+    EXPECT_THROW(pool.pageAddr(100), std::out_of_range);
+}
+
+TEST(BufferPool, AllocationAdvances)
+{
+    BufferPool pool(layout::kBufferPoolBase, 10);
+    EXPECT_EQ(pool.allocPages(4), 0u);
+    EXPECT_EQ(pool.allocPages(4), 4u);
+    EXPECT_THROW(pool.allocPages(4), std::length_error);
+}
+
+TEST(Table, RowPlacementIsDense)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 1000, 128, 1);
+    EXPECT_EQ(t.pageOf(0), t.firstPage());
+    EXPECT_EQ(t.slotOf(0), 0u);
+    uint32_t rpp = t.rowsPerPageCount();
+    EXPECT_EQ(t.pageOf(rpp), t.firstPage() + 1);
+    EXPECT_EQ(t.slotOf(rpp), 0u);
+    EXPECT_EQ(t.slotOf(rpp - 1), rpp - 1);
+}
+
+TEST(Table, ReadRowEmitsHeaderSlotTuple)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 1000, 128, 1);
+    Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    t.readRow(e, 42, 2);
+
+    // header + slot + 2 fields + next-key validation read
+    ASSERT_EQ(out.size(), 5u);
+    const uint64_t page = pool.pageAddr(t.pageOf(42));
+    EXPECT_EQ(out[0].addr, page);  // header (LSN)
+    EXPECT_EQ(out[1].addr, page + PageLayout::slotOffset(t.slotOf(42)));
+    EXPECT_EQ(out[2].addr, t.tupleAddr(42));
+    EXPECT_EQ(out[4].addr, t.tupleAddr(43));  // neighbouring tuple
+    // all reads; slot and first tuple field are dependent loads
+    for (const auto &a : out)
+        EXPECT_FALSE(a.isWrite);
+    EXPECT_EQ(out[1].dep, 1u);
+    EXPECT_EQ(out[2].dep, 1u);
+}
+
+TEST(Table, UpdateRowWritesTupleAndHeader)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 1000, 128, 1);
+    Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    t.updateRow(e, 7, 1);
+    size_t writes = 0;
+    for (const auto &a : out)
+        writes += a.isWrite;
+    EXPECT_EQ(writes, 2u);  // field store + header LSN store
+}
+
+TEST(Table, ScanPageTouchesAllTuples)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 1000, 128, 1);
+    Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    t.scanPage(e, 0);
+    EXPECT_EQ(out.size(), 2u + t.rowsPerPageCount());
+    // dense: every access within one page
+    const uint64_t page = t.pageBase(0);
+    for (const auto &a : out) {
+        EXPECT_GE(a.addr, page);
+        EXPECT_LT(a.addr, page + layout::kPageSize);
+    }
+}
+
+TEST(Table, ScanLastPageRespectsRowCount)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 100, 128, 1);  // not page-aligned row count
+    uint32_t rpp = t.rowsPerPageCount();
+    uint64_t last = (100 + rpp - 1) / rpp - 1;
+    EXPECT_EQ(t.rowsOnPage(last), 100 - last * rpp);
+    Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    t.scanPage(e, last);
+    EXPECT_EQ(out.size(), 2u + t.rowsOnPage(last));
+}
+
+TEST(Table, AppendRowWrapsAround)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table t(pool, "t", 10, 128, 1);
+    Trace out;
+    Rng rng(1);
+    StreamEmitter e(out, rng);
+    std::set<uint64_t> tuple_addrs;
+    for (int i = 0; i < 25; ++i) {
+        out.clear();
+        t.appendRow(e);
+        ASSERT_EQ(out.size(), 3u);
+        EXPECT_TRUE(out[0].isWrite);
+        tuple_addrs.insert(out[0].addr);
+    }
+    EXPECT_EQ(tuple_addrs.size(), 10u);  // wrapped over 10 rows
+}
+
+TEST(Table, DistinctTablesDistinctPcs)
+{
+    BufferPool pool(layout::kBufferPoolBase, 1000);
+    Table a(pool, "a", 100, 128, 1);
+    Table b(pool, "b", 100, 128, 2);
+    Trace oa, ob;
+    Rng rng(1);
+    StreamEmitter ea(oa, rng), eb(ob, rng);
+    a.readRow(ea, 0, 1);
+    b.readRow(eb, 0, 1);
+    EXPECT_NE(oa[0].pc, ob[0].pc);
+}
+
+TEST(Table, TooWideTupleRejected)
+{
+    BufferPool pool(layout::kBufferPoolBase, 10);
+    EXPECT_THROW(Table(pool, "wide", 10, 9000, 1), std::invalid_argument);
+}

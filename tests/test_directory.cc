@@ -1,0 +1,222 @@
+/** @file Directory coherence and false-sharing classifier tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/directory.hh"
+#include "trace/rng.hh"
+
+using namespace stems::mem;
+
+namespace {
+
+/** Captures invalidations instead of touching real caches. */
+class FakeClient : public CoherenceClient
+{
+  public:
+    void
+    invalidateBlock(uint32_t cpu, uint64_t addr) override
+    {
+        invals.emplace_back(cpu, addr);
+    }
+
+    std::vector<std::pair<uint32_t, uint64_t>> invals;
+};
+
+} // anonymous namespace
+
+TEST(Directory, ReadThenReadShares)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    auto r0 = d.read(0, 0x1000);
+    auto r1 = d.read(1, 0x1000);
+    EXPECT_FALSE(r0.remoteTransfer);
+    EXPECT_FALSE(r1.remoteTransfer);
+    EXPECT_TRUE(cl.invals.empty());
+}
+
+TEST(Directory, WriteInvalidatesSharers)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.read(1, 0x1000);
+    d.read(2, 0x1000);
+    d.write(3, 0x1000);
+    EXPECT_EQ(cl.invals.size(), 3u);
+    EXPECT_EQ(d.stats().invalidationsSent, 3u);
+}
+
+TEST(Directory, WriterNotSelfInvalidated)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.write(0, 0x1000);  // upgrade, no invalidation of self
+    EXPECT_TRUE(cl.invals.empty());
+    EXPECT_EQ(d.stats().upgrades, 1u);
+}
+
+TEST(Directory, ReadAfterRemoteWriteIsCoherenceMiss)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.write(1, 0x1000);
+    auto r = d.read(0, 0x1000);
+    EXPECT_TRUE(r.coherenceMiss);
+    EXPECT_TRUE(r.remoteTransfer);  // data comes from cpu1's M copy
+    EXPECT_EQ(d.stats().readCohMisses, 1u);
+    EXPECT_EQ(d.stats().downgrades, 1u);
+}
+
+TEST(Directory, WriteAfterRemoteWriteIsWriteCohMiss)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.write(1, 0x1000);
+    auto w = d.write(0, 0x1000);
+    EXPECT_TRUE(w.coherenceMiss);
+    EXPECT_EQ(d.stats().writeCohMisses, 1u);
+}
+
+TEST(Directory, PrefetchReadsAreNotClassified)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.write(1, 0x1000);
+    auto r = d.read(0, 0x1000, /*demand=*/false);
+    EXPECT_FALSE(r.coherenceMiss);
+    EXPECT_EQ(d.stats().readCohMisses, 0u);
+}
+
+TEST(Directory, EvictionMakesNextMissNonCoherence)
+{
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    d.read(0, 0x1000);
+    d.write(1, 0x1000);  // cpu0 invalidated
+    d.evicted(1, 0x1000);
+    // cpu0's record was invalidation-based; but cpu0 *evicting* clears
+    d.read(0, 0x1000);
+    EXPECT_EQ(d.stats().readCohMisses, 1u);
+    d.evicted(0, 0x1000);
+    auto r = d.read(0, 0x1000);
+    EXPECT_FALSE(r.coherenceMiss);
+}
+
+TEST(Directory, FalseSharingWhenDisjointChunks)
+{
+    // 2 kB coherence blocks (32 chunks); cpu1 writes chunk 5, cpu0
+    // refetches and only ever touches chunk 0 -> false sharing
+    FakeClient cl;
+    Directory d(4, 2048, &cl);
+    d.read(0, 0x10000);              // cpu0 holds the block
+    d.write(1, 0x10000 + 5 * 64);    // writes chunk 5, invalidates 0
+    d.read(0, 0x10000);              // cpu0 refetch at chunk 0
+    d.noteAccess(0, 0x10000 + 8);    // keeps touching chunk 0
+    auto &s = d.finalize();
+    EXPECT_EQ(s.falseSharing, 1u);
+    EXPECT_EQ(s.trueSharing, 0u);
+}
+
+TEST(Directory, TrueSharingWhenReaderConsumesWrite)
+{
+    FakeClient cl;
+    Directory d(4, 2048, &cl);
+    d.read(0, 0x10000);
+    d.write(1, 0x10000 + 5 * 64);
+    d.read(0, 0x10000);                 // miss at chunk 0: pending
+    d.noteAccess(0, 0x10000 + 5 * 64);  // reads the written chunk
+    auto &s = d.finalize();
+    EXPECT_EQ(s.trueSharing, 1u);
+    EXPECT_EQ(s.falseSharing, 0u);
+}
+
+TEST(Directory, TrueSharingImmediateWhenMissChunkWasWritten)
+{
+    FakeClient cl;
+    Directory d(4, 2048, &cl);
+    d.read(0, 0x10000 + 5 * 64);
+    d.write(1, 0x10000 + 5 * 64);
+    d.read(0, 0x10000 + 5 * 64);  // refetches the written chunk itself
+    auto &s = d.finalize();
+    EXPECT_EQ(s.trueSharing, 1u);
+    EXPECT_EQ(s.falseSharing, 0u);
+}
+
+TEST(Directory, At64BytesEveryCohMissIsTrueSharing)
+{
+    // single-chunk blocks cannot exhibit false sharing
+    FakeClient cl;
+    Directory d(4, 64, &cl);
+    for (int round = 0; round < 10; ++round) {
+        d.read(0, 0x40);
+        d.write(1, 0x40);
+        d.read(0, 0x40);
+    }
+    auto &s = d.finalize();
+    EXPECT_EQ(s.falseSharing, 0u);
+    EXPECT_EQ(s.trueSharing, s.readCohMisses);
+}
+
+TEST(Directory, SecondInvalidationResolvesPendingAsFalse)
+{
+    FakeClient cl;
+    Directory d(4, 2048, &cl);
+    d.read(0, 0x10000);
+    d.write(1, 0x10000 + 5 * 64);
+    d.read(0, 0x10000);            // pending classification
+    d.write(1, 0x10000 + 6 * 64);  // invalidates cpu0 again
+    EXPECT_EQ(d.stats().falseSharing, 1u);
+}
+
+TEST(Directory, RejectsBadConfig)
+{
+    FakeClient cl;
+    EXPECT_THROW(Directory(0, 64, &cl), std::invalid_argument);
+    EXPECT_THROW(Directory(17, 64, &cl), std::invalid_argument);
+    EXPECT_THROW(Directory(4, 32, &cl), std::invalid_argument);
+    EXPECT_THROW(Directory(4, 96, &cl), std::invalid_argument);
+    EXPECT_THROW(Directory(4, 16384, &cl), std::invalid_argument);
+}
+
+/**
+ * Invariant under random traffic: at most one writer, and a writer
+ * excludes other sharers. We verify via the client: after any write,
+ * a subsequent read by another cpu must observe a remote transfer
+ * (the owner had the only copy).
+ */
+TEST(Directory, SingleWriterInvariantUnderRandomTraffic)
+{
+    FakeClient cl;
+    Directory d(8, 256, &cl);
+    stems::trace::Rng rng(77);
+    std::vector<int> owner(16, -1);  // 16 blocks tracked
+
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t cpu = static_cast<uint32_t>(rng.below(8));
+        uint64_t blk = rng.below(16);
+        uint64_t addr = 0x100000 + blk * 256 + rng.below(4) * 64;
+        if (rng.chance(0.4)) {
+            d.write(cpu, addr);
+            owner[blk] = static_cast<int>(cpu);
+        } else {
+            auto r = d.read(cpu, addr);
+            if (owner[blk] >= 0 &&
+                owner[blk] != static_cast<int>(cpu)) {
+                EXPECT_TRUE(r.remoteTransfer)
+                    << "read must source from the modified copy";
+            }
+            if (owner[blk] == static_cast<int>(cpu)) {
+                // owner reading its own block: no transfer
+                EXPECT_FALSE(r.remoteTransfer);
+            }
+            owner[blk] = -1;  // downgraded to shared
+        }
+    }
+}

@@ -1,0 +1,104 @@
+/** @file Prediction index construction tests (Section 4.2). */
+
+#include <gtest/gtest.h>
+
+#include "core/indexing.hh"
+
+using namespace stems::core;
+
+namespace {
+
+TriggerInfo
+trig(uint64_t pc, uint64_t addr, const RegionGeometry &g)
+{
+    TriggerInfo t;
+    t.pc = pc;
+    t.address = addr;
+    t.regionBase = g.regionBase(addr);
+    t.offset = g.offsetOf(addr);
+    return t;
+}
+
+} // anonymous namespace
+
+TEST(Indexing, AddressIgnoresPc)
+{
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::Address, trig(0x1, 0x10000, g), g);
+    auto b = makeIndex(IndexKind::Address, trig(0x2, 0x10000, g), g);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Indexing, AddressDistinguishesRegions)
+{
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::Address, trig(0x1, 0x10000, g), g);
+    auto b = makeIndex(IndexKind::Address, trig(0x1, 0x10800, g), g);
+    EXPECT_NE(a, b);
+}
+
+TEST(Indexing, PcIgnoresAddress)
+{
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::Pc, trig(0x1, 0x10000, g), g);
+    auto b = makeIndex(IndexKind::Pc, trig(0x1, 0xFF0040, g), g);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Indexing, PcOffsetSamePcSameOffsetMatchesAcrossRegions)
+{
+    // the property that lets PC+offset predict unvisited data
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::PcOffset, trig(0x9, 0x10000 + 192, g), g);
+    auto b = makeIndex(IndexKind::PcOffset,
+                       trig(0x9, 0xABCD0000 + 192, g), g);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Indexing, PcOffsetDistinguishesAlignment)
+{
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::PcOffset, trig(0x9, 0x10000, g), g);
+    auto b = makeIndex(IndexKind::PcOffset, trig(0x9, 0x10040, g), g);
+    EXPECT_NE(a, b);
+}
+
+TEST(Indexing, PcOffsetDistinguishesPcs)
+{
+    RegionGeometry g;
+    auto a = makeIndex(IndexKind::PcOffset, trig(0x9, 0x10000, g), g);
+    auto b = makeIndex(IndexKind::PcOffset, trig(0xA, 0x10000, g), g);
+    EXPECT_NE(a, b);
+}
+
+TEST(Indexing, PcAddressDistinguishesBoth)
+{
+    RegionGeometry g;
+    auto base = makeIndex(IndexKind::PcAddress, trig(0x9, 0x10000, g), g);
+    EXPECT_NE(base,
+              makeIndex(IndexKind::PcAddress, trig(0xA, 0x10000, g), g));
+    EXPECT_NE(base,
+              makeIndex(IndexKind::PcAddress, trig(0x9, 0x20000, g), g));
+    EXPECT_EQ(base,
+              makeIndex(IndexKind::PcAddress, trig(0x9, 0x10008, g), g));
+}
+
+TEST(Indexing, OffsetBitsRespectRegionSize)
+{
+    // 128 B regions have 1 offset bit; adjacent PCs must not collide
+    RegionGeometry g(128, 64);
+    auto a = makeIndex(IndexKind::PcOffset, trig(0x10, 0x0, g), g);
+    auto b = makeIndex(IndexKind::PcOffset, trig(0x10, 64, g), g);
+    auto c = makeIndex(IndexKind::PcOffset, trig(0x11, 0x0, g), g);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+}
+
+TEST(Indexing, Names)
+{
+    EXPECT_STREQ(indexName(IndexKind::Address), "Addr");
+    EXPECT_STREQ(indexName(IndexKind::PcAddress), "PC+addr");
+    EXPECT_STREQ(indexName(IndexKind::Pc), "PC");
+    EXPECT_STREQ(indexName(IndexKind::PcOffset), "PC+off");
+}

@@ -1,0 +1,68 @@
+/** @file Opportunity oracle tests (Figure 4's one-miss-per-generation). */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hh"
+
+using namespace stems::core;
+
+TEST(Oracle, OneGenerationPerQuietRegion)
+{
+    OracleTracker o{RegionGeometry(2048, 64)};
+    o.onAccess(0x1000);
+    o.onAccess(0x1040);
+    o.onAccess(0x17C0);  // same 2 kB region
+    EXPECT_EQ(o.generations(), 1u);
+}
+
+TEST(Oracle, DistinctRegionsDistinctGenerations)
+{
+    OracleTracker o{RegionGeometry(2048, 64)};
+    o.onAccess(0x0000);
+    o.onAccess(0x0800);
+    o.onAccess(0x1000);
+    EXPECT_EQ(o.generations(), 3u);
+}
+
+TEST(Oracle, RemovalOfAccessedBlockEndsGeneration)
+{
+    OracleTracker o{RegionGeometry(2048, 64)};
+    o.onAccess(0x1000);
+    o.onBlockRemoved(0x1000);
+    o.onAccess(0x1040);  // new generation
+    EXPECT_EQ(o.generations(), 2u);
+    EXPECT_EQ(o.activeCount(), 1u);
+}
+
+TEST(Oracle, RemovalOfUntouchedBlockIgnored)
+{
+    // the oracle uses the strict definition: only blocks accessed
+    // during the generation end it
+    OracleTracker o{RegionGeometry(2048, 64)};
+    o.onAccess(0x1000);
+    o.onBlockRemoved(0x1400);  // same region, never accessed
+    o.onAccess(0x1040);
+    EXPECT_EQ(o.generations(), 1u);
+}
+
+TEST(Oracle, RemovalInForeignRegionIgnored)
+{
+    OracleTracker o{RegionGeometry(2048, 64)};
+    o.onAccess(0x1000);
+    o.onBlockRemoved(0x9000);
+    o.onAccess(0x1040);
+    EXPECT_EQ(o.generations(), 1u);
+}
+
+TEST(Oracle, LargerRegionsMeanFewerGenerations)
+{
+    // sequential sweep: generation count scales inversely with size
+    OracleTracker small{RegionGeometry(128, 64)};
+    OracleTracker large{RegionGeometry(8192, 64)};
+    for (uint64_t a = 0; a < 64 * 1024; a += 64) {
+        small.onAccess(a);
+        large.onAccess(a);
+    }
+    EXPECT_EQ(small.generations(), 64u * 1024 / 128);
+    EXPECT_EQ(large.generations(), 64u * 1024 / 8192);
+}

@@ -1,0 +1,137 @@
+/** @file Pattern History Table tests (bounded and unbounded modes). */
+
+#include <gtest/gtest.h>
+
+#include "core/pht.hh"
+
+using namespace stems::core;
+
+namespace {
+
+SpatialPattern
+pat(std::initializer_list<uint32_t> bits)
+{
+    SpatialPattern p;
+    for (uint32_t b : bits)
+        p.set(b);
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(Pht, MissOnEmpty)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16});
+    EXPECT_FALSE(pht.lookup(42).has_value());
+    EXPECT_EQ(pht.stats().lookups, 1u);
+    EXPECT_EQ(pht.stats().hits, 0u);
+}
+
+TEST(Pht, StoreAndRetrieve)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16});
+    pht.update(42, pat({0, 3, 7}));
+    auto p = pht.lookup(42);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, pat({0, 3, 7}));
+}
+
+TEST(Pht, ReplaceModeOverwrites)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16, PhtUpdateMode::Replace});
+    pht.update(42, pat({0, 1}));
+    pht.update(42, pat({5}));
+    EXPECT_EQ(*pht.lookup(42), pat({5}));
+}
+
+TEST(Pht, UnionModeAccumulates)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16, PhtUpdateMode::Union});
+    pht.update(42, pat({0, 1}));
+    pht.update(42, pat({5}));
+    EXPECT_EQ(*pht.lookup(42), pat({0, 1, 5}));
+}
+
+TEST(Pht, DistinctKeysDistinctPatterns)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16});
+    pht.update(1, pat({1}));
+    pht.update(2, pat({2}));
+    EXPECT_EQ(*pht.lookup(1), pat({1}));
+    EXPECT_EQ(*pht.lookup(2), pat({2}));
+}
+
+TEST(Pht, SetConflictEvictsLru)
+{
+    // 4 entries, 2-way -> 2 sets; keys with equal low bit share a set
+    PatternHistoryTable pht(PhtConfig{4, 2});
+    pht.update(0, pat({0}));  // set 0
+    pht.update(2, pat({2}));  // set 0
+    (void)pht.lookup(0);      // make key 0 MRU
+    pht.update(4, pat({4}));  // set 0: evicts key 2
+    EXPECT_TRUE(pht.lookup(0).has_value());
+    EXPECT_FALSE(pht.lookup(2).has_value());
+    EXPECT_TRUE(pht.lookup(4).has_value());
+    EXPECT_EQ(pht.stats().evictions, 1u);
+}
+
+TEST(Pht, CapacityBoundHolds)
+{
+    PatternHistoryTable pht(PhtConfig{256, 16});
+    for (uint64_t k = 0; k < 10000; ++k)
+        pht.update(k, pat({1}));
+    EXPECT_EQ(pht.occupancy(), 256u);
+}
+
+TEST(Pht, UnboundedHoldsEverything)
+{
+    PatternHistoryTable pht(PhtConfig{0, 16});
+    EXPECT_TRUE(pht.unbounded());
+    for (uint64_t k = 0; k < 10000; ++k)
+        pht.update(k, pat({static_cast<uint32_t>(k % 32)}));
+    EXPECT_EQ(pht.occupancy(), 10000u);
+    EXPECT_EQ(*pht.lookup(1234), pat({1234 % 32}));
+}
+
+TEST(Pht, RejectsBadShape)
+{
+    EXPECT_THROW(PatternHistoryTable(PhtConfig{100, 16}),
+                 std::invalid_argument);
+    EXPECT_THROW(PatternHistoryTable(PhtConfig{96, 16}),
+                 std::invalid_argument);
+    EXPECT_THROW(PatternHistoryTable(PhtConfig{16, 0}),
+                 std::invalid_argument);
+}
+
+TEST(Pht, HitRateStatsAccumulate)
+{
+    PatternHistoryTable pht(PhtConfig{1024, 16});
+    pht.update(7, pat({1}));
+    (void)pht.lookup(7);
+    (void)pht.lookup(8);
+    EXPECT_EQ(pht.stats().lookups, 2u);
+    EXPECT_EQ(pht.stats().hits, 1u);
+    EXPECT_EQ(pht.stats().updates, 1u);
+    EXPECT_EQ(pht.stats().inserts, 1u);
+}
+
+/** Bounded PHT agrees with unbounded on a working set within capacity. */
+class PhtAssoc : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(PhtAssoc, SmallWorkingSetNeverEvicted)
+{
+    const uint32_t assoc = GetParam();
+    PatternHistoryTable pht(PhtConfig{256, assoc});
+    // 8 hot keys mapping to different sets stay resident forever
+    for (int round = 0; round < 50; ++round) {
+        for (uint64_t k = 0; k < 8; ++k) {
+            pht.update(k, pat({static_cast<uint32_t>(k)}));
+            ASSERT_TRUE(pht.lookup(k).has_value());
+        }
+    }
+    EXPECT_EQ(pht.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, PhtAssoc,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

@@ -1,0 +1,64 @@
+/** @file RegionGeometry arithmetic tests across region sizes. */
+
+#include <gtest/gtest.h>
+
+#include "core/region.hh"
+
+using stems::core::RegionGeometry;
+
+TEST(RegionGeometry, DefaultIs2kOf64)
+{
+    RegionGeometry g;
+    EXPECT_EQ(g.regionSize(), 2048u);
+    EXPECT_EQ(g.blockSize(), 64u);
+    EXPECT_EQ(g.blocksPerRegion(), 32u);
+    EXPECT_EQ(g.offsetBits(), 5u);
+}
+
+TEST(RegionGeometry, BaseAndOffset)
+{
+    RegionGeometry g(2048, 64);
+    EXPECT_EQ(g.regionBase(0x12345), 0x12000u);
+    EXPECT_EQ(g.offsetOf(0x12345), (0x345u >> 6));
+    EXPECT_EQ(g.regionId(0x12345), 0x12345u >> 11);
+    EXPECT_EQ(g.blockAddr(0x12000, 13), 0x12000u + 13 * 64);
+}
+
+TEST(RegionGeometry, RejectsBadShapes)
+{
+    EXPECT_THROW(RegionGeometry(2000, 64), std::invalid_argument);
+    EXPECT_THROW(RegionGeometry(2048, 48), std::invalid_argument);
+    EXPECT_THROW(RegionGeometry(32, 64), std::invalid_argument);
+    // 16 kB of 64 B blocks = 256 bits > pattern capacity
+    EXPECT_THROW(RegionGeometry(16384, 64), std::invalid_argument);
+}
+
+TEST(RegionGeometry, EqualityByShape)
+{
+    EXPECT_TRUE(RegionGeometry(2048, 64) == RegionGeometry(2048, 64));
+    EXPECT_FALSE(RegionGeometry(1024, 64) == RegionGeometry(2048, 64));
+}
+
+/** Offsets and bases must be mutually consistent for every size. */
+class RegionSizes : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(RegionSizes, OffsetBaseRoundTrip)
+{
+    const uint32_t rs = GetParam();
+    RegionGeometry g(rs, 64);
+    EXPECT_EQ(g.blocksPerRegion() * 64u, rs);
+    for (uint64_t addr : {uint64_t{0}, uint64_t{rs - 1}, uint64_t{rs},
+                          uint64_t{7} * rs + 129}) {
+        uint64_t base = g.regionBase(addr);
+        uint32_t off = g.offsetOf(addr);
+        EXPECT_LE(base, addr);
+        EXPECT_LT(off, g.blocksPerRegion());
+        EXPECT_EQ(g.blockAddr(base, off), addr & ~uint64_t{63});
+        EXPECT_EQ(g.regionId(addr), base >> stems::log2i(rs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, RegionSizes,
+                         ::testing::Values(128u, 256u, 512u, 1024u, 2048u,
+                                           4096u, 8192u));

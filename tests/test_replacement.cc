@@ -1,0 +1,97 @@
+/** @file Tests for the replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "mem/replacement.hh"
+
+using namespace stems::mem;
+
+TEST(Lru, VictimIsLeastRecentlyTouched)
+{
+    LruPolicy p(1, 4);
+    p.touch(0, 0);
+    p.touch(0, 1);
+    p.touch(0, 2);
+    p.touch(0, 3);
+    EXPECT_EQ(p.victim(0), 0u);
+    p.touch(0, 0);
+    EXPECT_EQ(p.victim(0), 1u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruPolicy p(2, 2);
+    p.touch(0, 0);
+    p.touch(0, 1);
+    p.touch(1, 1);
+    p.touch(1, 0);
+    EXPECT_EQ(p.victim(0), 0u);
+    EXPECT_EQ(p.victim(1), 1u);
+}
+
+TEST(Lru, RetouchingMovesToMru)
+{
+    LruPolicy p(1, 3);
+    p.touch(0, 0);
+    p.touch(0, 1);
+    p.touch(0, 2);
+    p.touch(0, 0);  // way 0 becomes MRU
+    EXPECT_EQ(p.victim(0), 1u);
+}
+
+TEST(Random, VictimWithinAssoc)
+{
+    RandomPolicy p(1, 4, 3);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(p.victim(0), 4u);
+}
+
+TEST(Random, CoversAllWaysEventually)
+{
+    RandomPolicy p(1, 4, 9);
+    bool seen[4] = {false, false, false, false};
+    for (int i = 0; i < 200; ++i)
+        seen[p.victim(0)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(TreePlru, ProtectsMostRecentlyTouched)
+{
+    TreePlruPolicy p(1, 4);
+    for (uint32_t w = 0; w < 4; ++w) {
+        p.touch(0, w);
+        EXPECT_NE(p.victim(0), w)
+            << "just-touched way must not be the PLRU victim";
+    }
+}
+
+TEST(TreePlru, SingleWayDegenerate)
+{
+    TreePlruPolicy p(1, 1);
+    p.touch(0, 0);
+    EXPECT_EQ(p.victim(0), 0u);
+}
+
+TEST(TreePlru, FillsAllWaysBeforeRepeating)
+{
+    // touching the victim each time cycles through every way
+    TreePlruPolicy p(1, 8);
+    bool seen[8] = {};
+    for (int i = 0; i < 8; ++i) {
+        uint32_t v = p.victim(0);
+        ASSERT_LT(v, 8u);
+        EXPECT_FALSE(seen[v]) << "way " << v << " revisited too early";
+        seen[v] = true;
+        p.touch(0, v);
+    }
+}
+
+TEST(Factory, MakesRequestedKinds)
+{
+    auto lru = makeReplacement(ReplKind::LRU, 2, 2);
+    auto rnd = makeReplacement(ReplKind::Random, 2, 2);
+    auto plru = makeReplacement(ReplKind::TreePLRU, 2, 2);
+    EXPECT_NE(dynamic_cast<LruPolicy *>(lru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<RandomPolicy *>(rnd.get()), nullptr);
+    EXPECT_NE(dynamic_cast<TreePlruPolicy *>(plru.get()), nullptr);
+}

@@ -1,0 +1,119 @@
+/** @file Unit tests for the deterministic PRNG and Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/rng.hh"
+
+using stems::trace::Rng;
+using stems::trace::Zipf;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng r(21);
+    uint64_t first = r.next64();
+    (void)r.next64();
+    r.reseed(21);
+    EXPECT_EQ(r.next64(), first);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng r(3);
+    Zipf z(100, 0.9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(r), 100u);
+}
+
+TEST(Zipf, SkewFavorsLowIndices)
+{
+    Rng r(5);
+    Zipf z(1000, 0.99);
+    uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        low += z.sample(r) < 10 ? 1 : 0;
+    // with theta ~1, the top-10 of 1000 items draw a large share
+    EXPECT_GT(double(low) / n, 0.2);
+}
+
+TEST(Zipf, ZeroThetaIsRoughlyUniform)
+{
+    Rng r(8);
+    Zipf z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(r)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, SingleElement)
+{
+    Rng r(2);
+    Zipf z(1, 0.9);
+    EXPECT_EQ(z.sample(r), 0u);
+    EXPECT_EQ(z.populationSize(), 1u);
+}

@@ -1,0 +1,108 @@
+/** @file Stride and next-line prefetcher tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/stride.hh"
+
+using namespace stems::prefetch;
+using stems::mem::HitLevel;
+
+namespace {
+
+ObservedAccess
+at(uint64_t pc, uint64_t addr, HitLevel lvl = HitLevel::Memory)
+{
+    ObservedAccess a;
+    a.pc = pc;
+    a.addr = addr;
+    a.level = lvl;
+    return a;
+}
+
+} // anonymous namespace
+
+TEST(Stride, LearnsAfterThresholdConfirmations)
+{
+    StrideConfig cfg;
+    cfg.threshold = 2;
+    cfg.degree = 2;
+    StridePrefetcher sp(cfg);
+    std::vector<uint64_t> out;
+
+    sp.observe(at(0x1, 1000), out);   // allocate
+    sp.observe(at(0x1, 1128), out);   // stride 128 seen once
+    EXPECT_TRUE(out.empty());
+    sp.observe(at(0x1, 1256), out);   // confirmed
+    EXPECT_TRUE(out.empty());
+    sp.observe(at(0x1, 1384), out);   // confidence >= 2: prefetch
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (1384 + 128) & ~uint64_t{63});
+    EXPECT_EQ(out[1], (1384 + 256) & ~uint64_t{63});
+}
+
+TEST(Stride, StrideChangeResetsConfidence)
+{
+    StrideConfig cfg;
+    cfg.threshold = 2;
+    StridePrefetcher sp(cfg);
+    std::vector<uint64_t> out;
+    sp.observe(at(0x1, 0), out);
+    sp.observe(at(0x1, 64), out);
+    sp.observe(at(0x1, 128), out);
+    sp.observe(at(0x1, 1000), out);  // break the pattern
+    out.clear();
+    sp.observe(at(0x1, 1064), out);  // new stride, once
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, ZeroStrideNeverPrefetches)
+{
+    StridePrefetcher sp(StrideConfig{});
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 10; ++i)
+        sp.observe(at(0x1, 4096), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, PcCollisionReallocatesEntry)
+{
+    StrideConfig cfg;
+    cfg.entries = 1;  // force collisions
+    StridePrefetcher sp(cfg);
+    std::vector<uint64_t> out;
+    sp.observe(at(0x1, 0), out);
+    sp.observe(at(0x1, 64), out);
+    sp.observe(at(0x2, 100000), out);  // different pc, same entry
+    out.clear();
+    sp.observe(at(0x1, 128), out);     // entry lost: re-allocates
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NextLine, PrefetchesSequentialBlocksOnMiss)
+{
+    NextLinePrefetcher nl(64, 2);
+    std::vector<uint64_t> out;
+    nl.observe(at(0x1, 0x1234, HitLevel::Memory), out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x1240u);
+    EXPECT_EQ(out[1], 0x1280u);
+}
+
+TEST(NextLine, SilentOnL1Hit)
+{
+    NextLinePrefetcher nl;
+    std::vector<uint64_t> out;
+    nl.observe(at(0x1, 0x1234, HitLevel::L1), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(PrefetchAlgorithm, Names)
+{
+    StridePrefetcher sp((StrideConfig()));
+    NextLinePrefetcher nl;
+    EXPECT_STREQ(sp.name(), "stride");
+    EXPECT_STREQ(nl.name(), "next-line");
+    EXPECT_TRUE(sp.intoL1());
+}

@@ -1,0 +1,183 @@
+/** @file Timing model tests: IPC bounds, stalls, SMS speedup. */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing.hh"
+#include "sim/torus.hh"
+
+using namespace stems;
+using namespace stems::sim;
+
+namespace {
+
+TimingConfig
+smallConfig(uint32_t ncpu = 2)
+{
+    TimingConfig cfg;
+    cfg.sys.ncpu = ncpu;
+    cfg.sys.l1 = {16 * 1024, 2, 64, mem::ReplKind::LRU};
+    cfg.sys.l2 = {128 * 1024, 8, 64, mem::ReplKind::LRU};
+    return cfg;
+}
+
+/** n refs per cpu hitting one hot block: everything L1 after warmup. */
+std::vector<trace::Trace>
+hotLoopStreams(uint32_t ncpu, size_t n, uint32_t ninst = 7)
+{
+    std::vector<trace::Trace> s(ncpu);
+    for (uint32_t c = 0; c < ncpu; ++c) {
+        for (size_t i = 0; i < n; ++i) {
+            trace::MemAccess a;
+            a.cpu = c;
+            a.pc = 0x1;
+            a.addr = 0xA0000000 + uint64_t{c} * 4096;
+            a.ninst = ninst;
+            s[c].push_back(a);
+        }
+    }
+    return s;
+}
+
+/** Pointer-chase: every load depends on the previous, all misses. */
+std::vector<trace::Trace>
+chaseStreams(uint32_t ncpu, size_t n, bool dependent)
+{
+    std::vector<trace::Trace> s(ncpu);
+    for (uint32_t c = 0; c < ncpu; ++c) {
+        for (size_t i = 0; i < n; ++i) {
+            trace::MemAccess a;
+            a.cpu = c;
+            a.pc = 0x2;
+            // 1 MB stride: misses everywhere, conflict-free sets
+            a.addr = 0xB0000000 + uint64_t{c} * (256ull << 20) +
+                i * (1ull << 20);
+            a.ninst = 1;
+            a.dep = dependent && i > 0 ? 1 : 0;
+            s[c].push_back(a);
+        }
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(Torus, HopsAndWraparound)
+{
+    Torus t(4, 4, 100);
+    EXPECT_EQ(t.hops(0, 0), 0u);
+    EXPECT_EQ(t.hops(0, 1), 1u);
+    EXPECT_EQ(t.hops(0, 3), 1u);   // wrap in x
+    EXPECT_EQ(t.hops(0, 12), 1u);  // wrap in y
+    EXPECT_EQ(t.hops(0, 5), 2u);
+    EXPECT_EQ(t.hops(0, 10), 4u);  // farthest on 4x4
+    EXPECT_EQ(t.roundTrip(0, 5), 400u);
+    EXPECT_LT(t.homeNode(0x123456), 16u);
+}
+
+TEST(Timing, IpcApproachesWidthOnHotLoop)
+{
+    TimingConfig cfg = smallConfig(1);
+    auto r = runTiming(hotLoopStreams(1, 20000), cfg);
+    double ipc = r.uipc();
+    // 8 instructions per ref (ninst 7 + 1), all L1 hits after warmup:
+    // the core should sustain near its width
+    EXPECT_GT(ipc, 0.5 * cfg.core.width);
+    EXPECT_LE(ipc, cfg.core.width + 0.01);
+}
+
+TEST(Timing, DependentChasesMuchSlowerThanIndependent)
+{
+    TimingConfig cfg = smallConfig(1);
+    auto dep = runTiming(chaseStreams(1, 4000, true), cfg);
+    auto ind = runTiming(chaseStreams(1, 4000, false), cfg);
+    // independent misses overlap in the ROB window; dependent ones
+    // serialize (the paper's OLTP-vs-scientific MLP story)
+    EXPECT_GT(dep.cycles, ind.cycles * 2);
+}
+
+TEST(Timing, OffChipStallsDominateMissStreams)
+{
+    TimingConfig cfg = smallConfig(1);
+    auto r = runTiming(chaseStreams(1, 4000, true), cfg);
+    EXPECT_GT(r.breakdown.offChipRead,
+              0.5 * (r.breakdown.userBusy + r.breakdown.systemBusy));
+}
+
+TEST(Timing, StoreBufferStallsOnStoreMissFlood)
+{
+    TimingConfig cfg = smallConfig(1);
+    std::vector<trace::Trace> s(1);
+    for (size_t i = 0; i < 6000; ++i) {
+        trace::MemAccess a;
+        a.cpu = 0;
+        a.pc = 0x3;
+        a.addr = 0xC0000000 + i * (1ull << 20);
+        a.ninst = 0;
+        a.isWrite = true;
+        s[0].push_back(a);
+    }
+    auto r = runTiming(s, cfg);
+    EXPECT_GT(r.breakdown.storeBuffer, 0.0);
+    EXPECT_GT(r.breakdown.storeBuffer, r.breakdown.offChipRead);
+}
+
+TEST(Timing, KernelWorkLandsInSystemBusy)
+{
+    TimingConfig cfg = smallConfig(1);
+    auto streams = hotLoopStreams(1, 5000);
+    for (size_t i = 0; i < streams[0].size(); i += 2)
+        streams[0][i].isKernel = true;
+    auto r = runTiming(streams, cfg);
+    EXPECT_GT(r.breakdown.systemBusy, 0.0);
+    EXPECT_NEAR(r.breakdown.systemBusy / r.breakdown.userBusy, 1.0, 0.1);
+    EXPECT_GT(r.systemInstructions, 0u);
+}
+
+TEST(Timing, SmsSpeedsUpPatternedMissStream)
+{
+    // repeating 4-block pattern across many regions; SMS should
+    // convert most off-chip read stalls into L1 hits
+    auto make = [&](uint32_t regions) {
+        std::vector<trace::Trace> s(1);
+        for (uint32_t r = 0; r < regions; ++r) {
+            uint64_t base = 0xD0000000 + uint64_t{r} * 2048;
+            for (uint32_t off : {0u, 2u, 9u, 17u}) {
+                trace::MemAccess a;
+                a.cpu = 0;
+                a.pc = 0x900 + off;
+                a.addr = base + off * 64;
+                a.ninst = 2;
+                s[0].push_back(a);
+            }
+        }
+        return s;
+    };
+
+    TimingConfig base = smallConfig(1);
+    auto rb = runTiming(make(8000), base);
+    TimingConfig sms = base;
+    sms.useSms = true;
+    auto rs = runTiming(make(8000), sms);
+
+    double speedup = rs.uipc() / rb.uipc();
+    EXPECT_GT(speedup, 1.15) << "SMS must hide off-chip read latency";
+    EXPECT_LT(rs.breakdown.offChipRead, rb.breakdown.offChipRead);
+}
+
+TEST(Timing, BreakdownRoughlyAccountsForCycles)
+{
+    TimingConfig cfg = smallConfig(2);
+    auto r = runTiming(hotLoopStreams(2, 10000), cfg);
+    // summed per-cpu breakdown ~ ncpu * elapsed (hot loop: no skew)
+    EXPECT_NEAR(r.breakdown.total(), 2.0 * r.cycles,
+                0.25 * 2.0 * r.cycles);
+}
+
+TEST(Timing, DeterministicAcrossRuns)
+{
+    TimingConfig cfg = smallConfig(2);
+    auto a = runTiming(chaseStreams(2, 2000, true), cfg, 5);
+    auto b = runTiming(chaseStreams(2, 2000, true), cfg, 5);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.userInstructions, b.userInstructions);
+}

@@ -1,0 +1,165 @@
+/** @file Tests for trace records, interleaving, statistics and IO. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/access.hh"
+#include "trace/interleaver.hh"
+#include "trace/io.hh"
+#include "trace/stats.hh"
+
+using namespace stems::trace;
+
+namespace {
+
+Trace
+streamOf(uint32_t cpu, size_t n, uint64_t base)
+{
+    Trace t;
+    for (size_t i = 0; i < n; ++i) {
+        MemAccess a;
+        a.pc = 0x400000 + i % 4;
+        a.addr = base + i * 64;
+        a.cpu = cpu;
+        a.ninst = 3;
+        t.push_back(a);
+    }
+    return t;
+}
+
+} // anonymous namespace
+
+TEST(Interleaver, PreservesAllAccesses)
+{
+    std::vector<Trace> streams{streamOf(0, 100, 0),
+                               streamOf(1, 50, 1 << 20)};
+    Trace merged = Interleaver(1, 8, 3).merge(streams);
+    EXPECT_EQ(merged.size(), 150u);
+}
+
+TEST(Interleaver, PreservesPerCpuOrder)
+{
+    std::vector<Trace> streams{streamOf(0, 200, 0),
+                               streamOf(1, 200, 1 << 20)};
+    Trace merged = Interleaver(1, 8, 3).merge(streams);
+    uint64_t last0 = 0, last1 = 0;
+    for (const auto &a : merged) {
+        if (a.cpu == 0) {
+            EXPECT_GE(a.addr, last0);
+            last0 = a.addr;
+        } else {
+            EXPECT_GE(a.addr, last1);
+            last1 = a.addr;
+        }
+    }
+}
+
+TEST(Interleaver, RewritesCpuField)
+{
+    // stream placed at index 2 gets cpu=2 regardless of its records
+    std::vector<Trace> streams(3);
+    streams[2] = streamOf(7, 10, 0);
+    Trace merged = Interleaver(1, 4, 1).merge(streams);
+    ASSERT_EQ(merged.size(), 10u);
+    for (const auto &a : merged)
+        EXPECT_EQ(a.cpu, 2u);
+}
+
+TEST(Interleaver, DeterministicInSeed)
+{
+    std::vector<Trace> streams{streamOf(0, 300, 0),
+                               streamOf(1, 300, 1 << 20)};
+    Trace m1 = Interleaver(1, 16, 42).merge(streams);
+    Trace m2 = Interleaver(1, 16, 42).merge(streams);
+    ASSERT_EQ(m1.size(), m2.size());
+    for (size_t i = 0; i < m1.size(); ++i)
+        EXPECT_TRUE(m1[i] == m2[i]);
+}
+
+TEST(Interleaver, DifferentSeedsInterleaveDifferently)
+{
+    std::vector<Trace> streams{streamOf(0, 300, 0),
+                               streamOf(1, 300, 1 << 20)};
+    Trace m1 = Interleaver(1, 16, 1).merge(streams);
+    Trace m2 = Interleaver(1, 16, 2).merge(streams);
+    bool differs = false;
+    for (size_t i = 0; i < m1.size() && !differs; ++i)
+        differs = !(m1[i] == m2[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Interleaver, ActuallyInterleavesFinely)
+{
+    std::vector<Trace> streams{streamOf(0, 500, 0),
+                               streamOf(1, 500, 1 << 20)};
+    Trace merged = Interleaver(1, 8, 5).merge(streams);
+    // count cpu switches; chunks of <= 8 imply many switches
+    size_t switches = 0;
+    for (size_t i = 1; i < merged.size(); ++i)
+        switches += merged[i].cpu != merged[i - 1].cpu;
+    EXPECT_GT(switches, 80u);
+}
+
+TEST(TraceStats, CountsEverything)
+{
+    Trace t;
+    MemAccess a;
+    a.pc = 1;
+    a.addr = 0;
+    a.ninst = 4;
+    t.push_back(a);
+    a.isWrite = true;
+    a.addr = 64;
+    a.pc = 2;
+    a.dep = 1;
+    t.push_back(a);
+    a.isKernel = true;
+    a.addr = 64;  // same block
+    t.push_back(a);
+
+    TraceStats s = computeStats(t, 2);
+    EXPECT_EQ(s.references, 3u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.kernelRefs, 1u);
+    EXPECT_EQ(s.uniqueBlocks, 2u);
+    EXPECT_EQ(s.uniquePcs, 2u);
+    EXPECT_EQ(s.instructions, 3u * 5u);
+    EXPECT_EQ(s.dependentRefs, 2u);
+    EXPECT_NEAR(s.writeFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    Trace t = streamOf(3, 250, 0x1000);
+    t[7].isWrite = true;
+    t[9].isKernel = true;
+    t[11].dep = 4;
+
+    std::string path = ::testing::TempDir() + "/stems_trace_test.bin";
+    ASSERT_TRUE(writeTrace(t, path));
+    Trace back;
+    ASSERT_TRUE(readTrace(path, back));
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(t[i] == back[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    Trace out;
+    EXPECT_FALSE(readTrace("/nonexistent/definitely/not.bin", out));
+}
+
+TEST(TraceIo, RejectsCorruptMagic)
+{
+    std::string path = ::testing::TempDir() + "/stems_bad_magic.bin";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOPE", 1, 4, f);
+    std::fclose(f);
+    Trace out;
+    EXPECT_FALSE(readTrace(path, out));
+    std::remove(path.c_str());
+}

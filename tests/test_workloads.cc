@@ -1,0 +1,237 @@
+/** @file Workload generator structural-property tests (all 11 apps). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/stats.hh"
+#include "workloads/dss.hh"
+#include "workloads/layout.hh"
+#include "workloads/oltp.hh"
+#include "workloads/scientific.hh"
+#include "workloads/web.hh"
+#include "workloads/workload.hh"
+
+using namespace stems;
+using namespace stems::workloads;
+
+namespace {
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 8000;
+    p.seed = 7;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(Suite, HasElevenPaperWorkloads)
+{
+    const auto &suite = paperSuite();
+    ASSERT_EQ(suite.size(), 11u);
+    EXPECT_EQ(suite[0].name, "OLTP-DB2");
+    EXPECT_EQ(suite[10].name, "sparse");
+    EXPECT_NE(findWorkload("Qry16"), nullptr);
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+/** Properties every generator must satisfy. */
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EveryWorkload, ExactStreamLengthsAndBalance)
+{
+    auto w = findWorkload(GetParam())->make();
+    auto streams = w->generateStreams(smallParams());
+    ASSERT_EQ(streams.size(), 4u);
+    for (const auto &s : streams)
+        EXPECT_EQ(s.size(), 8000u);
+}
+
+TEST_P(EveryWorkload, DeterministicInSeed)
+{
+    auto w1 = findWorkload(GetParam())->make();
+    auto w2 = findWorkload(GetParam())->make();
+    auto s1 = w1->generateStreams(smallParams());
+    auto s2 = w2->generateStreams(smallParams());
+    for (size_t c = 0; c < s1.size(); ++c) {
+        ASSERT_EQ(s1[c].size(), s2[c].size());
+        for (size_t i = 0; i < s1[c].size(); ++i)
+            ASSERT_TRUE(s1[c][i] == s2[c][i])
+                << GetParam() << " cpu " << c << " ref " << i;
+    }
+}
+
+TEST_P(EveryWorkload, DifferentSeedsDiffer)
+{
+    auto w = findWorkload(GetParam())->make();
+    WorkloadParams p1 = smallParams(), p2 = smallParams();
+    p2.seed = 8;
+    auto s1 = w->generateStreams(p1);
+    auto s2 = w->generateStreams(p2);
+    bool differ = false;
+    for (size_t i = 0; i < s1[0].size() && !differ; ++i)
+        differ = !(s1[0][i] == s2[0][i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST_P(EveryWorkload, HasStablePcVocabulary)
+{
+    auto w = findWorkload(GetParam())->make();
+    auto streams = w->generateStreams(smallParams());
+    std::set<uint64_t> pcs;
+    for (const auto &s : streams)
+        for (const auto &a : s)
+            pcs.insert(a.pc);
+    // code-correlated prediction needs a compact, recurring PC set
+    EXPECT_GE(pcs.size(), 4u);
+    EXPECT_LE(pcs.size(), 256u) << "PC vocabulary should be code-sized";
+}
+
+TEST_P(EveryWorkload, MixesReadsAndWrites)
+{
+    auto w = findWorkload(GetParam())->make();
+    auto streams = w->generateStreams(smallParams());
+    trace::Trace merged = makeTrace(*w, smallParams());
+    auto st = trace::computeStats(merged, 4);
+    EXPECT_GT(st.writeFraction(), 0.005) << "no stores at all?";
+    EXPECT_LT(st.writeFraction(), 0.8);
+}
+
+TEST_P(EveryWorkload, InterleavedTraceKeepsEverything)
+{
+    auto w = findWorkload(GetParam())->make();
+    trace::Trace merged = makeTrace(*w, smallParams());
+    EXPECT_EQ(merged.size(), 4u * 8000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSuite, EveryWorkload,
+    ::testing::Values("OLTP-DB2", "OLTP-Oracle", "Qry1", "Qry2", "Qry16",
+                      "Qry17", "Apache", "Zeus", "em3d", "ocean",
+                      "sparse"));
+
+TEST(Oltp, CpusShareHotWarehousePages)
+{
+    OltpWorkload w(OltpWorkload::db2());
+    auto streams = w.generateStreams(smallParams());
+    // collect 64 B blocks touched per cpu; the hot tables must overlap
+    std::unordered_set<uint64_t> b0, b1;
+    for (const auto &a : streams[0])
+        b0.insert(a.addr >> 6);
+    size_t shared = 0;
+    for (const auto &a : streams[1])
+        if (b0.count(a.addr >> 6))
+            ++shared;
+    EXPECT_GT(shared, 100u) << "OLTP cpus must contend on hot pages";
+}
+
+TEST(Oltp, HasDependentChains)
+{
+    OltpWorkload w(OltpWorkload::db2());
+    auto streams = w.generateStreams(smallParams());
+    auto st = trace::computeStats(streams[0], 1);
+    // B-tree descents make a large fraction of refs dependent
+    EXPECT_GT(double(st.dependentRefs) / st.references, 0.2);
+}
+
+TEST(Dss, ScanVisitsPagesOnce)
+{
+    DssWorkload w(DssWorkload::qry1());
+    WorkloadParams p = smallParams();
+    p.refsPerCpu = 20000;
+    auto streams = w.generateStreams(p);
+    // count revisits of lineitem tuple blocks by cpu0 (scan is
+    // visit-once until the partition wraps)
+    std::unordered_set<uint64_t> seen;
+    size_t revisit = 0, total = 0;
+    for (const auto &a : streams[0]) {
+        if (a.addr < layout::kBufferPoolBase ||
+            a.addr >= layout::kBufferPoolBase + (64ull << 20)) {
+            continue;  // only the table pages
+        }
+        uint64_t blk = a.addr >> 6;
+        ++total;
+        if (!seen.insert(blk).second)
+            ++revisit;
+    }
+    ASSERT_GT(total, 1000u);
+    // header/slot rereads exist, but the bulk must be first-touch
+    EXPECT_LT(double(revisit) / total, 0.35);
+}
+
+TEST(Dss, Qry1IsStoreHeavy)
+{
+    DssWorkload q1(DssWorkload::qry1());
+    DssWorkload q2(DssWorkload::qry2());
+    auto p = smallParams();
+    auto s1 = trace::computeStats(q1.generateStreams(p)[0], 1);
+    auto s2 = trace::computeStats(q2.generateStreams(p)[0], 1);
+    EXPECT_GT(s1.writeFraction(), s2.writeFraction())
+        << "Qry1's temp-table copy must make it store-heavy";
+    EXPECT_GT(s1.writeFraction(), 0.2);
+}
+
+TEST(Web, KernelShareIsSubstantial)
+{
+    WebWorkload w(WebWorkload::apache());
+    auto st = trace::computeStats(w.generateStreams(smallParams())[0], 1);
+    double kf = double(st.kernelRefs) / st.references;
+    EXPECT_GT(kf, 0.02);
+    EXPECT_LT(kf, 0.6);
+}
+
+TEST(Scientific, OceanIsDense)
+{
+    OceanWorkload w;
+    auto streams = w.generateStreams(smallParams());
+    // stencil sweeps touch nearly every block of the rows they visit
+    std::unordered_set<uint64_t> blocks;
+    for (const auto &a : streams[0])
+        blocks.insert(a.addr >> 6);
+    double refs_per_block =
+        double(streams[0].size()) / double(blocks.size());
+    EXPECT_GT(refs_per_block, 3.0);
+}
+
+TEST(Scientific, Em3dHasRemoteNeighbours)
+{
+    Em3dWorkload w;
+    WorkloadParams p = smallParams();
+    auto streams = w.generateStreams(p);
+    // some of cpu0's value reads must fall into other cpus' partitions
+    std::unordered_set<uint64_t> own_writes, foreign_reads;
+    for (const auto &a : streams[0])
+        if (a.isWrite)
+            own_writes.insert(a.addr >> 6);
+    size_t remote = 0;
+    for (const auto &a : streams[1])
+        if (a.isWrite && own_writes.count(a.addr >> 6))
+            ++remote;
+    // writers are partitioned: cpu1 must never write cpu0's nodes
+    EXPECT_EQ(remote, 0u);
+}
+
+TEST(Scientific, SparseStreamsSequentially)
+{
+    SparseWorkload w;
+    auto streams = w.generateStreams(smallParams());
+    // consecutive value-array reads must often be sequential blocks
+    size_t sequential = 0, vals = 0;
+    uint64_t last = 0;
+    for (const auto &a : streams[0]) {
+        if (a.addr >= layout::kGridBase + 0x40000000ULL &&
+            a.addr < layout::kGridBase + 0x50000000ULL) {
+            ++vals;
+            sequential += (a.addr - last) <= 64;
+            last = a.addr;
+        }
+    }
+    ASSERT_GT(vals, 100u);
+    EXPECT_GT(double(sequential) / vals, 0.8);
+}
