@@ -10,9 +10,14 @@
  *
  * Reported as grouped L1 coverage / overprediction deltas against the
  * practical configuration.
+ *
+ * Runs through the driver engine in mode=l1: each variant is a
+ * labelled SMS configuration; cells execute in parallel and baseline
+ * L1 misses are memoized per workload.
  */
 
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -25,42 +30,52 @@ main()
            "L1 coverage / overpredictions vs the practical config\n"
            "(16k x 16-way PHT, Replace updates, 32/64 AGT, 16 PRs).");
 
-    auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
-
-    struct Variant
-    {
-        std::string label;
-        core::PhtUpdateMode update = core::PhtUpdateMode::Replace;
-        uint32_t predictionRegisters = 16;
-        core::AgtConfig agt{32, 64};
-    };
-    const Variant variants[] = {
-        {"practical"},
-        {"pht-union", core::PhtUpdateMode::Union, 16, {32, 64}},
-        {"1-pred-reg", core::PhtUpdateMode::Replace, 1, {32, 64}},
-        {"4-pred-regs", core::PhtUpdateMode::Replace, 4, {32, 64}},
+    driver::ExperimentSpec spec = driver::parseSpec({
+        "mode=l1",
+        "workloads=paper",
+        "prefetchers=sms:practical,sms:pht-union,sms:1-pred-reg,"
+        "sms:4-pred-regs,sms:no-filter",
+        "pf.pht-union.pht-update=union",
+        "pf.1-pred-reg.pred-regs=1",
+        "pf.4-pred-regs.pred-regs=4",
         // no filter: trigger-only generations waste accumulation
         // entries (filter capacity folded into the accumulation table)
-        {"no-filter", core::PhtUpdateMode::Replace, 16, {1, 96}},
-    };
+        "pf.no-filter.agt-filter=1",
+        "pf.no-filter.agt-accum=96",
+    });
+
+    driver::Runner runner(spec);
+    auto results = runner.run();
+
+    // index results by (workload, variant) for group aggregation
+    std::map<std::pair<std::string, std::string>,
+             const driver::CellResult *> byCell;
+    for (const auto &r : results) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << "/"
+                      << r.cell.engine.displayLabel() << " failed: "
+                      << r.error << "\n";
+            return 1;
+        }
+        byCell[{r.cell.workload, r.cell.engine.displayLabel()}] = &r;
+    }
+
+    const char *variants[] = {"practical", "pht-union", "1-pred-reg",
+                              "4-pred-regs", "no-filter"};
 
     TablePrinter table({"Group", "Variant", "Coverage", "Overpred"});
     for (const auto &group : groupNames()) {
-        for (const auto &v : variants) {
+        for (const auto *v : variants) {
             CoverageAgg agg;
             for (const auto &name : workloadsInGroup(group)) {
-                L1StudyConfig cfg;
-                cfg.ncpu = params.ncpu;
-                cfg.sms.pht.update = v.update;
-                cfg.sms.predictionRegisters = v.predictionRegisters;
-                cfg.sms.agt = v.agt;
-                auto r = runL1Study(traces.get(name, params), cfg);
-                agg.add(baselines.baselineMisses(name), r);
+                const driver::CellResult *r = byCell.at({name, v});
+                L1StudyResult lr;
+                lr.coveredReads = r->metrics.l1Covered;
+                lr.readMisses = r->metrics.l1ReadMisses;
+                lr.overpredictions = r->metrics.l1Overpred;
+                agg.add(r->metrics.baselineL1ReadMisses, lr);
             }
-            table.addRow({group, v.label,
-                          TablePrinter::pct(agg.coverage()),
+            table.addRow({group, v, TablePrinter::pct(agg.coverage()),
                           TablePrinter::pct(agg.overprediction())});
         }
     }

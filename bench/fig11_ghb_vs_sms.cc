@@ -5,10 +5,14 @@
  * GHB PC/DC with 256-entry and 16k-entry history buffers. Reported on
  * off-chip (L2) read misses per application, normalized to the
  * baseline system's misses.
+ *
+ * Runs through the driver engine: the variant matrix expands into
+ * cells executed in parallel by the sharded runner, with baselines
+ * memoized per workload.
  */
 
 #include "bench/bench_util.hh"
-#include "study/memstudy.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -21,53 +25,39 @@ main()
            "Off-chip (L2) read misses: coverage / uncovered /"
            " overpredictions\nvs the no-prefetch baseline.");
 
-    auto params = defaultParams();
-    TraceCache traces;
+    driver::ExperimentSpec spec = driver::parseSpec({
+        "workloads=paper",
+        "prefetchers=ghb:GHB-256,ghb:GHB-16k,sms:SMS",
+        "pf.GHB-256.ghb-entries=256",
+        "pf.GHB-256.it-entries=256",
+        "pf.GHB-16k.ghb-entries=16384",
+        "pf.GHB-16k.it-entries=1024",
+    });
+
+    driver::Runner runner(spec);
+    auto results = runner.run();
 
     TablePrinter table({"App", "Prefetcher", "Coverage", "Uncovered",
                         "Overpred"});
     std::map<std::string, double> sms_cov, ghb_cov;
 
-    for (const auto &entry : workloads::paperSuite()) {
-        const auto &t = traces.get(entry.name, params);
-
-        SystemStudyConfig base;
-        auto rb = runSystem(t, base);
-        const double bm = double(rb.l2ReadMisses);
-
-        struct Variant
-        {
-            std::string label;
-            PfKind pf;
-            uint32_t ghbEntries;
-        };
-        const Variant variants[] = {
-            {"GHB-256", PfKind::Ghb, 256},
-            {"GHB-16k", PfKind::Ghb, 16384},
-            {"SMS", PfKind::Sms, 0},
-        };
-        for (const auto &v : variants) {
-            SystemStudyConfig cfg;
-            cfg.pf = v.pf;
-            if (v.pf == PfKind::Ghb) {
-                cfg.ghb.ghbEntries = v.ghbEntries;
-                cfg.ghb.itEntries = v.ghbEntries >= 16384 ? 1024 : 256;
-            } else {
-                cfg.sms.pht = {16384, 16, core::PhtUpdateMode::Replace};
-                cfg.sms.agt = {32, 64};
-            }
-            auto r = runSystem(t, cfg);
-            double cov = bm > 0 ? r.l2Covered / bm : 0.0;
-            table.addRow({entry.name, v.label, TablePrinter::pct(cov),
-                          TablePrinter::pct(
-                              bm > 0 ? r.l2ReadMisses / bm : 0.0),
-                          TablePrinter::pct(
-                              bm > 0 ? r.l2Overpred / bm : 0.0)});
-            if (v.label == "SMS")
-                sms_cov[entry.name] = cov;
-            if (v.label == "GHB-16k")
-                ghb_cov[entry.name] = cov;
+    for (const auto &r : results) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << "/"
+                      << r.cell.engine.displayLabel() << " failed: "
+                      << r.error << "\n";
+            return 1;
         }
+        const auto &m = r.metrics;
+        const std::string &label = r.cell.engine.displayLabel();
+        table.addRow({r.cell.workload, label,
+                      TablePrinter::pct(m.l2Coverage()),
+                      TablePrinter::pct(m.l2Uncovered()),
+                      TablePrinter::pct(m.l2OverpredRate())});
+        if (label == "SMS")
+            sms_cov[r.cell.workload] = m.l2Coverage();
+        if (label == "GHB-16k")
+            ghb_cov[r.cell.workload] = m.l2Coverage();
     }
     table.print();
 

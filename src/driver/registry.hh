@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The prefetcher registry: one polymorphic, option-driven construction
+ * path for every prefetcher the repository knows — SMS, the GHB PC/DC
+ * and stride/next-line baselines, and "none" — ending the per-bench
+ * wiring duplication. An EngineConfig names a registered prefetcher
+ * plus its key=value parameters; the registry deploys it onto a
+ * MemorySystem and hands back a uniform handle that can be drained and
+ * harvested for counters.
+ */
+
+#ifndef STEMS_DRIVER_REGISTRY_HH
+#define STEMS_DRIVER_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sms.hh"
+#include "driver/options.hh"
+#include "mem/memsys.hh"
+#include "prefetch/ghb.hh"
+#include "prefetch/stride.hh"
+#include "study/memstudy.hh"
+
+namespace stems::driver {
+
+/** Names one registered prefetcher plus its parameters. */
+struct EngineConfig
+{
+    std::string kind = "none";  //!< registry name (sms, ghb, ...)
+    std::string label;          //!< display label; defaults to kind
+    Options options;            //!< prefetcher parameters
+
+    const std::string &displayLabel() const
+    {
+        return label.empty() ? kind : label;
+    }
+};
+
+/** Named event counters harvested into reports. */
+using Counters = std::vector<std::pair<std::string, uint64_t>>;
+
+/**
+ * A prefetcher deployed onto one MemorySystem. Constructed by the
+ * registry; must outlive the run but not the MemorySystem teardown
+ * (the destructor touches only the deployment's own state).
+ */
+class PrefetcherDeployment : public study::AttachedPrefetcher
+{
+  public:
+    explicit PrefetcherDeployment(std::string name) : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Algorithm-specific counters (e.g. SmsStats) for the report. */
+    virtual Counters counters() const { return {}; }
+
+  private:
+    std::string name_;
+};
+
+/** Maps prefetcher names to deployment factories. */
+class PrefetcherRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<PrefetcherDeployment>(
+        mem::MemorySystem &sys, const Options &opts)>;
+
+    /** The process-wide registry preloaded with the built-ins. */
+    static PrefetcherRegistry &builtin();
+
+    /** Register @p name; replaces an existing registration. */
+    void add(const std::string &name, const std::string &help,
+             std::vector<std::string> optionKeys, Factory f);
+
+    bool has(const std::string &name) const;
+
+    /** Option keys @p name's factory understands (empty if unknown). */
+    const std::vector<std::string> &optionKeys(const std::string &name)
+        const;
+
+    /** Whether @p name's factory understands option @p key. */
+    bool knowsOption(const std::string &name,
+                     const std::string &key) const;
+
+    /**
+     * Deploy @p name onto @p sys with @p opts; throws
+     * std::invalid_argument for unknown names or bad option values.
+     */
+    std::unique_ptr<PrefetcherDeployment>
+    create(const std::string &name, mem::MemorySystem &sys,
+           const Options &opts) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** One-line option help for @p name (empty if unknown). */
+    std::string help(const std::string &name) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string help;
+        std::vector<std::string> optionKeys;
+        Factory factory;
+    };
+
+    const Entry *findEntry(const std::string &name) const;
+
+    std::vector<Entry> entries;
+};
+
+// option translation, shared with the timing path and tests
+
+/** Build an SmsConfig from options (pht-entries, agt-accum, ...). */
+core::SmsConfig smsConfigFromOptions(const Options &o);
+
+/** Build a GhbConfig from options (ghb-entries, it-entries, ...). */
+prefetch::GhbConfig ghbConfigFromOptions(const Options &o);
+
+/** Build a StrideConfig from options (entries, degree, threshold). */
+prefetch::StrideConfig strideConfigFromOptions(const Options &o);
+
+} // namespace stems::driver
+
+#endif // STEMS_DRIVER_REGISTRY_HH

@@ -1,0 +1,361 @@
+#include "driver/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "study/table.hh"
+#include "workloads/workload.hh"
+
+namespace stems::driver {
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out += ',';
+        needComma.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out += '{';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out += '}';
+    needComma.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out += '[';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out += ']';
+    needComma.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    out += '"' + escape(k) + "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    out += '"' + escape(v) + '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out += buf;
+    } else {
+        out += "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out += "null";
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// reports
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+workloadClass(const std::string &name)
+{
+    const workloads::SuiteEntry *e = workloads::findWorkload(name);
+    return e ? workloads::suiteClassName(e->cls) : "?";
+}
+
+/** RFC-4180 quoting for fields that may hold commas/quotes/newlines. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeOptions(JsonWriter &j, const Options &opts)
+{
+    j.beginObject();
+    for (const auto &[k, v] : opts)
+        j.key(k).value(v);
+    j.endObject();
+}
+
+} // anonymous namespace
+
+std::string
+toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("engine").value("stems");
+    j.key("report_version").value(uint64_t{1});
+
+    j.key("spec").beginObject();
+    j.key("mode").value(studyModeName(spec.mode));
+    j.key("ncpu").value(uint64_t{spec.params.ncpu});
+    j.key("refs_per_cpu").value(spec.params.refsPerCpu);
+    j.key("seed").value(spec.params.seed);
+    j.key("timing").value(spec.timing);
+    j.key("threads").value(uint64_t{spec.threads});
+    j.key("workloads").beginArray();
+    for (const auto &w : spec.workloads)
+        j.value(w);
+    j.endArray();
+    j.key("prefetchers").beginArray();
+    for (const auto &e : spec.engines) {
+        j.beginObject();
+        j.key("kind").value(e.kind);
+        j.key("label").value(e.displayLabel());
+        j.key("options");
+        writeOptions(j, e.options);
+        j.endObject();
+    }
+    j.endArray();
+    j.key("sweeps").beginObject();
+    for (const auto &[opt, values] : spec.sweeps) {
+        j.key(opt).beginArray();
+        for (const auto &v : values)
+            j.value(v);
+        j.endArray();
+    }
+    j.endObject();
+    j.endObject();  // spec
+
+    j.key("cells").beginArray();
+    for (const auto &r : results) {
+        const CellMetrics &m = r.metrics;
+        j.beginObject();
+        j.key("id").value(uint64_t{r.cell.id});
+        j.key("workload").value(r.cell.workload);
+        j.key("class").value(workloadClass(r.cell.workload));
+        j.key("prefetcher").value(r.cell.engine.kind);
+        j.key("label").value(r.cell.engine.displayLabel());
+        j.key("options");
+        writeOptions(j, r.cell.engine.options);
+        j.key("sweep");
+        writeOptions(j, r.cell.sweepPoint);
+        if (!r.error.empty()) {
+            j.key("error").value(r.error);
+            j.endObject();
+            continue;
+        }
+        j.key("metrics").beginObject();
+        j.key("instructions").value(m.instructions);
+        j.key("l1_read_misses").value(m.l1ReadMisses);
+        j.key("l2_read_misses").value(m.l2ReadMisses);
+        j.key("l1_covered").value(m.l1Covered);
+        j.key("l2_covered").value(m.l2Covered);
+        j.key("l1_overpredictions").value(m.l1Overpred);
+        j.key("l2_overpredictions").value(m.l2Overpred);
+        j.key("baseline_l1_read_misses").value(m.baselineL1ReadMisses);
+        j.key("baseline_l2_read_misses").value(m.baselineL2ReadMisses);
+        j.key("l1_coverage").value(m.l1Coverage());
+        j.key("l2_coverage").value(m.l2Coverage());
+        j.key("l1_uncovered").value(m.l1Uncovered());
+        j.key("l2_uncovered").value(m.l2Uncovered());
+        j.key("l1_overprediction_rate").value(m.l1OverpredRate());
+        j.key("l2_overprediction_rate").value(m.l2OverpredRate());
+        j.key("l1_accuracy").value(m.l1Accuracy());
+        j.key("l2_accuracy").value(m.l2Accuracy());
+        j.endObject();
+        j.key("prefetcher_counters").beginObject();
+        for (const auto &[k, v] : m.pfCounters)
+            j.key(k).value(v);
+        j.endObject();
+        if (r.cell.timing) {
+            j.key("timing").beginObject();
+            j.key("uipc").value(m.uipc);
+            j.key("baseline_uipc").value(m.baselineUipc);
+            j.key("speedup").value(m.speedup);
+            j.endObject();
+        }
+        j.key("wall_ms").value(m.wallMs);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    return j.str() + "\n";
+}
+
+std::string
+toCsv(const std::vector<CellResult> &results)
+{
+    std::ostringstream os;
+    os << "id,workload,class,prefetcher,label,options,instructions,"
+          "l1_read_misses,l2_read_misses,l1_covered,l2_covered,"
+          "l1_overpredictions,l2_overpredictions,"
+          "baseline_l1_read_misses,baseline_l2_read_misses,"
+          "l1_coverage,l2_coverage,l1_accuracy,l2_accuracy,"
+          "uipc,baseline_uipc,speedup,wall_ms,error\n";
+    for (const auto &r : results) {
+        const CellMetrics &m = r.metrics;
+        std::string opts;
+        for (const auto &[k, v] : r.cell.engine.options)
+            opts += (opts.empty() ? "" : ";") + k + "=" + v;
+        os << r.cell.id << ',' << csvField(r.cell.workload) << ','
+           << workloadClass(r.cell.workload) << ','
+           << csvField(r.cell.engine.kind) << ','
+           << csvField(r.cell.engine.displayLabel()) << ','
+           << csvField(opts) << ','
+           << m.instructions << ',' << m.l1ReadMisses << ','
+           << m.l2ReadMisses << ',' << m.l1Covered << ','
+           << m.l2Covered << ',' << m.l1Overpred << ','
+           << m.l2Overpred << ',' << m.baselineL1ReadMisses << ','
+           << m.baselineL2ReadMisses << ',' << m.l1Coverage() << ','
+           << m.l2Coverage() << ',' << m.l1Accuracy() << ','
+           << m.l2Accuracy() << ',' << m.uipc << ','
+           << m.baselineUipc << ',' << m.speedup << ',' << m.wallMs
+           << ',' << csvField(r.error) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+toTable(const std::vector<CellResult> &results)
+{
+    using study::TablePrinter;
+    TablePrinter table({"App", "Prefetcher", "L1 cov", "L2 cov",
+                        "L2 acc", "Off-chip misses", "Speedup",
+                        "Status"});
+    for (const auto &r : results) {
+        const CellMetrics &m = r.metrics;
+        std::string label = r.cell.engine.displayLabel();
+        for (const auto &[k, v] : r.cell.sweepPoint)
+            label += " " + k + "=" + v;
+        table.addRow(
+            {r.cell.workload, label, TablePrinter::pct(m.l1Coverage()),
+             TablePrinter::pct(m.l2Coverage()),
+             TablePrinter::pct(m.l2Accuracy()),
+             std::to_string(m.l2ReadMisses),
+             r.cell.timing && m.speedup > 0
+                 ? TablePrinter::fixed(m.speedup, 3)
+                 : "-",
+             r.error.empty() ? "ok" : ("FAILED: " + r.error)});
+    }
+    std::ostringstream os;
+    table.print(os);
+    return os.str();
+}
+
+void
+writeReport(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::cout << content;
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write report to " + path);
+    out << content;
+}
+
+} // namespace stems::driver

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structured report emission for the experiment engine: JSON (for CI
+ * regression diffing) and CSV (for spreadsheets/plots), plus a small
+ * dependency-free JSON writer.
+ */
+
+#ifndef STEMS_DRIVER_REPORT_HH
+#define STEMS_DRIVER_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "driver/spec.hh"
+
+namespace stems::driver {
+
+/** Minimal append-only JSON writer (objects, arrays, scalars). */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &k);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    const std::string &str() const { return out; }
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void separate();
+
+    std::string out;
+    std::vector<bool> needComma;  //!< per open scope
+    bool pendingKey = false;
+};
+
+/** Full experiment report as a JSON document. */
+std::string toJson(const ExperimentSpec &spec,
+                   const std::vector<CellResult> &results);
+
+/** Flat per-cell CSV with a header row. */
+std::string toCsv(const std::vector<CellResult> &results);
+
+/** Human-readable summary table. */
+std::string toTable(const std::vector<CellResult> &results);
+
+/** Write @p content to @p path, or to stdout when path is "-". */
+void writeReport(const std::string &path, const std::string &content);
+
+} // namespace stems::driver
+
+#endif // STEMS_DRIVER_REPORT_HH

@@ -1,0 +1,326 @@
+#include "driver/spec.hh"
+
+#include <stdexcept>
+
+#include "study/suite.hh"
+
+namespace stems::driver {
+
+namespace {
+
+/** Expand config=FILE tokens into their contents, depth-first. */
+std::vector<std::pair<std::string, std::string>>
+flattenTokens(const std::vector<std::string> &tokens, int depth = 0)
+{
+    if (depth > 8)
+        throw std::invalid_argument("config files nested too deeply");
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &tok : tokens) {
+        auto [key, value] = parseKeyValue(tok);
+        if (key == "config") {
+            auto nested = flattenTokens(readConfigFile(value), depth + 1);
+            out.insert(out.end(), nested.begin(), nested.end());
+        } else {
+            out.emplace_back(key, value);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+resolveWorkloads(const std::string &value)
+{
+    std::vector<std::string> out;
+    for (const auto &name : splitList(value)) {
+        if (name == "paper") {
+            for (const auto &e : workloads::paperSuite())
+                out.push_back(e.name);
+        } else if (name == "all") {
+            for (const auto &e : workloads::fullSuite())
+                out.push_back(e.name);
+        } else if (workloads::findWorkload(name)) {
+            out.push_back(name);
+        } else {
+            std::string known;
+            for (const auto &e : workloads::fullSuite())
+                known += (known.empty() ? "" : ", ") + e.name;
+            throw std::invalid_argument("unknown workload \"" + name +
+                                        "\" (known: " + known +
+                                        ", paper, all)");
+        }
+    }
+    return out;
+}
+
+std::vector<EngineConfig>
+resolveEngines(const std::string &value)
+{
+    const auto &reg = PrefetcherRegistry::builtin();
+    std::vector<EngineConfig> out;
+    for (const auto &item : splitList(value)) {
+        EngineConfig e;
+        size_t colon = item.find(':');
+        e.kind = item.substr(0, colon);
+        if (colon != std::string::npos)
+            e.label = item.substr(colon + 1);
+        if (!reg.has(e.kind)) {
+            std::string known;
+            for (const auto &n : reg.names())
+                known += (known.empty() ? "" : ", ") + n;
+            throw std::invalid_argument("unknown prefetcher \"" + e.kind +
+                                        "\" (known: " + known + ")");
+        }
+        for (const auto &prev : out) {
+            if (prev.displayLabel() == e.displayLabel())
+                throw std::invalid_argument(
+                    "duplicate prefetcher label \"" + e.displayLabel() +
+                    "\" (use kind:label to disambiguate)");
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+/**
+ * Reject option keys no prefetcher in the spec understands — a typo'd
+ * pf./opt./sweep. key would otherwise silently run with defaults.
+ */
+void
+checkOptionKnown(const std::vector<EngineConfig> &engines,
+                 const std::string &opt, const std::string &where)
+{
+    const auto &reg = PrefetcherRegistry::builtin();
+    for (const auto &e : engines)
+        if (reg.knowsOption(e.kind, opt))
+            return;
+    std::string kinds, known;
+    for (const auto &e : engines) {
+        kinds += (kinds.empty() ? "" : ", ") + e.kind;
+        for (const auto &k : reg.optionKeys(e.kind))
+            known += (known.empty() ? "" : ", ") + k;
+    }
+    throw std::invalid_argument(
+        where + ": no selected prefetcher (" + kinds +
+        ") understands option \"" + opt + "\"" +
+        (known.empty() ? "" : " (known: " + known + ")"));
+}
+
+} // anonymous namespace
+
+ExperimentSpec
+parseSpec(const std::vector<std::string> &tokens)
+{
+    auto kvs = flattenTokens(tokens);
+
+    ExperimentSpec spec;
+    spec.params = study::defaultParams();
+    spec.workloads = resolveWorkloads("paper");
+    spec.engines = resolveEngines("sms");
+
+    // pass 1: structure-defining keys
+    for (const auto &[key, value] : kvs) {
+        if (key == "workloads")
+            spec.workloads = resolveWorkloads(value);
+        else if (key == "prefetchers")
+            spec.engines = resolveEngines(value);
+    }
+
+    // pass 2: everything else (pf.* needs the engine list)
+    for (const auto &[key, value] : kvs) {
+        if (key == "workloads" || key == "prefetchers") {
+            // handled above
+        } else if (key.rfind("opt.", 0) == 0) {
+            const std::string opt = key.substr(4);
+            checkOptionKnown(spec.engines, opt, key);
+            for (auto &e : spec.engines)
+                e.options[opt] = value;
+        } else if (key.rfind("pf.", 0) == 0) {
+            size_t dot = key.find('.', 3);
+            if (dot == std::string::npos)
+                throw std::invalid_argument(
+                    "expected pf.<label>.<option>, got \"" + key + "\"");
+            const std::string label = key.substr(3, dot - 3);
+            const std::string opt = key.substr(dot + 1);
+            bool found = false;
+            for (auto &e : spec.engines) {
+                if (e.displayLabel() == label) {
+                    checkOptionKnown({e}, opt, key);
+                    e.options[opt] = value;
+                    found = true;
+                }
+            }
+            if (!found)
+                throw std::invalid_argument(
+                    "pf option for unknown prefetcher label \"" + label +
+                    "\"");
+        } else if (key.rfind("sweep.", 0) == 0) {
+            const std::string opt = key.substr(6);
+            checkOptionKnown(spec.engines, opt, key);
+            auto values = splitList(value);
+            if (values.empty())
+                throw std::invalid_argument("empty sweep axis " + key);
+            bool replaced = false;
+            for (auto &axis : spec.sweeps) {
+                if (axis.first == opt) {
+                    axis.second = values;
+                    replaced = true;
+                }
+            }
+            if (!replaced)
+                spec.sweeps.emplace_back(opt, std::move(values));
+        } else if (key == "ncpu") {
+            Options o{{key, value}};
+            spec.params.ncpu =
+                static_cast<uint32_t>(optU64(o, key, spec.params.ncpu));
+            if (spec.params.ncpu == 0)
+                throw std::invalid_argument("ncpu must be positive");
+        } else if (key == "refs") {
+            Options o{{key, value}};
+            spec.params.refsPerCpu =
+                optU64(o, key, spec.params.refsPerCpu);
+        } else if (key == "seed") {
+            Options o{{key, value}};
+            spec.params.seed = optU64(o, key, spec.params.seed);
+        } else if (key == "threads") {
+            Options o{{key, value}};
+            spec.threads =
+                static_cast<uint32_t>(optU64(o, key, spec.threads));
+        } else if (key == "mode") {
+            if (value == "system")
+                spec.mode = StudyMode::System;
+            else if (value == "l1")
+                spec.mode = StudyMode::L1;
+            else
+                throw std::invalid_argument("mode=" + value +
+                                            ": expected system|l1");
+        } else if (key == "timing") {
+            Options o{{key, value}};
+            spec.timing = optBool(o, key, spec.timing);
+        } else if (key == "trace-dir") {
+            spec.traceDir = value;
+        } else if (key == "json") {
+            spec.jsonPath = value;
+        } else if (key == "csv") {
+            spec.csvPath = value;
+        } else if (key == "table") {
+            Options o{{key, value}};
+            spec.table = optBool(o, key, spec.table);
+        } else if (key == "l1-kb") {
+            Options o{{key, value}};
+            spec.sys.l1.sizeBytes = optU64(o, key, 64) * 1024;
+        } else if (key == "l2-mb") {
+            Options o{{key, value}};
+            spec.sys.l2.sizeBytes = optU64(o, key, 8) * 1024 * 1024;
+        } else if (key == "block") {
+            Options o{{key, value}};
+            const auto block =
+                static_cast<uint32_t>(optU64(o, key, 64));
+            spec.sys.l1.blockSize = block;
+            spec.sys.l2.blockSize = block;
+            for (auto &e : spec.engines)
+                e.options.emplace("block", value);  // keep pf.* override
+        } else {
+            throw std::invalid_argument("unknown key \"" + key +
+                                        "\" (see stems help)");
+        }
+    }
+
+    spec.sys.ncpu = spec.params.ncpu;
+
+    if (spec.mode == StudyMode::L1) {
+        for (const auto &e : spec.engines) {
+            if (e.kind != "sms" && e.kind != "none")
+                throw std::invalid_argument(
+                    "mode=l1 supports only sms and none prefetchers "
+                    "(got " + e.kind + ")");
+        }
+        if (spec.timing)
+            throw std::invalid_argument(
+                "timing requires mode=system");
+    }
+    return spec;
+}
+
+std::vector<RunCell>
+expandSpec(const ExperimentSpec &spec)
+{
+    const auto &reg = PrefetcherRegistry::builtin();
+
+    // cartesian product of sweep axes, last axis fastest; axes an
+    // engine's kind does not understand are skipped for that engine so
+    // a mixed matrix does not duplicate identical cells
+    auto pointsFor = [&](const EngineConfig &e) {
+        std::vector<Options> points{Options{}};
+        for (const auto &[opt, values] : spec.sweeps) {
+            if (!reg.knowsOption(e.kind, opt))
+                continue;
+            std::vector<Options> next;
+            for (const auto &base : points) {
+                for (const auto &v : values) {
+                    Options p = base;
+                    p[opt] = v;
+                    next.push_back(std::move(p));
+                }
+            }
+            points = std::move(next);
+        }
+        return points;
+    };
+
+    std::vector<RunCell> cells;
+    uint32_t id = 0;
+    for (const auto &w : spec.workloads) {
+        for (const auto &e : spec.engines) {
+            for (const auto &point : pointsFor(e)) {
+                RunCell cell;
+                cell.id = id++;
+                cell.workload = w;
+                cell.engine = e;
+                for (const auto &[k, v] : point)
+                    cell.engine.options[k] = v;  // sweep overrides base
+                cell.sweepPoint = point;
+                cell.params = spec.params;
+                cell.sys = spec.sys;
+                // a per-engine/per-point block override must reshape
+                // this cell's caches too, or the prefetcher would run
+                // at a different granularity than the hierarchy
+                auto blk = cell.engine.options.find("block");
+                if (blk != cell.engine.options.end()) {
+                    const auto bytes = static_cast<uint32_t>(
+                        optU64(cell.engine.options, "block",
+                               spec.sys.l1.blockSize));
+                    cell.sys.l1.blockSize = bytes;
+                    cell.sys.l2.blockSize = bytes;
+                }
+                cell.mode = spec.mode;
+                cell.timing = spec.timing;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+const char *
+specHelp()
+{
+    return
+        "run keys (key=value, any order; config=FILE splices a file of\n"
+        "key=value lines):\n"
+        "  workloads=paper|all|NAME,...   suite selection\n"
+        "  prefetchers=KIND[:LABEL],...   sms, ghb, stride, next-line,\n"
+        "                                 none; label for duplicates\n"
+        "  pf.LABEL.OPT=V                 option for one prefetcher\n"
+        "  opt.OPT=V                      option for every prefetcher\n"
+        "  sweep.OPT=V1,V2,...            parameter matrix axis\n"
+        "  ncpu=16 refs=100000 seed=1     workload generation\n"
+        "  mode=system|l1                 full hierarchy or shadow L1\n"
+        "  timing=0|1                     also run the timing model\n"
+        "  threads=N                      runner shards (0 = all cores)\n"
+        "  trace-dir=DIR                  record/replay traces on disk\n"
+        "  json=PATH|- csv=PATH|-         reports (- = stdout)\n"
+        "  table=0|1                      ASCII summary table\n"
+        "  l1-kb=64 l2-mb=8 block=64      cache geometry\n";
+}
+
+} // namespace stems::driver

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment specification for the engine: a workload × prefetcher ×
+ * parameter matrix, parsed from CLI key=value tokens and/or config
+ * files, expanded into independent run cells the sharded runner
+ * executes in parallel.
+ */
+
+#ifndef STEMS_DRIVER_SPEC_HH
+#define STEMS_DRIVER_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/registry.hh"
+#include "mem/memsys.hh"
+#include "workloads/workload.hh"
+
+namespace stems::driver {
+
+/** Which study pipeline a cell runs through. */
+enum class StudyMode
+{
+    System,  //!< full coherent multiprocessor (study::runSystem)
+    L1       //!< shadow-L1 coverage pipeline (study::runL1Study)
+};
+
+inline const char *
+studyModeName(StudyMode m)
+{
+    return m == StudyMode::System ? "system" : "l1";
+}
+
+/** One sweep axis: an option key and the values to cross. */
+using SweepAxis = std::pair<std::string, std::vector<std::string>>;
+
+/** The full experiment matrix plus global run settings. */
+struct ExperimentSpec
+{
+    std::vector<std::string> workloads;   //!< resolved suite names
+    std::vector<EngineConfig> engines;    //!< prefetcher configurations
+    std::vector<SweepAxis> sweeps;        //!< parameter matrix axes
+    workloads::WorkloadParams params;     //!< ncpu / refs / seed
+    mem::MemSysConfig sys;                //!< hierarchy configuration
+    StudyMode mode = StudyMode::System;
+    bool timing = false;                  //!< also run the timing model
+    uint32_t threads = 0;                 //!< 0 = hardware concurrency
+    std::string traceDir;                 //!< record/replay directory
+    std::string jsonPath;                 //!< "-" = stdout, "" = off
+    std::string csvPath;
+    bool table = false;                   //!< ASCII summary table
+};
+
+/** One independent run: a fully-resolved point of the matrix. */
+struct RunCell
+{
+    uint32_t id = 0;
+    std::string workload;
+    EngineConfig engine;     //!< options merged with the sweep point
+    Options sweepPoint;      //!< this cell's sweep assignment
+    workloads::WorkloadParams params;
+    mem::MemSysConfig sys;
+    StudyMode mode = StudyMode::System;
+    bool timing = false;
+};
+
+/**
+ * Parse key=value tokens into a spec. Recognized keys (see
+ * specHelp()): config=FILE, workloads=, prefetchers=, sweep.K=,
+ * opt.K=, pf.LABEL.K=, ncpu=, refs=, seed=, threads=, mode=, timing=,
+ * trace-dir=, json=, csv=, table=, l1-kb=, l2-mb=, block=.
+ *
+ * Throws std::invalid_argument on unknown keys, unknown workload or
+ * prefetcher names, or malformed values.
+ */
+ExperimentSpec parseSpec(const std::vector<std::string> &tokens);
+
+/**
+ * Expand the matrix into cells, nested workload-major: for each
+ * workload, for each engine, for each sweep point (last axis fastest).
+ * Sweep values override same-named base options.
+ */
+std::vector<RunCell> expandSpec(const ExperimentSpec &spec);
+
+/** Usage text for the run subcommand's keys. */
+const char *specHelp();
+
+} // namespace stems::driver
+
+#endif // STEMS_DRIVER_SPEC_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The `stems` CLI: front door to the experiment engine.
+ *
+ *   stems run [key=value ...]   expand and execute an experiment
+ *                               matrix, emit JSON/CSV/table reports
+ *   stems list                  registered workloads and prefetchers
+ *   stems trace [key=value ...] record one workload trace to disk
+ *   stems help                  usage
+ */
+
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/report.hh"
+#include "driver/runner.hh"
+#include "driver/spec.hh"
+#include "study/suite.hh"
+#include "trace/io.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace stems;
+using namespace stems::driver;
+
+int
+usage()
+{
+    std::cout <<
+        "stems — Spatial Memory Streaming experiment engine\n\n"
+        "  stems run [key=value ...]    run a workload x prefetcher x\n"
+        "                               parameter matrix in parallel\n"
+        "  stems list                   show workloads and prefetchers\n"
+        "  stems trace workload=W out=FILE [ncpu= refs= seed=]\n"
+        "                               record one trace to disk\n"
+        "  stems help                   this text\n\n"
+              << specHelp() <<
+        "\nexamples:\n"
+        "  stems run workloads=paper prefetchers=sms,ghb,none json=-\n"
+        "  stems run workloads=OLTP-DB2 prefetchers=sms \\\n"
+        "      sweep.pht-entries=1024,4096,16384 csv=sweep.csv table=1\n"
+        "  stems run workloads=all prefetchers=sms timing=1 \\\n"
+        "      trace-dir=/tmp/stems-traces json=report.json\n";
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::cout << "workloads (paper suite, Table 1):\n";
+    for (const auto &e : workloads::paperSuite())
+        std::cout << "  " << e.name << "  ["
+                  << workloads::suiteClassName(e.cls) << "]\n";
+    std::cout << "workloads (extensions):\n";
+    for (const auto &e : workloads::extensionSuite())
+        std::cout << "  " << e.name << "  ["
+                  << workloads::suiteClassName(e.cls) << "]\n";
+    std::cout << "prefetchers:\n";
+    const auto &reg = PrefetcherRegistry::builtin();
+    for (const auto &name : reg.names())
+        std::cout << "  " << name << ": " << reg.help(name) << "\n";
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    Options opts;
+    for (const auto &tok : args) {
+        auto [k, v] = parseKeyValue(tok);
+        if (k != "workload" && k != "out" && k != "ncpu" &&
+            k != "refs" && k != "seed") {
+            std::cerr << "stems trace: unknown key \"" << k
+                      << "\" (expected workload, out, ncpu, refs, "
+                         "seed)\n";
+            return 2;
+        }
+        opts[k] = v;
+    }
+    const std::string workload = optStr(opts, "workload", "");
+    const std::string out = optStr(opts, "out", "");
+    if (workload.empty() || out.empty()) {
+        std::cerr << "stems trace: workload= and out= are required\n";
+        return 2;
+    }
+    const workloads::SuiteEntry *entry = workloads::findWorkload(workload);
+    if (!entry) {
+        std::cerr << "stems trace: unknown workload " << workload << "\n";
+        return 2;
+    }
+    workloads::WorkloadParams p = study::defaultParams();
+    p.ncpu = static_cast<uint32_t>(optU64(opts, "ncpu", p.ncpu));
+    if (p.ncpu == 0) {
+        std::cerr << "stems trace: ncpu must be positive\n";
+        return 2;
+    }
+    p.refsPerCpu = optU64(opts, "refs", p.refsPerCpu);
+    p.seed = optU64(opts, "seed", p.seed);
+
+    auto w = entry->make();
+    trace::Trace t = workloads::makeTrace(*w, p);
+    if (!trace::writeTrace(t, out)) {
+        std::cerr << "stems trace: cannot write " << out << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << t.size() << " references to " << out
+              << "\n";
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    ExperimentSpec spec = parseSpec(args);
+    // default output: JSON on stdout
+    if (spec.jsonPath.empty() && spec.csvPath.empty() && !spec.table)
+        spec.jsonPath = "-";
+
+    Runner runner(spec);
+    std::cerr << "stems: " << runner.cells().size() << " cells ("
+              << spec.workloads.size() << " workloads x "
+              << spec.engines.size() << " prefetchers"
+              << (spec.sweeps.empty() ? "" : " x sweep") << ")\n";
+
+    auto results = runner.run(
+        [](const CellResult &r, size_t done, size_t total) {
+            std::cerr << "stems: [" << done << "/" << total << "] "
+                      << r.cell.workload << " / "
+                      << r.cell.engine.displayLabel()
+                      << (r.error.empty() ? "" : "  FAILED: " + r.error)
+                      << "\n";
+        });
+
+    if (!spec.jsonPath.empty())
+        writeReport(spec.jsonPath, toJson(spec, results));
+    if (!spec.csvPath.empty())
+        writeReport(spec.csvPath, toCsv(results));
+    if (spec.table) {
+        // keep stdout clean for machine-readable output
+        const bool stdoutBusy =
+            spec.jsonPath == "-" || spec.csvPath == "-";
+        (stdoutBusy ? std::cerr : std::cout) << toTable(results);
+    }
+
+    int failed = 0;
+    for (const auto &r : results)
+        if (!r.error.empty())
+            ++failed;
+    return failed ? 1 : 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    const std::string cmd = args[0];
+    args.erase(args.begin());
+    try {
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "trace")
+            return cmdTrace(args);
+        if (cmd == "help" || cmd == "--help" || cmd == "-h")
+            return usage();
+        std::cerr << "stems: unknown command \"" << cmd
+                  << "\" (try: stems help)\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "stems: " << e.what() << "\n";
+        return 2;
+    }
+}

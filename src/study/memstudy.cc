@@ -35,21 +35,32 @@ class OracleListener : public mem::CacheListener
 SystemStudyResult
 runSystem(const trace::Trace &t, const SystemStudyConfig &cfg)
 {
+    // classic PfKind wiring, expressed through the attach hook
+    std::unique_ptr<core::SmsController> sms;
+    std::unique_ptr<prefetch::PrefetchController> ghb;
+    return runSystem(t, cfg,
+                     [&](mem::MemorySystem &sys) -> AttachedPrefetcher * {
+        if (cfg.pf == PfKind::Sms) {
+            sms = std::make_unique<core::SmsController>(sys, cfg.sms);
+        } else if (cfg.pf == PfKind::Ghb) {
+            ghb = std::make_unique<prefetch::PrefetchController>(
+                sys, [&cfg] {
+                    return std::make_unique<prefetch::GhbPcDc>(cfg.ghb);
+                });
+        }
+        return nullptr;
+    });
+}
+
+SystemStudyResult
+runSystem(const trace::Trace &t, const SystemStudyConfig &cfg,
+          const PfAttach &attach)
+{
     SystemStudyResult res;
     mem::MemorySystem sys(cfg.sys);
     const uint32_t ncpu = cfg.sys.ncpu;
 
-    // prefetchers
-    std::unique_ptr<core::SmsController> sms;
-    std::unique_ptr<prefetch::PrefetchController> ghb;
-    if (cfg.pf == PfKind::Sms) {
-        sms = std::make_unique<core::SmsController>(sys, cfg.sms);
-    } else if (cfg.pf == PfKind::Ghb) {
-        ghb = std::make_unique<prefetch::PrefetchController>(
-            sys, [&cfg] {
-                return std::make_unique<prefetch::GhbPcDc>(cfg.ghb);
-            });
-    }
+    AttachedPrefetcher *pf = attach ? attach(sys) : nullptr;
 
     // oracle trackers, one per (cpu, level, region size)
     const size_t nsizes = cfg.oracleRegionSizes.size();
@@ -115,6 +126,9 @@ runSystem(const trace::Trace &t, const SystemStudyConfig &cfg)
                 densL2[a.cpu]->onAccess(a.addr);
         }
     }
+
+    if (pf)
+        pf->drain();
 
     // harvest
     res.l1ReadAccesses = sys.l1ReadAccesses();

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/sms.hh"
@@ -22,6 +23,26 @@
 #include "trace/access.hh"
 
 namespace stems::study {
+
+/**
+ * A prefetcher wired onto a MemorySystem for the duration of one run.
+ * The experiment engine's registry returns these so runSystem can host
+ * any deployment, not just the built-in PfKind set.
+ */
+class AttachedPrefetcher
+{
+  public:
+    virtual ~AttachedPrefetcher() = default;
+
+    /** Flush residual state at end-of-trace (e.g. live generations). */
+    virtual void drain() {}
+};
+
+/**
+ * Builds a prefetcher onto @p sys and returns a non-owning handle the
+ * caller keeps alive past the run (may return nullptr for "none").
+ */
+using PfAttach = std::function<AttachedPrefetcher *(mem::MemorySystem &sys)>;
 
 /** Which prefetcher (if any) to deploy in a system run. */
 enum class PfKind { None, Sms, Ghb };
@@ -81,6 +102,15 @@ struct SystemStudyResult
 /** Run one trace through a configured system. */
 SystemStudyResult runSystem(const trace::Trace &t,
                             const SystemStudyConfig &cfg);
+
+/**
+ * Run one trace through a configured system with a caller-supplied
+ * prefetcher deployment (cfg.pf is ignored). The handle returned by
+ * @p attach is drained after the trace completes, before harvest.
+ */
+SystemStudyResult runSystem(const trace::Trace &t,
+                            const SystemStudyConfig &cfg,
+                            const PfAttach &attach);
 
 } // namespace stems::study
 

@@ -1,8 +1,11 @@
 #include "study/suite.hh"
 
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
+
+#include "trace/io.hh"
 
 namespace stems::study {
 
@@ -26,23 +29,48 @@ defaultParams(uint64_t refs_per_cpu)
     return p;
 }
 
+void
+TraceCache::setSpillDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort
+    spillDir = dir;
+}
+
 const trace::Trace &
 TraceCache::get(const std::string &name,
                 const workloads::WorkloadParams &p)
 {
     std::ostringstream key;
-    key << name << "/" << p.ncpu << "/" << p.refsPerCpu << "/" << p.seed;
-    auto it = traces.find(key.str());
-    if (it != traces.end())
-        return it->second;
+    key << name << "_" << p.ncpu << "_" << p.refsPerCpu << "_" << p.seed;
 
-    const workloads::SuiteEntry *entry = workloads::findWorkload(name);
-    if (!entry)
-        throw std::invalid_argument("unknown workload: " + name);
-    auto w = entry->make();
-    auto [pos, ok] = traces.emplace(key.str(),
-                                    workloads::makeTrace(*w, p));
-    return pos->second;
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        slot = &slots[key.str()];
+    }
+    std::call_once(slot->once, [&] {
+        const std::string file = spillDir.empty()
+            ? std::string()
+            : spillDir + "/" + key.str() + ".stmt";
+        if (!file.empty()) {
+            try {
+                if (trace::readTrace(file, slot->trace))
+                    return;  // replayed from disk
+            } catch (const std::exception &) {
+                // unreadable spill files fall back to live generation
+            }
+            slot->trace.clear();
+        }
+        const workloads::SuiteEntry *entry = workloads::findWorkload(name);
+        if (!entry)
+            throw std::invalid_argument("unknown workload: " + name);
+        auto w = entry->make();
+        slot->trace = workloads::makeTrace(*w, p);
+        if (!file.empty())
+            trace::writeTrace(slot->trace, file);  // record, best effort
+    });
+    return slot->trace;
 }
 
 const std::vector<std::string> &

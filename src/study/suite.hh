@@ -10,6 +10,7 @@
 #define STEMS_STUDY_SUITE_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,16 +27,42 @@ namespace stems::study {
  */
 workloads::WorkloadParams defaultParams(uint64_t refs_per_cpu = 100000);
 
-/** Generates-once, reuses-thereafter trace storage for sweeps. */
+/**
+ * Generates-once, reuses-thereafter trace storage for sweeps.
+ *
+ * Thread-safe: concurrent get() calls for the same key block until the
+ * first caller finishes generating; returned references stay valid for
+ * the cache's lifetime. With a spill directory set, generation is
+ * replaced by record/replay through trace::writeTrace / readTrace so
+ * expensive workloads are generated once across processes.
+ */
 class TraceCache
 {
   public:
+    TraceCache() = default;
+
+    /**
+     * Record/replay traces as <dir>/<key>.stmt: a get() first tries to
+     * read the file; on miss it generates and writes it. Best effort —
+     * unreadable or missing files fall back to live generation. Call
+     * before the first get(); creates @p dir if needed.
+     */
+    void setSpillDir(const std::string &dir);
+
     /** Trace for suite entry @p name under @p p (cached). */
     const trace::Trace &get(const std::string &name,
                             const workloads::WorkloadParams &p);
 
   private:
-    std::map<std::string, trace::Trace> traces;
+    struct Slot
+    {
+        std::once_flag once;
+        trace::Trace trace;
+    };
+
+    std::string spillDir;
+    std::mutex mu;                      //!< guards slots map shape
+    std::map<std::string, Slot> slots;  //!< node-stable storage
 };
 
 /** The paper's four workload groups, in figure order. */

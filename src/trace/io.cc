@@ -75,6 +75,19 @@ readTrace(const std::string &path, Trace &out)
         return false;
     }
 
+    // a corrupt count must not drive reserve() below: require the
+    // file to actually hold that many records
+    const long header = std::ftell(f.get());
+    if (header < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
+        return false;
+    const long fileSize = std::ftell(f.get());
+    if (fileSize < 0 ||
+        std::fseek(f.get(), header, SEEK_SET) != 0 ||
+        count != static_cast<uint64_t>(fileSize - header) /
+            sizeof(PackedAccess)) {
+        return false;
+    }
+
     out.clear();
     out.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {

@@ -1,0 +1,104 @@
+#include "workloads/graph.hh"
+
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+std::vector<trace::Trace>
+GraphWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_front = layout::pcSite(layout::kModGraph, 0);
+    const uint64_t pc_row = layout::pcSite(layout::kModGraph, 1);
+    const uint64_t pc_edge = layout::pcSite(layout::kModGraph, 2);
+    const uint64_t pc_dist = layout::pcSite(layout::kModGraph, 3);
+    const uint64_t pc_upd = layout::pcSite(layout::kModGraph, 4);
+    const uint64_t pc_next = layout::pcSite(layout::kModGraph, 5);
+
+    // CSR arenas inside the scientific-array region
+    const uint64_t rows = layout::kGridBase + 0x80000000ULL;
+    const uint64_t edges = layout::kGridBase + 0x90000000ULL + 67 * 64;
+    const uint64_t dist = layout::kGridBase + 0xA0000000ULL + 131 * 64;
+    const uint64_t front = layout::kGridBase + 0xB0000000ULL + 197 * 64;
+
+    const uint32_t nv = prm.vertices;
+    const uint32_t perCpu = nv / p.ncpu ? nv / p.ncpu : 1;
+
+    // build the CSR structure once, shared by all CPUs (deterministic)
+    trace::Rng build(p.seed * 0x6AF1 + 7);
+    std::vector<uint32_t> degree(nv);
+    for (uint32_t v = 0; v < nv; ++v) {
+        const bool hub = build.chance(prm.hubFraction);
+        const uint32_t d = hub ? prm.avgDegree * 4 : prm.avgDegree;
+        degree[v] = 1 + static_cast<uint32_t>(build.below(2 * d - 1));
+    }
+    std::vector<uint64_t> rowOff(nv + 1, 0);
+    for (uint32_t v = 0; v < nv; ++v)
+        rowOff[v + 1] = rowOff[v] + degree[v];
+    std::vector<uint32_t> nbr(rowOff[nv]);
+    for (uint32_t v = 0; v < nv; ++v) {
+        const uint32_t myCpu = (v / perCpu) % p.ncpu;
+        for (uint64_t k = rowOff[v]; k < rowOff[v + 1]; ++k) {
+            uint32_t targetCpu = myCpu;
+            if (build.chance(prm.remoteFraction))
+                targetCpu = static_cast<uint32_t>(build.below(p.ncpu));
+            nbr[k] = targetCpu * perCpu +
+                static_cast<uint32_t>(build.below(perCpu));
+        }
+    }
+
+    auto rowAddr = [&](uint32_t v) { return rows + uint64_t{v} * 8; };
+    auto edgeAddr = [&](uint64_t k) { return edges + k * 4; };
+    auto distAddr = [&](uint32_t v) { return dist + uint64_t{v} * 8; };
+    auto frontAddr = [&](uint32_t i) { return front + uint64_t{i} * 4; };
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x6AF10 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        // wrap partitions when ncpu > vertices (perCpu clamped to 1)
+        const uint32_t vFirst =
+            static_cast<uint32_t>(uint64_t{cpu} * perCpu % nv);
+
+        // start each level from a random owned seed so successive
+        // traversals visit fresh regions (cold-miss dominated, like
+        // the paper's commercial scans)
+        while (e.count() < p.refsPerCpu) {
+            uint32_t cursor = vFirst +
+                static_cast<uint32_t>(rng.below(perCpu));
+            uint32_t frontierLen = 1 + static_cast<uint32_t>(
+                rng.below(perCpu / 4 ? perCpu / 4 : 1));
+            for (uint32_t i = 0; i < frontierLen &&
+                 e.count() < p.refsPerCpu; ++i) {
+                // pop the next frontier slot (sequential scan)
+                e.load(pc_front, frontAddr(i), 2);
+                const uint32_t v =
+                    (vFirst + (cursor - vFirst) % perCpu) % nv;
+                // row offsets: two adjacent words (dense)
+                e.load(pc_row, rowAddr(v), 2, 1);
+                const uint64_t first = rowOff[v];
+                const uint64_t last = rowOff[v + 1];
+                for (uint64_t k = first; k < last &&
+                     e.count() < p.refsPerCpu; ++k) {
+                    // neighbour ids: sequential within the row
+                    e.load(pc_edge, edgeAddr(k), 1, 1);
+                    const uint32_t u = nbr[k];
+                    // per-vertex state: irregular dependent gather
+                    e.load(pc_dist, distAddr(u), 2, 1);
+                    // relax a fraction of edges (frontier insertion)
+                    if (rng.chance(0.25)) {
+                        e.store(pc_upd, distAddr(u), 2, 1);
+                        e.store(pc_next, frontAddr(frontierLen + i), 1);
+                    }
+                }
+                cursor = cursor * 2654435761u + 1;  // next owned vertex
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

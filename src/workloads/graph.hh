@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graph-traversal workload: a parallel level-synchronous BFS-style
+ * sweep over a CSR graph. Each CPU owns a vertex partition and
+ * repeatedly expands its frontier: sequential reads of the row-offset
+ * and neighbour arrays (spatially dense within a vertex), followed by
+ * dependent, irregular gathers of per-vertex state — the
+ * pointer-chasing miss behaviour that defeats stride/delta prefetchers
+ * but leaves stable per-code-site spatial footprints for SMS.
+ *
+ * Not part of the paper's Table 1; registered in the extension suite
+ * to grow scenario diversity for the experiment engine.
+ */
+
+#ifndef STEMS_WORKLOADS_GRAPH_HH
+#define STEMS_WORKLOADS_GRAPH_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Shape of the synthetic graph. */
+struct GraphParams
+{
+    uint32_t vertices = 65536;    //!< total vertex count
+    uint32_t avgDegree = 8;       //!< mean out-degree
+    double remoteFraction = 0.2;  //!< edges crossing CPU partitions
+    double hubFraction = 0.05;    //!< vertices with 4x degree (skew)
+};
+
+/** CSR breadth-first traversal generator. */
+class GraphWorkload : public Workload
+{
+  public:
+    explicit GraphWorkload(GraphParams params = {}) : prm(params) {}
+
+    std::string name() const override { return "graph"; }
+    SuiteClass suiteClass() const override
+    {
+        return SuiteClass::Scientific;
+    }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    GraphParams prm;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_GRAPH_HH

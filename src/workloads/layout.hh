@@ -54,6 +54,7 @@ constexpr uint32_t kModOcean = 7;
 constexpr uint32_t kModSparse = 8;
 constexpr uint32_t kModLog = 9;
 constexpr uint32_t kModHash = 10;
+constexpr uint32_t kModGraph = 11;
 
 } // namespace stems::workloads::layout
 

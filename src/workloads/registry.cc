@@ -1,6 +1,7 @@
 #include "workloads/workload.hh"
 
 #include "workloads/dss.hh"
+#include "workloads/graph.hh"
 #include "workloads/oltp.hh"
 #include "workloads/scientific.hh"
 #include "workloads/web.hh"
@@ -55,10 +56,33 @@ paperSuite()
     return suite;
 }
 
+const std::vector<SuiteEntry> &
+extensionSuite()
+{
+    static const std::vector<SuiteEntry> suite = {
+        {"graph", SuiteClass::Scientific, [] {
+             return std::make_unique<GraphWorkload>();
+         }},
+    };
+    return suite;
+}
+
+const std::vector<SuiteEntry> &
+fullSuite()
+{
+    static const std::vector<SuiteEntry> suite = [] {
+        std::vector<SuiteEntry> all = paperSuite();
+        const auto &ext = extensionSuite();
+        all.insert(all.end(), ext.begin(), ext.end());
+        return all;
+    }();
+    return suite;
+}
+
 const SuiteEntry *
 findWorkload(const std::string &name)
 {
-    for (const auto &e : paperSuite())
+    for (const auto &e : fullSuite())
         if (e.name == name)
             return &e;
     return nullptr;

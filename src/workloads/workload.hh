@@ -78,7 +78,16 @@ struct SuiteEntry
 /** The paper's 11-application suite, in Table 1 order. */
 const std::vector<SuiteEntry> &paperSuite();
 
-/** Look up a suite entry by name (nullptr if absent). */
+/**
+ * Scenarios grown beyond Table 1 (graph traversal, ...). Kept apart
+ * from paperSuite() so figure reproductions stay paper-faithful.
+ */
+const std::vector<SuiteEntry> &extensionSuite();
+
+/** paperSuite() followed by extensionSuite(). */
+const std::vector<SuiteEntry> &fullSuite();
+
+/** Look up a suite entry by name in the full suite (nullptr if absent). */
 const SuiteEntry *findWorkload(const std::string &name);
 
 } // namespace stems::workloads

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Experiment-engine tests: registry construction for every prefetcher
+ * name, spec parsing and matrix expansion, parallel runner determinism
+ * (same seed => identical stats across 1 vs. N threads), and trace
+ * record/replay producing identical stats to live generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "driver/report.hh"
+#include "driver/runner.hh"
+#include "driver/spec.hh"
+#include "workloads/graph.hh"
+#include "study/suite.hh"
+#include "trace/io.hh"
+#include "workloads/workload.hh"
+
+using namespace stems;
+using namespace stems::driver;
+
+namespace {
+
+mem::MemSysConfig
+tinySys()
+{
+    mem::MemSysConfig cfg;
+    cfg.ncpu = 2;
+    return cfg;
+}
+
+/** Spec tokens for a quick 2-workload matrix on 4 small CPUs. */
+std::vector<std::string>
+quickTokens()
+{
+    return {"workloads=sparse,graph", "prefetchers=sms,ghb",
+            "ncpu=4", "refs=3000", "seed=7"};
+}
+
+void
+expectSameMetrics(const CellMetrics &a, const CellMetrics &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1ReadMisses, b.l1ReadMisses);
+    EXPECT_EQ(a.l2ReadMisses, b.l2ReadMisses);
+    EXPECT_EQ(a.l1Covered, b.l1Covered);
+    EXPECT_EQ(a.l2Covered, b.l2Covered);
+    EXPECT_EQ(a.l1Overpred, b.l1Overpred);
+    EXPECT_EQ(a.l2Overpred, b.l2Overpred);
+    EXPECT_EQ(a.baselineL1ReadMisses, b.baselineL1ReadMisses);
+    EXPECT_EQ(a.baselineL2ReadMisses, b.baselineL2ReadMisses);
+    ASSERT_EQ(a.pfCounters.size(), b.pfCounters.size());
+    for (size_t i = 0; i < a.pfCounters.size(); ++i) {
+        EXPECT_EQ(a.pfCounters[i].first, b.pfCounters[i].first);
+        EXPECT_EQ(a.pfCounters[i].second, b.pfCounters[i].second);
+    }
+}
+
+std::string
+tempDir(const char *tag)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        (std::string("stems_test_") + tag + "_" +
+         std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------
+
+TEST(PrefetcherRegistry, BuildsEveryRegisteredName)
+{
+    auto &reg = PrefetcherRegistry::builtin();
+    auto names = reg.names();
+    ASSERT_GE(names.size(), 5u);  // none, sms, ghb, stride, next-line
+    for (const auto &name : names) {
+        mem::MemorySystem sys(tinySys());
+        auto dep = reg.create(name, sys, {});
+        ASSERT_NE(dep, nullptr) << name;
+        EXPECT_EQ(dep->name(), name);
+        dep->drain();  // must be safe on a fresh deployment
+    }
+}
+
+TEST(PrefetcherRegistry, UnknownNameThrows)
+{
+    mem::MemorySystem sys(tinySys());
+    EXPECT_THROW(PrefetcherRegistry::builtin().create("bogus", sys, {}),
+                 std::invalid_argument);
+}
+
+TEST(PrefetcherRegistry, SmsOptionsTranslate)
+{
+    Options o{{"region", "4096"},   {"pht-entries", "1024"},
+              {"pht-assoc", "8"},   {"pht-update", "union"},
+              {"agt-filter", "16"}, {"agt-accum", "48"},
+              {"index", "pc"},      {"pred-regs", "4"},
+              {"into-l1", "0"}};
+    core::SmsConfig cfg = smsConfigFromOptions(o);
+    EXPECT_EQ(cfg.geometry.regionSize(), 4096u);
+    EXPECT_EQ(cfg.pht.entries, 1024u);
+    EXPECT_EQ(cfg.pht.assoc, 8u);
+    EXPECT_EQ(cfg.pht.update, core::PhtUpdateMode::Union);
+    EXPECT_EQ(cfg.agt.filterEntries, 16u);
+    EXPECT_EQ(cfg.agt.accumEntries, 48u);
+    EXPECT_EQ(cfg.index, core::IndexKind::Pc);
+    EXPECT_EQ(cfg.predictionRegisters, 4u);
+    EXPECT_FALSE(cfg.intoL1);
+
+    EXPECT_THROW(smsConfigFromOptions({{"pht-update", "wat"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(smsConfigFromOptions({{"pht-entries", "lots"}}),
+                 std::invalid_argument);
+}
+
+TEST(PrefetcherRegistry, GhbAndStrideOptionsTranslate)
+{
+    prefetch::GhbConfig g = ghbConfigFromOptions(
+        {{"ghb-entries", "16384"}, {"it-entries", "1024"},
+         {"degree", "8"}});
+    EXPECT_EQ(g.ghbEntries, 16384u);
+    EXPECT_EQ(g.itEntries, 1024u);
+    EXPECT_EQ(g.degree, 8u);
+
+    prefetch::StrideConfig s = strideConfigFromOptions(
+        {{"entries", "512"}, {"threshold", "3"}});
+    EXPECT_EQ(s.entries, 512u);
+    EXPECT_EQ(s.threshold, 3u);
+}
+
+// ---------------------------------------------------------------------
+// spec parsing + expansion
+// ---------------------------------------------------------------------
+
+TEST(ExperimentSpec, TwoByTwoMatrixExpands)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,Apache", "prefetchers=sms,none"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // workload-major, engine order preserved
+    EXPECT_EQ(cells[0].workload, "sparse");
+    EXPECT_EQ(cells[0].engine.kind, "sms");
+    EXPECT_EQ(cells[1].workload, "sparse");
+    EXPECT_EQ(cells[1].engine.kind, "none");
+    EXPECT_EQ(cells[2].workload, "Apache");
+    EXPECT_EQ(cells[2].engine.kind, "sms");
+    EXPECT_EQ(cells[3].workload, "Apache");
+    EXPECT_EQ(cells[3].engine.kind, "none");
+    for (uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(cells[i].id, i);
+}
+
+TEST(ExperimentSpec, SweepAxesCross)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms",
+         "pf.sms.pht-assoc=8",
+         "sweep.pht-entries=1024,16384", "sweep.pred-regs=1,16"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // last axis fastest
+    EXPECT_EQ(cells[0].engine.options.at("pht-entries"), "1024");
+    EXPECT_EQ(cells[0].engine.options.at("pred-regs"), "1");
+    EXPECT_EQ(cells[1].engine.options.at("pred-regs"), "16");
+    EXPECT_EQ(cells[3].engine.options.at("pht-entries"), "16384");
+    // base options survive the sweep merge
+    for (const auto &c : cells) {
+        EXPECT_EQ(c.engine.options.at("pht-assoc"), "8");
+        EXPECT_EQ(c.sweepPoint.size(), 2u);
+    }
+}
+
+TEST(ExperimentSpec, SweepSkipsEnginesThatIgnoreTheAxis)
+{
+    // pred-regs means nothing to ghb: sms gets 2 cells, ghb gets 1
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,ghb",
+         "sweep.pred-regs=1,16"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].engine.kind, "sms");
+    EXPECT_EQ(cells[1].engine.kind, "sms");
+    EXPECT_EQ(cells[2].engine.kind, "ghb");
+    EXPECT_TRUE(cells[2].sweepPoint.empty());
+}
+
+TEST(ExperimentSpec, BlockSweepReshapesCellCaches)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms", "sweep.block=32,128"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].sys.l1.blockSize, 32u);
+    EXPECT_EQ(cells[0].sys.l2.blockSize, 32u);
+    EXPECT_EQ(cells[1].sys.l1.blockSize, 128u);
+}
+
+TEST(ExperimentSpec, LabelsAndPerLabelOptions)
+{
+    ExperimentSpec spec = parseSpec(
+        {"prefetchers=ghb:GHB-256,ghb:GHB-16k",
+         "pf.GHB-256.ghb-entries=256",
+         "pf.GHB-16k.ghb-entries=16384"});
+    ASSERT_EQ(spec.engines.size(), 2u);
+    EXPECT_EQ(spec.engines[0].displayLabel(), "GHB-256");
+    EXPECT_EQ(spec.engines[0].options.at("ghb-entries"), "256");
+    EXPECT_EQ(spec.engines[1].options.at("ghb-entries"), "16384");
+}
+
+TEST(ExperimentSpec, RejectsBadInput)
+{
+    EXPECT_THROW(parseSpec({"workloads=nope"}), std::invalid_argument);
+    EXPECT_THROW(parseSpec({"prefetchers=warp-drive"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"frobnicate=1"}), std::invalid_argument);
+    EXPECT_THROW(parseSpec({"prefetchers=sms,sms"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"mode=l1", "prefetchers=ghb"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"pf.ghost.degree=2"}),
+                 std::invalid_argument);
+}
+
+TEST(ExperimentSpec, RejectsMisspelledPrefetcherOptions)
+{
+    // a typo'd option must not silently run with defaults
+    EXPECT_THROW(parseSpec({"prefetchers=sms",
+                            "pf.sms.pht-entires=1024"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"prefetchers=sms",
+                            "sweep.pht-entres=1024,16384"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"prefetchers=sms", "opt.degre=2"}),
+                 std::invalid_argument);
+    // ghb-only option is fine in a mixed matrix (applies where known)
+    EXPECT_NO_THROW(parseSpec({"prefetchers=sms,ghb",
+                               "sweep.ghb-entries=256,16384"}));
+    // but not when no selected prefetcher understands it
+    EXPECT_THROW(parseSpec({"prefetchers=sms",
+                            "sweep.ghb-entries=256,16384"}),
+                 std::invalid_argument);
+}
+
+TEST(ExperimentSpec, ConfigFileSplices)
+{
+    const std::string dir = tempDir("cfg");
+    const std::string path = dir + "/exp.conf";
+    {
+        std::ofstream f(path);
+        f << "# comment line\n"
+          << "workloads=sparse\n"
+          << "\n"
+          << "prefetchers=stride   # trailing comment\n"
+          << "refs=2000\n";
+    }
+    ExperimentSpec spec = parseSpec({"config=" + path, "ncpu=4"});
+    ASSERT_EQ(spec.workloads.size(), 1u);
+    EXPECT_EQ(spec.workloads[0], "sparse");
+    ASSERT_EQ(spec.engines.size(), 1u);
+    EXPECT_EQ(spec.engines[0].kind, "stride");
+    EXPECT_EQ(spec.params.refsPerCpu, 2000u);
+    EXPECT_EQ(spec.params.ncpu, 4u);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// runner
+// ---------------------------------------------------------------------
+
+TEST(Runner, DeterministicAcrossThreadCounts)
+{
+    auto tokens = quickTokens();
+    tokens.push_back("threads=1");
+    ExperimentSpec one = parseSpec(tokens);
+    tokens.back() = "threads=4";
+    ExperimentSpec four = parseSpec(tokens);
+
+    auto r1 = Runner(one).run();
+    auto r4 = Runner(four).run();
+    ASSERT_EQ(r1.size(), 4u);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_TRUE(r1[i].error.empty()) << r1[i].error;
+        EXPECT_TRUE(r4[i].error.empty()) << r4[i].error;
+        EXPECT_EQ(r1[i].cell.workload, r4[i].cell.workload);
+        EXPECT_EQ(r1[i].cell.engine.kind, r4[i].cell.engine.kind);
+        expectSameMetrics(r1[i].metrics, r4[i].metrics);
+    }
+    // sanity: SMS actually prefetched something
+    EXPECT_GT(r1[0].metrics.l1Covered, 0u);
+}
+
+TEST(Runner, TraceRecordThenReplayMatchesLiveStats)
+{
+    const std::string dir = tempDir("traces");
+
+    auto live = Runner(parseSpec(quickTokens())).run();
+
+    auto tokens = quickTokens();
+    tokens.push_back("trace-dir=" + dir);
+    auto recorded = Runner(parseSpec(tokens)).run();  // generates + writes
+
+    // the spill directory now holds one .stmt per workload
+    size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(e.path().extension(), ".stmt");
+        ++files;
+    }
+    EXPECT_EQ(files, 2u);
+
+    auto replayed = Runner(parseSpec(tokens)).run();  // reads from disk
+
+    ASSERT_EQ(live.size(), recorded.size());
+    ASSERT_EQ(live.size(), replayed.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        expectSameMetrics(live[i].metrics, recorded[i].metrics);
+        expectSameMetrics(live[i].metrics, replayed[i].metrics);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, SpillDirRoundTripsTraces)
+{
+    const std::string dir = tempDir("spill");
+    workloads::WorkloadParams p;
+    p.ncpu = 2;
+    p.refsPerCpu = 1500;
+    p.seed = 3;
+
+    study::TraceCache writer;
+    writer.setSpillDir(dir);
+    const trace::Trace &generated = writer.get("graph", p);
+
+    study::TraceCache reader;
+    reader.setSpillDir(dir);
+    const trace::Trace &replayed = reader.get("graph", p);
+    ASSERT_EQ(generated.size(), replayed.size());
+    EXPECT_TRUE(generated == replayed);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, CellErrorsAreCapturedNotFatal)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms", "ncpu=4", "refs=1000"});
+    // sabotage: an invalid option value surfaces as a cell error
+    spec.engines[0].options["region"] = "1000";  // not a power of two
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+// ---------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------
+
+TEST(Report, JsonAndCsvCarryTheMatrix)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000"});
+    auto results = Runner(spec).run();
+    const std::string json = toJson(spec, results);
+    EXPECT_NE(json.find("\"workload\":\"sparse\""), std::string::npos);
+    EXPECT_NE(json.find("\"prefetcher\":\"sms\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2_coverage\""), std::string::npos);
+    EXPECT_NE(json.find("\"stream_requests\""), std::string::npos);
+
+    const std::string csv = toCsv(results);
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, results.size() + 1);  // header + one per cell
+}
+
+TEST(Report, JsonWriterEscapes)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Report, CsvQuotesFieldsWithCommas)
+{
+    CellResult r;
+    r.cell.workload = "sparse";
+    r.cell.engine.kind = "sms";
+    r.error = "bad thing, with commas and \"quotes\"";
+    const std::string csv = toCsv({r});
+    EXPECT_NE(csv.find("\"bad thing, with commas and \"\"quotes\"\"\""),
+              std::string::npos);
+    // the data row still has exactly as many columns as the header
+    const size_t headerEnd = csv.find('\n');
+    const std::string header = csv.substr(0, headerEnd);
+    size_t headerCols = 1;
+    for (char c : header)
+        headerCols += c == ',';
+    std::string row = csv.substr(headerEnd + 1);
+    size_t rowCols = 1;
+    bool quoted = false;
+    for (char c : row) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++rowCols;
+    }
+    EXPECT_EQ(rowCols, headerCols);
+}
+
+TEST(TraceIo, RejectsCorruptCountInsteadOfThrowing)
+{
+    const std::string dir = tempDir("io");
+    const std::string path = dir + "/bad.stmt";
+    trace::Trace t(16);
+    ASSERT_TRUE(trace::writeTrace(t, path));
+    {
+        // corrupt the count field (bytes 8..15) to a huge value
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(8);
+        uint64_t huge = ~uint64_t{0};
+        f.write(reinterpret_cast<const char *>(&huge), sizeof(huge));
+    }
+    trace::Trace out;
+    EXPECT_FALSE(trace::readTrace(path, out));
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// suite extension
+// ---------------------------------------------------------------------
+
+TEST(SuiteExtension, GraphRegisteredInFullSuiteOnly)
+{
+    EXPECT_NE(workloads::findWorkload("graph"), nullptr);
+    for (const auto &e : workloads::paperSuite())
+        EXPECT_NE(e.name, "graph");
+    EXPECT_EQ(workloads::fullSuite().size(),
+              workloads::paperSuite().size() +
+                  workloads::extensionSuite().size());
+}
+
+TEST(SuiteExtension, GraphSurvivesMoreCpusThanVertices)
+{
+    workloads::GraphParams gp;
+    gp.vertices = 8;  // perCpu clamps to 1; partitions must wrap
+    workloads::GraphWorkload w(gp);
+    workloads::WorkloadParams p;
+    p.ncpu = 32;
+    p.refsPerCpu = 500;
+    p.seed = 5;
+    auto streams = w.generateStreams(p);
+    ASSERT_EQ(streams.size(), 32u);
+    for (const auto &s : streams)
+        EXPECT_EQ(s.size(), p.refsPerCpu);
+}
+
+TEST(SuiteExtension, GraphGeneratesDeterministicStreams)
+{
+    workloads::WorkloadParams p;
+    p.ncpu = 2;
+    p.refsPerCpu = 2000;
+    p.seed = 11;
+    auto w1 = workloads::findWorkload("graph")->make();
+    auto w2 = workloads::findWorkload("graph")->make();
+    auto s1 = w1->generateStreams(p);
+    auto s2 = w2->generateStreams(p);
+    ASSERT_EQ(s1.size(), 2u);
+    for (size_t c = 0; c < s1.size(); ++c) {
+        ASSERT_EQ(s1[c].size(), p.refsPerCpu);
+        EXPECT_TRUE(s1[c] == s2[c]);
+    }
+}
