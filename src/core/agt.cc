@@ -1,49 +1,65 @@
 #include "core/agt.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace stems::core {
 
 ActiveGenerationTable::ActiveGenerationTable(const RegionGeometry &geom,
                                              const AgtConfig &config)
-    : geom(geom), cfg(config)
+    : geom(geom), cfg(config), filterCam(config.filterEntries),
+      accumCam(config.accumEntries)
 {}
 
 void
 ActiveGenerationTable::victimizeFilter()
 {
-    if (cfg.filterEntries == 0 || filter.size() < cfg.filterEntries)
+    if (!boundedFilter() || !filterCam.full())
         return;
-    auto victim = filter.begin();
-    for (auto it = filter.begin(); it != filter.end(); ++it) {
-        if (it->second.lastUse < victim->second.lastUse)
-            victim = it;
-    }
     // a filter victim carries only its trigger access: drop silently
-    filter.erase(victim);
+    filterCam.erase(filterCam.lruWay());
     ++stats_.filterVictims;
 }
 
 void
 ActiveGenerationTable::victimizeAccum()
 {
-    if (cfg.accumEntries == 0 || accum.size() < cfg.accumEntries)
+    if (!boundedAccum() || !accumCam.full())
         return;
-    auto victim = accum.begin();
-    for (auto it = accum.begin(); it != accum.end(); ++it) {
-        if (it->second.lastUse < victim->second.lastUse)
-            victim = it;
-    }
     // capacity terminates the generation: transfer the pattern to the
     // PHT exactly as an eviction-triggered ending would
-    TriggerInfo trigger = victim->second.trigger;
-    SpatialPattern pattern = victim->second.pattern;
-    accum.erase(victim);
+    const size_t way = accumCam.lruWay();
+    TriggerInfo trigger = accumCam.payload(way).trigger;
+    SpatialPattern pattern = accumCam.payload(way).pattern;
+    accumCam.erase(way);
     ++stats_.accumVictims;
     ++stats_.generationsTrained;
     if (listener)
         listener->generationEnd(trigger, pattern);
+}
+
+void
+ActiveGenerationTable::promote(const TriggerInfo &trigger, uint64_t rid,
+                               uint32_t off)
+{
+    ++stats_.promotions;
+    if (boundedAccum()) {
+        victimizeAccum();
+        const size_t way = accumCam.insert(rid, tick);
+        AccumPayload &p = accumCam.payload(way);
+        p.trigger = trigger;
+        p.pattern.set(trigger.offset);
+        p.pattern.set(off);
+        stats_.peakAccumOccupancy = std::max<uint64_t>(
+            stats_.peakAccumOccupancy, accumCam.size());
+    } else {
+        AccumEntry &e = accumMap[rid];
+        e.trigger = trigger;
+        e.pattern.set(trigger.offset);
+        e.pattern.set(off);
+        e.lastUse = tick;
+        stats_.peakAccumOccupancy = std::max<uint64_t>(
+            stats_.peakAccumOccupancy, accumMap.size());
+    }
 }
 
 void
@@ -54,7 +70,14 @@ ActiveGenerationTable::onAccess(uint64_t pc, uint64_t addr)
     ++tick;
 
     // 1) already accumulating: record the block (step 3 in Figure 2)
-    if (auto it = accum.find(rid); it != accum.end()) {
+    if (boundedAccum()) {
+        if (const size_t way = accumCam.find(rid);
+            way != AgtCam<AccumPayload>::kNone) {
+            accumCam.payload(way).pattern.set(off);
+            accumCam.touch(way, tick);
+            return;
+        }
+    } else if (auto it = accumMap.find(rid); it != accumMap.end()) {
         it->second.pattern.set(off);
         it->second.lastUse = tick;
         return;
@@ -62,58 +85,88 @@ ActiveGenerationTable::onAccess(uint64_t pc, uint64_t addr)
 
     // 2) in the filter table: second distinct block promotes the
     //    generation into the accumulation table (step 2 in Figure 2)
-    if (auto it = filter.find(rid); it != filter.end()) {
+    if (boundedFilter()) {
+        if (const size_t way = filterCam.find(rid);
+            way != AgtCam<FilterPayload>::kNone) {
+            if (filterCam.payload(way).trigger.offset == off) {
+                filterCam.touch(way, tick);  // re-touch trigger block
+                return;
+            }
+            TriggerInfo trigger = filterCam.payload(way).trigger;
+            filterCam.erase(way);
+            promote(trigger, rid, off);
+            return;
+        }
+    } else if (auto it = filterMap.find(rid); it != filterMap.end()) {
         if (it->second.trigger.offset == off) {
             it->second.lastUse = tick;  // re-touching the trigger block
             return;
         }
         TriggerInfo trigger = it->second.trigger;
-        filter.erase(it);
-        victimizeAccum();
-        AccumEntry &e = accum[rid];
-        e.trigger = trigger;
-        e.pattern.set(trigger.offset);
-        e.pattern.set(off);
-        e.lastUse = tick;
-        ++stats_.promotions;
-        stats_.peakAccumOccupancy =
-            std::max<uint64_t>(stats_.peakAccumOccupancy, accum.size());
+        filterMap.erase(it);
+        promote(trigger, rid, off);
         return;
     }
 
     // 3) trigger access of a new generation (step 1 in Figure 2)
-    victimizeFilter();
     TriggerInfo trigger;
     trigger.pc = pc;
     trigger.address = addr;
     trigger.regionBase = geom.regionBase(addr);
     trigger.offset = off;
-    FilterEntry &e = filter[rid];
-    e.trigger = trigger;
-    e.lastUse = tick;
+    if (boundedFilter()) {
+        victimizeFilter();
+        const size_t way = filterCam.insert(rid, tick);
+        filterCam.payload(way).trigger = trigger;
+        stats_.peakFilterOccupancy = std::max<uint64_t>(
+            stats_.peakFilterOccupancy, filterCam.size());
+    } else {
+        FilterEntry &e = filterMap[rid];
+        e.trigger = trigger;
+        e.lastUse = tick;
+        stats_.peakFilterOccupancy = std::max<uint64_t>(
+            stats_.peakFilterOccupancy, filterMap.size());
+    }
     ++stats_.generationsStarted;
-    stats_.peakFilterOccupancy =
-        std::max<uint64_t>(stats_.peakFilterOccupancy, filter.size());
     if (listener)
         listener->generationStart(trigger);
 }
 
 void
-ActiveGenerationTable::onBlockRemoved(uint64_t block_addr, bool invalidation)
+ActiveGenerationTable::onBlockRemoved(uint64_t block_addr,
+                                      bool invalidation)
 {
     (void)invalidation;  // replacements and invalidations both end here
     const uint64_t rid = geom.regionId(block_addr);
 
-    if (auto it = filter.find(rid); it != filter.end()) {
-        // only the trigger access happened: nothing worth predicting
-        filter.erase(it);
+    if (boundedFilter()) {
+        if (const size_t way = filterCam.find(rid);
+            way != AgtCam<FilterPayload>::kNone) {
+            // only the trigger access happened: nothing to predict
+            filterCam.erase(way);
+            ++stats_.filterDiscards;
+            return;
+        }
+    } else if (auto it = filterMap.find(rid); it != filterMap.end()) {
+        filterMap.erase(it);
         ++stats_.filterDiscards;
         return;
     }
-    if (auto it = accum.find(rid); it != accum.end()) {
+
+    if (boundedAccum()) {
+        if (const size_t way = accumCam.find(rid);
+            way != AgtCam<AccumPayload>::kNone) {
+            TriggerInfo trigger = accumCam.payload(way).trigger;
+            SpatialPattern pattern = accumCam.payload(way).pattern;
+            accumCam.erase(way);
+            ++stats_.generationsTrained;
+            if (listener)
+                listener->generationEnd(trigger, pattern);
+        }
+    } else if (auto it = accumMap.find(rid); it != accumMap.end()) {
         TriggerInfo trigger = it->second.trigger;
         SpatialPattern pattern = it->second.pattern;
-        accum.erase(it);
+        accumMap.erase(it);
         ++stats_.generationsTrained;
         if (listener)
             listener->generationEnd(trigger, pattern);
@@ -124,17 +177,34 @@ void
 ActiveGenerationTable::drain()
 {
     // end every live multi-block generation (end-of-run bookkeeping)
-    while (!accum.empty()) {
-        auto it = accum.begin();
-        TriggerInfo trigger = it->second.trigger;
-        SpatialPattern pattern = it->second.pattern;
-        accum.erase(it);
-        ++stats_.generationsTrained;
-        if (listener)
-            listener->generationEnd(trigger, pattern);
+    if (boundedAccum()) {
+        while (!accumCam.empty()) {
+            const size_t way = accumCam.firstValid();
+            TriggerInfo trigger = accumCam.payload(way).trigger;
+            SpatialPattern pattern = accumCam.payload(way).pattern;
+            accumCam.erase(way);
+            ++stats_.generationsTrained;
+            if (listener)
+                listener->generationEnd(trigger, pattern);
+        }
+    } else {
+        while (!accumMap.empty()) {
+            auto it = accumMap.begin();
+            TriggerInfo trigger = it->second.trigger;
+            SpatialPattern pattern = it->second.pattern;
+            accumMap.erase(it);
+            ++stats_.generationsTrained;
+            if (listener)
+                listener->generationEnd(trigger, pattern);
+        }
     }
-    stats_.filterDiscards += filter.size();
-    filter.clear();
+    if (boundedFilter()) {
+        stats_.filterDiscards += filterCam.size();
+        filterCam.clear();
+    } else {
+        stats_.filterDiscards += filterMap.size();
+        filterMap.clear();
+    }
 }
 
 } // namespace stems::core

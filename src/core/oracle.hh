@@ -11,9 +11,9 @@
 #define STEMS_CORE_ORACLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/region.hh"
+#include "util/flat_map.hh"
 
 namespace stems::core {
 
@@ -59,7 +59,7 @@ class OracleTracker
 
   private:
     RegionGeometry geom;
-    std::unordered_map<uint64_t, SpatialPattern> active;
+    util::FlatMap<uint64_t, SpatialPattern> active;
     uint64_t gens = 0;
 };
 

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/region.hh"
+#include "util/flat_map.hh"
 
 namespace stems::core {
 
@@ -82,8 +82,8 @@ class PatternHistoryTable
     uint32_t sets = 1;
     uint32_t setShift = 0;
     uint64_t tick = 0;
-    std::vector<Entry> table;                          //!< bounded mode
-    std::unordered_map<uint64_t, SpatialPattern> map;  //!< unbounded mode
+    std::vector<Entry> table;                            //!< bounded mode
+    util::FlatMap<uint64_t, SpatialPattern> map;         //!< unbounded mode
     PhtStats stats_;
 };
 

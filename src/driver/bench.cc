@@ -1,0 +1,173 @@
+#include "driver/bench.hh"
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+
+#include "core/sms.hh"
+#include "driver/options.hh"
+#include "driver/report.hh"
+#include "mem/memsys.hh"
+#include "sim/timing.hh"
+#include "trace/interleaver.hh"
+#include "workloads/workload.hh"
+
+namespace stems::driver {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(const Clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/**
+ * Best-of-N wall time of @p body (a fresh system is built inside each
+ * repeat, so table warm-up is part of the measured reference loop
+ * exactly as it is in a real run).
+ */
+BenchResult
+measure(const std::string &workload, const std::string &name,
+        uint64_t refs, uint32_t repeats,
+        const std::function<void()> &body)
+{
+    BenchResult r;
+    r.workload = workload;
+    r.name = name;
+    r.refs = refs;
+    double best = -1.0;
+    for (uint32_t i = 0; i < repeats; ++i) {
+        const auto t0 = Clock::now();
+        body();
+        const double ms = msSince(t0);
+        if (best < 0 || ms < best)
+            best = ms;
+    }
+    r.wallMs = best;
+    r.nsPerRef = refs ? best * 1e6 / static_cast<double>(refs) : 0.0;
+    r.refsPerSec = best > 0
+        ? static_cast<double>(refs) / (best * 1e-3)
+        : 0.0;
+    return r;
+}
+
+void
+benchOneWorkload(const std::string &workload, const BenchOptions &opt,
+                 std::vector<BenchResult> &out)
+{
+    const workloads::SuiteEntry *entry = workloads::findWorkload(workload);
+    if (!entry)
+        throw std::invalid_argument("stems bench: unknown workload " +
+                                    workload);
+
+    workloads::WorkloadParams p;
+    p.ncpu = opt.ncpu;
+    p.refsPerCpu = opt.refsPerCpu;
+    p.seed = opt.seed;
+
+    auto w = entry->make();
+    const std::vector<trace::Trace> streams = w->generateStreams(p);
+    const trace::Trace merged =
+        trace::canonicalInterleaver(p.seed).merge(streams);
+    const uint64_t refs = merged.size();
+
+    // the raw coherent-hierarchy access path, no prefetcher
+    out.push_back(measure(workload, "memsys_access", refs, opt.repeats,
+                          [&] {
+        mem::MemSysConfig cfg;
+        cfg.ncpu = p.ncpu;
+        mem::MemorySystem sys(cfg);
+        for (const auto &a : merged)
+            sys.access(a);
+    }));
+
+    // the SMS predictor alone: AGT training + PHT predict + streaming
+    out.push_back(measure(workload, "sms_train_predict", refs,
+                          opt.repeats, [&] {
+        core::SmsConfig cfg;
+        uint64_t sink = 0;
+        core::SmsUnit unit(0, cfg,
+                           [&sink](uint32_t, uint64_t a, bool) {
+                               sink += a;
+                           });
+        for (const auto &a : merged)
+            unit.onAccess(a.pc, a.addr);
+        if (sink == 0x5eed)  // defeat dead-code elimination
+            throw std::logic_error("unreachable");
+    }));
+
+    // the full memory hierarchy with SMS deployed
+    out.push_back(measure(workload, "memsys_sms_access", refs,
+                          opt.repeats, [&] {
+        mem::MemSysConfig cfg;
+        cfg.ncpu = p.ncpu;
+        mem::MemorySystem sys(cfg);
+        core::SmsController sms(sys, core::SmsConfig{});
+        for (const auto &a : merged)
+            sys.access(a);
+    }));
+
+    // the full-system timing model, without and with SMS
+    out.push_back(measure(workload, "run_timing", refs, opt.repeats,
+                          [&] {
+        sim::TimingConfig cfg;
+        cfg.sys.ncpu = p.ncpu;
+        sim::runTiming(streams, cfg, p.seed);
+    }));
+    out.push_back(measure(workload, "run_timing_sms", refs, opt.repeats,
+                          [&] {
+        sim::TimingConfig cfg;
+        cfg.sys.ncpu = p.ncpu;
+        cfg.useSms = true;
+        sim::runTiming(streams, cfg, p.seed);
+    }));
+}
+
+} // anonymous namespace
+
+std::vector<BenchResult>
+runEngineBench(const BenchOptions &opt)
+{
+    std::vector<BenchResult> out;
+    for (const auto &w : splitList(opt.workload))
+        benchOneWorkload(w, opt, out);
+    return out;
+}
+
+std::string
+benchToJson(const BenchOptions &opt,
+            const std::vector<BenchResult> &results)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("engine").value("stems");
+    j.key("bench_version").value(uint64_t{1});
+    j.key("config").beginObject();
+    j.key("workload").value(opt.workload);
+    j.key("ncpu").value(uint64_t{opt.ncpu});
+    j.key("refs_per_cpu").value(opt.refsPerCpu);
+    j.key("seed").value(opt.seed);
+    j.key("repeats").value(uint64_t{opt.repeats});
+    j.key("quick").value(opt.quick);
+    j.endObject();
+    j.key("results").beginArray();
+    for (const auto &r : results) {
+        j.beginObject();
+        j.key("workload").value(r.workload);
+        j.key("name").value(r.name);
+        j.key("refs").value(r.refs);
+        j.key("wall_ms").value(r.wallMs);
+        j.key("ns_per_ref").value(r.nsPerRef);
+        j.key("refs_per_sec").value(r.refsPerSec);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    return j.str() + "\n";
+}
+
+} // namespace stems::driver

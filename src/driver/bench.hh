@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The engine performance harness behind `stems bench`: wall-clock
+ * measurements of the per-reference hot paths (MemorySystem::access,
+ * SMS train+predict, full sim::runTiming) over a real workload trace,
+ * reported as ns/ref and refs/s and emitted as machine-readable
+ * BENCH_engine.json so CI can track the simulator's throughput
+ * trajectory from PR to PR.
+ */
+
+#ifndef STEMS_DRIVER_BENCH_HH
+#define STEMS_DRIVER_BENCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stems::driver {
+
+/** Configuration of one `stems bench` invocation. */
+struct BenchOptions
+{
+    /** Suite entries to drive with (comma-separated list accepted). */
+    std::string workload = "OLTP-DB2";
+    uint32_t ncpu = 16;
+    uint64_t refsPerCpu = 100000;
+    uint64_t seed = 1;
+    uint32_t repeats = 3;    //!< best-of-N wall times
+    bool quick = false;      //!< CI preset: 4 cpus, 20k refs, 2 repeats
+    std::string jsonPath = "BENCH_engine.json";  //!< "-" = stdout
+};
+
+/** One measured hot path. */
+struct BenchResult
+{
+    std::string workload;
+    std::string name;    //!< memsys_access, sms_train_predict, ...
+    uint64_t refs = 0;   //!< references pushed through per repeat
+    double wallMs = 0;   //!< best-of-N wall time
+    double nsPerRef = 0;
+    double refsPerSec = 0;
+};
+
+/** Run every engine benchmark. Throws on unknown workload. */
+std::vector<BenchResult> runEngineBench(const BenchOptions &opt);
+
+/** Render results as the BENCH_engine.json document. */
+std::string benchToJson(const BenchOptions &opt,
+                        const std::vector<BenchResult> &results);
+
+} // namespace stems::driver
+
+#endif // STEMS_DRIVER_BENCH_HH

@@ -32,12 +32,19 @@ Runner::Runner(const ExperimentSpec &spec)
 
 namespace {
 
-/** Memo key: a cell's sys config can differ per cell (block sweeps). */
+/**
+ * Memo key: a cell's sys config can differ per cell (block sweeps)
+ * and generation params could differ across Runner instances sharing
+ * code paths (per-seed harnesses), so both are part of the key.
+ */
 std::string
 baselineKey(const RunCell &cell)
 {
     return cell.workload + "/b" +
-        std::to_string(cell.sys.l1.blockSize);
+        std::to_string(cell.sys.l1.blockSize) + "/n" +
+        std::to_string(cell.params.ncpu) + "/r" +
+        std::to_string(cell.params.refsPerCpu) + "/s" +
+        std::to_string(cell.params.seed);
 }
 
 } // anonymous namespace
@@ -51,11 +58,11 @@ Runner::baseline(const RunCell &cell)
         slot = &baselines[baselineKey(cell)];
     }
     std::call_once(slot->once, [&] {
-        const trace::Trace &t = traces.get(cell.workload, cell.params);
         if (cell.mode == StudyMode::System) {
             study::SystemStudyConfig cfg;
             cfg.sys = cell.sys;
-            auto r = study::runSystem(t, cfg);
+            auto r = study::runSystem(streams(cell), cfg,
+                                      cell.params.seed);
             slot->instructions = r.instructions;
             slot->l1ReadMisses = r.l1ReadMisses;
             slot->l2ReadMisses = r.l2ReadMisses;
@@ -64,7 +71,8 @@ Runner::baseline(const RunCell &cell)
             cfg.ncpu = cell.params.ncpu;
             cfg.l1 = cell.sys.l1;
             cfg.prefetch = false;
-            auto r = study::runL1Study(t, cfg);
+            auto r = study::runL1Study(
+                traces.get(cell.workload, cell.params), cfg);
             slot->instructions = r.instructions;
             slot->l1ReadMisses = r.readMisses;
         }
@@ -75,20 +83,7 @@ Runner::baseline(const RunCell &cell)
 const std::vector<trace::Trace> &
 Runner::streams(const RunCell &cell)
 {
-    StreamsSlot *slot;
-    {
-        std::lock_guard<std::mutex> lock(memoMu);
-        slot = &streamsMemo[cell.workload];
-    }
-    std::call_once(slot->once, [&] {
-        const workloads::SuiteEntry *entry =
-            workloads::findWorkload(cell.workload);
-        if (!entry)
-            throw std::invalid_argument("unknown workload: " +
-                                        cell.workload);
-        slot->streams = entry->make()->generateStreams(cell.params);
-    });
-    return slot->streams;
+    return traces.streams(cell.workload, cell.params);
 }
 
 double
@@ -115,8 +110,6 @@ Runner::runCell(const RunCell &cell, CellResult &out)
     out.cell = cell;
     CellMetrics &m = out.metrics;
 
-    const trace::Trace &t = traces.get(cell.workload, cell.params);
-
     if (cell.engine.kind == "none") {
         // a "none" cell IS the baseline run — reuse the memoized pass
         const BaselineSlot &base = baseline(cell);
@@ -128,7 +121,7 @@ Runner::runCell(const RunCell &cell, CellResult &out)
         cfg.sys = cell.sys;
         std::unique_ptr<PrefetcherDeployment> dep;
         auto r = study::runSystem(
-            t, cfg,
+            streams(cell), cfg, cell.params.seed,
             [&](mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
                 dep = PrefetcherRegistry::builtin().create(
                     cell.engine.kind, sys, cell.engine.options);
@@ -150,7 +143,8 @@ Runner::runCell(const RunCell &cell, CellResult &out)
         cfg.prefetch = cell.engine.kind == "sms";
         if (cfg.prefetch)
             cfg.sms = smsConfigFromOptions(cell.engine.options);
-        auto r = study::runL1Study(t, cfg);
+        auto r = study::runL1Study(
+            traces.get(cell.workload, cell.params), cfg);
         m.instructions = r.instructions;
         m.l1ReadMisses = r.readMisses;
         m.l1Covered = r.coveredReads;

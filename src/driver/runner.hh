@@ -150,15 +150,11 @@ class Runner
         double uipc = 0;
     };
 
-    struct StreamsSlot
-    {
-        std::once_flag once;
-        std::vector<trace::Trace> streams;
-    };
-
     void runCell(const RunCell &cell, CellResult &out);
     const BaselineSlot &baseline(const RunCell &cell);
     double baselineUipc(const RunCell &cell);
+
+    /** Per-CPU streams shared through the TraceCache (zero-copy). */
     const std::vector<trace::Trace> &streams(const RunCell &cell);
 
     ExperimentSpec spec;
@@ -167,7 +163,6 @@ class Runner
     std::mutex memoMu;  //!< guards the memo map shapes
     std::map<std::string, BaselineSlot> baselines;
     std::map<std::string, TimingSlot> timingBaselines;
-    std::map<std::string, StreamsSlot> streamsMemo;
 };
 
 } // namespace stems::driver

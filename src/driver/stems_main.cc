@@ -6,6 +6,8 @@
  *                               matrix, emit JSON/CSV/table reports
  *   stems list                  registered workloads and prefetchers
  *   stems trace [key=value ...] record one workload trace to disk
+ *   stems bench [key=value ...] measure the hot paths, emit
+ *                               BENCH_engine.json
  *   stems help                  usage
  */
 
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/bench.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
@@ -37,6 +40,9 @@ usage()
         "  stems list                   show workloads and prefetchers\n"
         "  stems trace workload=W out=FILE [ncpu= refs= seed=]\n"
         "                               record one trace to disk\n"
+        "  stems bench [--quick] [workload= ncpu= refs= seed=\n"
+        "              repeats= json=]  measure per-reference hot-path\n"
+        "                               cost, emit BENCH_engine.json\n"
         "  stems help                   this text\n\n"
               << specHelp() <<
         "\nexamples:\n"
@@ -103,12 +109,74 @@ cmdTrace(const std::vector<std::string> &args)
 
     auto w = entry->make();
     trace::Trace t = workloads::makeTrace(*w, p);
-    if (!trace::writeTrace(t, out)) {
+    // embed the generator fingerprint so engine replay rejects the
+    // file once generators change behaviour
+    if (!trace::writeTrace(t, out,
+                           study::generatorConfigHash(workload, p))) {
         std::cerr << "stems trace: cannot write " << out << "\n";
         return 1;
     }
     std::cout << "wrote " << t.size() << " references to " << out
               << "\n";
+    return 0;
+}
+
+int
+cmdBench(const std::vector<std::string> &args)
+{
+    BenchOptions opt;
+    Options kvs;
+    for (const auto &tok : args) {
+        if (tok == "--quick" || tok == "quick") {
+            opt.quick = true;
+            continue;
+        }
+        auto [k, v] = parseKeyValue(tok);
+        if (k != "workload" && k != "ncpu" && k != "refs" &&
+            k != "seed" && k != "repeats" && k != "json" &&
+            k != "quick") {
+            std::cerr << "stems bench: unknown key \"" << k
+                      << "\" (expected workload, ncpu, refs, seed, "
+                         "repeats, json, quick)\n";
+            return 2;
+        }
+        kvs[k] = v;
+    }
+    opt.quick = optBool(kvs, "quick", opt.quick);
+    if (opt.quick) {
+        // CI preset: small but representative, a few seconds total
+        opt.ncpu = 4;
+        opt.refsPerCpu = 20000;
+        opt.repeats = 2;
+    }
+    opt.workload = optStr(kvs, "workload", opt.workload);
+    opt.ncpu = static_cast<uint32_t>(optU64(kvs, "ncpu", opt.ncpu));
+    if (opt.ncpu == 0) {
+        std::cerr << "stems bench: ncpu must be positive\n";
+        return 2;
+    }
+    opt.refsPerCpu = optU64(kvs, "refs", opt.refsPerCpu);
+    opt.seed = optU64(kvs, "seed", opt.seed);
+    opt.repeats = static_cast<uint32_t>(
+        optU64(kvs, "repeats", opt.repeats));
+    if (opt.repeats == 0)
+        opt.repeats = 1;
+    opt.jsonPath = optStr(kvs, "json", opt.jsonPath);
+
+    std::cerr << "stems bench: " << opt.workload << ", " << opt.ncpu
+              << " cpus x " << opt.refsPerCpu << " refs, best of "
+              << opt.repeats << "\n";
+    auto results = runEngineBench(opt);
+    for (const auto &r : results) {
+        std::fprintf(stderr,
+                     "stems bench: %-10s %-18s %8.1f ms  %7.1f ns/ref"
+                     "  %.2fM refs/s\n",
+                     r.workload.c_str(), r.name.c_str(), r.wallMs,
+                     r.nsPerRef, r.refsPerSec / 1e6);
+    }
+    writeReport(opt.jsonPath, benchToJson(opt, results));
+    if (opt.jsonPath != "-")
+        std::cerr << "stems bench: wrote " << opt.jsonPath << "\n";
     return 0;
 }
 
@@ -170,6 +238,8 @@ main(int argc, char **argv)
             return cmdList();
         if (cmd == "trace")
             return cmdTrace(args);
+        if (cmd == "bench")
+            return cmdBench(args);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage();
         std::cerr << "stems: unknown command \"" << cmd

@@ -20,8 +20,24 @@ Cache::Cache(const CacheConfig &config, std::string name)
     if (!isPow2(sets))
         throw std::invalid_argument(name_ + ": set count not power of 2");
     blockShift = log2i(cfg.blockSize);
-    frames.resize(static_cast<size_t>(sets) * cfg.assoc);
-    repl = makeReplacement(cfg.repl, sets, cfg.assoc);
+    setShift = blockShift + log2i(sets);
+    frames.reset(static_cast<size_t>(sets) * cfg.assoc);
+    if (cfg.repl == ReplKind::LRU && cfg.assoc <= kMaxRankAssoc)
+        resetRanks();  // in-frame LRU, no policy object
+    else
+        repl = makeReplacement(cfg.repl, sets, cfg.assoc);
+}
+
+void
+Cache::resetRanks()
+{
+    // way w starts at rank assoc-1-w: the back of every LRU stack is
+    // way 0, matching timestamp LRU's untouched lowest-way-first order
+    for (uint32_t s = 0; s < sets; ++s) {
+        Frame *base = &frames[static_cast<size_t>(s) * cfg.assoc];
+        for (uint32_t w = 0; w < cfg.assoc; ++w)
+            base[w] = uint64_t{cfg.assoc - 1 - w} << kRankShift;
+    }
 }
 
 uint32_t
@@ -33,27 +49,32 @@ Cache::setIndex(uint64_t addr) const
 uint64_t
 Cache::tagOf(uint64_t addr) const
 {
-    return addr >> (blockShift + log2i(sets));
+    return addr >> setShift;
 }
 
 uint64_t
 Cache::addrOf(uint32_t set, uint64_t tag) const
 {
-    return (tag << (blockShift + log2i(sets))) |
-        (uint64_t{set} << blockShift);
+    return (tag << setShift) | (uint64_t{set} << blockShift);
+}
+
+uint32_t
+Cache::findWay(const Frame *base, uint64_t tag) const
+{
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        const Frame f = base[w];
+        if (valid(f) && tagBits(f) == tag)
+            return w;
+    }
+    return cfg.assoc;
 }
 
 Cache::Frame *
 Cache::find(uint64_t addr)
 {
-    uint32_t set = setIndex(addr);
-    uint64_t tag = tagOf(addr);
-    Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
+    Frame *base = &frames[static_cast<size_t>(setIndex(addr)) * cfg.assoc];
+    const uint32_t way = findWay(base, tagOf(addr));
+    return way < cfg.assoc ? &base[way] : nullptr;
 }
 
 const Cache::Frame *
@@ -63,66 +84,70 @@ Cache::find(uint64_t addr) const
 }
 
 Cache::Frame &
-Cache::allocate(uint64_t addr)
+Cache::allocate(uint32_t set, uint64_t tag)
 {
-    uint32_t set = setIndex(addr);
     Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
 
     // prefer an invalid way
     uint32_t way = cfg.assoc;
     for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        if (!base[w].valid) {
+        if (!valid(base[w])) {
             way = w;
             break;
         }
     }
     if (way == cfg.assoc) {
-        way = repl->victim(set);
-        Frame &victim = base[way];
-        assert(victim.valid);
+        way = victimRepl(base, set);
+        const Frame victim = base[way];
+        assert(valid(victim));
         ++stats_.evictions;
-        if (victim.dirty)
+        if (dirty(victim))
             ++stats_.writebacks;
-        if (victim.prefetch)
+        if (prefetch(victim))
             ++stats_.prefetchUnused;
         if (listener)
-            listener->evicted(addrOf(set, victim.tag), victim.dirty,
-                              victim.prefetch);
+            listener->evicted(addrOf(set, tagBits(victim)),
+                              dirty(victim), prefetch(victim));
     }
 
     Frame &f = base[way];
-    f.tag = tagOf(addr);
-    f.valid = true;
-    f.dirty = false;
-    f.prefetch = false;
-    repl->touch(set, way);
+    f = (tag << kTagShift) | (f & kRankMask) | kValid;
+    touchRepl(base, set, way);
     return f;
 }
 
 AccessResult
-Cache::access(uint64_t addr, bool is_write)
+Cache::access(uint64_t addr, bool is_write, PreMissHook pre_miss,
+              void *pre_miss_ctx)
 {
     ++stats_.accesses;
     if (!is_write)
         ++stats_.readAccesses;
 
+    // index math computed once for the whole access
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
+
     AccessResult r;
-    if (Frame *f = find(addr)) {
+    const uint32_t way = findWay(base, tag);
+    if (way < cfg.assoc) {
+        Frame &f = base[way];
         r.hit = true;
         ++stats_.hits;
-        if (f->prefetch) {
+        if (prefetch(f)) {
             r.prefetchHit = true;
             ++stats_.prefetchHits;
-            f->prefetch = false;
+            f &= ~kPrefetch;
         }
         if (is_write)
-            f->dirty = true;
-        repl->touch(setIndex(addr),
-                    static_cast<uint32_t>(
-                        f - &frames[static_cast<size_t>(setIndex(addr)) *
-                                    cfg.assoc]));
+            f |= kDirty;
+        touchRepl(base, set, way);
         return r;
     }
+
+    if (pre_miss)
+        pre_miss(pre_miss_ctx, addr);
 
     ++stats_.misses;
     if (is_write)
@@ -130,31 +155,41 @@ Cache::access(uint64_t addr, bool is_write)
     else
         ++stats_.readMisses;
 
-    Frame &f = allocate(addr);
-    f.dirty = is_write;
+    Frame &f = allocate(set, tag);
+    if (is_write)
+        f |= kDirty;
     return r;
 }
 
 bool
 Cache::fillPrefetch(uint64_t addr)
 {
-    if (find(addr))
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    if (findWay(&frames[static_cast<size_t>(set) * cfg.assoc], tag) <
+        cfg.assoc)
         return false;
-    Frame &f = allocate(addr);
-    f.prefetch = true;
+    Frame &f = allocate(set, tag);
+    f |= kPrefetch;
     ++stats_.prefetchFills;
     return true;
 }
 
 bool
-Cache::fill(uint64_t addr, bool dirty)
+Cache::fill(uint64_t addr, bool is_dirty)
 {
-    if (Frame *f = find(addr)) {
-        f->dirty = f->dirty || dirty;
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Frame *base = &frames[static_cast<size_t>(set) * cfg.assoc];
+    const uint32_t way = findWay(base, tag);
+    if (way < cfg.assoc) {
+        if (is_dirty)
+            base[way] |= kDirty;
         return false;
     }
-    Frame &f = allocate(addr);
-    f.dirty = dirty;
+    Frame &f = allocate(set, tag);
+    if (is_dirty)
+        f |= kDirty;
     return true;
 }
 
@@ -165,14 +200,12 @@ Cache::invalidate(uint64_t addr)
     if (!f)
         return false;
     ++stats_.invalidations;
-    if (f->dirty)
+    if (dirty(*f))
         ++stats_.writebacks;
-    if (f->prefetch)
+    if (prefetch(*f))
         ++stats_.prefetchUnused;
-    bool was_prefetch = f->prefetch;
-    f->valid = false;
-    f->dirty = false;
-    f->prefetch = false;
+    const bool was_prefetch = prefetch(*f);
+    *f &= kRankMask;  // clear the frame, keep its LRU-stack position
     if (listener)
         listener->invalidated(blockBase(addr), was_prefetch);
     return true;
@@ -188,7 +221,7 @@ bool
 Cache::isPrefetched(uint64_t addr) const
 {
     const Frame *f = find(addr);
-    return f && f->prefetch;
+    return f && prefetch(*f);
 }
 
 bool
@@ -197,7 +230,7 @@ Cache::setDirty(uint64_t addr)
     Frame *f = find(addr);
     if (!f)
         return false;
-    f->dirty = true;
+    *f |= kDirty;
     return true;
 }
 
@@ -205,9 +238,9 @@ bool
 Cache::clearPrefetch(uint64_t addr)
 {
     Frame *f = find(addr);
-    if (!f || !f->prefetch)
+    if (!f || !prefetch(*f))
         return false;
-    f->prefetch = false;
+    *f &= ~kPrefetch;
     ++stats_.prefetchHits;
     return true;
 }
@@ -215,11 +248,8 @@ Cache::clearPrefetch(uint64_t addr)
 void
 Cache::flush()
 {
-    for (auto &f : frames) {
-        f.valid = false;
-        f.dirty = false;
-        f.prefetch = false;
-    }
+    for (auto &f : frames)
+        f &= kRankMask;
 }
 
 } // namespace stems::mem

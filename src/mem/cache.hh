@@ -16,6 +16,7 @@
 
 #include "mem/replacement.hh"
 #include "util/bits.hh"
+#include "util/hugepage.hh"
 
 namespace stems::mem {
 
@@ -101,11 +102,20 @@ class Cache
     void setListener(CacheListener *l) { listener = l; }
 
     /**
+     * Called the moment a demand access is known to miss, before the
+     * victim/allocate work: the owner uses it to start fetching the
+     * next level's state so cold lookups overlap the eviction chain.
+     */
+    using PreMissHook = void (*)(void *ctx, uint64_t addr);
+
+    /**
      * Perform a demand access. Misses allocate the block, evicting a
      * victim if needed (listener notified). Demand hits on a
      * prefetched block clear the prefetch bit and report prefetchHit.
      */
-    AccessResult access(uint64_t addr, bool is_write);
+    AccessResult access(uint64_t addr, bool is_write,
+                        PreMissHook pre_miss = nullptr,
+                        void *pre_miss_ctx = nullptr);
 
     /**
      * Insert a block on behalf of a prefetcher; no-op if present.
@@ -146,6 +156,21 @@ class Cache
     /** Drop all blocks without listener notification. */
     void flush();
 
+    /**
+     * Start fetching the tag line for @p addr's set so an imminent
+     * access()/fill() overlaps the latency of a cold tag array.
+     */
+    void
+    prefetchTags(uint64_t addr) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(
+            &frames[static_cast<size_t>(setIndex(addr)) * cfg.assoc]);
+#else
+        (void)addr;
+#endif
+    }
+
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
 
@@ -163,13 +188,41 @@ class Cache
     }
 
   private:
-    struct Frame
+    /**
+     * One tag frame packed into a word: bit 0 valid, bit 1 dirty,
+     * bit 2 prefetch, bits 3..6 the way's LRU rank (0 = MRU), tag in
+     * bits 7..63. Packing shrinks the tag-array footprint (the
+     * dominant resident cost of a 16-node system's L2s) to one word
+     * per frame, and embedding the recency rank means a hit updates
+     * LRU state on the cache line the tag probe just loaded instead
+     * of touching a second array. Ranks always form a permutation of
+     * the set's ways — invalidation clears a frame but keeps its rank
+     * — which is exactly the classic LRU-stack semantics.
+     * Tags are addr >> setShift, so addresses up to 2^57 * blockSize
+     * bytes are representable — far beyond any simulated footprint.
+     */
+    using Frame = uint64_t;
+
+    static constexpr uint64_t kValid = 1;
+    static constexpr uint64_t kDirty = 2;
+    static constexpr uint64_t kPrefetch = 4;
+    static constexpr uint32_t kRankShift = 3;
+    static constexpr uint64_t kRankMask = uint64_t{15} << kRankShift;
+    static constexpr uint32_t kTagShift = 7;
+
+    /** In-frame ranks need 4 bits; wider sets use a policy object. */
+    static constexpr uint32_t kMaxRankAssoc = 16;
+
+    static bool valid(Frame f) { return f & kValid; }
+    static bool dirty(Frame f) { return f & kDirty; }
+    static bool prefetch(Frame f) { return f & kPrefetch; }
+    static uint64_t tagBits(Frame f) { return f >> kTagShift; }
+
+    static uint32_t
+    rankOf(Frame f)
     {
-        uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetch = false;
-    };
+        return static_cast<uint32_t>((f & kRankMask) >> kRankShift);
+    }
 
     uint32_t setIndex(uint64_t addr) const;
     uint64_t tagOf(uint64_t addr) const;
@@ -177,15 +230,52 @@ class Cache
     Frame *find(uint64_t addr);
     const Frame *find(uint64_t addr) const;
 
-    /** Allocate a frame for @p addr, evicting if necessary. */
-    Frame &allocate(uint64_t addr);
+    /** Way of (set, tag) in the set's frame array, or assoc if absent. */
+    uint32_t findWay(const Frame *base, uint64_t tag) const;
+
+    /** Allocate a way in @p set for @p tag, evicting if necessary. */
+    Frame &allocate(uint32_t set, uint64_t tag);
+
+    /** Move @p way to the front of its set's LRU stack. */
+    void
+    touchRepl(Frame *base, uint32_t set, uint32_t way)
+    {
+        if (repl) {
+            repl->touch(set, way);
+            return;
+        }
+        const uint64_t r = base[way] & kRankMask;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if ((base[w] & kRankMask) < r)
+                base[w] += uint64_t{1} << kRankShift;
+        }
+        base[way] &= ~kRankMask;
+    }
+
+    uint32_t
+    victimRepl(Frame *base, uint32_t set)
+    {
+        if (repl)
+            return repl->victim(set);
+        const uint64_t back =
+            uint64_t{cfg.assoc - 1} << kRankShift;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if ((base[w] & kRankMask) == back)
+                return w;
+        }
+        return 0;  // unreachable: ranks are a permutation
+    }
+
+    /** Initial LRU stack: way 0 at the back, like untouched stamps. */
+    void resetRanks();
 
     CacheConfig cfg;
     std::string name_;
     uint32_t sets;
     uint32_t blockShift;
-    std::vector<Frame> frames;
-    std::unique_ptr<ReplacementPolicy> repl;
+    uint32_t setShift;  //!< blockShift + log2(sets), hoisted
+    util::HugeArray<Frame> frames;
+    std::unique_ptr<ReplacementPolicy> repl;  //!< null: in-frame LRU
     CacheListener *listener = nullptr;
     CacheStats stats_;
 };

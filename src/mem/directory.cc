@@ -1,12 +1,13 @@
 #include "mem/directory.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace stems::mem {
 
 Directory::Directory(uint32_t ncpu, uint32_t block_size,
-                     CoherenceClient *client)
+                     CoherenceClient *client, uint64_t expected_blocks)
     : ncpu_(ncpu), client(client)
 {
     if (ncpu == 0 || ncpu > 16)
@@ -16,6 +17,13 @@ Directory::Directory(uint32_t ncpu, uint32_t block_size,
     if (block_size / 64 > Bits128::kMaxBits)
         throw std::invalid_argument("coherence block too large to track");
     blockShift = log2i(block_size);
+    excl.reset(static_cast<size_t>(ncpu) << kExclBits);
+    if (expected_blocks) {
+        // bounded so a pathological hint cannot explode memory
+        constexpr uint64_t kMaxHint = uint64_t{1} << 21;
+        entries.reserve(
+            static_cast<size_t>(std::min(expected_blocks, kMaxHint)));
+    }
 }
 
 void
@@ -37,6 +45,8 @@ Directory::noteAccess(uint32_t cpu, uint64_t addr)
 void
 Directory::resolveAsFalse(uint64_t k)
 {
+    if (pending.empty())
+        return;
     auto it = pending.find(k);
     if (it != pending.end()) {
         ++stats_.falseSharing;
@@ -73,6 +83,7 @@ Directory::read(uint32_t cpu, uint64_t addr, bool demand)
 
     if (e.owner >= 0 && static_cast<uint32_t>(e.owner) != cpu) {
         // downgrade the modified copy; owner keeps a shared copy
+        exclDrop(static_cast<uint32_t>(e.owner), blockIndex(addr));
         e.sharers |= static_cast<uint16_t>(1u << e.owner);
         e.owner = -1;
         out.remoteTransfer = true;
@@ -89,6 +100,7 @@ void
 Directory::invalidateCopy(uint32_t cpu, uint64_t addr, Entry &e)
 {
     uint16_t bit = static_cast<uint16_t>(1u << cpu);
+    exclDrop(cpu, blockIndex(addr));
     e.sharers &= static_cast<uint16_t>(~bit);
     e.hadCopy |= bit;
     ++stats_.invalidationsSent;
@@ -103,7 +115,13 @@ Directory::invalidateCopy(uint32_t cpu, uint64_t addr, Entry &e)
 Directory::WriteOutcome
 Directory::write(uint32_t cpu, uint64_t addr)
 {
-    Entry &e = entries[blockIndex(addr)];
+    const uint64_t bi = blockIndex(addr);
+    // exclusive-store fast path: owner == cpu and hadCopy == 0 make
+    // the full write() body a provable no-op, so skip the table probe
+    if (exclSlot(cpu, bi) == bi + 1)
+        return WriteOutcome{};
+
+    Entry &e = entries[bi];
     WriteOutcome out;
     uint16_t bit = static_cast<uint16_t>(1u << cpu);
 
@@ -146,12 +164,15 @@ Directory::write(uint32_t cpu, uint64_t addr)
             absent &= static_cast<uint16_t>(~rb);
         }
     }
+    if (e.hadCopy == 0)
+        exclSlot(cpu, bi) = bi + 1;  // future stores can skip write()
     return out;
 }
 
 void
 Directory::evicted(uint32_t cpu, uint64_t addr)
 {
+    exclDrop(cpu, blockIndex(addr));
     auto it = entries.find(blockIndex(addr));
     if (it == entries.end())
         return;
@@ -162,7 +183,8 @@ Directory::evicted(uint32_t cpu, uint64_t addr)
         e.owner = -1;
     // voluntary departure: the next miss is capacity, not coherence
     e.hadCopy &= static_cast<uint16_t>(~bit);
-    sinceInval.erase(key(addr, cpu));
+    if (!sinceInval.empty())
+        sinceInval.erase(key(addr, cpu));
     resolveAsFalse(key(addr, cpu));
 }
 

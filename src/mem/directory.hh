@@ -17,9 +17,11 @@
 #define STEMS_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "util/bits.hh"
+#include "util/flat_map.hh"
+#include "util/hugepage.hh"
 
 namespace stems::mem {
 
@@ -68,13 +70,19 @@ class Directory
     };
 
     /**
-     * @param ncpu       number of nodes (max 16)
-     * @param block_size coherence granularity in bytes (power of two,
-     *                   >= 64)
-     * @param client     invalidation sink; may be null for unit tests,
-     *                   in which case invalidations are counted only
+     * @param ncpu            number of nodes (max 16)
+     * @param block_size      coherence granularity in bytes (power of
+     *                        two, >= 64)
+     * @param client          invalidation sink; may be null for unit
+     *                        tests, in which case invalidations are
+     *                        counted only
+     * @param expected_blocks footprint hint: pre-sizes the entry
+     *                        table so steady-state runs skip the
+     *                        biggest growth rehashes (0 = grow on
+     *                        demand)
      */
-    Directory(uint32_t ncpu, uint32_t block_size, CoherenceClient *client);
+    Directory(uint32_t ncpu, uint32_t block_size, CoherenceClient *client,
+              uint64_t expected_blocks = 0);
 
     /**
      * Note a demand access by @p cpu (hit or miss, any level); resolves
@@ -99,6 +107,17 @@ class Directory
 
     /** Node @p cpu's L2 silently dropped its copy (replacement). */
     void evicted(uint32_t cpu, uint64_t addr);
+
+    /**
+     * Start fetching the directory entry for @p addr so an imminent
+     * read()/write()/evicted() overlaps the memory latency of the
+     * footprint-sized entry table.
+     */
+    void
+    prefetchEntry(uint64_t addr) const
+    {
+        entries.prefetchKey(blockIndex(addr));
+    }
 
     /**
      * Resolve all still-pending classifications (as false sharing) and
@@ -144,14 +163,58 @@ class Directory
     void invalidateCopy(uint32_t cpu, uint64_t addr, Entry &e);
     void resolveAsFalse(uint64_t k);
 
+    /**
+     * Region-locality hash for the block-indexed entry table: spatial
+     * workloads touch neighbouring blocks back to back, so the low
+     * bits of the block index are kept adjacent while the region part
+     * is mixed. Probes for blocks of one region then share cache
+     * lines instead of scattering across the footprint-sized table.
+     */
+    struct BlockLocalityHash
+    {
+        uint64_t
+        operator()(uint64_t block_index) const
+        {
+            return util::Mix64{}(block_index >> 5) + (block_index & 31);
+        }
+    };
+
+    // ---- exclusive-store filter -------------------------------------
+    // Per-CPU direct-mapped cache of block indices whose directory
+    // state is known to be {owner == cpu, hadCopy == 0}: for such
+    // blocks write() is a no-op (no stats, no invalidations, no
+    // sub-block accumulation), so repeat stores to privately-owned
+    // data skip the entry-table probe entirely. Entries are dropped
+    // whenever ownership leaves the CPU or an absent former reader
+    // appears, which keeps the filter exact.
+
+    static constexpr uint32_t kExclBits = 13;  //!< 8k entries per CPU
+
+    uint64_t &
+    exclSlot(uint32_t cpu, uint64_t block_index)
+    {
+        return excl[(static_cast<size_t>(cpu) << kExclBits) |
+                    (block_index & ((uint64_t{1} << kExclBits) - 1))];
+    }
+
+    /** Drop a (cpu, block) pair from the filter if present. */
+    void
+    exclDrop(uint32_t cpu, uint64_t block_index)
+    {
+        uint64_t &s = exclSlot(cpu, block_index);
+        if (s == block_index + 1)
+            s = 0;
+    }
+
     uint32_t ncpu_;
     uint32_t blockShift;
     CoherenceClient *client;
-    std::unordered_map<uint64_t, Entry> entries;
+    util::FlatMap<uint64_t, Entry, BlockLocalityHash> entries;
     /** keyed by key(): writes accumulated since reader was invalidated */
-    std::unordered_map<uint64_t, Bits128> sinceInval;
+    util::FlatMap<uint64_t, Bits128> sinceInval;
     /** keyed by key(): classification pending while reader re-holds */
-    std::unordered_map<uint64_t, Pending> pending;
+    util::FlatMap<uint64_t, Pending> pending;
+    util::HugeArray<uint64_t> excl;  //!< block_index + 1, 0 = empty
     DirectoryStats stats_;
     bool finalized = false;
 };

@@ -9,7 +9,13 @@ MemorySystem::MemorySystem(const MemSysConfig &config) : cfg(config)
     if (cfg.l2.blockSize < cfg.l1.blockSize)
         throw std::invalid_argument("L2 block must be >= L1 block");
 
-    dir = std::make_unique<Directory>(cfg.ncpu, cfg.l2.blockSize, this);
+    // pre-size the directory for the aggregate L2 footprint: every
+    // resident L2 block keeps an entry, and workloads typically touch
+    // more than fits, so this skips the costliest growth rehashes
+    const uint64_t l2Blocks = uint64_t{cfg.ncpu} *
+        (cfg.l2.sizeBytes / cfg.l2.blockSize);
+    dir = std::make_unique<Directory>(cfg.ncpu, cfg.l2.blockSize, this,
+                                      l2Blocks);
 
     for (uint32_t c = 0; c < cfg.ncpu; ++c) {
         l1s.push_back(std::make_unique<Cache>(
@@ -45,6 +51,9 @@ MemorySystem::L1Hook::invalidated(uint64_t addr, bool wasPf)
 void
 MemorySystem::L2Hook::evicted(uint64_t addr, bool dirty, bool wasPf)
 {
+    // the directory entry for the victim is about to be walked; start
+    // its fetch so it overlaps the L1 inclusion invalidations
+    sys->dir->prefetchEntry(addr);
     sys->invalidateL1Range(cpu, addr);
     sys->dir->evicted(cpu, addr);
     if (dirty)
@@ -93,7 +102,23 @@ MemorySystem::access(const trace::MemAccess &a)
     if (a.isWrite)
         wr = dir->write(cpu, a.addr);
 
-    AccessResult r1 = l1s[cpu]->access(a.addr, a.isWrite);
+    // on an L1 miss the L2 tags and likely the directory — both
+    // footprint-sized, cold structures — get walked next: kick their
+    // lines off the moment the miss is known so the fetches overlap
+    // the L1 victim processing.
+    struct PreMissCtx
+    {
+        MemorySystem *sys;
+        uint32_t cpu;
+    } pm{this, cpu};
+    AccessResult r1 = l1s[cpu]->access(
+        a.addr, a.isWrite,
+        [](void *ctx, uint64_t addr) {
+            auto *c = static_cast<PreMissCtx *>(ctx);
+            c->sys->l2s[c->cpu]->prefetchTags(addr);
+            c->sys->dir->prefetchEntry(addr);
+        },
+        &pm);
     out.l1PrefetchHit = r1.prefetchHit;
     if (r1.prefetchHit) {
         // the L1-prefetched block's first use also vindicates the L2

@@ -9,7 +9,8 @@
 #define STEMS_MEM_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
+
+#include "util/flat_map.hh"
 
 namespace stems::mem {
 
@@ -22,7 +23,11 @@ class MshrFile
 {
   public:
     /** @param entries capacity (32 in the paper's L1s) */
-    explicit MshrFile(uint32_t entries) : capacity(entries) {}
+    explicit MshrFile(uint32_t entries) : capacity(entries)
+    {
+        // bounded occupancy: size the table once, never rehash
+        inflight.reserve(capacity);
+    }
 
     bool full() const { return inflight.size() >= capacity; }
     size_t size() const { return inflight.size(); }
@@ -100,7 +105,7 @@ class MshrFile
     uint32_t capacity;
     uint64_t merged = 0;
     uint64_t allocations = 0;
-    std::unordered_map<uint64_t, uint64_t> inflight;
+    util::FlatMap<uint64_t, uint64_t> inflight;
 };
 
 } // namespace stems::mem

@@ -34,7 +34,12 @@ class ReplacementPolicy
     virtual uint32_t victim(uint32_t set) = 0;
 };
 
-/** True LRU via monotonic use timestamps. */
+/**
+ * True LRU via monotonic use timestamps. Caches with LRU replacement
+ * and assoc <= 16 bypass this policy entirely — their recency state
+ * lives as packed ranks inside the tag frames (see mem/cache.hh) —
+ * so this object only serves wider structures and non-default wiring.
+ */
 class LruPolicy : public ReplacementPolicy
 {
   public:

@@ -1,10 +1,9 @@
 #include "sim/timing.hh"
 
 #include <algorithm>
-#include <deque>
-#include <set>
 
 #include "trace/interleaver.hh"
+#include "util/ring.hh"
 
 namespace stems::sim {
 
@@ -12,11 +11,125 @@ namespace {
 
 enum class Cat : uint8_t { L1, OnChip, OffChip };
 
-/** Phase-1 annotation of one reference. */
-struct Ann
+/**
+ * One CPU's analytic out-of-order core, advanced one reference at a
+ * time. Keeping the model per-CPU lets the functional annotation pass
+ * feed it in place: the simulation makes a single pass over the
+ * interleaved view, with no merged trace, no per-CPU re-copy, and no
+ * materialised annotation buffer between the two phases.
+ */
+struct CoreModel
 {
-    uint32_t lat = 0;      //!< load-use / store-drain latency
-    Cat cat = Cat::L1;
+    CoreModel(const CoreConfig &cfg, size_t nrefs)
+        : cfg(cfg), rob_window(cfg.robEntries + 1), mshr(cfg.mshrs + 1),
+          sb(cfg.storeBuffer + 1)
+    {
+        complete.resize(nrefs, 0.0);
+    }
+
+    const CoreConfig &cfg;
+    std::vector<double> complete;
+    size_t i = 0;  //!< per-CPU reference position
+    double retire = 0.0;
+    double dispatch = 0.0;
+    uint64_t instr_so_far = 0;
+    uint64_t userInstructions = 0;
+    uint64_t systemInstructions = 0;
+    util::FixedRing<std::pair<uint64_t, double>> rob_window;
+    util::FixedMinHeap<double> mshr;
+    util::FixedRing<double> sb;
+    TimeBreakdown bd;
+
+    void
+    step(const trace::MemAccess &a, uint32_t lat, Cat cat)
+    {
+        const uint32_t instrs = a.ninst + 1;
+        const double slot = double(instrs) / cfg.width;
+        instr_so_far += instrs;
+
+        // dispatch: bounded by fetch width and the ROB window
+        dispatch += slot;
+        while (!rob_window.empty() &&
+               instr_so_far - rob_window.front().first >
+                   cfg.robEntries) {
+            dispatch = std::max(dispatch, rob_window.front().second);
+            rob_window.pop_front();
+        }
+
+        double start = dispatch;
+        if (a.dep != 0 && a.dep <= i)
+            start = std::max(start, complete[i - a.dep]);
+
+        if (!a.isWrite) {
+            if (cat != Cat::L1) {
+                // misses occupy an MSHR until their fill returns
+                while (!mshr.empty() && mshr.top() <= start)
+                    mshr.pop();
+                if (mshr.size() >= cfg.mshrs) {
+                    start = std::max(start, mshr.top());
+                    mshr.pop();
+                }
+                complete[i] = start + lat;
+                mshr.push(complete[i]);
+            } else {
+                complete[i] = start + lat;
+            }
+        } else {
+            // stores leave the critical path at retire
+            complete[i] = start + 1.0;
+        }
+
+        // in-order retirement at the configured width
+        const double earliest = retire + slot;
+        double r = earliest;
+        if (!a.isWrite)
+            r = std::max(r, complete[i]);
+
+        if (a.isWrite) {
+            while (!sb.empty() && sb.front() <= r)
+                sb.pop_front();
+            if (sb.size() >= cfg.storeBuffer) {
+                double wait = sb.front();
+                sb.pop_front();
+                if (wait > r) {
+                    bd.storeBuffer += wait - r;
+                    r = wait;
+                }
+            }
+            const double drain_start =
+                std::max(sb.empty() ? 0.0 : sb.back(), r);
+            sb.push_back(drain_start + lat);
+        } else if (r > earliest) {
+            const double stall = r - earliest;
+            switch (cat) {
+              case Cat::OffChip:
+                bd.offChipRead += stall;
+                break;
+              case Cat::OnChip:
+                bd.onChipRead += stall;
+                break;
+              case Cat::L1:
+                bd.other += stall;
+                break;
+            }
+        }
+
+        // busy and fixed overhead accounting
+        if (a.isKernel)
+            bd.systemBusy += slot;
+        else
+            bd.userBusy += slot;
+        const double other = cfg.otherStallPerInstr * instrs;
+        bd.other += other;
+        retire = r + other;
+        rob_window.push_back({instr_so_far, retire});
+
+        if (a.isKernel)
+            systemInstructions += instrs;
+        else
+            userInstructions += instrs;
+        ++i;
+    }
 };
 
 } // anonymous namespace
@@ -28,168 +141,78 @@ runTiming(const std::vector<trace::Trace> &streams,
     const uint32_t ncpu = cfg.sys.ncpu;
     Torus torus(4, 4, cfg.core.hopLatency);
 
-    // ---------------- phase 1: functional annotation ----------------
-    trace::Interleaver il(1, 16, seed * 977 + 13);
-    trace::Trace merged = il.merge(streams);
+    // single fused pass: the interleaved order is a zero-copy view
+    // over the per-CPU streams; each reference is annotated by the
+    // coherent memory system and immediately retired through its
+    // CPU's core model
+    trace::InterleavedView view = trace::canonicalView(streams, seed);
 
     mem::MemorySystem sys(cfg.sys);
     std::unique_ptr<core::SmsController> sms;
     if (cfg.useSms)
         sms = std::make_unique<core::SmsController>(sys, cfg.sms);
 
-    std::vector<std::vector<Ann>> ann(ncpu);
+    std::vector<CoreModel> cores;
+    cores.reserve(ncpu);
     for (uint32_t c = 0; c < ncpu; ++c)
-        ann[c].reserve(streams[c].size());
-    std::vector<trace::Trace> percpu(ncpu);
-    for (uint32_t c = 0; c < ncpu; ++c)
-        percpu[c].reserve(streams[c].size());
+        cores.emplace_back(cfg.core, streams[c].size());
 
-    for (const auto &a : merged) {
-        mem::AccessOutcome out = sys.access(a);
-        Ann an;
-        const uint32_t home = torus.homeNode(a.addr);
-        switch (out.level) {
-          case mem::HitLevel::L1:
-            an.lat = cfg.core.l1Latency;
-            an.cat = Cat::L1;
-            break;
-          case mem::HitLevel::L2:
-            an.lat = cfg.core.l2Latency;
-            an.cat = Cat::OnChip;
-            break;
-          case mem::HitLevel::Remote:
-            an.lat = cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
-                cfg.core.l2Latency;
-            an.cat = Cat::OffChip;
-            break;
-          case mem::HitLevel::Memory:
-            an.lat = cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
-                cfg.core.memLatency;
-            an.cat = Cat::OffChip;
-            break;
+    const trace::MemAccess *span;
+    uint32_t spanCpu;
+    size_t spanLen;
+    while ((spanLen = view.nextSpan(span, spanCpu)) != 0) {
+        CoreModel &core = cores[spanCpu];
+        for (size_t k = 0; k < spanLen; ++k) {
+            trace::MemAccess a = span[k];
+            a.cpu = spanCpu;
+            mem::AccessOutcome out = sys.access(a);
+            uint32_t lat;
+            Cat cat;
+            switch (out.level) {
+              case mem::HitLevel::L1:
+                lat = cfg.core.l1Latency;
+                cat = Cat::L1;
+                break;
+              case mem::HitLevel::L2:
+                lat = cfg.core.l2Latency;
+                cat = Cat::OnChip;
+                break;
+              case mem::HitLevel::Remote:
+                lat = cfg.core.l2Latency +
+                    torus.roundTrip(a.cpu, torus.homeNode(a.addr)) +
+                    cfg.core.l2Latency;
+                cat = Cat::OffChip;
+                break;
+              default:  // HitLevel::Memory
+                lat = cfg.core.l2Latency +
+                    torus.roundTrip(a.cpu, torus.homeNode(a.addr)) +
+                    cfg.core.memLatency;
+                cat = Cat::OffChip;
+                break;
+            }
+            if (a.isWrite && out.l1PrefetchHit) {
+                // SMS streamed this block read-only; the store still
+                // pays a full fetch-for-ownership round trip before
+                // the store buffer can drain it (Section 4.7's Qry1
+                // observation)
+                lat = std::max<uint32_t>(
+                    cfg.core.upgradeLatency,
+                    cfg.core.l2Latency +
+                        torus.roundTrip(a.cpu, torus.homeNode(a.addr)) +
+                        cfg.core.memLatency);
+                cat = Cat::OffChip;
+            }
+            core.step(a, lat, cat);
         }
-        if (a.isWrite && out.l1PrefetchHit) {
-            // SMS streamed this block read-only; the store still pays
-            // a full fetch-for-ownership round trip before the store
-            // buffer can drain it (Section 4.7's Qry1 observation)
-            an.lat = std::max<uint32_t>(
-                cfg.core.upgradeLatency,
-                cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
-                    cfg.core.memLatency);
-            an.cat = Cat::OffChip;
-        }
-        ann[a.cpu].push_back(an);
-        percpu[a.cpu].push_back(a);
     }
 
-    // ---------------- phase 2: per-CPU core model -------------------
+    // harvest in CPU order (matches the former per-CPU second phase)
     TimingResult res;
     for (uint32_t c = 0; c < ncpu; ++c) {
-        const auto &refs = percpu[c];
-        const auto &as = ann[c];
-        const size_t n = refs.size();
-        std::vector<double> complete(n, 0.0);
-
-        double retire = 0.0;
-        double dispatch = 0.0;
-        uint64_t instr_so_far = 0;
-        std::deque<std::pair<uint64_t, double>> rob_window;
-        std::multiset<double> mshr;
-        std::deque<double> sb;
-        TimeBreakdown bd;
-
-        for (size_t i = 0; i < n; ++i) {
-            const auto &a = refs[i];
-            const auto &an = as[i];
-            const uint32_t instrs = a.ninst + 1;
-            const double slot = double(instrs) / cfg.core.width;
-            instr_so_far += instrs;
-
-            // dispatch: bounded by fetch width and the ROB window
-            dispatch += slot;
-            while (!rob_window.empty() &&
-                   instr_so_far - rob_window.front().first >
-                       cfg.core.robEntries) {
-                dispatch = std::max(dispatch, rob_window.front().second);
-                rob_window.pop_front();
-            }
-
-            double start = dispatch;
-            if (a.dep != 0 && a.dep <= i)
-                start = std::max(start, complete[i - a.dep]);
-
-            if (!a.isWrite) {
-                if (an.cat != Cat::L1) {
-                    // misses occupy an MSHR until their fill returns
-                    while (!mshr.empty() && *mshr.begin() <= start)
-                        mshr.erase(mshr.begin());
-                    if (mshr.size() >= cfg.core.mshrs) {
-                        start = std::max(start, *mshr.begin());
-                        mshr.erase(mshr.begin());
-                    }
-                    complete[i] = start + an.lat;
-                    mshr.insert(complete[i]);
-                } else {
-                    complete[i] = start + an.lat;
-                }
-            } else {
-                // stores leave the critical path at retire
-                complete[i] = start + 1.0;
-            }
-
-            // in-order retirement at the configured width
-            const double earliest = retire + slot;
-            double r = earliest;
-            if (!a.isWrite)
-                r = std::max(r, complete[i]);
-
-            if (a.isWrite) {
-                while (!sb.empty() && sb.front() <= r)
-                    sb.pop_front();
-                if (sb.size() >= cfg.core.storeBuffer) {
-                    double wait = sb.front();
-                    sb.pop_front();
-                    if (wait > r) {
-                        bd.storeBuffer += wait - r;
-                        r = wait;
-                    }
-                }
-                const double drain_start =
-                    std::max(sb.empty() ? 0.0 : sb.back(), r);
-                sb.push_back(drain_start + an.lat);
-            } else if (r > earliest) {
-                const double stall = r - earliest;
-                switch (an.cat) {
-                  case Cat::OffChip:
-                    bd.offChipRead += stall;
-                    break;
-                  case Cat::OnChip:
-                    bd.onChipRead += stall;
-                    break;
-                  case Cat::L1:
-                    bd.other += stall;
-                    break;
-                }
-            }
-
-            // busy and fixed overhead accounting
-            if (a.isKernel)
-                bd.systemBusy += slot;
-            else
-                bd.userBusy += slot;
-            const double other = cfg.core.otherStallPerInstr * instrs;
-            bd.other += other;
-            retire = r + other;
-            rob_window.emplace_back(instr_so_far, retire);
-
-            if (a.isKernel)
-                res.systemInstructions += instrs;
-            else
-                res.userInstructions += instrs;
-        }
-
-        res.cycles = std::max(res.cycles, retire);
-        res.breakdown += bd;
+        res.cycles = std::max(res.cycles, cores[c].retire);
+        res.breakdown += cores[c].bd;
+        res.userInstructions += cores[c].userInstructions;
+        res.systemInstructions += cores[c].systemInstructions;
     }
     return res;
 }

@@ -11,10 +11,10 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/region.hh"
 #include "mem/cache.hh"
+#include "util/flat_map.hh"
 
 namespace stems::study {
 
@@ -135,7 +135,7 @@ class DensityTracker : public mem::CacheListener
     }
 
     core::RegionGeometry geom;
-    std::unordered_map<uint64_t, Gen> active;
+    util::FlatMap<uint64_t, Gen> active;
     std::array<uint64_t, kDensityBuckets> accessHist_{};
     std::array<uint64_t, kDensityBuckets> genHist_{};
 };

@@ -112,6 +112,16 @@ SystemStudyResult runSystem(const trace::Trace &t,
                             const SystemStudyConfig &cfg,
                             const PfAttach &attach);
 
+/**
+ * Zero-copy form: drive the system from per-CPU streams iterated in
+ * canonical interleaved order (the same order workloads::makeTrace
+ * materialises for workload seed @p seed), without building the merged
+ * trace. Results are identical to the merged-trace overloads.
+ */
+SystemStudyResult runSystem(const std::vector<trace::Trace> &streams,
+                            const SystemStudyConfig &cfg, uint64_t seed,
+                            const PfAttach &attach = {});
+
 } // namespace stems::study
 
 #endif // STEMS_STUDY_MEMSTUDY_HH

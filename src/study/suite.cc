@@ -6,8 +6,39 @@
 #include <stdexcept>
 
 #include "trace/io.hh"
+#include "util/flat_map.hh"
 
 namespace stems::study {
+
+namespace {
+
+/**
+ * Bump when workload generators or the interleave schedule change
+ * behaviour: on-disk spill traces recorded by older generators are
+ * then rejected and regenerated instead of silently replayed.
+ */
+constexpr uint64_t kGeneratorVersion = 2;
+
+uint64_t
+hashCombine(uint64_t h, uint64_t x)
+{
+    return util::Mix64{}(h ^ (x + 0x9e3779b97f4a7c15ULL));
+}
+
+} // anonymous namespace
+
+uint64_t
+generatorConfigHash(const std::string &name,
+                    const workloads::WorkloadParams &p)
+{
+    uint64_t h = kGeneratorVersion;
+    for (char c : name)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    h = hashCombine(h, p.ncpu);
+    h = hashCombine(h, p.refsPerCpu);
+    h = hashCombine(h, p.seed);
+    return h ? h : 1;  // 0 means "no hash" on disk
+}
 
 workloads::WorkloadParams
 defaultParams(uint64_t refs_per_cpu)
@@ -37,40 +68,81 @@ TraceCache::setSpillDir(const std::string &dir)
     spillDir = dir;
 }
 
-const trace::Trace &
-TraceCache::get(const std::string &name,
-                const workloads::WorkloadParams &p)
+TraceCache::Slot &
+TraceCache::slot(const std::string &name,
+                 const workloads::WorkloadParams &p)
 {
     std::ostringstream key;
     key << name << "_" << p.ncpu << "_" << p.refsPerCpu << "_" << p.seed;
+    std::lock_guard<std::mutex> lock(mu);
+    return slots[key.str()];
+}
 
-    Slot *slot;
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        slot = &slots[key.str()];
-    }
-    std::call_once(slot->once, [&] {
+const std::vector<trace::Trace> &
+TraceCache::streams(const std::string &name,
+                    const workloads::WorkloadParams &p)
+{
+    Slot &s = slot(name, p);
+    std::call_once(s.streamsOnce, [&] {
+        const uint64_t hash = generatorConfigHash(name, p);
         const std::string file = spillDir.empty()
             ? std::string()
-            : spillDir + "/" + key.str() + ".stmt";
+            : spillDir + "/" + name + "_" + std::to_string(p.ncpu) +
+                "_" + std::to_string(p.refsPerCpu) + "_" +
+                std::to_string(p.seed) + ".stmt";
         if (!file.empty()) {
+            // replay: the spill holds the merged trace with each
+            // access's cpu field set to its stream index, so the
+            // per-CPU streams are recovered by a stable partition
+            trace::Trace merged;
             try {
-                if (trace::readTrace(file, slot->trace))
-                    return;  // replayed from disk
+                if (trace::readTrace(file, merged, hash)) {
+                    std::vector<trace::Trace> demerged(p.ncpu);
+                    bool ok = true;
+                    for (auto &st : demerged)
+                        st.reserve(p.refsPerCpu);
+                    for (const auto &a : merged) {
+                        if (a.cpu >= p.ncpu) {
+                            ok = false;
+                            break;
+                        }
+                        demerged[a.cpu].push_back(a);
+                    }
+                    if (ok) {
+                        s.streams = std::move(demerged);
+                        return;
+                    }
+                }
             } catch (const std::exception &) {
                 // unreadable spill files fall back to live generation
             }
-            slot->trace.clear();
         }
         const workloads::SuiteEntry *entry = workloads::findWorkload(name);
         if (!entry)
             throw std::invalid_argument("unknown workload: " + name);
         auto w = entry->make();
-        slot->trace = workloads::makeTrace(*w, p);
-        if (!file.empty())
-            trace::writeTrace(slot->trace, file);  // record, best effort
+        s.streams = w->generateStreams(p);
+        if (!file.empty()) {
+            // record, best effort: stream the canonical interleaved
+            // order straight to disk without materialising it
+            trace::InterleavedView view =
+                trace::canonicalView(s.streams, p.seed);
+            trace::writeTrace(view, file, hash);
+        }
     });
-    return slot->trace;
+    return s.streams;
+}
+
+const trace::Trace &
+TraceCache::get(const std::string &name,
+                const workloads::WorkloadParams &p)
+{
+    Slot &s = slot(name, p);
+    const std::vector<trace::Trace> &st = streams(name, p);
+    std::call_once(s.mergedOnce, [&] {
+        s.merged = trace::canonicalInterleaver(p.seed).merge(st);
+    });
+    return s.merged;
 }
 
 const std::vector<std::string> &

@@ -28,13 +28,32 @@ namespace stems::study {
 workloads::WorkloadParams defaultParams(uint64_t refs_per_cpu = 100000);
 
 /**
+ * Fingerprint of everything that determines a workload's interleaved
+ * reference stream: suite name, generation parameters, the interleave
+ * schedule, and a generator version that is bumped whenever workload
+ * or interleaver code changes behaviour. Stored in .stmt headers so
+ * stale spill files from incompatible generators are rejected instead
+ * of silently replayed.
+ */
+uint64_t generatorConfigHash(const std::string &name,
+                             const workloads::WorkloadParams &p);
+
+/**
  * Generates-once, reuses-thereafter trace storage for sweeps.
  *
- * Thread-safe: concurrent get() calls for the same key block until the
+ * The cache's unit of storage is the per-CPU stream set; the merged
+ * (interleaved) trace is materialised lazily only for callers that
+ * need a flat trace. Zero-copy consumers (study::runSystem over a
+ * stream view, sim::runTiming) use streams() and never pay for the
+ * merged copy.
+ *
+ * Thread-safe: concurrent calls for the same key block until the
  * first caller finishes generating; returned references stay valid for
  * the cache's lifetime. With a spill directory set, generation is
  * replaced by record/replay through trace::writeTrace / readTrace so
- * expensive workloads are generated once across processes.
+ * expensive workloads are generated once across processes. Spill
+ * files embed generatorConfigHash(); mismatching or old-format files
+ * are regenerated and overwritten.
  */
 class TraceCache
 {
@@ -42,23 +61,33 @@ class TraceCache
     TraceCache() = default;
 
     /**
-     * Record/replay traces as <dir>/<key>.stmt: a get() first tries to
-     * read the file; on miss it generates and writes it. Best effort —
-     * unreadable or missing files fall back to live generation. Call
-     * before the first get(); creates @p dir if needed.
+     * Record/replay traces as <dir>/<key>.stmt: a lookup first tries
+     * to read the file; on miss it generates and writes it. Best
+     * effort — unreadable, stale or missing files fall back to live
+     * generation. Call before the first lookup; creates @p dir if
+     * needed.
      */
     void setSpillDir(const std::string &dir);
 
-    /** Trace for suite entry @p name under @p p (cached). */
+    /** Per-CPU streams for suite entry @p name under @p p (cached). */
+    const std::vector<trace::Trace> &
+    streams(const std::string &name, const workloads::WorkloadParams &p);
+
+    /** Interleaved trace for @p name under @p p (cached, lazy). */
     const trace::Trace &get(const std::string &name,
                             const workloads::WorkloadParams &p);
 
   private:
     struct Slot
     {
-        std::once_flag once;
-        trace::Trace trace;
+        std::once_flag streamsOnce;
+        std::once_flag mergedOnce;
+        std::vector<trace::Trace> streams;
+        trace::Trace merged;
     };
+
+    Slot &slot(const std::string &name,
+               const workloads::WorkloadParams &p);
 
     std::string spillDir;
     std::mutex mu;                      //!< guards slots map shape

@@ -1,42 +1,34 @@
 #include "trace/interleaver.hh"
 
-#include "trace/rng.hh"
-
 namespace stems::trace {
 
-Trace
-Interleaver::merge(std::vector<Trace> streams) const
+void
+InterleavedView::reset()
 {
-    Rng rng(seed_);
-    size_t total = 0;
-    std::vector<size_t> pos(streams.size(), 0);
-    for (const auto &s : streams)
+    rng.reseed(seed_);
+    pos.assign(streams_->size(), 0);
+    total = 0;
+    live = 0;
+    for (const auto &s : *streams_) {
         total += s.size();
-
-    Trace out;
-    out.reserve(total);
-
-    // round-robin over cpus with live streams, random chunk lengths
-    size_t live = 0;
-    for (const auto &s : streams)
         if (!s.empty())
             ++live;
-
-    size_t cpu = 0;
-    while (live > 0) {
-        if (pos[cpu] < streams[cpu].size()) {
-            uint64_t chunk = rng.range(minChunk, maxChunk);
-            for (uint64_t i = 0; i < chunk &&
-                     pos[cpu] < streams[cpu].size(); ++i) {
-                MemAccess a = streams[cpu][pos[cpu]++];
-                a.cpu = static_cast<uint32_t>(cpu);
-                out.push_back(a);
-            }
-            if (pos[cpu] == streams[cpu].size())
-                --live;
-        }
-        cpu = (cpu + 1) % streams.size();
     }
+    cpu = 0;
+    spanNext = nullptr;
+    spanLeft = 0;
+    spanCpu = 0;
+}
+
+Trace
+Interleaver::merge(const std::vector<Trace> &streams) const
+{
+    InterleavedView v(streams, minChunk, maxChunk, seed_);
+    Trace out;
+    out.reserve(v.size());
+    MemAccess a;
+    while (v.next(a))
+        out.push_back(a);
     return out;
 }
 

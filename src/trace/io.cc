@@ -9,7 +9,6 @@ namespace stems::trace {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'M', 'T'};
-constexpr uint32_t kVersion = 1;
 
 /** On-disk packed record; kept independent of MemAccess layout. */
 struct PackedAccess
@@ -34,7 +33,7 @@ using FilePtr = std::unique_ptr<FILE, FileCloser>;
 } // anonymous namespace
 
 bool
-writeTrace(const Trace &t, const std::string &path)
+writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
@@ -42,7 +41,9 @@ writeTrace(const Trace &t, const std::string &path)
 
     uint64_t count = t.size();
     if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-        std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+        std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion), 1,
+                    f.get()) != 1 ||
+        std::fwrite(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
         std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
         return false;
     }
@@ -58,7 +59,35 @@ writeTrace(const Trace &t, const std::string &path)
 }
 
 bool
-readTrace(const std::string &path, Trace &out)
+writeTrace(InterleavedView &view, const std::string &path,
+           uint64_t config_hash)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    uint64_t count = view.size();
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+        std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion), 1,
+                    f.get()) != 1 ||
+        std::fwrite(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        return false;
+    }
+
+    MemAccess a;
+    while (view.next(a)) {
+        PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
+                       static_cast<uint8_t>(a.isWrite),
+                       static_cast<uint8_t>(a.isKernel)};
+        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+readTrace(const std::string &path, Trace &out, uint64_t expected_hash)
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
@@ -66,14 +95,19 @@ readTrace(const std::string &path, Trace &out)
 
     char magic[4];
     uint32_t version = 0;
+    uint64_t config_hash = 0;
     uint64_t count = 0;
     if (std::fread(magic, 1, 4, f.get()) != 4 ||
         std::memcmp(magic, kMagic, 4) != 0 ||
         std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-        version != kVersion ||
+        version != kTraceFormatVersion ||
+        std::fread(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
         std::fread(&count, sizeof(count), 1, f.get()) != 1) {
         return false;
     }
+    // a stale trace from an incompatible generator must not replay
+    if (expected_hash != 0 && config_hash != expected_hash)
+        return false;
 
     // a corrupt count must not drive reserve() below: require the
     // file to actually hold that many records

@@ -2,33 +2,58 @@
  * @file
  * Binary trace serialization, so expensive workload generations can be
  * captured once and replayed across experiments or shared externally.
+ *
+ * Format v2 headers carry a generator-config hash alongside the format
+ * version: replay sites pass the hash of the generator configuration
+ * they expect, and files written by an incompatible generator (or in
+ * an older format) are rejected instead of silently replaying stale
+ * references.
  */
 
 #ifndef STEMS_TRACE_IO_HH
 #define STEMS_TRACE_IO_HH
 
+#include <cstdint>
 #include <string>
 
 #include "trace/access.hh"
+#include "trace/interleaver.hh"
 
 namespace stems::trace {
 
+/** Current .stmt container format version. */
+constexpr uint32_t kTraceFormatVersion = 2;
+
 /**
  * Write @p t to @p path in the native STEMS binary format
- * (magic "STMT", version, count, packed records).
+ * (magic "STMT", version, generator-config hash, count, packed
+ * records).
  *
+ * @param config_hash caller-defined fingerprint of whatever produced
+ *                    the trace (see study::TraceCache); 0 if unused
  * @return true on success.
  */
-bool writeTrace(const Trace &t, const std::string &path);
+bool writeTrace(const Trace &t, const std::string &path,
+                uint64_t config_hash = 0);
+
+/**
+ * Stream an interleaved view straight to disk in the same format,
+ * without materialising the merged trace. The view is consumed.
+ */
+bool writeTrace(InterleavedView &view, const std::string &path,
+                uint64_t config_hash = 0);
 
 /**
  * Read a trace previously written by writeTrace().
  *
- * @param path file to read
- * @param out  receives the trace on success
- * @return true on success (magic/version/count all validated).
+ * @param path          file to read
+ * @param out           receives the trace on success
+ * @param expected_hash when nonzero, the stored generator-config hash
+ *                      must match or the file is rejected
+ * @return true on success (magic/version/hash/count all validated).
  */
-bool readTrace(const std::string &path, Trace &out);
+bool readTrace(const std::string &path, Trace &out,
+               uint64_t expected_hash = 0);
 
 } // namespace stems::trace
 

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fixed-capacity containers for the timing model's per-reference
+ * loop: a ring buffer (ROB window, store buffer) and a binary min-heap
+ * (MSHR completion times). Both are sized once from CoreConfig and
+ * never allocate afterwards, replacing the std::deque / std::multiset
+ * structures whose node churn dominated the phase-2 core model.
+ */
+
+#ifndef STEMS_UTIL_RING_HH
+#define STEMS_UTIL_RING_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stems::util {
+
+/**
+ * FIFO ring buffer over a power-of-two array. Capacity is fixed at
+ * construction; pushing past it is a programming error (the callers
+ * bound occupancy by robEntries / storeBuffer before pushing).
+ */
+template <typename T>
+class FixedRing
+{
+  public:
+    explicit FixedRing(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity + 1)
+            cap <<= 1;
+        buf.resize(cap);
+        mask = cap - 1;
+    }
+
+    bool empty() const { return head == tail; }
+    size_t size() const { return (tail - head) & mask; }
+
+    T &front() { assert(!empty()); return buf[head]; }
+    const T &front() const { assert(!empty()); return buf[head]; }
+    T &back() { assert(!empty()); return buf[(tail - 1) & mask]; }
+    const T &back() const
+    {
+        assert(!empty());
+        return buf[(tail - 1) & mask];
+    }
+
+    void
+    push_back(T v)
+    {
+        // the ring distinguishes full from empty by one spare slot, so
+        // at most `mask` entries may be resident before a push
+        assert(size() < mask && "FixedRing overflow");
+        buf[tail] = std::move(v);
+        tail = (tail + 1) & mask;
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        head = (head + 1) & mask;
+    }
+
+    void
+    clear()
+    {
+        head = tail = 0;
+    }
+
+  private:
+    std::vector<T> buf;
+    size_t mask = 0;
+    size_t head = 0;
+    size_t tail = 0;
+};
+
+/**
+ * Binary min-heap over a preallocated array. Replaces a
+ * std::multiset used only for smallest-element access: push, top and
+ * pop-min, with identical value semantics (duplicates permitted).
+ */
+template <typename T>
+class FixedMinHeap
+{
+  public:
+    explicit FixedMinHeap(size_t capacity) { buf.reserve(capacity + 1); }
+
+    bool empty() const { return buf.empty(); }
+    size_t size() const { return buf.size(); }
+
+    const T &top() const { assert(!empty()); return buf[0]; }
+
+    void
+    push(T v)
+    {
+        buf.push_back(std::move(v));
+        size_t i = buf.size() - 1;
+        while (i > 0) {
+            size_t parent = (i - 1) / 2;
+            if (!(buf[i] < buf[parent]))
+                break;
+            std::swap(buf[i], buf[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    pop()
+    {
+        assert(!empty());
+        buf[0] = std::move(buf.back());
+        buf.pop_back();
+        size_t i = 0;
+        const size_t n = buf.size();
+        for (;;) {
+            size_t smallest = i;
+            const size_t l = 2 * i + 1, r = 2 * i + 2;
+            if (l < n && buf[l] < buf[smallest])
+                smallest = l;
+            if (r < n && buf[r] < buf[smallest])
+                smallest = r;
+            if (smallest == i)
+                break;
+            std::swap(buf[i], buf[smallest]);
+            i = smallest;
+        }
+    }
+
+    void clear() { buf.clear(); }
+
+  private:
+    std::vector<T> buf;
+};
+
+} // namespace stems::util
+
+#endif // STEMS_UTIL_RING_HH

@@ -11,8 +11,7 @@ namespace stems::workloads {
 trace::Trace
 makeTrace(Workload &w, const WorkloadParams &p)
 {
-    trace::Interleaver il(1, 16, p.seed * 977 + 13);
-    return il.merge(w.generateStreams(p));
+    return trace::canonicalInterleaver(p.seed).merge(w.generateStreams(p));
 }
 
 const std::vector<SuiteEntry> &

@@ -423,15 +423,83 @@ TEST(TraceIo, RejectsCorruptCountInsteadOfThrowing)
     trace::Trace t(16);
     ASSERT_TRUE(trace::writeTrace(t, path));
     {
-        // corrupt the count field (bytes 8..15) to a huge value
+        // corrupt the count field (magic + version + hash = 16 bytes)
         std::fstream f(path,
                        std::ios::in | std::ios::out | std::ios::binary);
-        f.seekp(8);
+        f.seekp(16);
         uint64_t huge = ~uint64_t{0};
         f.write(reinterpret_cast<const char *>(&huge), sizeof(huge));
     }
     trace::Trace out;
     EXPECT_FALSE(trace::readTrace(path, out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, RejectsOldFormatVersion)
+{
+    const std::string dir = tempDir("iov");
+    const std::string path = dir + "/old.stmt";
+    trace::Trace t(4);
+    ASSERT_TRUE(trace::writeTrace(t, path));
+    {
+        // rewrite the version field (bytes 4..7) to format v1
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(4);
+        uint32_t old = 1;
+        f.write(reinterpret_cast<const char *>(&old), sizeof(old));
+    }
+    trace::Trace out;
+    EXPECT_FALSE(trace::readTrace(path, out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, RejectsGeneratorConfigHashMismatch)
+{
+    const std::string dir = tempDir("ioh");
+    const std::string path = dir + "/t.stmt";
+    trace::Trace t(4);
+    ASSERT_TRUE(trace::writeTrace(t, path, 0xabcdef));
+
+    trace::Trace out;
+    EXPECT_TRUE(trace::readTrace(path, out, 0xabcdef));  // matching
+    EXPECT_TRUE(trace::readTrace(path, out));            // unchecked
+    EXPECT_FALSE(trace::readTrace(path, out, 0x123456)); // stale
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, RejectsStaleSpillAndRegenerates)
+{
+    const std::string dir = tempDir("stale");
+    workloads::WorkloadParams p;
+    p.ncpu = 2;
+    p.refsPerCpu = 1500;
+    p.seed = 3;
+
+    study::TraceCache writer;
+    writer.setSpillDir(dir);
+    const trace::Trace live = writer.get("graph", p);
+
+    // sabotage the spill: same shape, wrong generator fingerprint
+    std::string file;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        file = e.path().string();
+    ASSERT_FALSE(file.empty());
+    trace::Trace doctored = live;
+    doctored[0].addr ^= 0xff00;  // stale content a silent replay keeps
+    ASSERT_TRUE(trace::writeTrace(doctored, file, 0xdeadbeef));
+
+    // a fresh cache must reject the stale file and regenerate
+    study::TraceCache reader;
+    reader.setSpillDir(dir);
+    const trace::Trace &regenerated = reader.get("graph", p);
+    EXPECT_TRUE(live == regenerated);
+
+    // ... and the rewritten spill now carries the correct hash again
+    trace::Trace replay;
+    EXPECT_TRUE(trace::readTrace(file, replay,
+                                 study::generatorConfigHash("graph", p)));
+    EXPECT_TRUE(live == replay);
     std::filesystem::remove_all(dir);
 }
 
@@ -479,4 +547,38 @@ TEST(SuiteExtension, GraphGeneratesDeterministicStreams)
         ASSERT_EQ(s1[c].size(), p.refsPerCpu);
         EXPECT_TRUE(s1[c] == s2[c]);
     }
+}
+
+// ---------------------------------------------------------------------
+// flat-table / trace-view equivalence suite
+// ---------------------------------------------------------------------
+
+TEST(Equivalence, PaperSuitePlusGraphJsonIdenticalAcrossThreadCounts)
+{
+    // the acceptance gate for the zero-copy hot path: the full paper
+    // suite plus the graph extension, run seeded through the engine,
+    // must emit byte-identical `stems run` JSON no matter how many
+    // runner shards execute the cells (wall_ms excluded — it is the
+    // only nondeterministic field)
+    std::vector<std::string> tokens{
+        "workloads=paper,graph", "prefetchers=sms,none",
+        "ncpu=4", "refs=2000", "seed=13"};
+    tokens.push_back("threads=1");
+    ExperimentSpec one = parseSpec(tokens);
+    tokens.back() = "threads=4";
+    ExperimentSpec four = parseSpec(tokens);
+
+    auto r1 = Runner(one).run();
+    auto r4 = Runner(four).run();
+    ASSERT_EQ(r1.size(), 24u);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (auto *rs : {&r1, &r4})
+        for (auto &r : *rs) {
+            ASSERT_TRUE(r.error.empty()) << r.error;
+            r.metrics.wallMs = 0;
+        }
+    // spec.threads differs by construction; compare the cells array
+    const std::string j1 = toJson(one, r1);
+    const std::string j4 = toJson(one, r4);
+    EXPECT_EQ(j1, j4);
 }

@@ -295,3 +295,69 @@ TEST(Suite, TraceCacheReturnsSameObject)
     EXPECT_EQ(&a, &b);
     EXPECT_EQ(a.size(), 4000u);
 }
+
+// ---------------------------------------------------------------------
+// zero-copy stream-view equivalence
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expectSameSystemResult(const SystemStudyResult &a,
+                       const SystemStudyResult &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1ReadAccesses, b.l1ReadAccesses);
+    EXPECT_EQ(a.l1ReadMisses, b.l1ReadMisses);
+    EXPECT_EQ(a.l2ReadMisses, b.l2ReadMisses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l1Covered, b.l1Covered);
+    EXPECT_EQ(a.l2Covered, b.l2Covered);
+    EXPECT_EQ(a.l1Overpred, b.l1Overpred);
+    EXPECT_EQ(a.l2Overpred, b.l2Overpred);
+    EXPECT_EQ(a.trueSharing, b.trueSharing);
+    EXPECT_EQ(a.falseSharing, b.falseSharing);
+    EXPECT_EQ(a.readCohMisses, b.readCohMisses);
+    EXPECT_EQ(a.memWritebacks, b.memWritebacks);
+    EXPECT_EQ(a.oracleL1Gens, b.oracleL1Gens);
+    EXPECT_EQ(a.oracleL2Gens, b.oracleL2Gens);
+    EXPECT_EQ(a.l1Density, b.l1Density);
+    EXPECT_EQ(a.l2Density, b.l2Density);
+}
+
+} // anonymous namespace
+
+TEST(SystemStudy, StreamViewMatchesMergedTraceByteForByte)
+{
+    // the zero-copy overload must reproduce the merged-trace pipeline
+    // exactly, with every tracker (oracle, density, SMS) engaged
+    workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 4000;
+    p.seed = 11;
+
+    for (const char *name : {"sparse", "graph", "OLTP-DB2"}) {
+        auto w = workloads::findWorkload(name)->make();
+        auto streams = w->generateStreams(p);
+        trace::Trace merged =
+            trace::Interleaver(1, 16, p.seed * 977 + 13).merge(streams);
+
+        SystemStudyConfig cfg;
+        cfg.sys.ncpu = p.ncpu;
+        cfg.pf = PfKind::Sms;
+        cfg.oracleRegionSizes = {512, 2048};
+        cfg.trackDensity = true;
+
+        auto viaTrace = runSystem(merged, cfg);
+        std::unique_ptr<core::SmsController> sms;
+        auto viaView = runSystem(
+            streams, cfg, p.seed,
+            [&](mem::MemorySystem &sys) -> AttachedPrefetcher * {
+                sms = std::make_unique<core::SmsController>(sys,
+                                                            cfg.sms);
+                return nullptr;
+            });
+        expectSameSystemResult(viaTrace, viaView);
+    }
+}

@@ -181,3 +181,227 @@ TEST(Timing, DeterministicAcrossRuns)
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.userInstructions, b.userInstructions);
 }
+
+// ---------------------------------------------------------------------
+// equivalence vs the container-based reference implementation
+// ---------------------------------------------------------------------
+
+#include <deque>
+#include <set>
+
+#include "trace/interleaver.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+/**
+ * The seed's runTiming, kept verbatim as a reference: materialised
+ * merge + per-CPU re-copy, std::multiset MSHRs, std::deque ROB window
+ * and store buffer. The production path (zero-copy view + fixed
+ * ring/heap) must reproduce its results bit for bit.
+ */
+TimingResult
+referenceRunTiming(const std::vector<trace::Trace> &streams,
+                   const TimingConfig &cfg, uint64_t seed)
+{
+    enum class Cat : uint8_t { L1, OnChip, OffChip };
+    struct Ann
+    {
+        uint32_t lat = 0;
+        Cat cat = Cat::L1;
+    };
+
+    const uint32_t ncpu = cfg.sys.ncpu;
+    Torus torus(4, 4, cfg.core.hopLatency);
+
+    trace::Interleaver il(1, 16, seed * 977 + 13);
+    trace::Trace merged = il.merge(streams);
+
+    mem::MemorySystem sys(cfg.sys);
+    std::unique_ptr<core::SmsController> sms;
+    if (cfg.useSms)
+        sms = std::make_unique<core::SmsController>(sys, cfg.sms);
+
+    std::vector<std::vector<Ann>> ann(ncpu);
+    std::vector<trace::Trace> percpu(ncpu);
+
+    for (const auto &a : merged) {
+        mem::AccessOutcome out = sys.access(a);
+        Ann an;
+        const uint32_t home = torus.homeNode(a.addr);
+        switch (out.level) {
+          case mem::HitLevel::L1:
+            an.lat = cfg.core.l1Latency;
+            an.cat = Cat::L1;
+            break;
+          case mem::HitLevel::L2:
+            an.lat = cfg.core.l2Latency;
+            an.cat = Cat::OnChip;
+            break;
+          case mem::HitLevel::Remote:
+            an.lat = cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
+                cfg.core.l2Latency;
+            an.cat = Cat::OffChip;
+            break;
+          case mem::HitLevel::Memory:
+            an.lat = cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
+                cfg.core.memLatency;
+            an.cat = Cat::OffChip;
+            break;
+        }
+        if (a.isWrite && out.l1PrefetchHit) {
+            an.lat = std::max<uint32_t>(
+                cfg.core.upgradeLatency,
+                cfg.core.l2Latency + torus.roundTrip(a.cpu, home) +
+                    cfg.core.memLatency);
+            an.cat = Cat::OffChip;
+        }
+        ann[a.cpu].push_back(an);
+        percpu[a.cpu].push_back(a);
+    }
+
+    TimingResult res;
+    for (uint32_t c = 0; c < ncpu; ++c) {
+        const auto &refs = percpu[c];
+        const auto &as = ann[c];
+        const size_t n = refs.size();
+        std::vector<double> complete(n, 0.0);
+
+        double retire = 0.0;
+        double dispatch = 0.0;
+        uint64_t instr_so_far = 0;
+        std::deque<std::pair<uint64_t, double>> rob_window;
+        std::multiset<double> mshr;
+        std::deque<double> sb;
+        TimeBreakdown bd;
+
+        for (size_t i = 0; i < n; ++i) {
+            const auto &a = refs[i];
+            const auto &an = as[i];
+            const uint32_t instrs = a.ninst + 1;
+            const double slot = double(instrs) / cfg.core.width;
+            instr_so_far += instrs;
+
+            dispatch += slot;
+            while (!rob_window.empty() &&
+                   instr_so_far - rob_window.front().first >
+                       cfg.core.robEntries) {
+                dispatch = std::max(dispatch, rob_window.front().second);
+                rob_window.pop_front();
+            }
+
+            double start = dispatch;
+            if (a.dep != 0 && a.dep <= i)
+                start = std::max(start, complete[i - a.dep]);
+
+            if (!a.isWrite) {
+                if (an.cat != Cat::L1) {
+                    while (!mshr.empty() && *mshr.begin() <= start)
+                        mshr.erase(mshr.begin());
+                    if (mshr.size() >= cfg.core.mshrs) {
+                        start = std::max(start, *mshr.begin());
+                        mshr.erase(mshr.begin());
+                    }
+                    complete[i] = start + an.lat;
+                    mshr.insert(complete[i]);
+                } else {
+                    complete[i] = start + an.lat;
+                }
+            } else {
+                complete[i] = start + 1.0;
+            }
+
+            const double earliest = retire + slot;
+            double r = earliest;
+            if (!a.isWrite)
+                r = std::max(r, complete[i]);
+
+            if (a.isWrite) {
+                while (!sb.empty() && sb.front() <= r)
+                    sb.pop_front();
+                if (sb.size() >= cfg.core.storeBuffer) {
+                    double wait = sb.front();
+                    sb.pop_front();
+                    if (wait > r) {
+                        bd.storeBuffer += wait - r;
+                        r = wait;
+                    }
+                }
+                const double drain_start =
+                    std::max(sb.empty() ? 0.0 : sb.back(), r);
+                sb.push_back(drain_start + an.lat);
+            } else if (r > earliest) {
+                const double stall = r - earliest;
+                switch (an.cat) {
+                  case Cat::OffChip:
+                    bd.offChipRead += stall;
+                    break;
+                  case Cat::OnChip:
+                    bd.onChipRead += stall;
+                    break;
+                  case Cat::L1:
+                    bd.other += stall;
+                    break;
+                }
+            }
+
+            if (a.isKernel)
+                bd.systemBusy += slot;
+            else
+                bd.userBusy += slot;
+            const double other = cfg.core.otherStallPerInstr * instrs;
+            bd.other += other;
+            retire = r + other;
+            rob_window.emplace_back(instr_so_far, retire);
+
+            if (a.isKernel)
+                res.systemInstructions += instrs;
+            else
+                res.userInstructions += instrs;
+        }
+
+        res.cycles = std::max(res.cycles, retire);
+        res.breakdown += bd;
+    }
+    return res;
+}
+
+void
+expectBitIdentical(const TimingResult &a, const TimingResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.userInstructions, b.userInstructions);
+    EXPECT_EQ(a.systemInstructions, b.systemInstructions);
+    EXPECT_EQ(a.breakdown.userBusy, b.breakdown.userBusy);
+    EXPECT_EQ(a.breakdown.systemBusy, b.breakdown.systemBusy);
+    EXPECT_EQ(a.breakdown.offChipRead, b.breakdown.offChipRead);
+    EXPECT_EQ(a.breakdown.onChipRead, b.breakdown.onChipRead);
+    EXPECT_EQ(a.breakdown.storeBuffer, b.breakdown.storeBuffer);
+    EXPECT_EQ(a.breakdown.other, b.breakdown.other);
+}
+
+} // anonymous namespace
+
+TEST(Timing, ZeroCopyPathMatchesReferenceImplementation)
+{
+    // real workloads, base and SMS configurations: the flat-table /
+    // trace-view / fixed-structure hot path must be bit-identical to
+    // the container-based reference above
+    stems::workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 6000;
+    p.seed = 3;
+
+    for (const char *name : {"sparse", "OLTP-DB2"}) {
+        auto w = stems::workloads::findWorkload(name)->make();
+        auto streams = w->generateStreams(p);
+        for (bool useSms : {false, true}) {
+            TimingConfig cfg = smallConfig(p.ncpu);
+            cfg.useSms = useSms;
+            auto ref = referenceRunTiming(streams, cfg, p.seed);
+            auto got = runTiming(streams, cfg, p.seed);
+            expectBitIdentical(ref, got);
+            EXPECT_GT(got.cycles, 0.0);
+        }
+    }
+}
