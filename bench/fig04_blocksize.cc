@@ -13,10 +13,16 @@
  *
  * All miss rates are misses per kilo-instruction normalized to the
  * 64 B baseline of the same group (the paper's y-axis).
+ *
+ * Runs through the driver engine: the block sizes are a per-cell
+ * cache-geometry sweep axis executed in parallel by the sharded
+ * runner (and dispatchable across worker processes); oracle
+ * generations and the false-sharing split ride along in the cell
+ * metrics. Output is identical to the original hand-rolled loop.
  */
 
 #include "bench/bench_util.hh"
-#include "study/memstudy.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -39,48 +45,60 @@ main()
            "Normalized read misses per instruction (64 B baseline ="
            " 1.0).\nOracle = one miss per spatial region generation.");
 
-    auto params = defaultParams();
-    TraceCache traces;
-
-    const uint32_t sizes[] = {64, 128, 512, 2048, 8192};
     const std::vector<uint32_t> oracle_sizes = {128, 512, 2048, 8192};
 
-    // per group: [size][metric]
+    driver::ExperimentSpec spec = driver::parseSpec({
+        "workloads=paper",
+        "prefetchers=none",
+        "sweep.block=64,128,512,2048,8192",
+        "oracle-regions=128,512,2048,8192",
+    });
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+
+    driver::Runner runner(spec);
+    auto results = runner.run();
+
+    const uint32_t sizes[] = {64, 128, 512, 2048, 8192};
+
+    // per group: [size][metric], accumulated in cell (= suite) order
     std::map<std::string, GroupBase> base;
     std::map<std::string, std::map<uint32_t, double>> l1_rate, l2_rate,
         l2_false, l1_oracle, l2_oracle;
+    std::map<std::string, double> instrOf;  // per workload, 64 B cell
 
-    for (const auto &entry : workloads::paperSuite()) {
-        const auto &t = traces.get(entry.name, params);
-        const std::string group = suiteClassName(entry.cls);
-
-        // baseline 64 B run also carries the oracle trackers
-        SystemStudyConfig b;
-        b.oracleRegionSizes = oracle_sizes;
-        auto rb = runSystem(t, b);
-        const double instr = double(rb.instructions);
-        base[group].l1Rate += 1000.0 * rb.l1ReadMisses / instr;
-        base[group].l2Rate += 1000.0 * rb.l2ReadMisses / instr;
-        l1_rate[group][64] += 1000.0 * rb.l1ReadMisses / instr;
-        l2_rate[group][64] += 1000.0 * rb.l2ReadMisses / instr;
-        for (size_t s = 0; s < oracle_sizes.size(); ++s) {
-            l1_oracle[group][oracle_sizes[s]] +=
-                1000.0 * rb.oracleL1Gens[s] / instr;
-            l2_oracle[group][oracle_sizes[s]] +=
-                1000.0 * rb.oracleL2Gens[s] / instr;
+    for (const auto &r : results) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " @ block "
+                      << r.cell.sys.l1.blockSize << " failed: "
+                      << r.error << "\n";
+            return 1;
         }
+        const auto &m = r.metrics;
+        const std::string group = suiteClassName(
+            workloads::findWorkload(r.cell.workload)->cls);
+        const uint32_t size = r.cell.sys.l1.blockSize;
 
-        // larger-block hierarchies (coherence unit = block)
-        for (uint32_t size : sizes) {
-            if (size == 64)
-                continue;
-            SystemStudyConfig c;
-            c.sys.l1.blockSize = size;
-            c.sys.l2.blockSize = size;
-            auto r = runSystem(t, c);
-            l1_rate[group][size] += 1000.0 * r.l1ReadMisses / instr;
-            l2_rate[group][size] += 1000.0 * r.l2ReadMisses / instr;
-            l2_false[group][size] += 1000.0 * r.falseSharing / instr;
+        if (size == 64) {
+            // the 64 B baseline cell also carries the oracle trackers
+            instrOf[r.cell.workload] = double(m.instructions);
+            const double instr = instrOf[r.cell.workload];
+            base[group].l1Rate += 1000.0 * m.l1ReadMisses / instr;
+            base[group].l2Rate += 1000.0 * m.l2ReadMisses / instr;
+            l1_rate[group][64] += 1000.0 * m.l1ReadMisses / instr;
+            l2_rate[group][64] += 1000.0 * m.l2ReadMisses / instr;
+            for (size_t s = 0; s < oracle_sizes.size(); ++s) {
+                l1_oracle[group][oracle_sizes[s]] +=
+                    1000.0 * m.oracleL1Gens[s] / instr;
+                l2_oracle[group][oracle_sizes[s]] +=
+                    1000.0 * m.oracleL2Gens[s] / instr;
+            }
+        } else {
+            // larger-block hierarchies (coherence unit = block)
+            const double instr = instrOf.at(r.cell.workload);
+            l1_rate[group][size] += 1000.0 * m.l1ReadMisses / instr;
+            l2_rate[group][size] += 1000.0 * m.l2ReadMisses / instr;
+            l2_false[group][size] += 1000.0 * m.falseSharing / instr;
         }
     }
 

@@ -1,0 +1,423 @@
+#include "dispatch/coordinator.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <filesystem>
+#include <iostream>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dispatch/wire.hh"
+
+namespace stems::dispatch {
+
+using driver::CellResult;
+using driver::ProgressFn;
+using driver::RunCell;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// transport
+// ---------------------------------------------------------------------
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "stems";  // fall back to PATH lookup
+    buf[n] = '\0';
+    return buf;
+}
+
+LocalProcessTransport::LocalProcessTransport(std::string exe)
+    : exe(std::move(exe))
+{
+}
+
+WorkerProcess
+LocalProcessTransport::spawn()
+{
+    int toChild[2], fromChild[2];
+    if (::pipe(toChild) != 0)
+        throw std::runtime_error("dispatch: pipe: " +
+                                 std::string(std::strerror(errno)));
+    if (::pipe(fromChild) != 0) {
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        throw std::runtime_error("dispatch: pipe: " +
+                                 std::string(std::strerror(errno)));
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        ::close(fromChild[0]);
+        ::close(fromChild[1]);
+        throw std::runtime_error("dispatch: fork: " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+        // child: wire the pipes onto stdin/stdout and become a worker
+        ::dup2(toChild[0], STDIN_FILENO);
+        ::dup2(fromChild[1], STDOUT_FILENO);
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        ::close(fromChild[0]);
+        ::close(fromChild[1]);
+        ::execlp(exe.c_str(), exe.c_str(), "worker",
+                 static_cast<char *>(nullptr));
+        std::cerr << "stems dispatch: exec " << exe << ": "
+                  << std::strerror(errno) << "\n";
+        ::_exit(127);
+    }
+
+    ::close(toChild[0]);
+    ::close(fromChild[1]);
+    WorkerProcess proc;
+    proc.pid = pid;
+    proc.toWorker = toChild[1];
+    proc.fromWorker = fromChild[0];
+    return proc;
+}
+
+// ---------------------------------------------------------------------
+// coordinator
+// ---------------------------------------------------------------------
+
+/** One pool slot's connection, decode state and in-flight assignment. */
+struct Coordinator::Worker
+{
+    WorkerProcess proc;
+    FrameDecoder decoder;
+    bool alive = false;
+    bool ready = false;     //!< handshake complete, can take cells
+    int cell = -1;          //!< index into cells_ (-1 = idle)
+    Clock::time_point deadline{};  //!< valid when cell != -1
+};
+
+Coordinator::Coordinator(const driver::ExperimentSpec &spec,
+                         DispatchConfig config,
+                         std::unique_ptr<Transport> transport)
+    : spec(spec), cfg(std::move(config)), transport(std::move(transport)),
+      cells_(driver::selectedCells(spec))
+{
+    if (cfg.workerExe.empty())
+        cfg.workerExe = selfExePath();
+    if (!this->transport)
+        this->transport =
+            std::make_unique<LocalProcessTransport>(cfg.workerExe);
+    if (cfg.workers == 0)
+        cfg.workers = 1;
+    cfg.workers = std::min<uint32_t>(
+        cfg.workers, static_cast<uint32_t>(cells_.size()));
+    if (cfg.maxAttempts == 0)
+        cfg.maxAttempts = 1;
+
+    // workers share one trace spill dir so each workload's trace is
+    // generated once per sweep; provision a temp dir when the spec
+    // does not pin one (cleaned up in the destructor)
+    if (this->spec.traceDir.empty()) {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() /
+             "stems-dispatch-XXXXXX")
+                .string();
+        if (::mkdtemp(tmpl.data()) == nullptr)
+            throw std::runtime_error("dispatch: mkdtemp: " +
+                                     std::string(std::strerror(errno)));
+        ownedTraceDir = tmpl;
+        this->spec.traceDir = ownedTraceDir;
+    }
+}
+
+Coordinator::~Coordinator()
+{
+    if (!ownedTraceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(ownedTraceDir, ec);  // best effort
+    }
+}
+
+std::vector<CellResult>
+Coordinator::run(const ProgressFn &progress)
+{
+    std::vector<CellResult> results(cells_.size());
+    if (cells_.empty())
+        return results;
+
+    // a worker dying mid-write must surface as EPIPE, not SIGPIPE
+    std::signal(SIGPIPE, SIG_IGN);
+
+    WorkerInit init;
+    init.traceDir = spec.traceDir;
+    init.oracleRegionSizes = spec.oracleRegionSizes;
+    const std::string initFrame = encodeInit(init);
+
+    std::deque<int> pending;  //!< cell indices awaiting a worker
+    for (size_t i = 0; i < cells_.size(); ++i)
+        pending.push_back(static_cast<int>(i));
+    std::vector<uint32_t> attempts(cells_.size(), 0);
+    size_t done = 0;
+
+    // enough respawns that the per-cell attempt cap is the real
+    // limiter, yet bounded so a fork-bomb failure mode cannot loop
+    uint32_t respawnBudget = cfg.workers +
+        2 * static_cast<uint32_t>(cells_.size()) *
+            std::max<uint32_t>(cfg.maxAttempts, 1);
+
+    std::vector<Worker> pool(cfg.workers);
+
+    auto reap = [](Worker &w) {
+        closeFd(w.proc.toWorker);
+        closeFd(w.proc.fromWorker);
+        if (w.proc.pid > 0) {
+            ::kill(w.proc.pid, SIGKILL);
+            ::waitpid(w.proc.pid, nullptr, 0);
+            w.proc.pid = -1;
+        }
+        w.alive = false;
+        w.ready = false;
+        w.decoder = FrameDecoder();
+    };
+
+    auto failCell = [&](int cell, const std::string &reason) {
+        results[cell].cell = cells_[cell];
+        results[cell].error = "dispatch: " + reason + " after " +
+            std::to_string(attempts[cell]) + " attempt(s)";
+        ++done;
+        if (progress)
+            progress(results[cell], done, cells_.size());
+    };
+
+    // a worker died (crash, timeout, protocol error): re-queue its
+    // in-flight cell or, past the attempt cap, record the failure
+    // through the cell-error path
+    auto workerLost = [&](Worker &w, const std::string &reason) {
+        const int cell = w.cell;
+        w.cell = -1;
+        reap(w);
+        if (cell < 0)
+            return;
+        if (attempts[cell] >=
+            std::max<uint32_t>(cfg.maxAttempts, 1)) {
+            failCell(cell, reason);
+        } else {
+            pending.push_front(cell);  // retry promptly, other worker
+        }
+    };
+
+    auto trySpawn = [&](Worker &w) -> bool {
+        if (respawnBudget == 0)
+            return false;
+        --respawnBudget;
+        try {
+            w.proc = transport->spawn();
+        } catch (const std::exception &e) {
+            std::cerr << "stems dispatch: spawn failed: " << e.what()
+                      << "\n";
+            return false;
+        }
+        w.alive = true;
+        w.ready = false;
+        w.cell = -1;
+        w.decoder = FrameDecoder();
+        if (!writeFrame(w.proc.toWorker, initFrame)) {
+            reap(w);
+            return false;
+        }
+        return true;
+    };
+
+    auto assign = [&](Worker &w) {
+        if (!w.alive || !w.ready || w.cell != -1 || pending.empty())
+            return;
+        const int cell = pending.front();
+        pending.pop_front();
+        ++attempts[cell];
+        w.cell = cell;
+        if (cfg.timeoutMs > 0)
+            w.deadline = Clock::now() +
+                std::chrono::milliseconds(cfg.timeoutMs);
+        if (!writeFrame(w.proc.toWorker,
+                        encodeCellJob(cells_[cell])))
+            workerLost(w, "worker rejected cell " +
+                              std::to_string(cells_[cell].id));
+    };
+
+    // drain every complete frame buffered for one worker
+    auto handleFrames = [&](Worker &w) {
+        std::string payload;
+        for (;;) {
+            try {
+                if (!w.decoder.next(payload))
+                    return;
+                const JsonValue msg = parseJson(payload);
+                const std::string &type = messageType(msg);
+                if (type == "ready") {
+                    w.ready = true;
+                } else if (type == "result") {
+                    CellResult wire = decodeResult(msg);
+                    const int cell = w.cell;
+                    if (cell < 0 ||
+                        wire.cell.id != cells_[cell].id) {
+                        workerLost(w, "worker answered for the wrong "
+                                      "cell");
+                        return;
+                    }
+                    // the coordinator's cell is authoritative for the
+                    // report; the wire carries measurements only
+                    results[cell].cell = cells_[cell];
+                    results[cell].metrics = std::move(wire.metrics);
+                    results[cell].error = std::move(wire.error);
+                    w.cell = -1;
+                    ++done;
+                    if (progress)
+                        progress(results[cell], done, cells_.size());
+                } else {
+                    workerLost(w, "unexpected message \"" + type +
+                                      "\"");
+                    return;
+                }
+            } catch (const std::exception &e) {
+                workerLost(w, std::string("protocol error (") +
+                                  e.what() + ")");
+                return;
+            }
+            assign(w);
+        }
+    };
+
+    for (auto &w : pool)
+        trySpawn(w);
+
+    while (done < cells_.size()) {
+        // refill dead slots only while un-assigned work exists — a
+        // respawned worker with nothing pending would idle until
+        // shutdown and waste respawn budget
+        size_t alive = 0;
+        for (auto &w : pool) {
+            if (!w.alive && !pending.empty())
+                trySpawn(w);
+            if (w.alive) {
+                ++alive;
+                assign(w);
+            }
+        }
+        if (alive == 0) {
+            // pool unrecoverable (spawn failures / budget exhausted):
+            // fail whatever is left through the cell-error path
+            while (!pending.empty()) {
+                const int cell = pending.front();
+                pending.pop_front();
+                if (attempts[cell] == 0)
+                    ++attempts[cell];
+                failCell(cell, "no workers available");
+            }
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<Worker *> fdOwner;
+        for (auto &w : pool) {
+            if (!w.alive)
+                continue;
+            fds.push_back({w.proc.fromWorker, POLLIN, 0});
+            fdOwner.push_back(&w);
+        }
+
+        int timeout = -1;
+        if (cfg.timeoutMs > 0) {
+            const auto now = Clock::now();
+            for (auto &w : pool) {
+                if (!w.alive || w.cell < 0)
+                    continue;
+                const auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(w.deadline - now)
+                        .count();
+                const int ms =
+                    left < 0 ? 0 : static_cast<int>(left) + 1;
+                if (timeout < 0 || ms < timeout)
+                    timeout = ms;
+            }
+        }
+
+        const int n = ::poll(fds.data(),
+                             static_cast<nfds_t>(fds.size()), timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("dispatch: poll: " +
+                                     std::string(std::strerror(errno)));
+        }
+
+        for (size_t i = 0; i < fds.size(); ++i) {
+            Worker &w = *fdOwner[i];
+            if (!w.alive || fds[i].revents == 0)
+                continue;
+            char chunk[65536];
+            const ssize_t r =
+                ::read(w.proc.fromWorker, chunk, sizeof(chunk));
+            if (r > 0) {
+                w.decoder.feed(chunk, static_cast<size_t>(r));
+                handleFrames(w);
+            } else if (r == 0 || errno != EINTR) {
+                workerLost(w, "worker exited");
+            }
+        }
+
+        if (cfg.timeoutMs > 0) {
+            const auto now = Clock::now();
+            for (auto &w : pool) {
+                if (w.alive && w.cell >= 0 && now >= w.deadline)
+                    workerLost(w, "cell " +
+                                      std::to_string(
+                                          cells_[w.cell].id) +
+                                      " timed out");
+            }
+        }
+    }
+
+    for (auto &w : pool) {
+        if (w.alive && w.proc.toWorker >= 0)
+            writeFrame(w.proc.toWorker, encodeShutdown());
+        reap(w);
+    }
+    return results;
+}
+
+std::vector<CellResult>
+runDispatched(const driver::ExperimentSpec &spec,
+              const ProgressFn &progress)
+{
+    DispatchConfig cfg;
+    cfg.workers = spec.dispatch ? spec.dispatch : 1;
+    cfg.timeoutMs = spec.dispatchTimeoutMs;
+    cfg.maxAttempts = spec.dispatchRetries;
+    Coordinator coord(spec, cfg);
+    return coord.run(progress);
+}
+
+} // namespace stems::dispatch

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The dispatch coordinator: farms an experiment spec's cells to a pool
+ * of worker subprocesses over the wire protocol and folds their
+ * results into the same ordered CellResult vector driver::Runner
+ * produces — reports built from either path are byte-identical.
+ *
+ * Fault tolerance: a worker that crashes, returns garbage, or blows a
+ * per-cell timeout is reaped and its in-flight cell re-queued to
+ * another worker; after a per-cell attempt cap the failure is recorded
+ * through the runner's existing cell-error path (the report's "error"
+ * field) instead of taking down the sweep. Dead workers are replaced
+ * as long as work remains, within a respawn budget.
+ *
+ * Workers share generated .stmt traces through the TraceCache spill
+ * dir (a temp dir is provisioned when the spec has none), so each
+ * workload's trace is generated once per sweep, not once per worker.
+ *
+ * The Transport seam is the machine-list hook: LocalProcessTransport
+ * forks `stems worker` on this host; a future remote transport only
+ * has to hand back the same pipe-fd triple.
+ */
+
+#ifndef STEMS_DISPATCH_COORDINATOR_HH
+#define STEMS_DISPATCH_COORDINATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "driver/spec.hh"
+
+namespace stems::dispatch {
+
+/** A spawned worker's process handle and pipe endpoints. */
+struct WorkerProcess
+{
+    pid_t pid = -1;
+    int toWorker = -1;    //!< write end (worker stdin)
+    int fromWorker = -1;  //!< read end (worker stdout)
+};
+
+/** Launches workers; the seam future machine-list transports fill. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Launch one worker; throws std::runtime_error on failure. */
+    virtual WorkerProcess spawn() = 0;
+};
+
+/** Forks `<exe> worker` on this host with stdin/stdout pipes. */
+class LocalProcessTransport : public Transport
+{
+  public:
+    explicit LocalProcessTransport(std::string exe);
+
+    WorkerProcess spawn() override;
+
+  private:
+    std::string exe;
+};
+
+/** Pool shape and failure policy. */
+struct DispatchConfig
+{
+    uint32_t workers = 4;
+    uint32_t timeoutMs = 0;     //!< per-cell timeout (0 = none)
+    uint32_t maxAttempts = 3;   //!< per-cell tries before giving up
+    std::string workerExe;      //!< "" = this binary (/proc/self/exe)
+};
+
+/** Multi-process analogue of driver::Runner. */
+class Coordinator
+{
+  public:
+    /**
+     * @param spec       experiment to run (cells=-filter honoured)
+     * @param config     pool shape; config.workers is clamped to the
+     *                   cell count
+     * @param transport  worker launcher; nullptr = local processes
+     *                   running config.workerExe
+     */
+    Coordinator(const driver::ExperimentSpec &spec,
+                DispatchConfig config,
+                std::unique_ptr<Transport> transport = nullptr);
+    ~Coordinator();
+
+    /** Run all cells; results ordered as driver::Runner orders them. */
+    std::vector<driver::CellResult>
+    run(const driver::ProgressFn &progress = {});
+
+    const std::vector<driver::RunCell> &cells() const { return cells_; }
+
+  private:
+    struct Worker;
+
+    driver::ExperimentSpec spec;
+    DispatchConfig cfg;
+    std::unique_ptr<Transport> transport;
+    std::vector<driver::RunCell> cells_;
+    std::string ownedTraceDir;  //!< temp spill dir we created (cleaned)
+};
+
+/** This binary's path (for spawning `stems worker` from itself). */
+std::string selfExePath();
+
+/**
+ * Convenience wrapper for the CLI: dispatch @p spec across
+ * spec.dispatch local workers with the spec's timeout/retry policy.
+ */
+std::vector<driver::CellResult>
+runDispatched(const driver::ExperimentSpec &spec,
+              const driver::ProgressFn &progress = {});
+
+} // namespace stems::dispatch
+
+#endif // STEMS_DISPATCH_COORDINATOR_HH

@@ -1,0 +1,282 @@
+#include "dispatch/json.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace stems::dispatch {
+
+namespace {
+
+/** Recursive-descent parser over one source string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : src(src) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos != src.size())
+            fail("trailing bytes after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::invalid_argument("json: " + what + " at offset " +
+                                    std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek() const
+    {
+        return pos < src.size() ? src[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (src.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size()) {
+            char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= src.size())
+                fail("unterminated escape");
+            char e = src[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = src[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // the engine only emits \u00xx control escapes; encode
+                // anything else as UTF-8 so nothing is lost
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue
+    value(int depth)
+    {
+        if (depth > 64)
+            fail("nesting too deep");
+        skipWs();
+        JsonValue v;
+        v.rawBegin = pos;
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+            } else {
+                for (;;) {
+                    skipWs();
+                    std::string key = string();
+                    skipWs();
+                    expect(':');
+                    v.members.emplace_back(std::move(key),
+                                           value(depth + 1));
+                    skipWs();
+                    if (peek() == ',') {
+                        ++pos;
+                        continue;
+                    }
+                    expect('}');
+                    break;
+                }
+            }
+        } else if (c == '[') {
+            ++pos;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+            } else {
+                for (;;) {
+                    v.items.push_back(value(depth + 1));
+                    skipWs();
+                    if (peek() == ',') {
+                        ++pos;
+                        continue;
+                    }
+                    expect(']');
+                    break;
+                }
+            }
+        } else if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.text = string();
+        } else if (c == 't') {
+            if (!consume("true"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+        } else if (c == 'f') {
+            if (!consume("false"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+        } else if (c == 'n') {
+            if (!consume("null"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Null;
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            v.kind = JsonValue::Kind::Number;
+            const size_t start = pos;
+            if (peek() == '-')
+                ++pos;
+            while (pos < src.size() &&
+                   ((src[pos] >= '0' && src[pos] <= '9') ||
+                    src[pos] == '.' || src[pos] == 'e' ||
+                    src[pos] == 'E' || src[pos] == '+' ||
+                    src[pos] == '-'))
+                ++pos;
+            v.text = src.substr(start, pos - start);
+            if (v.text.empty() || v.text == "-")
+                fail("bad number");
+        } else {
+            fail("unexpected byte");
+        }
+        v.rawEnd = pos;
+        return v;
+    }
+
+    const std::string &src;
+    size_t pos = 0;
+};
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::invalid_argument("json: missing key \"" + key + "\"");
+    return *v;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        throw std::invalid_argument("json: expected number");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number && kind != Kind::String)
+        throw std::invalid_argument("json: expected number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::invalid_argument("json: expected string");
+    return text;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        throw std::invalid_argument("json: expected bool");
+    return boolean;
+}
+
+JsonValue
+parseJson(const std::string &src)
+{
+    return Parser(src).document();
+}
+
+} // namespace stems::dispatch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal dependency-free JSON reader for the dispatch layer: the
+ * worker wire protocol and the report merger both consume JSON the
+ * engine itself produced (driver::JsonWriter), so the parser favours
+ * strictness and raw-span preservation over generality. Every parsed
+ * value remembers its [begin, end) byte span in the source text, which
+ * lets the merger splice cell objects between reports byte-identically
+ * instead of re-serializing (and re-rounding) them.
+ */
+
+#ifndef STEMS_DISPATCH_JSON_HH
+#define STEMS_DISPATCH_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stems::dispatch {
+
+/** One parsed JSON value with its raw source span. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** String: decoded content; Number: the raw literal text. */
+    std::string text;
+    std::vector<JsonValue> items;  //!< Array elements
+    /** Object members, in source order (the engine relies on order). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+    size_t rawBegin = 0;  //!< offset of the first byte in the source
+    size_t rawEnd = 0;    //!< one past the last byte
+
+    /** Member lookup (Object); nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member lookup that throws std::invalid_argument when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Number as unsigned integer; throws on non-numbers. */
+    uint64_t asU64() const;
+
+    /**
+     * Number — or a string holding a C99 hexfloat — as double. The
+     * wire protocol ships doubles as hexfloat strings so metric values
+     * survive the round trip bit-exactly.
+     */
+    double asDouble() const;
+
+    /** String content; throws on non-strings. */
+    const std::string &asString() const;
+
+    bool asBool() const;
+};
+
+/**
+ * Parse one JSON document (the entire @p src must be consumed apart
+ * from trailing whitespace). Throws std::invalid_argument with an
+ * offset-bearing message on malformed input.
+ */
+JsonValue parseJson(const std::string &src);
+
+} // namespace stems::dispatch
+
+#endif // STEMS_DISPATCH_JSON_HH

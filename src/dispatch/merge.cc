@@ -1,0 +1,91 @@
+#include "dispatch/merge.hh"
+
+#include <map>
+#include <stdexcept>
+
+#include "dispatch/json.hh"
+
+namespace stems::dispatch {
+
+ParsedReport
+parseReport(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    if (doc.kind != JsonValue::Kind::Object)
+        throw std::invalid_argument("merge: not a report object");
+    const JsonValue *engine = doc.find("engine");
+    if (!engine || engine->kind != JsonValue::Kind::String ||
+        engine->text != "stems")
+        throw std::invalid_argument("merge: not a stems report");
+    const JsonValue *cells = doc.find("cells");
+    if (!cells || cells->kind != JsonValue::Kind::Array)
+        throw std::invalid_argument("merge: report has no cells array");
+
+    ParsedReport out;
+    // rawBegin is the '[' of the cells array; keep it in the prefix so
+    // prefix + joined cells + suffix reassembles the document
+    out.prefix = text.substr(0, cells->rawBegin + 1);
+    out.suffix = text.substr(cells->rawEnd - 1);
+    out.cells.reserve(cells->items.size());
+    for (const JsonValue &cell : cells->items) {
+        if (cell.kind != JsonValue::Kind::Object)
+            throw std::invalid_argument("merge: non-object cell");
+        ParsedReport::Cell c;
+        c.id = static_cast<uint32_t>(cell.at("id").asU64());
+        c.ok = cell.find("error") == nullptr;
+        c.raw = text.substr(cell.rawBegin,
+                            cell.rawEnd - cell.rawBegin);
+        out.cells.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::string
+mergeReports(const std::vector<std::string> &texts)
+{
+    if (texts.empty())
+        throw std::invalid_argument("merge: no reports given");
+
+    ParsedReport first = parseReport(texts[0]);
+    // ordered by id so the merged cells array matches the expansion
+    // order a full single run would emit
+    std::map<uint32_t, ParsedReport::Cell> chosen;
+
+    auto fold = [&](ParsedReport &&report) {
+        for (auto &cell : report.cells) {
+            // first ok occurrence wins; an ok cell repairs an earlier
+            // failed one, everything else keeps the earlier
+            auto it = chosen.find(cell.id);
+            if (it == chosen.end())
+                chosen.emplace(cell.id, std::move(cell));
+            else if (!it->second.ok && cell.ok)
+                it->second = std::move(cell);
+        }
+    };
+
+    const std::string prefix = first.prefix;
+    const std::string suffix = first.suffix;
+    fold(std::move(first));
+    for (size_t i = 1; i < texts.size(); ++i) {
+        ParsedReport report = parseReport(texts[i]);
+        if (report.prefix != prefix || report.suffix != suffix)
+            throw std::invalid_argument(
+                "merge: report " + std::to_string(i + 1) +
+                " was built from a different spec (run the partials "
+                "with identical keys apart from cells=)");
+        fold(std::move(report));
+    }
+
+    std::string out = prefix;
+    bool firstCell = true;
+    for (const auto &[id, cell] : chosen) {
+        if (!firstCell)
+            out += ',';
+        firstCell = false;
+        out += cell.raw;
+    }
+    out += suffix;
+    return out;
+}
+
+} // namespace stems::dispatch

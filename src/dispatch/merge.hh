@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Report merging: fold independently produced `stems run` JSON reports
+ * (cell subsets from `cells=` ranges, other machines, or re-runs that
+ * repaired failed cells) into one report keyed by cell id.
+ *
+ * Merging splices the cells' raw JSON text between documents instead
+ * of re-serializing them, so a merged report is byte-identical to the
+ * single-process run that would have produced the same cell set — no
+ * float re-rounding, no key reordering.
+ *
+ * Merge semantics per cell id: the first error-free occurrence wins
+ * (argument order, then in-file order); if every occurrence failed,
+ * the first occurrence wins. This makes merge associative and
+ * idempotent, so partial reports can be combined in any grouping.
+ */
+
+#ifndef STEMS_DISPATCH_MERGE_HH
+#define STEMS_DISPATCH_MERGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stems::dispatch {
+
+/** One report document split for by-id splicing. */
+struct ParsedReport
+{
+    /** Everything before the first cell (ends with `"cells":[`). */
+    std::string prefix;
+    /** Everything after the last cell (starts with `]`). */
+    std::string suffix;
+
+    struct Cell
+    {
+        uint32_t id = 0;
+        bool ok = false;    //!< no "error" member
+        std::string raw;    //!< the cell object's exact source bytes
+    };
+    std::vector<Cell> cells;
+};
+
+/**
+ * Split one report document. Throws std::invalid_argument when the
+ * text is not a stems run report.
+ */
+ParsedReport parseReport(const std::string &text);
+
+/**
+ * Merge report documents by cell id (first-ok-wins). All inputs must
+ * carry the same spec (identical prefix/suffix bytes); throws
+ * std::invalid_argument otherwise or when no input is given.
+ */
+std::string mergeReports(const std::vector<std::string> &texts);
+
+} // namespace stems::dispatch
+
+#endif // STEMS_DISPATCH_MERGE_HH

@@ -1,0 +1,360 @@
+#include "dispatch/wire.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "driver/report.hh"
+
+namespace stems::dispatch {
+
+namespace {
+
+using driver::JsonWriter;
+
+/** Bit-exact double encoding (C99 hexfloat; strtod round-trips it). */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+void
+writeOptions(JsonWriter &j, const driver::Options &opts)
+{
+    j.beginObject();
+    for (const auto &[k, v] : opts)
+        j.key(k).value(v);
+    j.endObject();
+}
+
+driver::Options
+readOptions(const JsonValue &v)
+{
+    driver::Options out;
+    for (const auto &[k, val] : v.members)
+        out[k] = val.asString();
+    return out;
+}
+
+void
+writeCacheConfig(JsonWriter &j, const mem::CacheConfig &c)
+{
+    j.beginArray();
+    j.value(c.sizeBytes);
+    j.value(uint64_t{c.assoc});
+    j.value(uint64_t{c.blockSize});
+    j.value(static_cast<uint64_t>(c.repl));
+    j.endArray();
+}
+
+mem::CacheConfig
+readCacheConfig(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Array || v.items.size() != 4)
+        throw std::invalid_argument("wire: bad cache config");
+    mem::CacheConfig c;
+    c.sizeBytes = v.items[0].asU64();
+    c.assoc = static_cast<uint32_t>(v.items[1].asU64());
+    c.blockSize = static_cast<uint32_t>(v.items[2].asU64());
+    c.repl = static_cast<mem::ReplKind>(v.items[3].asU64());
+    return c;
+}
+
+void
+writeU64Array(JsonWriter &j, const std::vector<uint64_t> &values)
+{
+    j.beginArray();
+    for (uint64_t v : values)
+        j.value(v);
+    j.endArray();
+}
+
+std::vector<uint64_t>
+readU64Array(const JsonValue &v)
+{
+    std::vector<uint64_t> out;
+    out.reserve(v.items.size());
+    for (const auto &item : v.items)
+        out.push_back(item.asU64());
+    return out;
+}
+
+} // anonymous namespace
+
+const std::string &
+messageType(const JsonValue &msg)
+{
+    return msg.at("type").asString();
+}
+
+std::string
+encodeInit(const WorkerInit &init)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("init");
+    j.key("protocol").value(uint64_t{init.protocol});
+    j.key("trace_dir").value(init.traceDir);
+    j.key("oracle_regions").beginArray();
+    for (uint32_t s : init.oracleRegionSizes)
+        j.value(uint64_t{s});
+    j.endArray();
+    j.endObject();
+    return j.str();
+}
+
+WorkerInit
+decodeInit(const JsonValue &msg)
+{
+    WorkerInit init;
+    init.protocol = static_cast<uint32_t>(msg.at("protocol").asU64());
+    if (init.protocol != kProtocolVersion)
+        throw std::invalid_argument(
+            "wire: protocol mismatch (coordinator " +
+            std::to_string(init.protocol) + ", worker " +
+            std::to_string(kProtocolVersion) + ")");
+    init.traceDir = msg.at("trace_dir").asString();
+    for (const auto &s : msg.at("oracle_regions").items)
+        init.oracleRegionSizes.push_back(
+            static_cast<uint32_t>(s.asU64()));
+    return init;
+}
+
+std::string
+encodeReady(int pid)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("ready");
+    j.key("pid").value(static_cast<uint64_t>(pid));
+    j.endObject();
+    return j.str();
+}
+
+std::string
+encodeCellJob(const driver::RunCell &cell)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("cell");
+    j.key("cell").beginObject();
+    j.key("id").value(uint64_t{cell.id});
+    j.key("workload").value(cell.workload);
+    j.key("kind").value(cell.engine.kind);
+    j.key("label").value(cell.engine.label);
+    j.key("options");
+    writeOptions(j, cell.engine.options);
+    j.key("sweep");
+    writeOptions(j, cell.sweepPoint);
+    j.key("ncpu").value(uint64_t{cell.params.ncpu});
+    j.key("refs").value(cell.params.refsPerCpu);
+    j.key("seed").value(cell.params.seed);
+    j.key("sys").beginObject();
+    j.key("ncpu").value(uint64_t{cell.sys.ncpu});
+    j.key("l1");
+    writeCacheConfig(j, cell.sys.l1);
+    j.key("l2");
+    writeCacheConfig(j, cell.sys.l2);
+    j.endObject();
+    j.key("mode").value(driver::studyModeName(cell.mode));
+    j.key("timing").value(cell.timing);
+    j.key("timing_only").value(cell.timingOnly);
+    j.endObject();
+    j.endObject();
+    return j.str();
+}
+
+driver::RunCell
+decodeCellJob(const JsonValue &msg)
+{
+    const JsonValue &c = msg.at("cell");
+    driver::RunCell cell;
+    cell.id = static_cast<uint32_t>(c.at("id").asU64());
+    cell.workload = c.at("workload").asString();
+    cell.engine.kind = c.at("kind").asString();
+    cell.engine.label = c.at("label").asString();
+    cell.engine.options = readOptions(c.at("options"));
+    cell.sweepPoint = readOptions(c.at("sweep"));
+    cell.params.ncpu = static_cast<uint32_t>(c.at("ncpu").asU64());
+    cell.params.refsPerCpu = c.at("refs").asU64();
+    cell.params.seed = c.at("seed").asU64();
+    const JsonValue &sys = c.at("sys");
+    cell.sys.ncpu = static_cast<uint32_t>(sys.at("ncpu").asU64());
+    cell.sys.l1 = readCacheConfig(sys.at("l1"));
+    cell.sys.l2 = readCacheConfig(sys.at("l2"));
+    const std::string &mode = c.at("mode").asString();
+    if (mode == "system")
+        cell.mode = driver::StudyMode::System;
+    else if (mode == "l1")
+        cell.mode = driver::StudyMode::L1;
+    else
+        throw std::invalid_argument("wire: bad mode \"" + mode + "\"");
+    cell.timing = c.at("timing").asBool();
+    cell.timingOnly = c.at("timing_only").asBool();
+    return cell;
+}
+
+std::string
+encodeResult(const driver::CellResult &result)
+{
+    const driver::CellMetrics &m = result.metrics;
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("result");
+    j.key("id").value(uint64_t{result.cell.id});
+    j.key("error").value(result.error);
+    j.key("metrics").beginObject();
+    j.key("instructions").value(m.instructions);
+    j.key("l1_read_misses").value(m.l1ReadMisses);
+    j.key("l2_read_misses").value(m.l2ReadMisses);
+    j.key("l1_covered").value(m.l1Covered);
+    j.key("l2_covered").value(m.l2Covered);
+    j.key("l1_overpred").value(m.l1Overpred);
+    j.key("l2_overpred").value(m.l2Overpred);
+    j.key("baseline_l1").value(m.baselineL1ReadMisses);
+    j.key("baseline_l2").value(m.baselineL2ReadMisses);
+    j.key("false_sharing").value(m.falseSharing);
+    j.key("oracle_l1");
+    writeU64Array(j, m.oracleL1Gens);
+    j.key("oracle_l2");
+    writeU64Array(j, m.oracleL2Gens);
+    j.key("uipc").value(hexDouble(m.uipc));
+    j.key("baseline_uipc").value(hexDouble(m.baselineUipc));
+    j.key("speedup").value(hexDouble(m.speedup));
+    j.key("wall_ms").value(hexDouble(m.wallMs));
+    j.endObject();
+    j.key("counters").beginArray();
+    for (const auto &[name, count] : m.pfCounters) {
+        j.beginArray();
+        j.value(name);
+        j.value(count);
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
+    return j.str();
+}
+
+driver::CellResult
+decodeResult(const JsonValue &msg)
+{
+    driver::CellResult out;
+    out.cell.id = static_cast<uint32_t>(msg.at("id").asU64());
+    out.error = msg.at("error").asString();
+    const JsonValue &m = msg.at("metrics");
+    driver::CellMetrics &d = out.metrics;
+    d.instructions = m.at("instructions").asU64();
+    d.l1ReadMisses = m.at("l1_read_misses").asU64();
+    d.l2ReadMisses = m.at("l2_read_misses").asU64();
+    d.l1Covered = m.at("l1_covered").asU64();
+    d.l2Covered = m.at("l2_covered").asU64();
+    d.l1Overpred = m.at("l1_overpred").asU64();
+    d.l2Overpred = m.at("l2_overpred").asU64();
+    d.baselineL1ReadMisses = m.at("baseline_l1").asU64();
+    d.baselineL2ReadMisses = m.at("baseline_l2").asU64();
+    d.falseSharing = m.at("false_sharing").asU64();
+    d.oracleL1Gens = readU64Array(m.at("oracle_l1"));
+    d.oracleL2Gens = readU64Array(m.at("oracle_l2"));
+    d.uipc = m.at("uipc").asDouble();
+    d.baselineUipc = m.at("baseline_uipc").asDouble();
+    d.speedup = m.at("speedup").asDouble();
+    d.wallMs = m.at("wall_ms").asDouble();
+    for (const auto &pair : msg.at("counters").items) {
+        if (pair.items.size() != 2)
+            throw std::invalid_argument("wire: bad counter pair");
+        d.pfCounters.emplace_back(pair.items[0].asString(),
+                                  pair.items[1].asU64());
+    }
+    return out;
+}
+
+std::string
+encodeShutdown()
+{
+    return "{\"type\":\"shutdown\"}";
+}
+
+// ---------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------
+
+bool
+FrameDecoder::next(std::string &out)
+{
+    const size_t nl = buf.find('\n', consumed);
+    if (nl == std::string::npos)
+        return false;
+    size_t len = 0;
+    bool any = false;
+    for (size_t i = consumed; i < nl; ++i) {
+        const char c = buf[i];
+        if (c < '0' || c > '9')
+            throw std::invalid_argument(
+                "wire: corrupt frame length prefix");
+        len = len * 10 + static_cast<size_t>(c - '0');
+        any = true;
+        if (len > (64u << 20))
+            throw std::invalid_argument("wire: frame too large");
+    }
+    if (!any)
+        throw std::invalid_argument("wire: empty frame length prefix");
+    // payload plus its trailing newline must be complete
+    if (buf.size() - (nl + 1) < len + 1)
+        return false;
+    out.assign(buf, nl + 1, len);
+    if (buf[nl + 1 + len] != '\n')
+        throw std::invalid_argument("wire: missing frame terminator");
+    consumed = nl + 1 + len + 1;
+    // periodically drop consumed bytes so the buffer stays bounded
+    if (consumed > (1u << 16)) {
+        buf.erase(0, consumed);
+        consumed = 0;
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;  // peer gone (EPIPE with SIGPIPE ignored)
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readFrame(int fd, FrameDecoder &decoder, std::string &out)
+{
+    for (;;) {
+        if (decoder.next(out))
+            return true;
+        char chunk[65536];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n == 0)
+            return false;  // EOF
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        decoder.feed(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace stems::dispatch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The dispatch wire protocol: length-prefixed newline-JSON frames over
+ * pipes between the coordinator and its worker processes.
+ *
+ * One frame is `<decimal byte length>\n<json>\n`. The length prefix
+ * makes framing trivial and the trailing newline keeps a captured
+ * stream human-readable (`stems worker` under a terminal prints one
+ * JSON document per line).
+ *
+ * Message flow:
+ *   coordinator -> worker:  init, cell*, shutdown
+ *   worker -> coordinator:  ready, result*
+ *
+ * Doubles (uIPC, wall times) travel as C99 hexfloat strings so metric
+ * values survive the round trip bit-exactly — the merged report must
+ * be byte-identical to a single-process run.
+ */
+
+#ifndef STEMS_DISPATCH_WIRE_HH
+#define STEMS_DISPATCH_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dispatch/json.hh"
+#include "driver/executor.hh"
+#include "driver/spec.hh"
+
+namespace stems::dispatch {
+
+/** Wire protocol version; bumped on incompatible message changes. */
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Spec-global settings shipped to a worker before any cells. */
+struct WorkerInit
+{
+    uint32_t protocol = kProtocolVersion;
+    std::string traceDir;  //!< shared .stmt spill dir ("" = live gen)
+    std::vector<uint32_t> oracleRegionSizes;
+};
+
+// message payloads (each is one self-contained JSON document)
+
+std::string encodeInit(const WorkerInit &init);
+WorkerInit decodeInit(const JsonValue &msg);
+
+std::string encodeReady(int pid);
+
+std::string encodeCellJob(const driver::RunCell &cell);
+driver::RunCell decodeCellJob(const JsonValue &msg);
+
+std::string encodeResult(const driver::CellResult &result);
+/** Decodes metrics/error; the cell field carries only the id. */
+driver::CellResult decodeResult(const JsonValue &msg);
+
+std::string encodeShutdown();
+
+/** The "type" member of a decoded message. */
+const std::string &messageType(const JsonValue &msg);
+
+// framing
+
+/**
+ * Incremental frame splitter: feed() raw pipe bytes, next() yields
+ * complete JSON payloads as they become available.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const char *data, size_t len) { buf.append(data, len); }
+
+    /**
+     * Extract the next complete frame into @p out.
+     * @return true when a frame was produced.
+     * Throws std::invalid_argument on a corrupt length prefix.
+     */
+    bool next(std::string &out);
+
+  private:
+    std::string buf;
+    size_t consumed = 0;
+};
+
+/**
+ * Write one frame, handling partial writes and EINTR.
+ * @return false when the peer is gone (EPIPE/closed fd).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking read of the next frame from @p fd.
+ * @return false on EOF or read error.
+ */
+bool readFrame(int fd, FrameDecoder &decoder, std::string &out);
+
+} // namespace stems::dispatch
+
+#endif // STEMS_DISPATCH_WIRE_HH

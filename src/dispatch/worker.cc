@@ -1,0 +1,149 @@
+#include "dispatch/worker.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fcntl.h>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "dispatch/wire.hh"
+#include "driver/executor.hh"
+
+namespace stems::dispatch {
+
+namespace {
+
+/** One parsed fault-injection hook (test instrumentation). */
+struct FaultHook
+{
+    uint32_t cellId = 0;
+    uint32_t sleepMs = 0;     //!< 0 = crash instead of stalling
+    std::string markerPath;   //!< "" = fire on every attempt
+};
+
+/**
+ * Parse "ID[:MS][:MARKER]" from @p env. @p withSleep selects the
+ * STEMS_DISPATCH_SLEEP shape (which carries the MS field).
+ */
+std::optional<FaultHook>
+parseHook(const char *env, bool withSleep)
+{
+    const char *raw = std::getenv(env);
+    if (!raw)
+        return std::nullopt;
+    FaultHook hook;
+    std::string s(raw);
+    size_t colon = s.find(':');
+    hook.cellId =
+        static_cast<uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
+    if (withSleep) {
+        if (colon == std::string::npos)
+            return std::nullopt;
+        hook.sleepMs = static_cast<uint32_t>(
+            std::strtoul(s.c_str() + colon + 1, nullptr, 10));
+        colon = s.find(':', colon + 1);
+    }
+    if (colon != std::string::npos)
+        hook.markerPath = s.substr(colon + 1);
+    return hook;
+}
+
+/**
+ * Whether the hook fires for this attempt: without a marker it always
+ * fires; with one, only the attempt that creates the marker file does
+ * (so the re-queued attempt runs clean).
+ */
+bool
+hookFires(const FaultHook &hook, uint32_t cellId)
+{
+    if (cellId != hook.cellId)
+        return false;
+    if (hook.markerPath.empty())
+        return true;
+    const int fd = ::open(hook.markerPath.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;  // marker exists: a previous attempt already fired
+    ::close(fd);
+    return true;
+}
+
+void
+applyTestHooks(uint32_t cellId)
+{
+    static const auto crash = parseHook("STEMS_DISPATCH_CRASH", false);
+    static const auto stall = parseHook("STEMS_DISPATCH_SLEEP", true);
+    if (crash && hookFires(*crash, cellId))
+        ::_exit(137);  // simulate a SIGKILLed/crashed worker mid-cell
+    if (stall && hookFires(*stall, cellId))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stall->sleepMs));
+}
+
+} // anonymous namespace
+
+int
+runWorker(int inFd, int outFd)
+{
+    // a dying coordinator must surface as a failed write, not SIGPIPE
+    std::signal(SIGPIPE, SIG_IGN);
+
+    FrameDecoder decoder;
+    std::string payload;
+
+    // handshake: the first frame carries the spec-global settings
+    if (!readFrame(inFd, decoder, payload))
+        return 0;  // coordinator went away before init
+    std::unique_ptr<driver::CellExecutor> executor;
+    try {
+        const JsonValue msg = parseJson(payload);
+        if (messageType(msg) != "init") {
+            std::cerr << "stems worker: expected init, got "
+                      << messageType(msg) << "\n";
+            return 2;
+        }
+        const WorkerInit init = decodeInit(msg);
+        driver::CellExecutor::Config cfg;
+        cfg.traceDir = init.traceDir;
+        cfg.oracleRegionSizes = init.oracleRegionSizes;
+        executor = std::make_unique<driver::CellExecutor>(cfg);
+    } catch (const std::exception &e) {
+        std::cerr << "stems worker: bad init: " << e.what() << "\n";
+        return 2;
+    }
+    if (!writeFrame(outFd, encodeReady(::getpid())))
+        return 0;
+
+    while (readFrame(inFd, decoder, payload)) {
+        try {
+            const JsonValue msg = parseJson(payload);
+            const std::string &type = messageType(msg);
+            if (type == "shutdown")
+                return 0;
+            if (type != "cell") {
+                std::cerr << "stems worker: unexpected message \""
+                          << type << "\"\n";
+                return 2;
+            }
+            const driver::RunCell cell = decodeCellJob(msg);
+            applyTestHooks(cell.id);
+            const driver::CellResult result = executor->execute(cell);
+            if (!writeFrame(outFd, encodeResult(result)))
+                return 0;  // coordinator went away
+        } catch (const std::exception &e) {
+            // a malformed frame is a protocol failure, not a cell
+            // error — die loudly and let the coordinator re-queue
+            std::cerr << "stems worker: protocol error: " << e.what()
+                      << "\n";
+            return 2;
+        }
+    }
+    return 0;  // EOF: coordinator closed our stdin
+}
+
+} // namespace stems::dispatch

@@ -1,0 +1,233 @@
+#include "driver/executor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "driver/registry.hh"
+#include "sim/timing.hh"
+#include "study/l1study.hh"
+#include "study/memstudy.hh"
+
+namespace stems::driver {
+
+namespace {
+
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Memo key: a cell's sys config can differ per cell (geometry sweeps)
+ * and generation params could differ across executors sharing code
+ * paths (per-seed harnesses), so both are part of the key.
+ */
+std::string
+baselineKey(const RunCell &cell)
+{
+    const mem::MemSysConfig &s = cell.sys;
+    return cell.workload + "/g" +
+        std::to_string(s.l1.sizeBytes) + "." +
+        std::to_string(s.l1.assoc) + "." +
+        std::to_string(s.l1.blockSize) + "." +
+        std::to_string(s.l2.sizeBytes) + "." +
+        std::to_string(s.l2.assoc) + "." +
+        std::to_string(s.l2.blockSize) + "/n" +
+        std::to_string(cell.params.ncpu) + "/r" +
+        std::to_string(cell.params.refsPerCpu) + "/s" +
+        std::to_string(cell.params.seed);
+}
+
+/**
+ * Oracle region trackers only make sense at or above the cell's block
+ * grain (the paper computes oracle opportunity on the baseline-grain
+ * hierarchy); cells swept to a coarser block skip tracking entirely.
+ */
+std::vector<uint32_t>
+oracleSizesFor(const std::vector<uint32_t> &sizes, const RunCell &cell)
+{
+    const uint32_t block =
+        std::max(cell.sys.l1.blockSize, cell.sys.l2.blockSize);
+    for (uint32_t s : sizes)
+        if (s < block)
+            return {};
+    return sizes;
+}
+
+} // anonymous namespace
+
+CellExecutor::CellExecutor(Config config) : cfg(std::move(config))
+{
+    if (!cfg.traceDir.empty())
+        traces.setSpillDir(cfg.traceDir);
+}
+
+const CellExecutor::BaselineSlot &
+CellExecutor::baseline(const RunCell &cell)
+{
+    BaselineSlot *slot;
+    {
+        std::lock_guard<std::mutex> lock(memoMu);
+        slot = &baselines[baselineKey(cell)];
+    }
+    std::call_once(slot->once, [&] {
+        if (cell.mode == StudyMode::System) {
+            study::SystemStudyConfig scfg;
+            scfg.sys = cell.sys;
+            scfg.oracleRegionSizes =
+                oracleSizesFor(cfg.oracleRegionSizes, cell);
+            auto r = study::runSystem(streams(cell), scfg,
+                                      cell.params.seed);
+            slot->instructions = r.instructions;
+            slot->l1ReadMisses = r.l1ReadMisses;
+            slot->l2ReadMisses = r.l2ReadMisses;
+            slot->falseSharing = r.falseSharing;
+            slot->oracleL1Gens = r.oracleL1Gens;
+            slot->oracleL2Gens = r.oracleL2Gens;
+        } else {
+            study::L1StudyConfig lcfg;
+            lcfg.ncpu = cell.params.ncpu;
+            lcfg.l1 = cell.sys.l1;
+            lcfg.prefetch = false;
+            auto r = study::runL1Study(
+                traces.get(cell.workload, cell.params), lcfg);
+            slot->instructions = r.instructions;
+            slot->l1ReadMisses = r.readMisses;
+        }
+    });
+    return *slot;
+}
+
+const std::vector<trace::Trace> &
+CellExecutor::streams(const RunCell &cell)
+{
+    return traces.streams(cell.workload, cell.params);
+}
+
+double
+CellExecutor::baselineUipc(const RunCell &cell)
+{
+    TimingSlot *slot;
+    {
+        std::lock_guard<std::mutex> lock(memoMu);
+        slot = &timingBaselines[baselineKey(cell)];
+    }
+    std::call_once(slot->once, [&] {
+        sim::TimingConfig tc;
+        tc.sys = cell.sys;
+        slot->uipc =
+            sim::runTiming(streams(cell), tc, cell.params.seed).uipc();
+    });
+    return slot->uipc;
+}
+
+void
+CellExecutor::runCell(const RunCell &cell, CellResult &out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    out.cell = cell;
+    CellMetrics &m = out.metrics;
+
+    if (!cell.timingOnly) {
+        if (cell.engine.kind == "none") {
+            // a "none" cell IS the baseline run — reuse the memoized pass
+            const BaselineSlot &base = baseline(cell);
+            m.instructions = base.instructions;
+            m.l1ReadMisses = base.l1ReadMisses;
+            m.l2ReadMisses = base.l2ReadMisses;
+            m.falseSharing = base.falseSharing;
+            m.oracleL1Gens = base.oracleL1Gens;
+            m.oracleL2Gens = base.oracleL2Gens;
+        } else if (cell.mode == StudyMode::System) {
+            study::SystemStudyConfig scfg;
+            scfg.sys = cell.sys;
+            scfg.oracleRegionSizes =
+                oracleSizesFor(cfg.oracleRegionSizes, cell);
+            std::unique_ptr<PrefetcherDeployment> dep;
+            auto r = study::runSystem(
+                streams(cell), scfg, cell.params.seed,
+                [&](mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
+                    dep = PrefetcherRegistry::builtin().create(
+                        cell.engine.kind, sys, cell.engine.options);
+                    return dep.get();
+                });
+            m.instructions = r.instructions;
+            m.l1ReadMisses = r.l1ReadMisses;
+            m.l2ReadMisses = r.l2ReadMisses;
+            m.l1Covered = r.l1Covered;
+            m.l2Covered = r.l2Covered;
+            m.l1Overpred = r.l1Overpred;
+            m.l2Overpred = r.l2Overpred;
+            m.falseSharing = r.falseSharing;
+            m.oracleL1Gens = r.oracleL1Gens;
+            m.oracleL2Gens = r.oracleL2Gens;
+            if (dep)
+                m.pfCounters = dep->counters();
+        } else {
+            study::L1StudyConfig lcfg;
+            lcfg.ncpu = cell.params.ncpu;
+            lcfg.l1 = cell.sys.l1;
+            lcfg.prefetch = cell.engine.kind == "sms";
+            if (lcfg.prefetch)
+                lcfg.sms = smsConfigFromOptions(cell.engine.options);
+            auto r = study::runL1Study(
+                traces.get(cell.workload, cell.params), lcfg);
+            m.instructions = r.instructions;
+            m.l1ReadMisses = r.readMisses;
+            m.l1Covered = r.coveredReads;
+            m.l1Overpred = r.overpredictions;
+        }
+
+        const BaselineSlot &base = baseline(cell);
+        m.baselineL1ReadMisses = base.l1ReadMisses;
+        m.baselineL2ReadMisses = base.l2ReadMisses;
+    }
+
+    if (cell.timing) {
+        m.baselineUipc = baselineUipc(cell);
+        if (cell.engine.kind == "sms") {
+            sim::TimingConfig tc;
+            tc.sys = cell.sys;
+            tc.useSms = true;
+            tc.sms = smsConfigFromOptions(cell.engine.options);
+            m.uipc =
+                sim::runTiming(streams(cell), tc, cell.params.seed)
+                    .uipc();
+        } else if (cell.engine.kind == "none") {
+            m.uipc = m.baselineUipc;
+        }
+        // other prefetchers have no timing-model integration yet
+        if (m.baselineUipc > 0 && m.uipc > 0)
+            m.speedup = m.uipc / m.baselineUipc;
+    }
+
+    m.wallMs = msSince(t0);
+}
+
+CellExecutor::Config
+executorConfig(const ExperimentSpec &spec)
+{
+    CellExecutor::Config cfg;
+    cfg.traceDir = spec.traceDir;
+    cfg.oracleRegionSizes = spec.oracleRegionSizes;
+    return cfg;
+}
+
+CellResult
+CellExecutor::execute(const RunCell &cell)
+{
+    CellResult out;
+    try {
+        runCell(cell, out);
+    } catch (const std::exception &e) {
+        out.cell = cell;
+        out.error = e.what();
+    }
+    return out;
+}
+
+} // namespace stems::driver

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * CellExecutor: the one cell-execution entry point shared by the
+ * in-process thread-pool runner and the dispatch worker subprocesses.
+ * Owns the trace cache (with optional on-disk record/replay) and the
+ * memoized baseline and timing passes that coverage and speedup are
+ * reported against, so any execution context — thread, worker process,
+ * future remote transport — produces identical CellResults for
+ * identical RunCells.
+ */
+
+#ifndef STEMS_DRIVER_EXECUTOR_HH
+#define STEMS_DRIVER_EXECUTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/spec.hh"
+#include "study/suite.hh"
+#include "trace/access.hh"
+
+namespace stems::driver {
+
+/** Everything one cell measures. */
+struct CellMetrics
+{
+    uint64_t instructions = 0;
+    uint64_t l1ReadMisses = 0;
+    uint64_t l2ReadMisses = 0;   //!< off-chip read misses
+    uint64_t l1Covered = 0;      //!< reads hitting prefetched L1 blocks
+    uint64_t l2Covered = 0;
+    uint64_t l1Overpred = 0;     //!< prefetched blocks dropped unused
+    uint64_t l2Overpred = 0;
+    uint64_t baselineL1ReadMisses = 0;  //!< same workload, no prefetch
+    uint64_t baselineL2ReadMisses = 0;
+    uint64_t falseSharing = 0;   //!< false-sharing L2 misses (system mode)
+
+    /** Oracle spatial generations, parallel to spec.oracleRegionSizes. */
+    std::vector<uint64_t> oracleL1Gens;
+    std::vector<uint64_t> oracleL2Gens;
+
+    Counters pfCounters;         //!< registry-harvested (e.g. SmsStats)
+
+    // timing model (when spec.timing)
+    double uipc = 0;
+    double baselineUipc = 0;
+    double speedup = 0;
+
+    double wallMs = 0;           //!< cell execution wall time
+
+    double
+    l1Coverage() const
+    {
+        return baselineL1ReadMisses
+                   ? double(l1Covered) / double(baselineL1ReadMisses)
+                   : 0.0;
+    }
+
+    double
+    l2Coverage() const
+    {
+        return baselineL2ReadMisses
+                   ? double(l2Covered) / double(baselineL2ReadMisses)
+                   : 0.0;
+    }
+
+    double
+    l1Uncovered() const
+    {
+        return baselineL1ReadMisses
+                   ? double(l1ReadMisses) / double(baselineL1ReadMisses)
+                   : 0.0;
+    }
+
+    double
+    l2Uncovered() const
+    {
+        return baselineL2ReadMisses
+                   ? double(l2ReadMisses) / double(baselineL2ReadMisses)
+                   : 0.0;
+    }
+
+    double
+    l1OverpredRate() const
+    {
+        return baselineL1ReadMisses
+                   ? double(l1Overpred) / double(baselineL1ReadMisses)
+                   : 0.0;
+    }
+
+    double
+    l2OverpredRate() const
+    {
+        return baselineL2ReadMisses
+                   ? double(l2Overpred) / double(baselineL2ReadMisses)
+                   : 0.0;
+    }
+
+    /** Useful prefetches over all prefetches that left the cache. */
+    double
+    l1Accuracy() const
+    {
+        const uint64_t denom = l1Covered + l1Overpred;
+        return denom ? double(l1Covered) / double(denom) : 0.0;
+    }
+
+    double
+    l2Accuracy() const
+    {
+        const uint64_t denom = l2Covered + l2Overpred;
+        return denom ? double(l2Covered) / double(denom) : 0.0;
+    }
+};
+
+/** One finished cell: its resolved spec point plus measurements. */
+struct CellResult
+{
+    RunCell cell;
+    CellMetrics metrics;
+    std::string error;  //!< non-empty when the cell failed
+};
+
+/** Executes fully-resolved run cells; thread-safe. */
+class CellExecutor
+{
+  public:
+    /** Spec-global settings a cell's execution depends on. */
+    struct Config
+    {
+        std::string traceDir;  //!< record/replay directory ("" = off)
+        /** Track oracle generations at these region sizes. */
+        std::vector<uint32_t> oracleRegionSizes;
+    };
+
+    explicit CellExecutor(Config config);
+
+    /**
+     * Execute one cell; exceptions are captured into the result's
+     * error field (the cell-error path reports print).
+     */
+    CellResult execute(const RunCell &cell);
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct BaselineSlot
+    {
+        std::once_flag once;
+        uint64_t instructions = 0;
+        uint64_t l1ReadMisses = 0;
+        uint64_t l2ReadMisses = 0;
+        uint64_t falseSharing = 0;
+        std::vector<uint64_t> oracleL1Gens;
+        std::vector<uint64_t> oracleL2Gens;
+    };
+
+    struct TimingSlot
+    {
+        std::once_flag once;
+        double uipc = 0;
+    };
+
+    void runCell(const RunCell &cell, CellResult &out);
+    const BaselineSlot &baseline(const RunCell &cell);
+    double baselineUipc(const RunCell &cell);
+
+    /** Per-CPU streams shared through the TraceCache (zero-copy). */
+    const std::vector<trace::Trace> &streams(const RunCell &cell);
+
+    Config cfg;
+    study::TraceCache traces;
+    std::mutex memoMu;  //!< guards the memo map shapes
+    std::map<std::string, BaselineSlot> baselines;
+    std::map<std::string, TimingSlot> timingBaselines;
+};
+
+/** The executor settings an experiment spec implies. */
+CellExecutor::Config executorConfig(const ExperimentSpec &spec);
+
+} // namespace stems::driver
+
+#endif // STEMS_DRIVER_EXECUTOR_HH

@@ -196,7 +196,7 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
     JsonWriter j;
     j.beginObject();
     j.key("engine").value("stems");
-    j.key("report_version").value(uint64_t{1});
+    j.key("report_version").value(uint64_t{2});
 
     j.key("spec").beginObject();
     j.key("mode").value(studyModeName(spec.mode));
@@ -255,6 +255,7 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
         j.key("l2_covered").value(m.l2Covered);
         j.key("l1_overpredictions").value(m.l1Overpred);
         j.key("l2_overpredictions").value(m.l2Overpred);
+        j.key("false_sharing").value(m.falseSharing);
         j.key("baseline_l1_read_misses").value(m.baselineL1ReadMisses);
         j.key("baseline_l2_read_misses").value(m.baselineL2ReadMisses);
         j.key("l1_coverage").value(m.l1Coverage());
@@ -265,6 +266,23 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
         j.key("l2_overprediction_rate").value(m.l2OverpredRate());
         j.key("l1_accuracy").value(m.l1Accuracy());
         j.key("l2_accuracy").value(m.l2Accuracy());
+        if (!spec.oracleRegionSizes.empty() &&
+            !m.oracleL1Gens.empty()) {
+            j.key("oracle").beginObject();
+            j.key("region_sizes").beginArray();
+            for (uint32_t s : spec.oracleRegionSizes)
+                j.value(uint64_t{s});
+            j.endArray();
+            j.key("l1_generations").beginArray();
+            for (uint64_t g : m.oracleL1Gens)
+                j.value(g);
+            j.endArray();
+            j.key("l2_generations").beginArray();
+            for (uint64_t g : m.oracleL2Gens)
+                j.value(g);
+            j.endArray();
+            j.endObject();
+        }
         j.endObject();
         j.key("prefetcher_counters").beginObject();
         for (const auto &[k, v] : m.pfCounters)
@@ -277,7 +295,8 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
             j.key("speedup").value(m.speedup);
             j.endObject();
         }
-        j.key("wall_ms").value(m.wallMs);
+        if (spec.emitWall)
+            j.key("wall_ms").value(m.wallMs);
         j.endObject();
     }
     j.endArray();
@@ -286,7 +305,7 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
 }
 
 std::string
-toCsv(const std::vector<CellResult> &results)
+toCsv(const ExperimentSpec &spec, const std::vector<CellResult> &results)
 {
     std::ostringstream os;
     os << "id,workload,class,prefetcher,label,options,instructions,"
@@ -312,8 +331,9 @@ toCsv(const std::vector<CellResult> &results)
            << m.baselineL2ReadMisses << ',' << m.l1Coverage() << ','
            << m.l2Coverage() << ',' << m.l1Accuracy() << ','
            << m.l2Accuracy() << ',' << m.uipc << ','
-           << m.baselineUipc << ',' << m.speedup << ',' << m.wallMs
-           << ',' << csvField(r.error) << '\n';
+           << m.baselineUipc << ',' << m.speedup << ','
+           << (spec.emitWall ? m.wallMs : 0.0) << ','
+           << csvField(r.error) << '\n';
     }
     return os.str();
 }

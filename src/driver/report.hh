@@ -49,8 +49,13 @@ class JsonWriter
 std::string toJson(const ExperimentSpec &spec,
                    const std::vector<CellResult> &results);
 
-/** Flat per-cell CSV with a header row. */
-std::string toCsv(const std::vector<CellResult> &results);
+/**
+ * Flat per-cell CSV with a header row. Honours spec.emitWall the way
+ * toJson does (wall=0 writes 0 in the wall_ms column so split runs
+ * stay byte-comparable).
+ */
+std::string toCsv(const ExperimentSpec &spec,
+                  const std::vector<CellResult> &results);
 
 /** Human-readable summary table. */
 std::string toTable(const std::vector<CellResult> &results);

@@ -1,179 +1,15 @@
 #include "driver/runner.hh"
 
 #include <atomic>
-#include <chrono>
-#include <exception>
+#include <mutex>
 #include <thread>
-
-#include "sim/timing.hh"
-#include "study/l1study.hh"
-#include "study/memstudy.hh"
 
 namespace stems::driver {
 
-namespace {
-
-double
-msSince(const std::chrono::steady_clock::time_point &t0)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
-
-} // anonymous namespace
-
 Runner::Runner(const ExperimentSpec &spec)
-    : spec(spec), cells_(expandSpec(spec))
+    : spec(spec), cells_(selectedCells(spec)),
+      executor_(executorConfig(spec))
 {
-    if (!spec.traceDir.empty())
-        traces.setSpillDir(spec.traceDir);
-}
-
-namespace {
-
-/**
- * Memo key: a cell's sys config can differ per cell (block sweeps)
- * and generation params could differ across Runner instances sharing
- * code paths (per-seed harnesses), so both are part of the key.
- */
-std::string
-baselineKey(const RunCell &cell)
-{
-    return cell.workload + "/b" +
-        std::to_string(cell.sys.l1.blockSize) + "/n" +
-        std::to_string(cell.params.ncpu) + "/r" +
-        std::to_string(cell.params.refsPerCpu) + "/s" +
-        std::to_string(cell.params.seed);
-}
-
-} // anonymous namespace
-
-const Runner::BaselineSlot &
-Runner::baseline(const RunCell &cell)
-{
-    BaselineSlot *slot;
-    {
-        std::lock_guard<std::mutex> lock(memoMu);
-        slot = &baselines[baselineKey(cell)];
-    }
-    std::call_once(slot->once, [&] {
-        if (cell.mode == StudyMode::System) {
-            study::SystemStudyConfig cfg;
-            cfg.sys = cell.sys;
-            auto r = study::runSystem(streams(cell), cfg,
-                                      cell.params.seed);
-            slot->instructions = r.instructions;
-            slot->l1ReadMisses = r.l1ReadMisses;
-            slot->l2ReadMisses = r.l2ReadMisses;
-        } else {
-            study::L1StudyConfig cfg;
-            cfg.ncpu = cell.params.ncpu;
-            cfg.l1 = cell.sys.l1;
-            cfg.prefetch = false;
-            auto r = study::runL1Study(
-                traces.get(cell.workload, cell.params), cfg);
-            slot->instructions = r.instructions;
-            slot->l1ReadMisses = r.readMisses;
-        }
-    });
-    return *slot;
-}
-
-const std::vector<trace::Trace> &
-Runner::streams(const RunCell &cell)
-{
-    return traces.streams(cell.workload, cell.params);
-}
-
-double
-Runner::baselineUipc(const RunCell &cell)
-{
-    TimingSlot *slot;
-    {
-        std::lock_guard<std::mutex> lock(memoMu);
-        slot = &timingBaselines[baselineKey(cell)];
-    }
-    std::call_once(slot->once, [&] {
-        sim::TimingConfig tc;
-        tc.sys = cell.sys;
-        slot->uipc =
-            sim::runTiming(streams(cell), tc, cell.params.seed).uipc();
-    });
-    return slot->uipc;
-}
-
-void
-Runner::runCell(const RunCell &cell, CellResult &out)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    out.cell = cell;
-    CellMetrics &m = out.metrics;
-
-    if (cell.engine.kind == "none") {
-        // a "none" cell IS the baseline run — reuse the memoized pass
-        const BaselineSlot &base = baseline(cell);
-        m.instructions = base.instructions;
-        m.l1ReadMisses = base.l1ReadMisses;
-        m.l2ReadMisses = base.l2ReadMisses;
-    } else if (cell.mode == StudyMode::System) {
-        study::SystemStudyConfig cfg;
-        cfg.sys = cell.sys;
-        std::unique_ptr<PrefetcherDeployment> dep;
-        auto r = study::runSystem(
-            streams(cell), cfg, cell.params.seed,
-            [&](mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
-                dep = PrefetcherRegistry::builtin().create(
-                    cell.engine.kind, sys, cell.engine.options);
-                return dep.get();
-            });
-        m.instructions = r.instructions;
-        m.l1ReadMisses = r.l1ReadMisses;
-        m.l2ReadMisses = r.l2ReadMisses;
-        m.l1Covered = r.l1Covered;
-        m.l2Covered = r.l2Covered;
-        m.l1Overpred = r.l1Overpred;
-        m.l2Overpred = r.l2Overpred;
-        if (dep)
-            m.pfCounters = dep->counters();
-    } else {
-        study::L1StudyConfig cfg;
-        cfg.ncpu = cell.params.ncpu;
-        cfg.l1 = cell.sys.l1;
-        cfg.prefetch = cell.engine.kind == "sms";
-        if (cfg.prefetch)
-            cfg.sms = smsConfigFromOptions(cell.engine.options);
-        auto r = study::runL1Study(
-            traces.get(cell.workload, cell.params), cfg);
-        m.instructions = r.instructions;
-        m.l1ReadMisses = r.readMisses;
-        m.l1Covered = r.coveredReads;
-        m.l1Overpred = r.overpredictions;
-    }
-
-    const BaselineSlot &base = baseline(cell);
-    m.baselineL1ReadMisses = base.l1ReadMisses;
-    m.baselineL2ReadMisses = base.l2ReadMisses;
-
-    if (cell.timing) {
-        m.baselineUipc = baselineUipc(cell);
-        if (cell.engine.kind == "sms") {
-            sim::TimingConfig tc;
-            tc.sys = cell.sys;
-            tc.useSms = true;
-            tc.sms = smsConfigFromOptions(cell.engine.options);
-            m.uipc =
-                sim::runTiming(streams(cell), tc, cell.params.seed)
-                    .uipc();
-        } else if (cell.engine.kind == "none") {
-            m.uipc = m.baselineUipc;
-        }
-        // other prefetchers have no timing-model integration yet
-        if (m.baselineUipc > 0 && m.uipc > 0)
-            m.speedup = m.uipc / m.baselineUipc;
-    }
-
-    m.wallMs = msSince(t0);
 }
 
 std::vector<CellResult>
@@ -200,17 +36,11 @@ Runner::run(const ProgressFn &progress)
             const size_t i = next.fetch_add(1);
             if (i >= cells_.size())
                 return;
-            CellResult &out = results[i];
-            try {
-                runCell(cells_[i], out);
-            } catch (const std::exception &e) {
-                out.cell = cells_[i];
-                out.error = e.what();
-            }
+            results[i] = executor_.execute(cells_[i]);
             const size_t n = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMu);
-                progress(out, n, cells_.size());
+                progress(results[i], n, cells_.size());
             }
         }
     };

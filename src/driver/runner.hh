@@ -1,11 +1,11 @@
 /**
  * @file
  * The thread-pooled sharded runner: expands an experiment spec into
- * cells, executes them in parallel (each cell owns its MemorySystem —
- * runs are embarrassingly parallel), shares generated traces through a
- * thread-safe TraceCache (with optional on-disk record/replay), and
- * memoizes the per-workload baseline and timing passes that coverage
- * and speedup are reported against.
+ * cells and executes them in parallel through a shared CellExecutor
+ * (each cell owns its MemorySystem — runs are embarrassingly
+ * parallel). Multi-process execution of the same cells lives in
+ * dispatch/coordinator.hh; both paths share the executor so results
+ * are identical regardless of where a cell ran.
  */
 
 #ifndef STEMS_DRIVER_RUNNER_HH
@@ -13,111 +13,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "driver/registry.hh"
+#include "driver/executor.hh"
 #include "driver/spec.hh"
-#include "study/suite.hh"
-#include "trace/access.hh"
 
 namespace stems::driver {
-
-/** Everything one cell measures. */
-struct CellMetrics
-{
-    uint64_t instructions = 0;
-    uint64_t l1ReadMisses = 0;
-    uint64_t l2ReadMisses = 0;   //!< off-chip read misses
-    uint64_t l1Covered = 0;      //!< reads hitting prefetched L1 blocks
-    uint64_t l2Covered = 0;
-    uint64_t l1Overpred = 0;     //!< prefetched blocks dropped unused
-    uint64_t l2Overpred = 0;
-    uint64_t baselineL1ReadMisses = 0;  //!< same workload, no prefetch
-    uint64_t baselineL2ReadMisses = 0;
-
-    Counters pfCounters;         //!< registry-harvested (e.g. SmsStats)
-
-    // timing model (when spec.timing)
-    double uipc = 0;
-    double baselineUipc = 0;
-    double speedup = 0;
-
-    double wallMs = 0;           //!< cell execution wall time
-
-    double
-    l1Coverage() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1Covered) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2Coverage() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2Covered) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l1Uncovered() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1ReadMisses) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2Uncovered() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2ReadMisses) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l1OverpredRate() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1Overpred) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2OverpredRate() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2Overpred) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    /** Useful prefetches over all prefetches that left the cache. */
-    double
-    l1Accuracy() const
-    {
-        const uint64_t denom = l1Covered + l1Overpred;
-        return denom ? double(l1Covered) / double(denom) : 0.0;
-    }
-
-    double
-    l2Accuracy() const
-    {
-        const uint64_t denom = l2Covered + l2Overpred;
-        return denom ? double(l2Covered) / double(denom) : 0.0;
-    }
-};
-
-/** One finished cell: its resolved spec point plus measurements. */
-struct CellResult
-{
-    RunCell cell;
-    CellMetrics metrics;
-    std::string error;  //!< non-empty when the cell failed
-};
 
 /** Called after each cell finishes (from worker threads, serialized). */
 using ProgressFn = std::function<void(const CellResult &, size_t done,
@@ -132,37 +34,13 @@ class Runner
     /** Run all cells; results ordered by cell id. */
     std::vector<CellResult> run(const ProgressFn &progress = {});
 
-    /** The expanded cells (fixed at construction). */
+    /** The expanded (and cells=-filtered) cells, fixed at construction. */
     const std::vector<RunCell> &cells() const { return cells_; }
 
   private:
-    struct BaselineSlot
-    {
-        std::once_flag once;
-        uint64_t instructions = 0;
-        uint64_t l1ReadMisses = 0;
-        uint64_t l2ReadMisses = 0;
-    };
-
-    struct TimingSlot
-    {
-        std::once_flag once;
-        double uipc = 0;
-    };
-
-    void runCell(const RunCell &cell, CellResult &out);
-    const BaselineSlot &baseline(const RunCell &cell);
-    double baselineUipc(const RunCell &cell);
-
-    /** Per-CPU streams shared through the TraceCache (zero-copy). */
-    const std::vector<trace::Trace> &streams(const RunCell &cell);
-
     ExperimentSpec spec;
     std::vector<RunCell> cells_;
-    study::TraceCache traces;
-    std::mutex memoMu;  //!< guards the memo map shapes
-    std::map<std::string, BaselineSlot> baselines;
-    std::map<std::string, TimingSlot> timingBaselines;
+    CellExecutor executor_;
 };
 
 } // namespace stems::driver

@@ -81,9 +81,87 @@ resolveEngines(const std::string &value)
     return out;
 }
 
+/** Parse one numeric value under its key's error message. */
+uint64_t
+parseU64(const std::string &key, const std::string &value, uint64_t def)
+{
+    Options o{{key, value}};
+    return optU64(o, key, def);
+}
+
+/** Apply one cache-geometry key to a system config. */
+void
+applyGeometry(mem::MemSysConfig &sys, const std::string &key,
+              const std::string &value)
+{
+    const uint64_t v = parseU64(key, value, 0);
+    if (v == 0)
+        throw std::invalid_argument(key + "=" + value +
+                                    ": must be positive");
+    if (key == "block") {
+        sys.l1.blockSize = static_cast<uint32_t>(v);
+        sys.l2.blockSize = static_cast<uint32_t>(v);
+    } else if (key == "l1-kb") {
+        sys.l1.sizeBytes = v * 1024;
+    } else if (key == "l2-kb") {
+        sys.l2.sizeBytes = v * 1024;
+    } else if (key == "l2-mb") {
+        sys.l2.sizeBytes = v * 1024 * 1024;
+    } else if (key == "l1-assoc") {
+        sys.l1.assoc = static_cast<uint32_t>(v);
+    } else if (key == "l2-assoc") {
+        sys.l2.assoc = static_cast<uint32_t>(v);
+    }
+}
+
+/**
+ * Parse a cell filter ("3", "0-7", "1,4-6") into inclusive id ranges;
+ * throws std::invalid_argument on malformed input.
+ */
+std::vector<std::pair<uint32_t, uint32_t>>
+parseCellRanges(const std::string &filter)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> ranges;
+    for (const auto &item : splitList(filter)) {
+        const size_t dash = item.find('-');
+        try {
+            size_t pos = 0;
+            uint32_t lo, hi;
+            if (dash == std::string::npos) {
+                lo = hi = static_cast<uint32_t>(std::stoul(item, &pos));
+                if (pos != item.size())
+                    throw std::invalid_argument(item);
+            } else {
+                const std::string a = item.substr(0, dash);
+                const std::string b = item.substr(dash + 1);
+                lo = static_cast<uint32_t>(std::stoul(a, &pos));
+                if (pos != a.size())
+                    throw std::invalid_argument(item);
+                hi = static_cast<uint32_t>(std::stoul(b, &pos));
+                if (pos != b.size())
+                    throw std::invalid_argument(item);
+            }
+            if (lo > hi)
+                throw std::invalid_argument(item);
+            ranges.emplace_back(lo, hi);
+        } catch (const std::exception &) {
+            throw std::invalid_argument(
+                "cells=" + filter +
+                ": expected comma list of ids and A-B ranges");
+        }
+    }
+    if (ranges.empty())
+        throw std::invalid_argument("cells=: empty filter");
+    return ranges;
+}
+
 /**
  * Reject option keys no prefetcher in the spec understands — a typo'd
  * pf./opt./sweep. key would otherwise silently run with defaults.
+ * (Cache-geometry axes are legal only as sweep.* axes or top-level
+ * keys; the sweep branch skips this check for them. An opt./pf.
+ * geometry key would land in the engine's option bag where nothing
+ * reads it, so it stays rejected here.)
  */
 void
 checkOptionKnown(const std::vector<EngineConfig> &engines,
@@ -106,6 +184,13 @@ checkOptionKnown(const std::vector<EngineConfig> &engines,
 }
 
 } // anonymous namespace
+
+bool
+isGeometryKey(const std::string &key)
+{
+    return key == "block" || key == "l1-kb" || key == "l2-kb" ||
+        key == "l2-mb" || key == "l1-assoc" || key == "l2-assoc";
+}
 
 ExperimentSpec
 parseSpec(const std::vector<std::string> &tokens)
@@ -155,7 +240,10 @@ parseSpec(const std::vector<std::string> &tokens)
                     "\"");
         } else if (key.rfind("sweep.", 0) == 0) {
             const std::string opt = key.substr(6);
-            checkOptionKnown(spec.engines, opt, key);
+            // geometry axes reshape every cell's hierarchy instead of
+            // parameterizing a prefetcher, so they need no engine
+            if (!isGeometryKey(opt))
+                checkOptionKnown(spec.engines, opt, key);
             auto values = splitList(value);
             if (values.empty())
                 throw std::invalid_argument("empty sweep axis " + key);
@@ -194,8 +282,17 @@ parseSpec(const std::vector<std::string> &tokens)
                 throw std::invalid_argument("mode=" + value +
                                             ": expected system|l1");
         } else if (key == "timing") {
-            Options o{{key, value}};
-            spec.timing = optBool(o, key, spec.timing);
+            if (value == "only") {
+                // skip the system-study pass (and its memoized miss
+                // baseline) whose metrics pure timing harnesses never
+                // read — roughly halves per-cell work
+                spec.timing = true;
+                spec.timingOnly = true;
+            } else {
+                Options o{{key, value}};
+                spec.timing = optBool(o, key, spec.timing);
+                spec.timingOnly = false;
+            }
         } else if (key == "trace-dir") {
             spec.traceDir = value;
         } else if (key == "json") {
@@ -205,20 +302,41 @@ parseSpec(const std::vector<std::string> &tokens)
         } else if (key == "table") {
             Options o{{key, value}};
             spec.table = optBool(o, key, spec.table);
-        } else if (key == "l1-kb") {
-            Options o{{key, value}};
-            spec.sys.l1.sizeBytes = optU64(o, key, 64) * 1024;
-        } else if (key == "l2-mb") {
-            Options o{{key, value}};
-            spec.sys.l2.sizeBytes = optU64(o, key, 8) * 1024 * 1024;
         } else if (key == "block") {
-            Options o{{key, value}};
-            const auto block =
-                static_cast<uint32_t>(optU64(o, key, 64));
-            spec.sys.l1.blockSize = block;
-            spec.sys.l2.blockSize = block;
+            applyGeometry(spec.sys, key, value);
             for (auto &e : spec.engines)
                 e.options.emplace("block", value);  // keep pf.* override
+        } else if (isGeometryKey(key)) {
+            applyGeometry(spec.sys, key, value);
+        } else if (key == "oracle-regions") {
+            spec.oracleRegionSizes.clear();
+            for (const auto &v : splitList(value)) {
+                const uint64_t size = parseU64(key, v, 0);
+                if (size == 0 || (size & (size - 1)) != 0)
+                    throw std::invalid_argument(
+                        key + "=" + value +
+                        ": sizes must be powers of two");
+                spec.oracleRegionSizes.push_back(
+                    static_cast<uint32_t>(size));
+            }
+        } else if (key == "cells") {
+            (void)parseCellRanges(value);  // fail early on bad input
+            spec.cellFilter = value;
+        } else if (key == "dispatch") {
+            spec.dispatch = static_cast<uint32_t>(
+                parseU64(key, value, spec.dispatch));
+        } else if (key == "dispatch-timeout-ms") {
+            spec.dispatchTimeoutMs = static_cast<uint32_t>(
+                parseU64(key, value, spec.dispatchTimeoutMs));
+        } else if (key == "dispatch-retries") {
+            spec.dispatchRetries = static_cast<uint32_t>(
+                parseU64(key, value, spec.dispatchRetries));
+            if (spec.dispatchRetries == 0)
+                throw std::invalid_argument(
+                    "dispatch-retries must be positive");
+        } else if (key == "wall") {
+            Options o{{key, value}};
+            spec.emitWall = optBool(o, key, spec.emitWall);
         } else {
             throw std::invalid_argument("unknown key \"" + key +
                                         "\" (see stems help)");
@@ -248,11 +366,12 @@ expandSpec(const ExperimentSpec &spec)
 
     // cartesian product of sweep axes, last axis fastest; axes an
     // engine's kind does not understand are skipped for that engine so
-    // a mixed matrix does not duplicate identical cells
+    // a mixed matrix does not duplicate identical cells (geometry axes
+    // reshape every engine's hierarchy, so they are never skipped)
     auto pointsFor = [&](const EngineConfig &e) {
         std::vector<Options> points{Options{}};
         for (const auto &[opt, values] : spec.sweeps) {
-            if (!reg.knowsOption(e.kind, opt))
+            if (!isGeometryKey(opt) && !reg.knowsOption(e.kind, opt))
                 continue;
             std::vector<Options> next;
             for (const auto &base : points) {
@@ -276,14 +395,22 @@ expandSpec(const ExperimentSpec &spec)
                 cell.id = id++;
                 cell.workload = w;
                 cell.engine = e;
-                for (const auto &[k, v] : point)
-                    cell.engine.options[k] = v;  // sweep overrides base
                 cell.sweepPoint = point;
                 cell.params = spec.params;
                 cell.sys = spec.sys;
-                // a per-engine/per-point block override must reshape
-                // this cell's caches too, or the prefetcher would run
-                // at a different granularity than the hierarchy
+                for (const auto &[k, v] : point) {
+                    // geometry axes reshape this cell's hierarchy;
+                    // block additionally reaches the prefetcher (its
+                    // stream granularity must match the caches)
+                    if (isGeometryKey(k))
+                        applyGeometry(cell.sys, k, v);
+                    if (!isGeometryKey(k) || k == "block")
+                        cell.engine.options[k] = v;  // sweep overrides
+                }
+                // a per-engine block override (pf.LABEL.block) must
+                // reshape this cell's caches too, or the prefetcher
+                // would run at a different granularity than the
+                // hierarchy
                 auto blk = cell.engine.options.find("block");
                 if (blk != cell.engine.options.end()) {
                     const auto bytes = static_cast<uint32_t>(
@@ -294,11 +421,35 @@ expandSpec(const ExperimentSpec &spec)
                 }
                 cell.mode = spec.mode;
                 cell.timing = spec.timing;
+                cell.timingOnly = spec.timingOnly;
                 cells.push_back(std::move(cell));
             }
         }
     }
     return cells;
+}
+
+std::vector<RunCell>
+selectedCells(const ExperimentSpec &spec)
+{
+    std::vector<RunCell> cells = expandSpec(spec);
+    if (spec.cellFilter.empty())
+        return cells;
+    const auto ranges = parseCellRanges(spec.cellFilter);
+    std::vector<RunCell> out;
+    for (auto &cell : cells) {
+        for (const auto &[lo, hi] : ranges) {
+            if (cell.id >= lo && cell.id <= hi) {
+                out.push_back(std::move(cell));
+                break;
+            }
+        }
+    }
+    if (out.empty())
+        throw std::invalid_argument("cells=" + spec.cellFilter +
+                                    ": selects no cells (matrix has " +
+                                    std::to_string(cells.size()) + ")");
+    return out;
 }
 
 const char *
@@ -312,15 +463,28 @@ specHelp()
         "                                 none; label for duplicates\n"
         "  pf.LABEL.OPT=V                 option for one prefetcher\n"
         "  opt.OPT=V                      option for every prefetcher\n"
-        "  sweep.OPT=V1,V2,...            parameter matrix axis\n"
+        "  sweep.OPT=V1,V2,...            parameter matrix axis; cache\n"
+        "                                 geometry keys sweep per-cell\n"
         "  ncpu=16 refs=100000 seed=1     workload generation\n"
         "  mode=system|l1                 full hierarchy or shadow L1\n"
-        "  timing=0|1                     also run the timing model\n"
+        "  timing=0|1|only                also (or only) run the timing\n"
+        "                                 model; \"only\" skips the\n"
+        "                                 system-study pass\n"
         "  threads=N                      runner shards (0 = all cores)\n"
+        "  dispatch=N                     execute cells in N worker\n"
+        "                                 processes (crash-isolated)\n"
+        "  dispatch-timeout-ms=N          per-cell timeout (0 = none)\n"
+        "  dispatch-retries=N             attempts per cell (default 3)\n"
+        "  cells=A-B,C,...                run a cell-id subset (ids are\n"
+        "                                 kept, stems merge recombines)\n"
         "  trace-dir=DIR                  record/replay traces on disk\n"
         "  json=PATH|- csv=PATH|-         reports (- = stdout)\n"
         "  table=0|1                      ASCII summary table\n"
-        "  l1-kb=64 l2-mb=8 block=64      cache geometry\n";
+        "  wall=0|1                       wall_ms in JSON (0 = stable\n"
+        "                                 byte-comparable output)\n"
+        "  l1-kb=64 l1-assoc=2 l2-kb=N    cache geometry\n"
+        "  l2-mb=8 l2-assoc=8 block=64\n"
+        "  oracle-regions=S1,S2,...       track oracle generations\n";
 }
 
 } // namespace stems::driver

@@ -46,11 +46,25 @@ struct ExperimentSpec
     mem::MemSysConfig sys;                //!< hierarchy configuration
     StudyMode mode = StudyMode::System;
     bool timing = false;                  //!< also run the timing model
+    bool timingOnly = false;              //!< skip the system-study pass
     uint32_t threads = 0;                 //!< 0 = hardware concurrency
     std::string traceDir;                 //!< record/replay directory
     std::string jsonPath;                 //!< "-" = stdout, "" = off
     std::string csvPath;
     bool table = false;                   //!< ASCII summary table
+    bool emitWall = true;                 //!< wall_ms in JSON (wall=0
+                                          //!< gives byte-stable reports)
+
+    /** Track oracle spatial generations at these region sizes. */
+    std::vector<uint32_t> oracleRegionSizes;
+
+    /** Cell-id filter ("" = all): comma list of ids and A-B ranges. */
+    std::string cellFilter;
+
+    // multi-process dispatch (see dispatch/coordinator.hh)
+    uint32_t dispatch = 0;            //!< worker processes (0 = in-proc)
+    uint32_t dispatchTimeoutMs = 0;   //!< per-cell timeout (0 = none)
+    uint32_t dispatchRetries = 3;     //!< attempts per cell before error
 };
 
 /** One independent run: a fully-resolved point of the matrix. */
@@ -64,6 +78,7 @@ struct RunCell
     mem::MemSysConfig sys;
     StudyMode mode = StudyMode::System;
     bool timing = false;
+    bool timingOnly = false;
 };
 
 /**
@@ -80,9 +95,22 @@ ExperimentSpec parseSpec(const std::vector<std::string> &tokens);
 /**
  * Expand the matrix into cells, nested workload-major: for each
  * workload, for each engine, for each sweep point (last axis fastest).
- * Sweep values override same-named base options.
+ * Sweep values override same-named base options; cache-geometry axes
+ * (block, l1-kb, l2-kb, l2-mb, l1-assoc, l2-assoc) reshape the cell's
+ * MemSysConfig instead and apply to every engine.
  */
 std::vector<RunCell> expandSpec(const ExperimentSpec &spec);
+
+/**
+ * expandSpec() filtered by spec.cellFilter; ids are preserved, so a
+ * filtered run's cells merge back into the full report by id (see
+ * dispatch/merge.hh). Throws std::invalid_argument on a malformed
+ * filter or one selecting no cells.
+ */
+std::vector<RunCell> selectedCells(const ExperimentSpec &spec);
+
+/** Whether @p key names a sweepable cache-geometry axis. */
+bool isGeometryKey(const std::string &key);
 
 /** Usage text for the run subcommand's keys. */
 const char *specHelp();

@@ -4,19 +4,29 @@
  *
  *   stems run [key=value ...]   expand and execute an experiment
  *                               matrix, emit JSON/CSV/table reports
+ *                               (--dispatch=N farms cells to worker
+ *                               processes)
  *   stems list                  registered workloads and prefetchers
  *   stems trace [key=value ...] record one workload trace to disk
  *   stems bench [key=value ...] measure the hot paths, emit
  *                               BENCH_engine.json
+ *   stems merge [json=OUT] A B  merge run reports by cell id
+ *   stems worker                dispatch worker mode (internal)
  *   stems help                  usage
  */
 
 #include <cstring>
+#include <unistd.h>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "dispatch/coordinator.hh"
+#include "dispatch/merge.hh"
+#include "dispatch/worker.hh"
 #include "driver/bench.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
@@ -37,12 +47,19 @@ usage()
         "stems — Spatial Memory Streaming experiment engine\n\n"
         "  stems run [key=value ...]    run a workload x prefetcher x\n"
         "                               parameter matrix in parallel\n"
+        "                               (--dispatch=N: in N crash-\n"
+        "                               isolated worker processes)\n"
         "  stems list                   show workloads and prefetchers\n"
         "  stems trace workload=W out=FILE [ncpu= refs= seed=]\n"
         "                               record one trace to disk\n"
         "  stems bench [--quick] [workload= ncpu= refs= seed=\n"
         "              repeats= json=]  measure per-reference hot-path\n"
         "                               cost, emit BENCH_engine.json\n"
+        "  stems merge [json=OUT] A.json B.json ...\n"
+        "                               merge run reports by cell id\n"
+        "  stems worker                 serve dispatched cells on\n"
+        "                               stdin/stdout (spawned by\n"
+        "                               stems run --dispatch=N)\n"
         "  stems help                   this text\n\n"
               << specHelp() <<
         "\nexamples:\n"
@@ -50,7 +67,11 @@ usage()
         "  stems run workloads=OLTP-DB2 prefetchers=sms \\\n"
         "      sweep.pht-entries=1024,4096,16384 csv=sweep.csv table=1\n"
         "  stems run workloads=all prefetchers=sms timing=1 \\\n"
-        "      trace-dir=/tmp/stems-traces json=report.json\n";
+        "      trace-dir=/tmp/stems-traces json=report.json\n"
+        "  stems run workloads=paper --dispatch=8 wall=0 json=a.json\n"
+        "  stems run workloads=paper cells=0-5 json=part1.json &&\n"
+        "      stems run workloads=paper cells=6-10 json=part2.json &&\n"
+        "      stems merge json=full.json part1.json part2.json\n";
     return 0;
 }
 
@@ -183,30 +204,55 @@ cmdBench(const std::vector<std::string> &args)
 int
 cmdRun(const std::vector<std::string> &args)
 {
-    ExperimentSpec spec = parseSpec(args);
+    // --dispatch=N is sugar for the dispatch=N spec key
+    std::vector<std::string> tokens;
+    tokens.reserve(args.size());
+    for (const auto &arg : args) {
+        if (arg.rfind("--dispatch=", 0) == 0)
+            tokens.push_back(arg.substr(2));
+        else
+            tokens.push_back(arg);
+    }
+    ExperimentSpec spec = parseSpec(tokens);
     // default output: JSON on stdout
     if (spec.jsonPath.empty() && spec.csvPath.empty() && !spec.table)
         spec.jsonPath = "-";
 
-    Runner runner(spec);
-    std::cerr << "stems: " << runner.cells().size() << " cells ("
-              << spec.workloads.size() << " workloads x "
-              << spec.engines.size() << " prefetchers"
-              << (spec.sweeps.empty() ? "" : " x sweep") << ")\n";
-
-    auto results = runner.run(
+    const auto progress =
         [](const CellResult &r, size_t done, size_t total) {
             std::cerr << "stems: [" << done << "/" << total << "] "
                       << r.cell.workload << " / "
                       << r.cell.engine.displayLabel()
                       << (r.error.empty() ? "" : "  FAILED: " + r.error)
                       << "\n";
-        });
+        };
+
+    std::vector<CellResult> results;
+    if (spec.dispatch > 0) {
+        dispatch::DispatchConfig dcfg;
+        dcfg.workers = spec.dispatch;
+        dcfg.timeoutMs = spec.dispatchTimeoutMs;
+        dcfg.maxAttempts = spec.dispatchRetries;
+        dispatch::Coordinator coord(spec, dcfg);
+        std::cerr << "stems: " << coord.cells().size()
+                  << " cells across "
+                  << std::min<size_t>(spec.dispatch,
+                                      coord.cells().size())
+                  << " worker processes\n";
+        results = coord.run(progress);
+    } else {
+        Runner runner(spec);
+        std::cerr << "stems: " << runner.cells().size() << " cells ("
+                  << spec.workloads.size() << " workloads x "
+                  << spec.engines.size() << " prefetchers"
+                  << (spec.sweeps.empty() ? "" : " x sweep") << ")\n";
+        results = runner.run(progress);
+    }
 
     if (!spec.jsonPath.empty())
         writeReport(spec.jsonPath, toJson(spec, results));
     if (!spec.csvPath.empty())
-        writeReport(spec.csvPath, toCsv(results));
+        writeReport(spec.csvPath, toCsv(spec, results));
     if (spec.table) {
         // keep stdout clean for machine-readable output
         const bool stdoutBusy =
@@ -219,6 +265,44 @@ cmdRun(const std::vector<std::string> &args)
         if (!r.error.empty())
             ++failed;
     return failed ? 1 : 0;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    std::string outPath = "-";
+    std::vector<std::string> inputs;
+    for (const auto &arg : args) {
+        if (arg.rfind("json=", 0) == 0) {
+            outPath = arg.substr(5);
+        } else if (arg.find('=') != std::string::npos) {
+            std::cerr << "stems merge: unknown key \"" << arg
+                      << "\" (expected json=OUT and input files)\n";
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        std::cerr << "stems merge: no input reports given\n";
+        return 2;
+    }
+    std::vector<std::string> texts;
+    for (const auto &path : inputs) {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::cerr << "stems merge: cannot read " << path << "\n";
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        texts.push_back(ss.str());
+    }
+    writeReport(outPath, dispatch::mergeReports(texts));
+    if (outPath != "-")
+        std::cerr << "stems merge: wrote " << outPath << " ("
+                  << inputs.size() << " reports)\n";
+    return 0;
 }
 
 } // anonymous namespace
@@ -240,6 +324,10 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "bench")
             return cmdBench(args);
+        if (cmd == "merge")
+            return cmdMerge(args);
+        if (cmd == "worker")
+            return dispatch::runWorker(STDIN_FILENO, STDOUT_FILENO);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage();
         std::cerr << "stems: unknown command \"" << cmd

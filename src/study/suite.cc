@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "trace/io.hh"
+#include "trace/lock.hh"
 #include "util/flat_map.hh"
 
 namespace stems::study {
@@ -90,45 +91,59 @@ TraceCache::streams(const std::string &name,
             : spillDir + "/" + name + "_" + std::to_string(p.ncpu) +
                 "_" + std::to_string(p.refsPerCpu) + "_" +
                 std::to_string(p.seed) + ".stmt";
-        if (!file.empty()) {
-            // replay: the spill holds the merged trace with each
-            // access's cpu field set to its stream index, so the
-            // per-CPU streams are recovered by a stable partition
+
+        // replay: the spill holds the merged trace with each access's
+        // cpu field set to its stream index, so the per-CPU streams
+        // are recovered by a stable partition
+        auto tryReplay = [&]() -> bool {
             trace::Trace merged;
             try {
-                if (trace::readTrace(file, merged, hash)) {
-                    std::vector<trace::Trace> demerged(p.ncpu);
-                    bool ok = true;
-                    for (auto &st : demerged)
-                        st.reserve(p.refsPerCpu);
-                    for (const auto &a : merged) {
-                        if (a.cpu >= p.ncpu) {
-                            ok = false;
-                            break;
-                        }
-                        demerged[a.cpu].push_back(a);
-                    }
-                    if (ok) {
-                        s.streams = std::move(demerged);
-                        return;
-                    }
+                if (!trace::readTrace(file, merged, hash))
+                    return false;
+                std::vector<trace::Trace> demerged(p.ncpu);
+                for (auto &st : demerged)
+                    st.reserve(p.refsPerCpu);
+                for (const auto &a : merged) {
+                    if (a.cpu >= p.ncpu)
+                        return false;
+                    demerged[a.cpu].push_back(a);
                 }
+                s.streams = std::move(demerged);
+                return true;
             } catch (const std::exception &) {
                 // unreadable spill files fall back to live generation
+                return false;
             }
+        };
+
+        auto generate = [&] {
+            const workloads::SuiteEntry *entry =
+                workloads::findWorkload(name);
+            if (!entry)
+                throw std::invalid_argument("unknown workload: " + name);
+            auto w = entry->make();
+            s.streams = w->generateStreams(p);
+        };
+
+        if (file.empty()) {
+            generate();
+            return;
         }
-        const workloads::SuiteEntry *entry = workloads::findWorkload(name);
-        if (!entry)
-            throw std::invalid_argument("unknown workload: " + name);
-        auto w = entry->make();
-        s.streams = w->generateStreams(p);
-        if (!file.empty()) {
-            // record, best effort: stream the canonical interleaved
-            // order straight to disk without materialising it
-            trace::InterleavedView view =
-                trace::canonicalView(s.streams, p.seed);
-            trace::writeTrace(view, file, hash);
-        }
+        if (tryReplay())
+            return;
+        // concurrent generators (dispatch workers sharing the spill
+        // dir) serialize here so each trace is generated exactly once:
+        // the lock winner records, the losers wake up and replay
+        trace::FileLock lock(file + ".lock");
+        if (lock.held() && tryReplay())
+            return;
+        generate();
+        // record, best effort: stream the canonical interleaved order
+        // straight to disk without materialising it (atomic rename, so
+        // lockless fast-path readers never see a torn file)
+        trace::InterleavedView view =
+            trace::canonicalView(s.streams, p.seed);
+        trace::writeTrace(view, file, hash);
     });
     return s.streams;
 }

@@ -3,12 +3,34 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <unistd.h>
 
 namespace stems::trace {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'M', 'T'};
+
+/**
+ * Writes go to a per-process temp name and are renamed into place on
+ * success, so concurrent readers (dispatch workers sharing a spill
+ * dir) never observe a torn file.
+ */
+std::string
+tempName(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid());
+}
+
+bool
+commitOrDiscard(const std::string &tmp, const std::string &path, bool ok)
+{
+    if (ok && std::rename(tmp.c_str(), path.c_str()) == 0)
+        return true;
+    std::remove(tmp.c_str());
+    return false;
+}
 
 /** On-disk packed record; kept independent of MemAccess layout. */
 struct PackedAccess
@@ -35,55 +57,61 @@ using FilePtr = std::unique_ptr<FILE, FileCloser>;
 bool
 writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-
-    uint64_t count = t.size();
-    if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-        std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion), 1,
-                    f.get()) != 1 ||
-        std::fwrite(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
-        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
-        return false;
-    }
-
-    for (const auto &a : t) {
-        PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
-                       static_cast<uint8_t>(a.isWrite),
-                       static_cast<uint8_t>(a.isKernel)};
-        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+    const std::string tmp = tempName(path);
+    bool ok = false;
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
             return false;
+
+        uint64_t count = t.size();
+        ok = std::fwrite(kMagic, 1, 4, f.get()) == 4 &&
+            std::fwrite(&kTraceFormatVersion,
+                        sizeof(kTraceFormatVersion), 1, f.get()) == 1 &&
+            std::fwrite(&config_hash, sizeof(config_hash), 1,
+                        f.get()) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f.get()) == 1;
+
+        for (const auto &a : t) {
+            if (!ok)
+                break;
+            PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
+                           static_cast<uint8_t>(a.isWrite),
+                           static_cast<uint8_t>(a.isKernel)};
+            ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
+        }
     }
-    return true;
+    return commitOrDiscard(tmp, path, ok);
 }
 
 bool
 writeTrace(InterleavedView &view, const std::string &path,
            uint64_t config_hash)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-
-    uint64_t count = view.size();
-    if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-        std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion), 1,
-                    f.get()) != 1 ||
-        std::fwrite(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
-        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
-        return false;
-    }
-
-    MemAccess a;
-    while (view.next(a)) {
-        PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
-                       static_cast<uint8_t>(a.isWrite),
-                       static_cast<uint8_t>(a.isKernel)};
-        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+    const std::string tmp = tempName(path);
+    bool ok = false;
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
             return false;
+
+        uint64_t count = view.size();
+        ok = std::fwrite(kMagic, 1, 4, f.get()) == 4 &&
+            std::fwrite(&kTraceFormatVersion,
+                        sizeof(kTraceFormatVersion), 1, f.get()) == 1 &&
+            std::fwrite(&config_hash, sizeof(config_hash), 1,
+                        f.get()) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f.get()) == 1;
+
+        MemAccess a;
+        while (ok && view.next(a)) {
+            PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
+                           static_cast<uint8_t>(a.isWrite),
+                           static_cast<uint8_t>(a.isKernel)};
+            ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
+        }
     }
-    return true;
+    return commitOrDiscard(tmp, path, ok);
 }
 
 bool

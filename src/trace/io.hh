@@ -27,7 +27,8 @@ constexpr uint32_t kTraceFormatVersion = 2;
 /**
  * Write @p t to @p path in the native STEMS binary format
  * (magic "STMT", version, generator-config hash, count, packed
- * records).
+ * records). The file is written to a temp name and renamed into place
+ * atomically, so concurrent readers never observe a torn file.
  *
  * @param config_hash caller-defined fingerprint of whatever produced
  *                    the trace (see study::TraceCache); 0 if unused

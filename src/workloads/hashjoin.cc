@@ -1,0 +1,153 @@
+#include "workloads/hashjoin.hh"
+
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+namespace {
+
+/** Next power of two >= @p n (n > 0). */
+uint32_t
+ceilPow2(uint32_t n)
+{
+    uint32_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+std::vector<trace::Trace>
+HashJoinWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_bscan = layout::pcSite(layout::kModHashJoin, 0);
+    const uint64_t pc_bprobe = layout::pcSite(layout::kModHashJoin, 1);
+    const uint64_t pc_insert = layout::pcSite(layout::kModHashJoin, 2);
+    const uint64_t pc_pscan = layout::pcSite(layout::kModHashJoin, 3);
+    const uint64_t pc_walk = layout::pcSite(layout::kModHashJoin, 4);
+    const uint64_t pc_payload = layout::pcSite(layout::kModHashJoin, 5);
+    const uint64_t pc_output = layout::pcSite(layout::kModHashJoin, 6);
+
+    // scale the build side to the trace budget (~3.3 refs per insert)
+    // so short traces still reach the probe phase that dominates a
+    // real join's runtime
+    const uint64_t rowBudget = p.refsPerCpu / 12;
+    uint32_t rows = prm.buildRowsPerCpu ? prm.buildRowsPerCpu : 1;
+    if (rowBudget > 0 && rows > rowBudget)
+        rows = static_cast<uint32_t>(rowBudget);
+    if (rows == 0)
+        rows = 1;
+    // open addressing at ~50% load factor: FlatMap-style slot array
+    const uint32_t slots = ceilPow2(2 * rows);
+    const uint32_t mask = slots - 1;
+
+    constexpr uint64_t kSlotBytes = 16;    //!< key + row id
+    constexpr uint64_t kBuildBytes = 32;   //!< build tuple
+    constexpr uint64_t kProbeBytes = 32;   //!< probe tuple
+    constexpr uint64_t kPayloadBytes = 64; //!< gathered row payload
+
+    // per-partition sub-arenas inside the join arena, 256 MB apart so
+    // partitions never alias
+    constexpr uint64_t kPartStride = 0x10000000ULL;
+    auto tableBase = [&](uint32_t cpu) {
+        return layout::kHashBase + uint64_t{cpu} * kPartStride;
+    };
+    auto buildBase = [&](uint32_t cpu) {
+        return tableBase(cpu) + 0x4000000ULL;
+    };
+    auto payloadBase = [&](uint32_t cpu) {
+        return tableBase(cpu) + 0x8000000ULL;
+    };
+
+    // build every partition's table once, shared by all CPUs
+    // (deterministic): slot occupancy drives each probe chain's length
+    trace::Rng build(p.seed * 0x4A5B + 11);
+    std::vector<std::vector<uint32_t>> slotRow(
+        p.ncpu, std::vector<uint32_t>(slots, 0));  // row id + 1, 0 = empty
+    std::vector<std::vector<uint32_t>> rowSlot(
+        p.ncpu, std::vector<uint32_t>(rows, 0));   // final slot of row
+    std::vector<std::vector<uint32_t>> rowStart(
+        p.ncpu, std::vector<uint32_t>(rows, 0));   // hash slot of row
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        for (uint32_t r = 0; r < rows; ++r) {
+            uint32_t s = static_cast<uint32_t>(build.next64()) & mask;
+            rowStart[cpu][r] = s;
+            while (slotRow[cpu][s] != 0)
+                s = (s + 1) & mask;
+            slotRow[cpu][s] = r + 1;
+            rowSlot[cpu][r] = s;
+        }
+    }
+
+    auto slotAddr = [&](uint32_t cpu, uint32_t s) {
+        return tableBase(cpu) + uint64_t{s} * kSlotBytes;
+    };
+    auto buildAddr = [&](uint32_t cpu, uint32_t r) {
+        return buildBase(cpu) + uint64_t{r} * kBuildBytes;
+    };
+    auto payloadAddr = [&](uint32_t cpu, uint32_t r) {
+        return payloadBase(cpu) + uint64_t{r} * kPayloadBytes;
+    };
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x4A5B0 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        const uint64_t probeRel =
+            layout::privateArea(cpu) + 0x1000000ULL;
+        const uint64_t outRun = layout::privateArea(cpu) + 0x2000000ULL;
+
+        // build phase: sequential scan of the build relation, linear
+        // probing into the partition's slot array (replayed from the
+        // shared occupancy model), insert at the chain's end
+        for (uint32_t r = 0; r < rows && e.count() < p.refsPerCpu;
+             ++r) {
+            e.load(pc_bscan, buildAddr(cpu, r), 2);
+            for (uint32_t s = rowStart[cpu][r];;
+                 s = (s + 1) & mask) {
+                e.load(pc_bprobe, slotAddr(cpu, s), 1, 1);
+                if (s == rowSlot[cpu][r])
+                    break;
+            }
+            e.store(pc_insert, slotAddr(cpu, rowSlot[cpu][r]), 1, 1);
+        }
+
+        // probe phase: sequential probe-relation scan, chain walk in
+        // the target partition, dependent payload gather on a match
+        uint64_t probe = 0, matches = 0;
+        while (e.count() < p.refsPerCpu) {
+            e.load(pc_pscan, probeRel + probe++ * kProbeBytes, 2);
+            uint32_t target = cpu;
+            if (rng.chance(prm.remoteFraction))
+                target = static_cast<uint32_t>(rng.below(p.ncpu));
+            uint32_t s = static_cast<uint32_t>(rng.next64()) & mask;
+            const bool match = rng.chance(prm.matchFraction);
+            uint32_t found = 0;
+            for (uint32_t hop = 0; hop < prm.maxChain; ++hop) {
+                e.load(pc_walk, slotAddr(target, s), 1, 1);
+                const uint32_t occupant = slotRow[target][s];
+                if (occupant == 0)
+                    break;  // empty slot ends the chain: no match
+                if (match) {
+                    found = occupant;  // key comparison succeeded
+                    break;
+                }
+                s = (s + 1) & mask;  // collision: keep walking
+            }
+            if (found != 0) {
+                e.load(pc_payload, payloadAddr(target, found - 1), 2,
+                       1);
+                e.store(pc_output, outRun + matches++ * kPayloadBytes,
+                        2);
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hash-join workload: the build+probe inner loop of an equi-join over
+ * open-addressing (FlatMap-style) hash tables. Each CPU owns one
+ * table partition; the build phase scans its build relation
+ * sequentially and inserts via linear probing (dense, spatially
+ * adjacent slot touches), the probe phase scans the probe relation and
+ * walks probe chains — on a match it gathers the matched build tuple's
+ * payload (irregular, dependent) and appends to a private output run.
+ * A fraction of probes cross partitions, modelling a shared build side
+ * under a non-partitioned join.
+ *
+ * The mix — sequential scans, short linear-probe bursts inside one
+ * region, and dependent payload gathers — leaves the per-code-site
+ * spatial footprints SMS trains on while defeating stride/delta
+ * correlation, like the DSS join queries it sits next to.
+ *
+ * Not part of the paper's Table 1; registered in the extension suite
+ * to grow scenario diversity for the experiment engine.
+ */
+
+#ifndef STEMS_WORKLOADS_HASHJOIN_HH
+#define STEMS_WORKLOADS_HASHJOIN_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Shape of the join. */
+struct HashJoinParams
+{
+    uint32_t buildRowsPerCpu = 4096;  //!< build relation per partition
+    double remoteFraction = 0.15;     //!< probes crossing partitions
+    double matchFraction = 0.75;      //!< probes finding a build match
+    uint32_t maxChain = 8;            //!< probe-chain walk cap
+};
+
+/** Build+probe equi-join over per-CPU open-addressing tables. */
+class HashJoinWorkload : public Workload
+{
+  public:
+    explicit HashJoinWorkload(HashJoinParams params = {}) : prm(params)
+    {}
+
+    std::string name() const override { return "hashjoin"; }
+    SuiteClass suiteClass() const override { return SuiteClass::DSS; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    HashJoinParams prm;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_HASHJOIN_HH

@@ -55,6 +55,7 @@ constexpr uint32_t kModSparse = 8;
 constexpr uint32_t kModLog = 9;
 constexpr uint32_t kModHash = 10;
 constexpr uint32_t kModGraph = 11;
+constexpr uint32_t kModHashJoin = 12;
 
 } // namespace stems::workloads::layout
 

@@ -2,6 +2,7 @@
 
 #include "workloads/dss.hh"
 #include "workloads/graph.hh"
+#include "workloads/hashjoin.hh"
 #include "workloads/oltp.hh"
 #include "workloads/scientific.hh"
 #include "workloads/web.hh"
@@ -61,6 +62,9 @@ extensionSuite()
     static const std::vector<SuiteEntry> suite = {
         {"graph", SuiteClass::Scientific, [] {
              return std::make_unique<GraphWorkload>();
+         }},
+        {"hashjoin", SuiteClass::DSS, [] {
+             return std::make_unique<HashJoinWorkload>();
          }},
     };
     return suite;

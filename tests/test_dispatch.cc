@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Dispatch subsystem tests: the JSON reader and wire protocol round
+ * trips, multi-process runs producing reports byte-identical to the
+ * in-process runner (the fig11 and abl_sms_params cell sets), worker
+ * crash/timeout recovery, retry-cap error capture, report merging
+ * (identity, associativity, idempotence, ok-repairs-error), the
+ * timing-only cell mode, and per-cell cache-geometry sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <unistd.h>
+
+#include "dispatch/coordinator.hh"
+#include "dispatch/json.hh"
+#include "dispatch/merge.hh"
+#include "dispatch/wire.hh"
+#include "driver/report.hh"
+#include "driver/runner.hh"
+#include "driver/spec.hh"
+
+using namespace stems;
+using namespace stems::dispatch;
+using namespace stems::driver;
+
+namespace {
+
+/** The stems CLI sits next to this test binary in the build tree. */
+std::string
+stemsBinary()
+{
+    return (std::filesystem::path(selfExePath()).parent_path() /
+            "stems")
+        .string();
+}
+
+DispatchConfig
+localConfig(uint32_t workers)
+{
+    DispatchConfig cfg;
+    cfg.workers = workers;
+    cfg.workerExe = stemsBinary();
+    return cfg;
+}
+
+/** Figure 11's cell matrix (SMS practical vs GHB), scaled down. */
+std::vector<std::string>
+fig11Tokens()
+{
+    return {"workloads=paper",
+            "prefetchers=ghb:GHB-256,ghb:GHB-16k,sms:SMS",
+            "pf.GHB-256.ghb-entries=256",
+            "pf.GHB-256.it-entries=256",
+            "pf.GHB-16k.ghb-entries=16384",
+            "pf.GHB-16k.it-entries=1024",
+            "ncpu=4", "refs=2000", "seed=3", "wall=0"};
+}
+
+/** abl_sms_params' variant matrix (mode=l1), scaled down. */
+std::vector<std::string>
+ablTokens()
+{
+    return {"mode=l1", "workloads=paper",
+            "prefetchers=sms:practical,sms:pht-union,sms:1-pred-reg,"
+            "sms:4-pred-regs,sms:no-filter",
+            "pf.pht-union.pht-update=union",
+            "pf.1-pred-reg.pred-regs=1",
+            "pf.4-pred-regs.pred-regs=4",
+            "pf.no-filter.agt-filter=1",
+            "pf.no-filter.agt-accum=96",
+            "ncpu=4", "refs=2000", "seed=3", "wall=0"};
+}
+
+std::string
+inProcessJson(const ExperimentSpec &spec)
+{
+    Runner runner(spec);
+    return toJson(spec, runner.run());
+}
+
+std::string
+dispatchedJson(const ExperimentSpec &spec, uint32_t workers,
+               DispatchConfig cfg = {})
+{
+    if (cfg.workerExe.empty())
+        cfg = localConfig(workers);
+    cfg.workers = workers;
+    Coordinator coord(spec, cfg);
+    return toJson(spec, coord.run());
+}
+
+/** Scoped environment variable for the worker fault hooks. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name(name)
+    {
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name); }
+
+  private:
+    const char *name;
+};
+
+std::string
+tempPath(const char *tag)
+{
+    return (std::filesystem::temp_directory_path() /
+            (std::string("stems_dispatch_") + tag + "_" +
+             std::to_string(::getpid())))
+        .string();
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// json reader
+// ---------------------------------------------------------------------
+
+TEST(DispatchJson, ParsesScalarsArraysObjects)
+{
+    const JsonValue v = parseJson(
+        R"({"a":1,"b":-2.5e3,"c":"x\ny","d":[true,false,null],"e":{}})");
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v.at("a").asU64(), 1u);
+    EXPECT_DOUBLE_EQ(v.at("b").asDouble(), -2500.0);
+    EXPECT_EQ(v.at("c").asString(), "x\ny");
+    ASSERT_EQ(v.at("d").items.size(), 3u);
+    EXPECT_TRUE(v.at("d").items[0].asBool());
+    EXPECT_FALSE(v.at("d").items[1].asBool());
+    EXPECT_EQ(v.at("d").items[2].kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(v.at("e").members.empty());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(DispatchJson, RawSpansSpliceBack)
+{
+    const std::string src = R"({"cells":[{"id":0},{"id":1}]})";
+    const JsonValue v = parseJson(src);
+    const JsonValue &cells = v.at("cells");
+    ASSERT_EQ(cells.items.size(), 2u);
+    EXPECT_EQ(src.substr(cells.items[0].rawBegin,
+                         cells.items[0].rawEnd -
+                             cells.items[0].rawBegin),
+              "{\"id\":0}");
+    EXPECT_EQ(src.substr(cells.items[1].rawBegin,
+                         cells.items[1].rawEnd -
+                             cells.items[1].rawBegin),
+              "{\"id\":1}");
+}
+
+TEST(DispatchJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), std::invalid_argument);
+    EXPECT_THROW(parseJson("{\"a\":}"), std::invalid_argument);
+    EXPECT_THROW(parseJson("[1,]"), std::invalid_argument);
+    EXPECT_THROW(parseJson("{} trailing"), std::invalid_argument);
+    EXPECT_THROW(parseJson("nul"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// wire protocol
+// ---------------------------------------------------------------------
+
+TEST(DispatchWire, CellJobRoundTrips)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms:variant",
+         "pf.variant.pht-entries=1024", "sweep.pred-regs=4,16",
+         "mode=l1", "ncpu=8", "refs=12345", "seed=42", "l1-kb=32"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    for (const auto &cell : cells) {
+        const RunCell back =
+            decodeCellJob(parseJson(encodeCellJob(cell)));
+        EXPECT_EQ(back.id, cell.id);
+        EXPECT_EQ(back.workload, cell.workload);
+        EXPECT_EQ(back.engine.kind, cell.engine.kind);
+        EXPECT_EQ(back.engine.label, cell.engine.label);
+        EXPECT_EQ(back.engine.options, cell.engine.options);
+        EXPECT_EQ(back.sweepPoint, cell.sweepPoint);
+        EXPECT_EQ(back.params.ncpu, cell.params.ncpu);
+        EXPECT_EQ(back.params.refsPerCpu, cell.params.refsPerCpu);
+        EXPECT_EQ(back.params.seed, cell.params.seed);
+        EXPECT_EQ(back.sys.ncpu, cell.sys.ncpu);
+        EXPECT_EQ(back.sys.l1.sizeBytes, cell.sys.l1.sizeBytes);
+        EXPECT_EQ(back.sys.l1.assoc, cell.sys.l1.assoc);
+        EXPECT_EQ(back.sys.l2.blockSize, cell.sys.l2.blockSize);
+        EXPECT_EQ(back.mode, cell.mode);
+        EXPECT_EQ(back.timing, cell.timing);
+        EXPECT_EQ(back.timingOnly, cell.timingOnly);
+    }
+}
+
+TEST(DispatchWire, ResultRoundTripsDoublesBitExactly)
+{
+    CellResult r;
+    r.cell.id = 7;
+    r.metrics.instructions = 123456789;
+    r.metrics.l1ReadMisses = 42;
+    r.metrics.falseSharing = 17;
+    r.metrics.oracleL1Gens = {1, 2, 3};
+    r.metrics.oracleL2Gens = {4, 5, 6};
+    r.metrics.uipc = 1.0 / 3.0;                  // not exactly printable
+    r.metrics.baselineUipc = 0.1234567890123456; // in 6 digits
+    r.metrics.speedup = 1.3333333333333333;
+    r.metrics.wallMs = 0.0;
+    r.metrics.pfCounters = {{"triggers", 9}, {"pht_hits", 8}};
+    r.error = "";
+
+    const CellResult back = decodeResult(parseJson(encodeResult(r)));
+    EXPECT_EQ(back.cell.id, r.cell.id);
+    EXPECT_EQ(back.metrics.instructions, r.metrics.instructions);
+    EXPECT_EQ(back.metrics.l1ReadMisses, r.metrics.l1ReadMisses);
+    EXPECT_EQ(back.metrics.falseSharing, r.metrics.falseSharing);
+    EXPECT_EQ(back.metrics.oracleL1Gens, r.metrics.oracleL1Gens);
+    EXPECT_EQ(back.metrics.oracleL2Gens, r.metrics.oracleL2Gens);
+    // bit-exact, not approximately equal — the report must be
+    // byte-identical to a single-process run
+    EXPECT_EQ(back.metrics.uipc, r.metrics.uipc);
+    EXPECT_EQ(back.metrics.baselineUipc, r.metrics.baselineUipc);
+    EXPECT_EQ(back.metrics.speedup, r.metrics.speedup);
+    EXPECT_EQ(back.metrics.pfCounters, r.metrics.pfCounters);
+    EXPECT_TRUE(back.error.empty());
+}
+
+TEST(DispatchWire, FrameDecoderHandlesChunkedDelivery)
+{
+    const std::string payload = R"({"type":"ready","pid":1})";
+    std::string frame = std::to_string(payload.size()) + "\n" +
+        payload + "\n";
+    FrameDecoder dec;
+    std::string out;
+    // feed one byte at a time: no frame until the terminator arrives
+    for (size_t i = 0; i + 1 < frame.size(); ++i) {
+        dec.feed(&frame[i], 1);
+        EXPECT_FALSE(dec.next(out)) << "at byte " << i;
+    }
+    dec.feed(&frame[frame.size() - 1], 1);
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out, payload);
+    // two frames in one feed
+    dec.feed(frame.data(), frame.size());
+    dec.feed(frame.data(), frame.size());
+    ASSERT_TRUE(dec.next(out));
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_FALSE(dec.next(out));
+}
+
+TEST(DispatchWire, FrameDecoderRejectsCorruptPrefix)
+{
+    FrameDecoder dec;
+    std::string out;
+    dec.feed("garbage\n", 8);
+    EXPECT_THROW(dec.next(out), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// dispatched runs vs the in-process runner
+// ---------------------------------------------------------------------
+
+TEST(Dispatch, Fig11CellsByteIdenticalToInProcess)
+{
+    ExperimentSpec spec = parseSpec(fig11Tokens());
+    const std::string inproc = inProcessJson(spec);
+    const std::string dispatched = dispatchedJson(spec, 4);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+}
+
+TEST(Dispatch, AblCellsByteIdenticalToInProcess)
+{
+    ExperimentSpec spec = parseSpec(ablTokens());
+    const std::string inproc = inProcessJson(spec);
+    const std::string dispatched = dispatchedJson(spec, 4);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+}
+
+TEST(Dispatch, WorkerKillMidRunRecoversByteIdentically)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,graph", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000", "seed=13", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    // cell 2 kills its first worker mid-run; the marker file makes
+    // the re-queued attempt on another worker run clean
+    const std::string marker = tempPath("crash_marker");
+    std::filesystem::remove(marker);
+    ScopedEnv crash("STEMS_DISPATCH_CRASH", "2:" + marker);
+    const std::string dispatched = dispatchedJson(spec, 3);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_TRUE(std::filesystem::exists(marker));  // hook actually fired
+    std::filesystem::remove(marker);
+}
+
+TEST(Dispatch, RetryCapRecordsCellErrorNotCrash)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "wall=0", "dispatch-retries=2"});
+    // no marker: cell 0 crashes its worker on every attempt
+    ScopedEnv crash("STEMS_DISPATCH_CRASH", "0");
+    DispatchConfig cfg = localConfig(2);
+    cfg.maxAttempts = 2;
+    Coordinator coord(spec, cfg);
+    auto results = coord.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].error.empty());
+    EXPECT_NE(results[0].error.find("2 attempt"), std::string::npos)
+        << results[0].error;
+    // the sweep survives: the other cell still ran to completion
+    EXPECT_TRUE(results[1].error.empty()) << results[1].error;
+    EXPECT_GT(results[1].metrics.instructions, 0u);
+}
+
+TEST(Dispatch, CellTimeoutRequeuesToAnotherWorker)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=5", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    const std::string marker = tempPath("sleep_marker");
+    std::filesystem::remove(marker);
+    // cell 0 stalls 30 s on its first attempt; the 700 ms per-cell
+    // timeout kills that worker and the retry completes promptly
+    ScopedEnv stall("STEMS_DISPATCH_SLEEP", "0:30000:" + marker);
+    DispatchConfig cfg = localConfig(2);
+    cfg.timeoutMs = 700;
+    Coordinator coord(spec, cfg);
+    const std::string dispatched = toJson(spec, coord.run());
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_TRUE(std::filesystem::exists(marker));
+    std::filesystem::remove(marker);
+}
+
+// ---------------------------------------------------------------------
+// cells= subsets and report merging
+// ---------------------------------------------------------------------
+
+TEST(Dispatch, CellFilterKeepsIdsAndSubsets)
+{
+    auto tokens = fig11Tokens();
+    tokens.push_back("cells=3,5-7");
+    ExperimentSpec spec = parseSpec(tokens);
+    Runner runner(spec);
+    ASSERT_EQ(runner.cells().size(), 4u);
+    EXPECT_EQ(runner.cells()[0].id, 3u);
+    EXPECT_EQ(runner.cells()[1].id, 5u);
+    EXPECT_EQ(runner.cells()[3].id, 7u);
+
+    EXPECT_THROW(parseSpec({"cells=5-3"}), std::invalid_argument);
+    EXPECT_THROW(parseSpec({"cells=x"}), std::invalid_argument);
+    tokens.back() = "cells=900";
+    EXPECT_THROW(Runner(parseSpec(tokens)), std::invalid_argument);
+}
+
+TEST(DispatchMerge, PartialRunsMergeByteIdenticallyToFullRun)
+{
+    ExperimentSpec full = parseSpec(fig11Tokens());
+    const std::string whole = inProcessJson(full);
+
+    auto tokens = fig11Tokens();
+    tokens.push_back("cells=0-9");
+    const std::string partA = inProcessJson(parseSpec(tokens));
+    tokens.back() = "cells=10-32";
+    const std::string partB = inProcessJson(parseSpec(tokens));
+
+    EXPECT_EQ(mergeReports({partA, partB}), whole);
+    EXPECT_EQ(mergeReports({partB, partA}), whole);  // order-free by id
+}
+
+TEST(DispatchMerge, AssociativeAndIdempotent)
+{
+    auto tokens = fig11Tokens();
+    tokens.push_back("cells=0-9");
+    const std::string a = inProcessJson(parseSpec(tokens));
+    tokens.back() = "cells=10-19";
+    const std::string b = inProcessJson(parseSpec(tokens));
+    tokens.back() = "cells=20-32";
+    const std::string c = inProcessJson(parseSpec(tokens));
+
+    const std::string leftFirst =
+        mergeReports({mergeReports({a, b}), c});
+    const std::string rightFirst =
+        mergeReports({a, mergeReports({b, c})});
+    EXPECT_EQ(leftFirst, rightFirst);
+
+    EXPECT_EQ(mergeReports({a}), a);
+    EXPECT_EQ(mergeReports({a, a}), a);  // idempotent
+    EXPECT_EQ(mergeReports({leftFirst, a}), leftFirst);
+}
+
+TEST(DispatchMerge, OkCellRepairsEarlierError)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "wall=0"});
+    Runner runner(spec);
+    auto results = runner.run();
+    ASSERT_EQ(results.size(), 2u);
+    const std::string good = toJson(spec, results);
+
+    auto broken = results;
+    broken[0].error = "worker crashed";
+    const std::string bad = toJson(spec, broken);
+
+    // the error-free occurrence wins regardless of argument order
+    EXPECT_EQ(mergeReports({bad, good}), good);
+    EXPECT_EQ(mergeReports({good, bad}), good);
+    EXPECT_EQ(mergeReports({bad, bad}), bad);
+}
+
+TEST(DispatchMerge, RejectsForeignAndMismatchedReports)
+{
+    EXPECT_THROW(mergeReports({}), std::invalid_argument);
+    EXPECT_THROW(mergeReports({"{\"engine\":\"other\",\"cells\":[]}"}),
+                 std::invalid_argument);
+    EXPECT_THROW(mergeReports({"not json at all"}),
+                 std::invalid_argument);
+
+    const std::string a =
+        inProcessJson(parseSpec({"workloads=sparse",
+                                 "prefetchers=none", "ncpu=4",
+                                 "refs=1500", "wall=0"}));
+    const std::string b =
+        inProcessJson(parseSpec({"workloads=graph",
+                                 "prefetchers=none", "ncpu=4",
+                                 "refs=1500", "wall=0"}));
+    EXPECT_THROW(mergeReports({a, b}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// timing-only cell mode
+// ---------------------------------------------------------------------
+
+TEST(TimingOnly, MatchesFullTimingUipcExactly)
+{
+    std::vector<std::string> tokens{
+        "workloads=sparse,Apache", "prefetchers=sms,none", "ncpu=4",
+        "refs=2000", "seed=9", "timing=1"};
+    auto fullResults = Runner(parseSpec(tokens)).run();
+    tokens.back() = "timing=only";
+    ExperimentSpec lean = parseSpec(tokens);
+    EXPECT_TRUE(lean.timing);
+    EXPECT_TRUE(lean.timingOnly);
+    auto leanResults = Runner(lean).run();
+
+    ASSERT_EQ(fullResults.size(), leanResults.size());
+    for (size_t i = 0; i < fullResults.size(); ++i) {
+        ASSERT_TRUE(fullResults[i].error.empty());
+        ASSERT_TRUE(leanResults[i].error.empty());
+        // same timing numbers, bit-exact
+        EXPECT_EQ(fullResults[i].metrics.uipc,
+                  leanResults[i].metrics.uipc);
+        EXPECT_EQ(fullResults[i].metrics.baselineUipc,
+                  leanResults[i].metrics.baselineUipc);
+        EXPECT_EQ(fullResults[i].metrics.speedup,
+                  leanResults[i].metrics.speedup);
+        // ... without paying for the system-study pass
+        EXPECT_GT(fullResults[i].metrics.instructions, 0u);
+        EXPECT_EQ(leanResults[i].metrics.instructions, 0u);
+        EXPECT_EQ(leanResults[i].metrics.baselineL1ReadMisses, 0u);
+    }
+}
+
+TEST(TimingOnly, RequiresSystemMode)
+{
+    EXPECT_THROW(parseSpec({"mode=l1", "timing=only"}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// per-cell cache-geometry sweeps
+// ---------------------------------------------------------------------
+
+TEST(GeometrySweep, L2SizeAxisReshapesEachCell)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000", "sweep.l2-kb=256,1024"});
+    auto cells = expandSpec(spec);
+    // geometry axes apply to every engine, none included
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].sys.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(cells[1].sys.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(cells[2].sys.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(cells[3].sys.l2.sizeBytes, 1024u * 1024);
+    // geometry stays out of the prefetcher's option bag
+    EXPECT_EQ(cells[0].engine.options.count("l2-kb"), 0u);
+    ASSERT_EQ(cells[0].sweepPoint.count("l2-kb"), 1u);
+
+    auto results = Runner(spec).run();
+    for (const auto &r : results)
+        ASSERT_TRUE(r.error.empty()) << r.error;
+    // each L2 size gets its own memoized baseline: a smaller L2 must
+    // miss at least as often off-chip
+    EXPECT_GE(results[2].metrics.l2ReadMisses,
+              results[3].metrics.l2ReadMisses);
+    EXPECT_EQ(results[0].metrics.baselineL2ReadMisses,
+              results[2].metrics.l2ReadMisses);
+    EXPECT_EQ(results[1].metrics.baselineL2ReadMisses,
+              results[3].metrics.l2ReadMisses);
+}
+
+TEST(GeometrySweep, GeometryKeysLegalOnlyAsSweepOrTopLevel)
+{
+    // an opt./pf. geometry key would land in the engine's option bag
+    // where nothing reads it — the silent-default trap the option
+    // check exists to prevent
+    EXPECT_THROW(parseSpec({"prefetchers=sms", "opt.l2-kb=64"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"prefetchers=sms", "pf.sms.l1-assoc=4"}),
+                 std::invalid_argument);
+    // block is a real prefetcher option (stream granularity) and a
+    // top-level geometry key; both stay legal
+    EXPECT_NO_THROW(parseSpec({"prefetchers=sms", "opt.block=128"}));
+    EXPECT_NO_THROW(parseSpec({"l2-kb=4096", "l1-assoc=4"}));
+    EXPECT_NO_THROW(parseSpec(
+        {"prefetchers=none", "sweep.l2-mb=4,8"}));
+}
+
+TEST(GeometrySweep, BlockAxisAppliesToEveryEngine)
+{
+    // before per-cell geometry, a block sweep silently collapsed for
+    // engines that did not know the option (e.g. none)
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=none",
+         "sweep.block=64,128"});
+    auto cells = expandSpec(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].sys.l1.blockSize, 64u);
+    EXPECT_EQ(cells[1].sys.l1.blockSize, 128u);
+    EXPECT_EQ(cells[1].sys.l2.blockSize, 128u);
+}

@@ -311,11 +311,14 @@ TEST(Runner, TraceRecordThenReplayMatchesLiveStats)
     tokens.push_back("trace-dir=" + dir);
     auto recorded = Runner(parseSpec(tokens)).run();  // generates + writes
 
-    // the spill directory now holds one .stmt per workload
+    // the spill directory now holds one .stmt per workload (plus the
+    // generation .lock files guarding concurrent generators)
     size_t files = 0;
     for (const auto &e : std::filesystem::directory_iterator(dir)) {
-        EXPECT_EQ(e.path().extension(), ".stmt");
-        ++files;
+        if (e.path().extension() == ".stmt")
+            ++files;
+        else
+            EXPECT_EQ(e.path().extension(), ".lock");
     }
     EXPECT_EQ(files, 2u);
 
@@ -377,7 +380,7 @@ TEST(Report, JsonAndCsvCarryTheMatrix)
     EXPECT_NE(json.find("\"l2_coverage\""), std::string::npos);
     EXPECT_NE(json.find("\"stream_requests\""), std::string::npos);
 
-    const std::string csv = toCsv(results);
+    const std::string csv = toCsv(spec, results);
     size_t lines = 0;
     for (char c : csv)
         lines += c == '\n';
@@ -395,7 +398,7 @@ TEST(Report, CsvQuotesFieldsWithCommas)
     r.cell.workload = "sparse";
     r.cell.engine.kind = "sms";
     r.error = "bad thing, with commas and \"quotes\"";
-    const std::string csv = toCsv({r});
+    const std::string csv = toCsv(ExperimentSpec{}, {r});
     EXPECT_NE(csv.find("\"bad thing, with commas and \"\"quotes\"\"\""),
               std::string::npos);
     // the data row still has exactly as many columns as the header
@@ -483,7 +486,8 @@ TEST(TraceCache, RejectsStaleSpillAndRegenerates)
     // sabotage the spill: same shape, wrong generator fingerprint
     std::string file;
     for (const auto &e : std::filesystem::directory_iterator(dir))
-        file = e.path().string();
+        if (e.path().extension() == ".stmt")
+            file = e.path().string();
     ASSERT_FALSE(file.empty());
     trace::Trace doctored = live;
     doctored[0].addr ^= 0xff00;  // stale content a silent replay keeps
@@ -515,6 +519,53 @@ TEST(SuiteExtension, GraphRegisteredInFullSuiteOnly)
     EXPECT_EQ(workloads::fullSuite().size(),
               workloads::paperSuite().size() +
                   workloads::extensionSuite().size());
+}
+
+TEST(SuiteExtension, HashJoinRegisteredOutsidePaperSuite)
+{
+    EXPECT_NE(workloads::findWorkload("hashjoin"), nullptr);
+    for (const auto &e : workloads::paperSuite())
+        EXPECT_NE(e.name, "hashjoin");
+}
+
+TEST(SuiteExtension, HashJoinGeneratesDeterministicStreams)
+{
+    workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 3000;
+    p.seed = 17;
+    auto w1 = workloads::findWorkload("hashjoin")->make();
+    auto w2 = workloads::findWorkload("hashjoin")->make();
+    auto s1 = w1->generateStreams(p);
+    auto s2 = w2->generateStreams(p);
+    ASSERT_EQ(s1.size(), 4u);
+    for (size_t c = 0; c < s1.size(); ++c) {
+        ASSERT_EQ(s1[c].size(), p.refsPerCpu);
+        EXPECT_TRUE(s1[c] == s2[c]);
+    }
+    // the probe phase shares build-side tables: some references must
+    // cross into other CPUs' partitions (coherence traffic exists)
+    bool crossPartition = false;
+    const uint64_t partStride = 0x10000000ULL;
+    for (const auto &a : s1[0]) {
+        if (a.addr >= 0x04'00000000ULL + partStride &&
+            a.addr < 0x05'00000000ULL)
+            crossPartition = true;
+    }
+    EXPECT_TRUE(crossPartition);
+}
+
+TEST(SuiteExtension, HashJoinRunsThroughTheEngine)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=hashjoin", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.error.empty()) << r.error;
+    // SMS finds the join's spatial structure
+    EXPECT_GT(results[0].metrics.l1Covered, 0u);
 }
 
 TEST(SuiteExtension, GraphSurvivesMoreCpusThanVertices)
