@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/sms.hh"
+#include "driver/registry.hh"
 #include "mem/memsys.hh"
 #include "sim/timing.hh"
 #include "study/suite.hh"
@@ -116,8 +117,12 @@ BM_RunTiming(benchmark::State &state)
     for (auto _ : state) {
         sim::TimingConfig cfg;
         cfg.sys.ncpu = kNcpu;
-        cfg.useSms = state.range(0) != 0;
-        benchmark::DoNotOptimize(sim::runTiming(streams, cfg, 1).cycles);
+        std::unique_ptr<driver::PrefetcherDeployment> dep;
+        prefetch::PfAttach attach;
+        if (state.range(0) != 0)
+            attach = driver::registryAttach("sms", dep);
+        benchmark::DoNotOptimize(
+            sim::runTiming(streams, cfg, 1, attach).cycles);
     }
     reportRefRate(state, t.size());
 }

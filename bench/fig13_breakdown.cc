@@ -5,9 +5,18 @@
  * 1.0; the SMS bar's total is its relative execution time, i.e. the
  * inverse speedup). Components: user busy, system busy, off-chip
  * read stalls, on-chip read stalls, store-buffer-full stalls, other.
+ *
+ * Runs through the driver engine: one timing=only cell per workload,
+ * executed by the sharded runner; the base bar is the cell's memoized
+ * no-prefetch timing pass and the SMS bar its engine pass, both
+ * produced by the engine-agnostic attach pipeline. Output is
+ * identical to the original hand-rolled loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 #include "sim/timing.hh"
 
 using namespace stems;
@@ -21,21 +30,31 @@ main()
            "Per-unit-of-work time; base bar totals 1.0.");
 
     auto params = defaultParams(24000);
-    sim::TimingConfig tc;
+
+    driver::ExperimentSpec spec = driver::parseSpec(
+        {"workloads=paper", "prefetchers=sms", "timing=only"});
+    spec.params = params;
+    spec.sys.ncpu = spec.params.ncpu;
+
+    // per-workload (base, SMS) timing passes from the engine run
+    std::map<std::string,
+             std::pair<sim::TimingResult, sim::TimingResult>> runs;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " failed: " << r.error
+                      << "\n";
+            return 1;
+        }
+        runs[r.cell.workload] = {r.metrics.baselineTiming,
+                                 r.metrics.timing};
+    }
 
     TablePrinter table({"App", "Cfg", "UserBusy", "SysBusy", "OffChip",
                         "OnChip", "StoreBuf", "Other", "Total"});
 
     for (const auto &entry : workloads::paperSuite()) {
-        auto w = entry.make();
-        auto streams = w->generateStreams(params);
-
-        sim::TimingConfig base = tc;
-        auto rb = sim::runTiming(streams, base, params.seed);
-        sim::TimingConfig sms = tc;
-        sms.useSms = true;
-        auto rs = sim::runTiming(streams, sms, params.seed);
-
+        const auto &[rb, rs] = runs.at(entry.name);
         const double norm = rb.breakdown.total();
         auto add_row = [&](const char *cfg,
                            const sim::TimeBreakdown &bd) {

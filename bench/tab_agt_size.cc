@@ -4,9 +4,18 @@
  * accumulation table should match an unbounded AGT's coverage on
  * every application, with OLTP-Oracle placing the largest demand on
  * the accumulation table.
+ *
+ * Runs through the driver engine: one mode=l1 spec whose engines are
+ * five labelled SMS configurations (one per AGT capacity), expanded
+ * into per-workload cells the sharded runner executes in parallel
+ * with the baseline pass memoized per workload. Output is identical
+ * to the original hand-rolled loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -20,8 +29,6 @@ main()
            "16k x 16-way PHT; PC+offset; 2 kB regions.");
 
     auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
 
     struct AgtSize
     {
@@ -33,20 +40,46 @@ main()
         {64, 128, "64/128"}, {0, 0, "inf"},
     };
 
+    driver::ExperimentSpec spec =
+        driver::parseSpec({"mode=l1", "workloads=paper"});
+    spec.params = params;
+    spec.sys.ncpu = spec.params.ncpu;
+    spec.engines.clear();
+    for (const auto &s : sizes) {
+        driver::EngineConfig e;
+        e.kind = "sms";
+        e.label = s.label;
+        e.options["agt-filter"] = std::to_string(s.filter);
+        e.options["agt-accum"] = std::to_string(s.accum);
+        spec.engines.push_back(std::move(e));
+    }
+
+    // (workload, AGT label) -> coverage / peak accumulation demand
+    std::map<std::pair<std::string, std::string>,
+             std::pair<double, uint64_t>> cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " "
+                      << r.cell.engine.displayLabel()
+                      << " failed: " << r.error << "\n";
+            return 1;
+        }
+        cells[{r.cell.workload, r.cell.engine.displayLabel()}] = {
+            r.metrics.l1Coverage(), r.metrics.peakAccumOccupancy};
+    }
+
     TablePrinter table({"App", "8/16", "16/32", "32/64", "64/128", "inf",
                         "peak-accum@inf"});
     for (const auto &entry : workloads::paperSuite()) {
         std::vector<std::string> row{entry.name};
         uint64_t peak_accum = 0;
         for (const auto &s : sizes) {
-            L1StudyConfig cfg;
-            cfg.ncpu = params.ncpu;
-            cfg.sms.agt = {s.filter, s.accum};
-            auto r = runL1Study(traces.get(entry.name, params), cfg);
-            row.push_back(TablePrinter::pct(
-                r.coverage(baselines.baselineMisses(entry.name))));
+            const auto &[coverage, peak] =
+                cells.at({entry.name, s.label});
+            row.push_back(TablePrinter::pct(coverage));
             if (s.filter == 0)
-                peak_accum = r.peakAccumOccupancy;
+                peak_accum = peak;
         }
         row.push_back(std::to_string(peak_accum));
         table.addRow(row);

@@ -13,18 +13,49 @@ PatternHistoryTable::PatternHistoryTable(const PhtConfig &config)
         return;  // unbounded
     if (cfg.assoc == 0 || cfg.entries % cfg.assoc != 0)
         throw std::invalid_argument("PHT entries not multiple of assoc");
+    if (cfg.assoc > kRankMask + 1)
+        throw std::invalid_argument("PHT assoc exceeds rank width");
     sets = cfg.entries / cfg.assoc;
     if (!isPow2(sets))
         throw std::invalid_argument("PHT set count must be a power of 2");
     setShift = log2i(sets);
-    table.resize(cfg.entries);
+    tags.resize(cfg.entries, 0);
+    patterns.resize(cfg.entries);
+    // invalid frames still carry ranks so every set starts as a
+    // permutation (way 0 at the back, like untouched stamps)
+    meta.resize(cfg.entries);
+    for (uint32_t s = 0; s < sets; ++s)
+        for (uint32_t w = 0; w < cfg.assoc; ++w)
+            meta[static_cast<size_t>(s) * cfg.assoc + w] =
+                static_cast<Meta>(cfg.assoc - 1 - w);
+}
+
+uint32_t
+PatternHistoryTable::findWay(const uint64_t *tagBase,
+                             const Meta *metaBase, uint64_t tag) const
+{
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if (valid(metaBase[w]) && tagBase[w] == tag)
+            return w;
+    return cfg.assoc;
+}
+
+void
+PatternHistoryTable::touchWay(Meta *metaBase, uint32_t way)
+{
+    const Meta r = metaBase[way] & kRankMask;
+    if (r == 0)
+        return;  // already MRU: repeated triggers to one key
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if ((metaBase[w] & kRankMask) < r)
+            ++metaBase[w];  // rank lives in the low bits
+    metaBase[way] &= static_cast<Meta>(~kRankMask);
 }
 
 void
 PatternHistoryTable::update(uint64_t key, const SpatialPattern &pattern)
 {
     ++stats_.updates;
-    ++tick;
 
     if (unbounded()) {
         auto [it, inserted] = map.try_emplace(key, pattern);
@@ -38,48 +69,47 @@ PatternHistoryTable::update(uint64_t key, const SpatialPattern &pattern)
         return;
     }
 
-    Entry *base = &table[static_cast<size_t>(setOf(key)) * cfg.assoc];
+    const size_t base = static_cast<size_t>(setOf(key)) * cfg.assoc;
+    uint64_t *tagBase = &tags[base];
+    Meta *metaBase = &meta[base];
     const uint64_t tag = tagOf(key);
 
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
-            if (cfg.update == PhtUpdateMode::Union)
-                e.pattern |= pattern;
-            else
-                e.pattern = pattern;
-            e.lastUse = tick;
-            return;
-        }
+    uint32_t way = findWay(tagBase, metaBase, tag);
+    if (way != cfg.assoc) {
+        SpatialPattern &p = patterns[base + way];
+        if (cfg.update == PhtUpdateMode::Union)
+            p |= pattern;
+        else
+            p = pattern;
+        touchWay(metaBase, way);
+        return;
     }
 
     // no tag match: fill an invalid way, else replace the set's LRU
-    Entry *victim = nullptr;
+    uint32_t victim = cfg.assoc;
     for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Entry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
+        if (!valid(metaBase[w])) {
+            victim = w;
             break;
         }
-        if (!victim || e.lastUse < victim->lastUse)
-            victim = &e;
+        if (rankOf(metaBase[w]) == cfg.assoc - 1)
+            victim = w;
     }
 
-    if (victim->valid)
+    if (valid(metaBase[victim]))
         ++stats_.evictions;
     else
         ++stats_.inserts;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->pattern = pattern;
-    victim->lastUse = tick;
+    tagBase[victim] = tag;
+    patterns[base + victim] = pattern;
+    metaBase[victim] |= kValid;
+    touchWay(metaBase, victim);
 }
 
 std::optional<SpatialPattern>
 PatternHistoryTable::lookup(uint64_t key)
 {
     ++stats_.lookups;
-    ++tick;
 
     if (unbounded()) {
         auto it = map.find(key);
@@ -89,17 +119,13 @@ PatternHistoryTable::lookup(uint64_t key)
         return it->second;
     }
 
-    Entry *base = &table[static_cast<size_t>(setOf(key)) * cfg.assoc];
-    const uint64_t tag = tagOf(key);
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
-            e.lastUse = tick;
-            ++stats_.hits;
-            return e.pattern;
-        }
-    }
-    return std::nullopt;
+    const size_t base = static_cast<size_t>(setOf(key)) * cfg.assoc;
+    const uint32_t way = findWay(&tags[base], &meta[base], tagOf(key));
+    if (way == cfg.assoc)
+        return std::nullopt;
+    touchWay(&meta[base], way);
+    ++stats_.hits;
+    return patterns[base + way];
 }
 
 size_t
@@ -108,8 +134,8 @@ PatternHistoryTable::occupancy() const
     if (unbounded())
         return map.size();
     size_t n = 0;
-    for (const auto &e : table)
-        n += e.valid ? 1 : 0;
+    for (Meta m : meta)
+        n += valid(m) ? 1 : 0;
     return n;
 }
 

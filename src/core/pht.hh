@@ -47,6 +47,17 @@ struct PhtStats
 /**
  * Set-associative (or unbounded) pattern store keyed by a 64-bit
  * prediction index (see core/indexing.hh). LRU within each set.
+ *
+ * The bounded mode stores entries the way cache frames are packed
+ * (mem/cache.hh): structure-of-arrays with full 64-bit tags, the
+ * 16-byte patterns, and one metadata byte per way holding the valid
+ * bit and the way's in-set LRU rank (0 = MRU). That is 25 bytes per
+ * entry against the 40 of the former tag/pattern/lastUse/valid
+ * struct, and a set probe scans a dense 8-byte-stride tag run (two
+ * cache lines at 16 ways) plus one metadata line instead of striding
+ * 40-byte records. Ranks always form a permutation of the set's
+ * ways — classic LRU-stack semantics, victim selection identical to
+ * the former global-timestamp scheme.
  */
 class PatternHistoryTable
 {
@@ -67,23 +78,32 @@ class PatternHistoryTable
     size_t occupancy() const;
 
   private:
-    struct Entry
-    {
-        uint64_t tag = 0;
-        SpatialPattern pattern;
-        uint64_t lastUse = 0;
-        bool valid = false;
-    };
+    /** Way metadata: bit 7 valid, bits 0..6 LRU rank (assoc <= 128). */
+    using Meta = uint8_t;
+
+    static constexpr Meta kValid = 0x80;
+    static constexpr Meta kRankMask = 0x7f;
+
+    static bool valid(Meta m) { return m & kValid; }
+    static uint32_t rankOf(Meta m) { return m & kRankMask; }
 
     uint32_t setOf(uint64_t key) const { return key & (sets - 1); }
     uint64_t tagOf(uint64_t key) const { return key >> setShift; }
 
+    /** Way holding @p tag in the set at @p base, or assoc if absent. */
+    uint32_t findWay(const uint64_t *tagBase, const Meta *metaBase,
+                     uint64_t tag) const;
+
+    /** Move @p way to the front of its set's LRU stack. */
+    void touchWay(Meta *metaBase, uint32_t way);
+
     PhtConfig cfg;
     uint32_t sets = 1;
     uint32_t setShift = 0;
-    uint64_t tick = 0;
-    std::vector<Entry> table;                            //!< bounded mode
-    util::FlatMap<uint64_t, SpatialPattern> map;         //!< unbounded mode
+    std::vector<uint64_t> tags;                  //!< bounded mode (SoA)
+    std::vector<SpatialPattern> patterns;
+    std::vector<Meta> meta;
+    util::FlatMap<uint64_t, SpatialPattern> map; //!< unbounded mode
     PhtStats stats_;
 };
 

@@ -124,6 +124,12 @@ class SmsUnit : public GenerationListener, public mem::CacheListener
  * memory system's demand stream and L1 listener hooks, issuing stream
  * requests through MemorySystem::prefetch (which behave as reads in
  * the coherence protocol, per Section 3.2).
+ *
+ * The controller is deployed through the generic attach seam
+ * (prefetch::AttachedPrefetcher, wrapped by the driver registry's
+ * SmsDeployment): the trace studies and the timing model host it the
+ * same way they host GHB or stride — SMS holds no privileged code
+ * path anywhere in the pipelines.
  */
 class SmsController : public mem::AccessObserver
 {

@@ -83,6 +83,44 @@ readU64Array(const JsonValue &v)
     return out;
 }
 
+/**
+ * One timing pass as [cycles, user_instr, sys_instr, 6x breakdown];
+ * doubles ride as hexfloat strings for bit-exact round trips.
+ */
+void
+writeTimingResult(JsonWriter &j, const sim::TimingResult &t)
+{
+    j.beginArray();
+    j.value(hexDouble(t.cycles));
+    j.value(t.userInstructions);
+    j.value(t.systemInstructions);
+    j.value(hexDouble(t.breakdown.userBusy));
+    j.value(hexDouble(t.breakdown.systemBusy));
+    j.value(hexDouble(t.breakdown.offChipRead));
+    j.value(hexDouble(t.breakdown.onChipRead));
+    j.value(hexDouble(t.breakdown.storeBuffer));
+    j.value(hexDouble(t.breakdown.other));
+    j.endArray();
+}
+
+sim::TimingResult
+readTimingResult(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Array || v.items.size() != 9)
+        throw std::invalid_argument("wire: bad timing result");
+    sim::TimingResult t;
+    t.cycles = v.items[0].asDouble();
+    t.userInstructions = v.items[1].asU64();
+    t.systemInstructions = v.items[2].asU64();
+    t.breakdown.userBusy = v.items[3].asDouble();
+    t.breakdown.systemBusy = v.items[4].asDouble();
+    t.breakdown.offChipRead = v.items[5].asDouble();
+    t.breakdown.onChipRead = v.items[6].asDouble();
+    t.breakdown.storeBuffer = v.items[7].asDouble();
+    t.breakdown.other = v.items[8].asDouble();
+    return t;
+}
+
 } // anonymous namespace
 
 const std::string &
@@ -222,9 +260,15 @@ encodeResult(const driver::CellResult &result)
     writeU64Array(j, m.oracleL1Gens);
     j.key("oracle_l2");
     writeU64Array(j, m.oracleL2Gens);
+    j.key("peak_accum").value(m.peakAccumOccupancy);
+    j.key("peak_filter").value(m.peakFilterOccupancy);
     j.key("uipc").value(hexDouble(m.uipc));
     j.key("baseline_uipc").value(hexDouble(m.baselineUipc));
     j.key("speedup").value(hexDouble(m.speedup));
+    j.key("timing");
+    writeTimingResult(j, m.timing);
+    j.key("baseline_timing");
+    writeTimingResult(j, m.baselineTiming);
     j.key("wall_ms").value(hexDouble(m.wallMs));
     j.endObject();
     j.key("counters").beginArray();
@@ -259,9 +303,13 @@ decodeResult(const JsonValue &msg)
     d.falseSharing = m.at("false_sharing").asU64();
     d.oracleL1Gens = readU64Array(m.at("oracle_l1"));
     d.oracleL2Gens = readU64Array(m.at("oracle_l2"));
+    d.peakAccumOccupancy = m.at("peak_accum").asU64();
+    d.peakFilterOccupancy = m.at("peak_filter").asU64();
     d.uipc = m.at("uipc").asDouble();
     d.baselineUipc = m.at("baseline_uipc").asDouble();
     d.speedup = m.at("speedup").asDouble();
+    d.timing = readTimingResult(m.at("timing"));
+    d.baselineTiming = readTimingResult(m.at("baseline_timing"));
     d.wallMs = m.at("wall_ms").asDouble();
     for (const auto &pair : msg.at("counters").items) {
         if (pair.items.size() != 2)

@@ -31,7 +31,7 @@
 namespace stems::dispatch {
 
 /** Wire protocol version; bumped on incompatible message changes. */
-constexpr uint32_t kProtocolVersion = 1;
+constexpr uint32_t kProtocolVersion = 2;
 
 /** Spec-global settings shipped to a worker before any cells. */
 struct WorkerInit

@@ -6,6 +6,7 @@
 
 #include "core/sms.hh"
 #include "driver/options.hh"
+#include "driver/registry.hh"
 #include "driver/report.hh"
 #include "mem/memsys.hh"
 #include "sim/timing.hh"
@@ -111,20 +112,21 @@ benchOneWorkload(const std::string &workload, const BenchOptions &opt,
             sys.access(a);
     }));
 
-    // the full-system timing model, without and with SMS
+    // the full-system timing model: baseline, then registry engines
+    // through the generic attach seam (the production path for every
+    // uIPC number)
+    auto timedRun = [&streams, &p](const char *kind) {
+        sim::TimingConfig cfg;
+        cfg.sys.ncpu = p.ncpu;
+        std::unique_ptr<PrefetcherDeployment> dep;
+        sim::runTiming(streams, cfg, p.seed, registryAttach(kind, dep));
+    };
     out.push_back(measure(workload, "run_timing", refs, opt.repeats,
-                          [&] {
-        sim::TimingConfig cfg;
-        cfg.sys.ncpu = p.ncpu;
-        sim::runTiming(streams, cfg, p.seed);
-    }));
+                          [&] { timedRun("none"); }));
     out.push_back(measure(workload, "run_timing_sms", refs, opt.repeats,
-                          [&] {
-        sim::TimingConfig cfg;
-        cfg.sys.ncpu = p.ncpu;
-        cfg.useSms = true;
-        sim::runTiming(streams, cfg, p.seed);
-    }));
+                          [&] { timedRun("sms"); }));
+    out.push_back(measure(workload, "run_timing_ghb", refs, opt.repeats,
+                          [&] { timedRun("ghb"); }));
 }
 
 } // anonymous namespace

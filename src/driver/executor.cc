@@ -43,6 +43,25 @@ baselineKey(const RunCell &cell)
 }
 
 /**
+ * Timing memo key: the timing pass depends on everything the miss
+ * baseline depends on *plus* the full engine configuration, so a cell
+ * whose engine options change (e.g. a pht-entries sweep) invalidates
+ * into its own slot instead of reusing a stale result. The baseline
+ * pass is the "none" engine's entry — "none" takes no options, so any
+ * option noise on a none engine (the top-level block= key fans out to
+ * every engine) is ignored for keying.
+ */
+std::string
+timingKey(const RunCell &cell, const EngineConfig &engine)
+{
+    std::string key = baselineKey(cell) + "|" + engine.kind;
+    if (engine.kind != "none")
+        for (const auto &[k, v] : engine.options)
+            key += "," + k + "=" + v;
+    return key;
+}
+
+/**
  * Oracle region trackers only make sense at or above the cell's block
  * grain (the paper computes oracle opportunity on the baseline-grain
  * hierarchy); cells swept to a coarser block skip tracking entirely.
@@ -108,21 +127,26 @@ CellExecutor::streams(const RunCell &cell)
     return traces.streams(cell.workload, cell.params);
 }
 
-double
-CellExecutor::baselineUipc(const RunCell &cell)
+const sim::TimingResult &
+CellExecutor::timingRun(const RunCell &cell, const EngineConfig &engine)
 {
     TimingSlot *slot;
     {
         std::lock_guard<std::mutex> lock(memoMu);
-        slot = &timingBaselines[baselineKey(cell)];
+        slot = &timingRuns[timingKey(cell, engine)];
     }
     std::call_once(slot->once, [&] {
         sim::TimingConfig tc;
         tc.sys = cell.sys;
-        slot->uipc =
-            sim::runTiming(streams(cell), tc, cell.params.seed).uipc();
+        // every engine — "none" included — attaches through the
+        // registry: the timing model has no engine-specific wiring
+        std::unique_ptr<PrefetcherDeployment> dep;
+        slot->result =
+            sim::runTiming(streams(cell), tc, cell.params.seed,
+                           registryAttach(engine.kind, dep,
+                                          engine.options));
     });
-    return slot->uipc;
+    return slot->result;
 }
 
 void
@@ -150,11 +174,8 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
             std::unique_ptr<PrefetcherDeployment> dep;
             auto r = study::runSystem(
                 streams(cell), scfg, cell.params.seed,
-                [&](mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
-                    dep = PrefetcherRegistry::builtin().create(
-                        cell.engine.kind, sys, cell.engine.options);
-                    return dep.get();
-                });
+                registryAttach(cell.engine.kind, dep,
+                               cell.engine.options));
             m.instructions = r.instructions;
             m.l1ReadMisses = r.l1ReadMisses;
             m.l2ReadMisses = r.l2ReadMisses;
@@ -180,6 +201,8 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
             m.l1ReadMisses = r.readMisses;
             m.l1Covered = r.coveredReads;
             m.l1Overpred = r.overpredictions;
+            m.peakAccumOccupancy = r.peakAccumOccupancy;
+            m.peakFilterOccupancy = r.peakFilterOccupancy;
         }
 
         const BaselineSlot &base = baseline(cell);
@@ -188,19 +211,16 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
     }
 
     if (cell.timing) {
-        m.baselineUipc = baselineUipc(cell);
-        if (cell.engine.kind == "sms") {
-            sim::TimingConfig tc;
-            tc.sys = cell.sys;
-            tc.useSms = true;
-            tc.sms = smsConfigFromOptions(cell.engine.options);
-            m.uipc =
-                sim::runTiming(streams(cell), tc, cell.params.seed)
-                    .uipc();
-        } else if (cell.engine.kind == "none") {
-            m.uipc = m.baselineUipc;
-        }
-        // other prefetchers have no timing-model integration yet
+        // the engine-agnostic timing pipeline: the baseline is just
+        // the "none" engine's memoized pass, and every registry
+        // prefetcher runs through the same attach seam
+        EngineConfig none;
+        m.baselineTiming = timingRun(cell, none);
+        m.baselineUipc = m.baselineTiming.uipc();
+        m.timing = cell.engine.kind == "none"
+                       ? m.baselineTiming
+                       : timingRun(cell, cell.engine);
+        m.uipc = m.timing.uipc();
         if (m.baselineUipc > 0 && m.uipc > 0)
             m.speedup = m.uipc / m.baselineUipc;
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "driver/spec.hh"
+#include "sim/timing.hh"
 #include "study/suite.hh"
 #include "trace/access.hh"
 
@@ -44,10 +45,17 @@ struct CellMetrics
 
     Counters pfCounters;         //!< registry-harvested (e.g. SmsStats)
 
-    // timing model (when spec.timing)
+    /** Peak AGT accumulation/filter demand (L1 mode, SMS engines). */
+    uint64_t peakAccumOccupancy = 0;
+    uint64_t peakFilterOccupancy = 0;
+
+    // timing model (when spec.timing); any registry engine produces
+    // these through the attach seam — see sim/timing.hh
     double uipc = 0;
     double baselineUipc = 0;
     double speedup = 0;
+    sim::TimingResult timing;          //!< this cell's engine pass
+    sim::TimingResult baselineTiming;  //!< the no-prefetch pass
 
     double wallMs = 0;           //!< cell execution wall time
 
@@ -160,12 +168,21 @@ class CellExecutor
     struct TimingSlot
     {
         std::once_flag once;
-        double uipc = 0;
+        sim::TimingResult result;
     };
 
     void runCell(const RunCell &cell, CellResult &out);
     const BaselineSlot &baseline(const RunCell &cell);
-    double baselineUipc(const RunCell &cell);
+
+    /**
+     * Memoized timing pass for @p engine on @p cell's workload and
+     * hierarchy. Keyed on the full engine configuration (kind plus
+     * every option), so cells that differ only in engine options never
+     * share a result; the baseline is simply the "none" engine's
+     * entry.
+     */
+    const sim::TimingResult &timingRun(const RunCell &cell,
+                                       const EngineConfig &engine);
 
     /** Per-CPU streams shared through the TraceCache (zero-copy). */
     const std::vector<trace::Trace> &streams(const RunCell &cell);
@@ -174,7 +191,7 @@ class CellExecutor
     study::TraceCache traces;
     std::mutex memoMu;  //!< guards the memo map shapes
     std::map<std::string, BaselineSlot> baselines;
-    std::map<std::string, TimingSlot> timingBaselines;
+    std::map<std::string, TimingSlot> timingRuns;
 };
 
 /** The executor settings an experiment spec implies. */

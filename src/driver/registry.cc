@@ -245,6 +245,17 @@ PrefetcherRegistry::builtin()
     return reg;
 }
 
+prefetch::PfAttach
+registryAttach(std::string kind,
+               std::unique_ptr<PrefetcherDeployment> &dep, Options opts)
+{
+    return [kind = std::move(kind), &dep, opts = std::move(opts)](
+               mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
+        dep = PrefetcherRegistry::builtin().create(kind, sys, opts);
+        return dep.get();
+    };
+}
+
 void
 PrefetcherRegistry::add(const std::string &name, const std::string &help,
                         std::vector<std::string> optionKeys, Factory f)

@@ -41,12 +41,16 @@ struct EngineConfig
 };
 
 /** Named event counters harvested into reports. */
-using Counters = std::vector<std::pair<std::string, uint64_t>>;
+using Counters = prefetch::Counters;
 
 /**
  * A prefetcher deployed onto one MemorySystem. Constructed by the
  * registry; must outlive the run but not the MemorySystem teardown
- * (the destructor touches only the deployment's own state).
+ * (the destructor touches only the deployment's own state). The
+ * drain/counters contract comes from the attach seam
+ * (prefetch::AttachedPrefetcher), so a deployment plugs into any pass
+ * that takes a PfAttach — the trace studies and the timing model
+ * alike.
  */
 class PrefetcherDeployment : public study::AttachedPrefetcher
 {
@@ -55,9 +59,6 @@ class PrefetcherDeployment : public study::AttachedPrefetcher
     {}
 
     const std::string &name() const { return name_; }
-
-    /** Algorithm-specific counters (e.g. SmsStats) for the report. */
-    virtual Counters counters() const { return {}; }
 
   private:
     std::string name_;
@@ -114,6 +115,17 @@ class PrefetcherRegistry
 
     std::vector<Entry> entries;
 };
+
+/**
+ * The canonical PfAttach for registry engines: deploys @p kind with
+ * @p opts onto the run's MemorySystem, parking ownership in @p dep
+ * (which must outlive the run). Used by the executor's timing pass
+ * and shared with the benches and tests so the attach contract lives
+ * in exactly one place.
+ */
+prefetch::PfAttach registryAttach(
+    std::string kind, std::unique_ptr<PrefetcherDeployment> &dep,
+    Options opts = {});
 
 // option translation, shared with the timing path and tests
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The attach seam shared by every pass that hosts a prefetcher on a
+ * MemorySystem. A prefetcher "deployment" subscribes itself to the
+ * system's demand stream (and whatever listener hooks it needs) at
+ * construction; the hosting pass only ever sees this minimal handle —
+ * drain residual state at end-of-trace, harvest counters for reports.
+ *
+ * Both trace studies (study::runSystem) and the timing model
+ * (sim::runTiming) accept a PfAttach callback, so any engine the
+ * driver registry can construct — SMS, GHB PC/DC, stride, next-line,
+ * future additions — is a first-class citizen of every pipeline,
+ * including the uIPC/speedup path. No pass special-cases a particular
+ * algorithm.
+ */
+
+#ifndef STEMS_PREFETCH_ATTACH_HH
+#define STEMS_PREFETCH_ATTACH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stems::mem {
+class MemorySystem;
+} // namespace stems::mem
+
+namespace stems::prefetch {
+
+/** Named event counters harvested into reports. */
+using Counters = std::vector<std::pair<std::string, uint64_t>>;
+
+/**
+ * A prefetcher wired onto a MemorySystem for the duration of one run.
+ * Construction performs the wiring; the handle must outlive the run
+ * but not the MemorySystem teardown (the destructor touches only the
+ * deployment's own state).
+ */
+class AttachedPrefetcher
+{
+  public:
+    virtual ~AttachedPrefetcher() = default;
+
+    /** Flush residual state at end-of-trace (e.g. live generations). */
+    virtual void drain() {}
+
+    /** Algorithm-specific counters (e.g. SmsStats) for the report. */
+    virtual Counters counters() const { return {}; }
+};
+
+/**
+ * Builds a prefetcher onto @p sys and returns a non-owning handle the
+ * caller keeps alive past the run (may return nullptr for "none").
+ * An empty function means "no prefetcher".
+ */
+using PfAttach =
+    std::function<AttachedPrefetcher *(mem::MemorySystem &sys)>;
+
+} // namespace stems::prefetch
+
+#endif // STEMS_PREFETCH_ATTACH_HH

@@ -136,7 +136,8 @@ struct CoreModel
 
 TimingResult
 runTiming(const std::vector<trace::Trace> &streams,
-          const TimingConfig &cfg, uint64_t seed)
+          const TimingConfig &cfg, uint64_t seed,
+          const prefetch::PfAttach &attach)
 {
     const uint32_t ncpu = cfg.sys.ncpu;
     Torus torus(4, 4, cfg.core.hopLatency);
@@ -148,9 +149,7 @@ runTiming(const std::vector<trace::Trace> &streams,
     trace::InterleavedView view = trace::canonicalView(streams, seed);
 
     mem::MemorySystem sys(cfg.sys);
-    std::unique_ptr<core::SmsController> sms;
-    if (cfg.useSms)
-        sms = std::make_unique<core::SmsController>(sys, cfg.sms);
+    prefetch::AttachedPrefetcher *pf = attach ? attach(sys) : nullptr;
 
     std::vector<CoreModel> cores;
     cores.reserve(ncpu);
@@ -191,10 +190,11 @@ runTiming(const std::vector<trace::Trace> &streams,
                 break;
             }
             if (a.isWrite && out.l1PrefetchHit) {
-                // SMS streamed this block read-only; the store still
-                // pays a full fetch-for-ownership round trip before
-                // the store buffer can drain it (Section 4.7's Qry1
-                // observation)
+                // the attached engine streamed this block read-only;
+                // the store still pays a full fetch-for-ownership
+                // round trip before the store buffer can drain it
+                // (Section 4.7's Qry1 observation) — uniform for any
+                // into-L1 prefetcher, not an SMS special case
                 lat = std::max<uint32_t>(
                     cfg.core.upgradeLatency,
                     cfg.core.l2Latency +
@@ -205,6 +205,9 @@ runTiming(const std::vector<trace::Trace> &streams,
             core.step(a, lat, cat);
         }
     }
+
+    if (pf)
+        pf->drain();
 
     // harvest in CPU order (matches the former per-CPU second phase)
     TimingResult res;

@@ -5,8 +5,10 @@
  * paper's methodology at reduced fidelity:
  *
  *  phase 1 — the interleaved trace runs through the coherent
- *  multiprocessor MemorySystem (optionally with SMS) and each access
- *  is annotated with where it hit;
+ *  multiprocessor MemorySystem (with any attached prefetcher — see
+ *  below) and each access is annotated with where it hit, including
+ *  prefetched-into-L1/L2 provenance from the hierarchy's outcome
+ *  bits;
  *
  *  phase 2 — each CPU's annotated stream is replayed through an
  *  analytic out-of-order core model: 8-wide dispatch/retire, a
@@ -16,6 +18,18 @@
  *  full (the effect that gates Qry1). Head-of-ROB stall cycles are
  *  attributed to off-chip reads, on-chip reads, store-buffer-full, or
  *  other, producing the Figure 13 breakdown.
+ *
+ * The model is engine-agnostic: it hosts prefetchers through the
+ * attach seam (prefetch::PfAttach), the same contract
+ * study::runSystem uses, so every registry prefetcher — SMS, GHB
+ * PC/DC, stride, next-line — gets a uIPC/speedup number. Prefetches
+ * are priced uniformly from the annotation: a block streamed into L1
+ * turns its read into an L1 hit; a block prefetched only to L2 turns
+ * an off-chip read into an on-chip one; and a store that hits a block
+ * any engine streamed read-only still pays a full
+ * fetch-for-ownership round trip before the store buffer can drain
+ * it (Section 4.7's Qry1 observation). No engine owns a privileged
+ * code path.
  */
 
 #ifndef STEMS_SIM_TIMING_HH
@@ -24,8 +38,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/sms.hh"
 #include "mem/memsys.hh"
+#include "prefetch/attach.hh"
 #include "sim/torus.hh"
 #include "trace/access.hh"
 
@@ -82,8 +96,6 @@ struct TimingConfig
 {
     CoreConfig core;
     mem::MemSysConfig sys;
-    bool useSms = false;
-    core::SmsConfig sms;
 };
 
 /** Result of one timing run. */
@@ -105,9 +117,15 @@ struct TimingResult
 /**
  * Run the timing model over per-CPU streams (from
  * Workload::generateStreams).
+ *
+ * @param attach builds a prefetcher deployment onto the run's
+ *               MemorySystem before the first reference (empty = no
+ *               prefetcher). The returned handle is drained after the
+ *               last reference, exactly as in study::runSystem.
  */
 TimingResult runTiming(const std::vector<trace::Trace> &streams,
-                       const TimingConfig &cfg, uint64_t seed = 1);
+                       const TimingConfig &cfg, uint64_t seed = 1,
+                       const prefetch::PfAttach &attach = {});
 
 } // namespace stems::sim
 

@@ -18,6 +18,7 @@
 
 #include "core/sms.hh"
 #include "mem/memsys.hh"
+#include "prefetch/attach.hh"
 #include "prefetch/ghb.hh"
 #include "study/density.hh"
 #include "trace/access.hh"
@@ -25,24 +26,12 @@
 namespace stems::study {
 
 /**
- * A prefetcher wired onto a MemorySystem for the duration of one run.
- * The experiment engine's registry returns these so runSystem can host
+ * The attach seam (see prefetch/attach.hh): the experiment engine's
+ * registry returns these so runSystem — and sim::runTiming — can host
  * any deployment, not just the built-in PfKind set.
  */
-class AttachedPrefetcher
-{
-  public:
-    virtual ~AttachedPrefetcher() = default;
-
-    /** Flush residual state at end-of-trace (e.g. live generations). */
-    virtual void drain() {}
-};
-
-/**
- * Builds a prefetcher onto @p sys and returns a non-owning handle the
- * caller keeps alive past the run (may return nullptr for "none").
- */
-using PfAttach = std::function<AttachedPrefetcher *(mem::MemorySystem &sys)>;
+using AttachedPrefetcher = prefetch::AttachedPrefetcher;
+using PfAttach = prefetch::PfAttach;
 
 /** Which prefetcher (if any) to deploy in a system run. */
 enum class PfKind { None, Sms, Ghb };

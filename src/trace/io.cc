@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <memory>
 #include <string>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace stems::trace {
@@ -51,6 +54,110 @@ struct FileCloser
 };
 
 using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+/** Fixed .stmt header: magic, version, generator hash, record count. */
+constexpr size_t kHeaderBytes = 4 + sizeof(uint32_t) +
+    sizeof(uint64_t) + sizeof(uint64_t);
+
+/** Copy one unaligned little-endian field out of a byte view. */
+template <typename T>
+T
+loadField(const unsigned char *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+/**
+ * Parse a complete .stmt image (header + records) from a contiguous
+ * byte view into @p out. Shared by the mmap fast path and (indirectly,
+ * via identical field logic) the buffered fallback.
+ */
+bool
+parseTraceImage(const unsigned char *data, size_t size, Trace &out,
+                uint64_t expected_hash)
+{
+    if (size < kHeaderBytes || std::memcmp(data, kMagic, 4) != 0)
+        return false;
+    if (loadField<uint32_t>(data + 4) != kTraceFormatVersion)
+        return false;
+    const uint64_t config_hash = loadField<uint64_t>(data + 8);
+    const uint64_t count = loadField<uint64_t>(data + 16);
+    // a stale trace from an incompatible generator must not replay
+    if (expected_hash != 0 && config_hash != expected_hash)
+        return false;
+    // a corrupt count must not drive reserve(): the image must
+    // actually hold that many records
+    if (count != (size - kHeaderBytes) / sizeof(PackedAccess))
+        return false;
+
+    out.clear();
+    out.reserve(count);
+    const unsigned char *rec = data + kHeaderBytes;
+    for (uint64_t i = 0; i < count; ++i, rec += sizeof(PackedAccess)) {
+        PackedAccess p;
+        std::memcpy(&p, rec, sizeof(p));
+        MemAccess a;
+        a.pc = p.pc;
+        a.addr = p.addr;
+        a.cpu = p.cpu;
+        a.ninst = p.ninst;
+        a.dep = p.dep;
+        a.size = p.size;
+        a.isWrite = p.isWrite != 0;
+        a.isKernel = p.isKernel != 0;
+        out.push_back(a);
+    }
+    return true;
+}
+
+/**
+ * mmap-backed read path: map the file as a read-only MAP_PRIVATE view
+ * and parse records straight out of the page cache. Replay then keeps
+ * no second buffered copy of the file in userspace — the mapped pages
+ * are clean, evictable and shared across every concurrent reader of
+ * the same spill file (dispatch workers replaying one generation),
+ * which is what cuts resident replay memory against the stdio path.
+ *
+ * @param usedMap set true when the file was mapped (parse outcome is
+ *                then final); left false when mmap is unavailable and
+ *                the caller must fall back to the buffered path.
+ */
+bool
+readTraceMapped(const std::string &path, Trace &out,
+                uint64_t expected_hash, bool &usedMap)
+{
+    usedMap = false;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return false;  // stat failed: let stdio try
+    }
+    if (st.st_size < 0 ||
+        static_cast<uint64_t>(st.st_size) < kHeaderBytes) {
+        ::close(fd);
+        usedMap = true;  // too short to be a trace however it is read
+        return false;
+    }
+
+    const size_t size = static_cast<size_t>(st.st_size);
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return false;  // e.g. filesystem without mmap: use stdio
+
+    usedMap = true;
+    const bool ok = parseTraceImage(
+        static_cast<const unsigned char *>(map), size, out,
+        expected_hash);
+    ::munmap(map, size);
+    return ok;
+}
 
 } // anonymous namespace
 
@@ -117,57 +224,31 @@ writeTrace(InterleavedView &view, const std::string &path,
 bool
 readTrace(const std::string &path, Trace &out, uint64_t expected_hash)
 {
+    // prefer the mmap view; fall back to buffered stdio only when the
+    // file cannot be mapped at all
+    bool usedMap = false;
+    const bool ok = readTraceMapped(path, out, expected_hash, usedMap);
+    if (usedMap || ok)
+        return ok;
+
+    // stdio fallback: slurp the image and run the one decoder, so
+    // both paths validate and decode the format identically
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
         return false;
-
-    char magic[4];
-    uint32_t version = 0;
-    uint64_t config_hash = 0;
-    uint64_t count = 0;
-    if (std::fread(magic, 1, 4, f.get()) != 4 ||
-        std::memcmp(magic, kMagic, 4) != 0 ||
-        std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-        version != kTraceFormatVersion ||
-        std::fread(&config_hash, sizeof(config_hash), 1, f.get()) != 1 ||
-        std::fread(&count, sizeof(count), 1, f.get()) != 1) {
-        return false;
-    }
-    // a stale trace from an incompatible generator must not replay
-    if (expected_hash != 0 && config_hash != expected_hash)
-        return false;
-
-    // a corrupt count must not drive reserve() below: require the
-    // file to actually hold that many records
-    const long header = std::ftell(f.get());
-    if (header < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
         return false;
     const long fileSize = std::ftell(f.get());
-    if (fileSize < 0 ||
-        std::fseek(f.get(), header, SEEK_SET) != 0 ||
-        count != static_cast<uint64_t>(fileSize - header) /
-            sizeof(PackedAccess)) {
+    if (fileSize < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0)
+        return false;
+    std::vector<unsigned char> image(static_cast<size_t>(fileSize));
+    if (!image.empty() &&
+        std::fread(image.data(), 1, image.size(), f.get()) !=
+            image.size()) {
         return false;
     }
-
-    out.clear();
-    out.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-        PackedAccess p;
-        if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
-            return false;
-        MemAccess a;
-        a.pc = p.pc;
-        a.addr = p.addr;
-        a.cpu = p.cpu;
-        a.ninst = p.ninst;
-        a.dep = p.dep;
-        a.size = p.size;
-        a.isWrite = p.isWrite != 0;
-        a.isKernel = p.isKernel != 0;
-        out.push_back(a);
-    }
-    return true;
+    return parseTraceImage(image.data(), image.size(), out,
+                           expected_hash);
 }
 
 } // namespace stems::trace

@@ -47,6 +47,13 @@ bool writeTrace(InterleavedView &view, const std::string &path,
 /**
  * Read a trace previously written by writeTrace().
  *
+ * The fast path maps the file read-only (MAP_PRIVATE) and parses
+ * records straight out of the page cache, so replay keeps no second
+ * buffered copy of the spill file resident and concurrent readers
+ * (dispatch workers sharing a spill dir) share the mapped pages.
+ * When the file cannot be mapped the buffered stdio path is used;
+ * results are identical.
+ *
  * @param path          file to read
  * @param out           receives the trace on success
  * @param expected_hash when nonzero, the stored generator-config hash

@@ -23,6 +23,7 @@ constexpr uint64_t kHeapBase = 0x05'00000000ULL;        //!< misc heap
 constexpr uint64_t kConnBase = 0x06'00000000ULL;        //!< connections
 constexpr uint64_t kFileCacheBase = 0x07'00000000ULL;   //!< web files
 constexpr uint64_t kGridBase = 0x08'00000000ULL;        //!< sci arrays
+constexpr uint64_t kPacketBase = 0x09'00000000ULL;      //!< RX rings/flows
 constexpr uint64_t kPrivateBase = 0x0F'00000000ULL;     //!< per-cpu heaps
 constexpr uint64_t kPrivateStride = 0x10000000ULL;      //!< 256 MB / cpu
 
@@ -56,6 +57,7 @@ constexpr uint32_t kModLog = 9;
 constexpr uint32_t kModHash = 10;
 constexpr uint32_t kModGraph = 11;
 constexpr uint32_t kModHashJoin = 12;
+constexpr uint32_t kModPacket = 13;
 
 } // namespace stems::workloads::layout
 

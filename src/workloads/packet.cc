@@ -1,0 +1,100 @@
+#include "workloads/packet.hh"
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+std::vector<trace::Trace>
+PacketWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_poll = layout::pcSite(layout::kModPacket, 0);
+    const uint64_t pc_desc = layout::pcSite(layout::kModPacket, 1);
+    const uint64_t pc_hdr = layout::pcSite(layout::kModPacket, 2);
+    const uint64_t pc_pay = layout::pcSite(layout::kModPacket, 3);
+    const uint64_t pc_flow = layout::pcSite(layout::kModPacket, 4);
+    const uint64_t pc_cnt = layout::pcSite(layout::kModPacket, 5);
+    const uint64_t pc_upd = layout::pcSite(layout::kModPacket, 6);
+    const uint64_t pc_wb = layout::pcSite(layout::kModPacket, 7);
+
+    // per-CPU arenas: RX ring, recycled packet-buffer pool, and the
+    // owned slice of the flow state table (remote flows reach into
+    // another CPU's slice, making the table a sharing surface)
+    constexpr uint64_t kCpuStride = 0x10000000ULL;
+    const uint32_t nbufs = prm.ringSlots * 2;
+    auto ringBase = [&](uint32_t cpu) {
+        return layout::kPacketBase + uint64_t{cpu} * kCpuStride;
+    };
+    auto descAddr = [&](uint32_t cpu, uint32_t slot) {
+        return ringBase(cpu) + uint64_t{slot} * 16;
+    };
+    auto bufAddr = [&](uint32_t cpu, uint32_t buf, uint32_t block) {
+        return ringBase(cpu) + 0x400000 +
+            (uint64_t{buf} * prm.bufferBlocks + block) * 64;
+    };
+    auto flowAddr = [&](uint32_t cpu, uint32_t idx) {
+        return ringBase(cpu) + 0x4000000 + uint64_t{idx} * 64;
+    };
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0xFACE7 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+        uint32_t cursor = 0;
+
+        while (e.count() < p.refsPerCpu) {
+            // poll the ring doorbell, then drain one burst
+            e.load(pc_poll, descAddr(cpu, prm.ringSlots), 6);
+            const uint32_t burst = 1 +
+                static_cast<uint32_t>(rng.below(prm.maxBurst));
+            for (uint32_t b = 0;
+                 b < burst && e.count() < p.refsPerCpu; ++b) {
+                const uint32_t slot = cursor % prm.ringSlots;
+                ++cursor;
+                // descriptor: sequential scan around the ring
+                e.load(pc_desc, descAddr(cpu, slot), 2);
+                // the buffer the descriptor points at (recycled pool)
+                const uint32_t buf =
+                    (cursor * 2654435761u + b) % nbufs;
+                // header parse: leading blocks, dependent on the
+                // descriptor read
+                for (uint32_t h = 0; h < prm.headerBlocks; ++h)
+                    e.load(pc_hdr, bufAddr(cpu, buf, h), 2,
+                           h == 0 ? 1 : 0);
+                // deep-payload packets walk further into the buffer
+                if (rng.chance(prm.payloadFraction)) {
+                    for (uint32_t blk = prm.headerBlocks;
+                         blk < prm.bufferBlocks &&
+                         e.count() < p.refsPerCpu; ++blk)
+                        e.load(pc_pay, bufAddr(cpu, buf, blk), 1);
+                }
+                // per-flow state: hash the 5-tuple, walk the probe
+                // chain (dependent), bump the flow counters (RMW)
+                uint32_t owner = cpu;
+                if (p.ncpu > 1 && rng.chance(prm.remoteFraction))
+                    owner = static_cast<uint32_t>(rng.below(p.ncpu));
+                const uint32_t fidx = static_cast<uint32_t>(
+                    rng.below(prm.flowsPerCpu));
+                const uint32_t chain = 1 +
+                    static_cast<uint32_t>(rng.below(prm.maxChain));
+                for (uint32_t j = 0;
+                     j < chain && e.count() < p.refsPerCpu; ++j)
+                    e.load(pc_flow,
+                           flowAddr(owner,
+                                    (fidx + j) % prm.flowsPerCpu),
+                           2, 1);
+                const uint64_t hit =
+                    flowAddr(owner, (fidx + chain - 1) %
+                                        prm.flowsPerCpu);
+                e.load(pc_cnt, hit + 32, 1, 1);
+                e.store(pc_upd, hit + 32, 1, 1);
+                // return the descriptor to the NIC
+                e.store(pc_wb, descAddr(cpu, slot), 1);
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Packet-processing workload: the RX fast path of a software router /
+ * network function. Each CPU owns one NIC RX ring and drains it in
+ * bursts: sequential descriptor reads around the ring (dense,
+ * perfectly spatial), a header parse touching the first blocks of
+ * each packet buffer (hot leading edge of a buffer pool that recycles
+ * under the ring), and a per-flow state lookup — hash the 5-tuple
+ * into a flow table, walk a short probe chain, then a dependent
+ * gather and read-modify-write of the flow's counters. A fraction of
+ * flows live on other CPUs (RSS imbalance / flow migration), making
+ * the state table a sharing surface.
+ *
+ * The mix — ring scans, packet-buffer leading edges revisited at
+ * stable code sites, and irregular dependent flow-state touches — is
+ * spatially patterned but stride-hostile, the same story as the
+ * commercial suite. Not part of the paper's Table 1; registered in
+ * the extension suite to grow scenario diversity for the experiment
+ * engine.
+ */
+
+#ifndef STEMS_WORKLOADS_PACKET_HH
+#define STEMS_WORKLOADS_PACKET_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Shape of the RX path. */
+struct PacketParams
+{
+    uint32_t ringSlots = 512;      //!< descriptors per RX ring
+    uint32_t bufferBlocks = 24;    //!< 64 B blocks per packet buffer
+    uint32_t headerBlocks = 2;     //!< blocks the header parse touches
+    uint32_t flowsPerCpu = 8192;   //!< flow-table entries per partition
+    uint32_t maxBurst = 32;        //!< packets drained per ring poll
+    uint32_t maxChain = 4;         //!< flow-table probe-chain cap
+    double remoteFraction = 0.1;   //!< flows owned by another CPU
+    double payloadFraction = 0.2;  //!< packets needing deep payload
+};
+
+/** Ring-drain + header-parse + flow-table RX loop generator. */
+class PacketWorkload : public Workload
+{
+  public:
+    explicit PacketWorkload(PacketParams params = {}) : prm(params) {}
+
+    std::string name() const override { return "packet"; }
+    SuiteClass suiteClass() const override { return SuiteClass::Web; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    PacketParams prm;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_PACKET_HH

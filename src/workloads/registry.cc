@@ -4,6 +4,7 @@
 #include "workloads/graph.hh"
 #include "workloads/hashjoin.hh"
 #include "workloads/oltp.hh"
+#include "workloads/packet.hh"
 #include "workloads/scientific.hh"
 #include "workloads/web.hh"
 
@@ -65,6 +66,9 @@ extensionSuite()
          }},
         {"hashjoin", SuiteClass::DSS, [] {
              return std::make_unique<HashJoinWorkload>();
+         }},
+        {"packet", SuiteClass::Web, [] {
+             return std::make_unique<PacketWorkload>();
          }},
     };
     return suite;

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI regression gate for the extension workloads' timing numbers.
+
+Compares the graph/hashjoin/packet cells of a fresh
+`stems run workloads=all timing=only` report against the stored golden
+(tests/golden/extension_timing.json). Any drift in uIPC, speedup or
+cell shape — a workload generator change, a timing-model change, an
+engine regression — fails the step with a field-level diff.
+
+Usage: check_extension_timing.py <fresh_report.json> <golden.json>
+"""
+
+import json
+import sys
+
+
+def cell_key(cell):
+    return (cell["workload"], cell["prefetcher"], cell["label"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    fresh = json.load(open(sys.argv[1]))
+    golden = json.load(open(sys.argv[2]))
+
+    workloads = set(golden["workloads"])
+    got = {cell_key(c): c for c in fresh["cells"]
+           if c["workload"] in workloads}
+    want = {cell_key(c): c for c in golden["cells"]}
+
+    failures = []
+    if set(got) != set(want):
+        failures.append("cell sets differ: extra=%s missing=%s" %
+                        (sorted(set(got) - set(want)),
+                         sorted(set(want) - set(got))))
+    for key in sorted(set(got) & set(want)):
+        g, w = got[key], want[key]
+        if "error" in g or "error" in w:
+            if g.get("error") != w.get("error"):
+                failures.append("%s: error %r != golden %r" %
+                                (key, g.get("error"), w.get("error")))
+            continue
+        for field in ("timing", "metrics", "prefetcher_counters",
+                      "options", "sweep"):
+            if g.get(field) != w.get(field):
+                failures.append("%s: %s drifted\n  got    %s\n  golden %s"
+                                % (key, field, g.get(field),
+                                   w.get(field)))
+
+    if failures:
+        print("extension timing regression (%d):" % len(failures))
+        for f in failures:
+            print(" -", f)
+        sys.exit(1)
+    print("extension timing golden match: %d cells (%s)" %
+          (len(want), ", ".join(sorted(workloads))))
+
+
+if __name__ == "__main__":
+    main()

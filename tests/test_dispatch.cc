@@ -208,6 +208,15 @@ TEST(DispatchWire, ResultRoundTripsDoublesBitExactly)
     r.metrics.uipc = 1.0 / 3.0;                  // not exactly printable
     r.metrics.baselineUipc = 0.1234567890123456; // in 6 digits
     r.metrics.speedup = 1.3333333333333333;
+    r.metrics.peakAccumOccupancy = 77;
+    r.metrics.peakFilterOccupancy = 11;
+    r.metrics.timing.cycles = 9876.5432101234;
+    r.metrics.timing.userInstructions = 4242;
+    r.metrics.timing.systemInstructions = 17;
+    r.metrics.timing.breakdown.offChipRead = 2.0 / 7.0;
+    r.metrics.timing.breakdown.storeBuffer = 1e-17;
+    r.metrics.baselineTiming.cycles = 12345.000001;
+    r.metrics.baselineTiming.breakdown.userBusy = 0.3333333333333333;
     r.metrics.wallMs = 0.0;
     r.metrics.pfCounters = {{"triggers", 9}, {"pht_hits", 8}};
     r.error = "";
@@ -224,6 +233,23 @@ TEST(DispatchWire, ResultRoundTripsDoublesBitExactly)
     EXPECT_EQ(back.metrics.uipc, r.metrics.uipc);
     EXPECT_EQ(back.metrics.baselineUipc, r.metrics.baselineUipc);
     EXPECT_EQ(back.metrics.speedup, r.metrics.speedup);
+    EXPECT_EQ(back.metrics.peakAccumOccupancy,
+              r.metrics.peakAccumOccupancy);
+    EXPECT_EQ(back.metrics.peakFilterOccupancy,
+              r.metrics.peakFilterOccupancy);
+    EXPECT_EQ(back.metrics.timing.cycles, r.metrics.timing.cycles);
+    EXPECT_EQ(back.metrics.timing.userInstructions,
+              r.metrics.timing.userInstructions);
+    EXPECT_EQ(back.metrics.timing.systemInstructions,
+              r.metrics.timing.systemInstructions);
+    EXPECT_EQ(back.metrics.timing.breakdown.offChipRead,
+              r.metrics.timing.breakdown.offChipRead);
+    EXPECT_EQ(back.metrics.timing.breakdown.storeBuffer,
+              r.metrics.timing.breakdown.storeBuffer);
+    EXPECT_EQ(back.metrics.baselineTiming.cycles,
+              r.metrics.baselineTiming.cycles);
+    EXPECT_EQ(back.metrics.baselineTiming.breakdown.userBusy,
+              r.metrics.baselineTiming.breakdown.userBusy);
     EXPECT_EQ(back.metrics.pfCounters, r.metrics.pfCounters);
     EXPECT_TRUE(back.error.empty());
 }
@@ -279,6 +305,22 @@ TEST(Dispatch, AblCellsByteIdenticalToInProcess)
     const std::string dispatched = dispatchedJson(spec, 4);
     EXPECT_EQ(inproc, dispatched);
     EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+}
+
+TEST(Dispatch, GhbStrideTimingCellsByteIdenticalToInProcess)
+{
+    // the engine-agnostic timing pipeline over the wire: GHB and
+    // stride uIPC/speedup cells dispatched to worker processes must
+    // reproduce the in-process report byte for byte
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,packet", "prefetchers=ghb,stride,sms,none",
+         "timing=only", "ncpu=4", "refs=2000", "seed=9", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+    const std::string dispatched = dispatchedJson(spec, 4);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+    // the dispatched cells really carry timing numbers
+    EXPECT_NE(inproc.find("\"uipc\""), std::string::npos);
 }
 
 TEST(Dispatch, WorkerKillMidRunRecoversByteIdentically)

@@ -16,6 +16,7 @@
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
+#include "sim/timing.hh"
 #include "workloads/graph.hh"
 #include "study/suite.hh"
 #include "trace/io.hh"
@@ -598,6 +599,166 @@ TEST(SuiteExtension, GraphGeneratesDeterministicStreams)
         ASSERT_EQ(s1[c].size(), p.refsPerCpu);
         EXPECT_TRUE(s1[c] == s2[c]);
     }
+}
+
+TEST(SuiteExtension, PacketRegisteredOutsidePaperSuite)
+{
+    EXPECT_NE(workloads::findWorkload("packet"), nullptr);
+    for (const auto &e : workloads::paperSuite())
+        EXPECT_NE(e.name, "packet");
+    EXPECT_EQ(workloads::fullSuite().size(),
+              workloads::paperSuite().size() +
+                  workloads::extensionSuite().size());
+}
+
+TEST(SuiteExtension, PacketGeneratesDeterministicStreams)
+{
+    workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 3000;
+    p.seed = 23;
+    auto w1 = workloads::findWorkload("packet")->make();
+    auto w2 = workloads::findWorkload("packet")->make();
+    auto s1 = w1->generateStreams(p);
+    auto s2 = w2->generateStreams(p);
+    ASSERT_EQ(s1.size(), 4u);
+    for (size_t c = 0; c < s1.size(); ++c) {
+        ASSERT_EQ(s1[c].size(), p.refsPerCpu);
+        EXPECT_TRUE(s1[c] == s2[c]);
+    }
+    // a fraction of flow-state lookups cross into other CPUs' table
+    // slices (the sharing surface), and the RX loop both loads and
+    // stores
+    bool crossPartition = false, stores = false;
+    const uint64_t partStride = 0x10000000ULL;
+    for (const auto &a : s1[0]) {
+        if (a.addr >= 0x09'00000000ULL + partStride &&
+            a.addr < 0x0A'00000000ULL)
+            crossPartition = true;
+        stores = stores || a.isWrite;
+    }
+    EXPECT_TRUE(crossPartition);
+    EXPECT_TRUE(stores);
+}
+
+TEST(SuiteExtension, PacketRunsThroughTheEngine)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=packet", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.error.empty()) << r.error;
+    // SMS finds the RX path's spatial structure
+    EXPECT_GT(results[0].metrics.l1Covered, 0u);
+}
+
+// ---------------------------------------------------------------------
+// engine-agnostic timing pipeline
+// ---------------------------------------------------------------------
+
+TEST(TimingPipeline, EveryRegistryEngineReportsUipcAndSpeedup)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,ghb,stride,next-line,none",
+         "timing=only", "ncpu=4", "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto &r : results) {
+        ASSERT_TRUE(r.error.empty()) << r.error;
+        EXPECT_GT(r.metrics.uipc, 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.baselineUipc, 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.speedup, 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.timing.cycles, 0.0) << r.cell.engine.kind;
+        // baselines agree across engines: one memoized "none" pass
+        EXPECT_EQ(r.metrics.baselineUipc,
+                  results.back().metrics.uipc);
+    }
+}
+
+TEST(TimingPipeline, GhbStrideTimingDeterministicAcrossThreadCounts)
+{
+    std::vector<std::string> tokens{
+        "workloads=sparse,graph", "prefetchers=ghb,stride",
+        "timing=only", "ncpu=4", "refs=2000", "seed=13",
+        "threads=1"};
+    ExperimentSpec one = parseSpec(tokens);
+    tokens.back() = "threads=4";
+    ExperimentSpec four = parseSpec(tokens);
+
+    auto r1 = Runner(one).run();
+    auto r4 = Runner(four).run();
+    ASSERT_EQ(r1.size(), 4u);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (auto *rs : {&r1, &r4})
+        for (auto &r : *rs) {
+            ASSERT_TRUE(r.error.empty()) << r.error;
+            r.metrics.wallMs = 0;
+        }
+    EXPECT_EQ(toJson(one, r1), toJson(one, r4));
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].metrics.uipc, r4[i].metrics.uipc);
+        EXPECT_GT(r1[i].metrics.uipc, 0.0);
+    }
+}
+
+TEST(TimingPipeline, TimingMemoKeysOnEngineOptions)
+{
+    // two SMS engines with different options must run (and report)
+    // distinct timing passes — the memo may never hand a cell a stale
+    // result recorded under other engine options...
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms:tiny,sms:full,sms:again",
+         "pf.tiny.pht-entries=64", "pf.tiny.pht-assoc=4",
+         "pf.tiny.region=256",
+         "timing=only", "ncpu=4", "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.error.empty()) << r.error;
+    EXPECT_NE(results[0].metrics.uipc, results[1].metrics.uipc);
+    // ...while engines with identical configurations share one
+    // memoized pass bit-exactly
+    EXPECT_EQ(results[1].metrics.uipc, results[2].metrics.uipc);
+    // and every cell's baseline is the shared no-prefetch pass
+    EXPECT_EQ(results[0].metrics.baselineUipc,
+              results[1].metrics.baselineUipc);
+}
+
+TEST(TimingPipeline, SmsThroughGenericSeamMatchesDirectController)
+{
+    // the executor's timing cell must equal a hand-wired
+    // sim::runTiming with the same SMS deployment — uIPC and the full
+    // Figure-13 breakdown, bit for bit
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms", "timing=only",
+         "ncpu=4", "refs=2000", "seed=21"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+
+    auto w = workloads::findWorkload("sparse")->make();
+    auto streams = w->generateStreams(spec.params);
+    sim::TimingConfig tc;
+    tc.sys = spec.sys;
+    std::unique_ptr<PrefetcherDeployment> dep;
+    auto direct = sim::runTiming(
+        streams, tc, spec.params.seed,
+        [&](mem::MemorySystem &sys) -> study::AttachedPrefetcher * {
+            dep = PrefetcherRegistry::builtin().create("sms", sys, {});
+            return dep.get();
+        });
+
+    const sim::TimingResult &cell = results[0].metrics.timing;
+    EXPECT_EQ(cell.cycles, direct.cycles);
+    EXPECT_EQ(cell.userInstructions, direct.userInstructions);
+    EXPECT_EQ(cell.breakdown.userBusy, direct.breakdown.userBusy);
+    EXPECT_EQ(cell.breakdown.offChipRead, direct.breakdown.offChipRead);
+    EXPECT_EQ(cell.breakdown.onChipRead, direct.breakdown.onChipRead);
+    EXPECT_EQ(cell.breakdown.storeBuffer, direct.breakdown.storeBuffer);
+    EXPECT_EQ(cell.breakdown.other, direct.breakdown.other);
+    EXPECT_EQ(results[0].metrics.uipc, direct.uipc());
 }
 
 // ---------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sms.hh"
+#include "driver/registry.hh"
 #include "sim/timing.hh"
 #include "study/l1study.hh"
 #include "study/memstudy.hh"
@@ -62,9 +63,9 @@ TEST_P(SuiteSystem, TimingSpeedupWithinSaneBounds)
     sim::TimingConfig tc;
     tc.sys.ncpu = p.ncpu;
     auto rb = sim::runTiming(streams, tc, 1);
-    sim::TimingConfig ts = tc;
-    ts.useSms = true;
-    auto rs = sim::runTiming(streams, ts, 1);
+    std::unique_ptr<driver::PrefetcherDeployment> dep;
+    auto rs = sim::runTiming(streams, tc, 1,
+                             driver::registryAttach("sms", dep));
 
     double speedup = rs.uipc() / rb.uipc();
     EXPECT_GT(speedup, 0.85) << GetParam() << ": SMS badly hurt perf";

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/sms.hh"
+#include "driver/registry.hh"
 #include "sim/timing.hh"
 #include "sim/torus.hh"
 
@@ -9,6 +11,10 @@ using namespace stems;
 using namespace stems::sim;
 
 namespace {
+
+// attach engines through the production seam (driver::registryAttach),
+// exactly as CellExecutor::timingRun wires timing cells
+using driver::registryAttach;
 
 TimingConfig
 smallConfig(uint32_t ncpu = 2)
@@ -155,9 +161,8 @@ TEST(Timing, SmsSpeedsUpPatternedMissStream)
 
     TimingConfig base = smallConfig(1);
     auto rb = runTiming(make(8000), base);
-    TimingConfig sms = base;
-    sms.useSms = true;
-    auto rs = runTiming(make(8000), sms);
+    std::unique_ptr<driver::PrefetcherDeployment> dep;
+    auto rs = runTiming(make(8000), base, 1, registryAttach("sms", dep));
 
     double speedup = rs.uipc() / rb.uipc();
     EXPECT_GT(speedup, 1.15) << "SMS must hide off-chip read latency";
@@ -197,12 +202,16 @@ namespace {
 /**
  * The seed's runTiming, kept verbatim as a reference: materialised
  * merge + per-CPU re-copy, std::multiset MSHRs, std::deque ROB window
- * and store buffer. The production path (zero-copy view + fixed
- * ring/heap) must reproduce its results bit for bit.
+ * and store buffer — and the pre-refactor SMS special case
+ * (hard-wired core::SmsController construction, the privileged code
+ * path the engine-agnostic attach seam replaced). The production path
+ * (zero-copy view + fixed ring/heap + registry attach) must reproduce
+ * its results bit for bit.
  */
 TimingResult
 referenceRunTiming(const std::vector<trace::Trace> &streams,
-                   const TimingConfig &cfg, uint64_t seed)
+                   const TimingConfig &cfg, uint64_t seed, bool useSms,
+                   const core::SmsConfig &smsCfg = {})
 {
     enum class Cat : uint8_t { L1, OnChip, OffChip };
     struct Ann
@@ -219,8 +228,8 @@ referenceRunTiming(const std::vector<trace::Trace> &streams,
 
     mem::MemorySystem sys(cfg.sys);
     std::unique_ptr<core::SmsController> sms;
-    if (cfg.useSms)
-        sms = std::make_unique<core::SmsController>(sys, cfg.sms);
+    if (useSms)
+        sms = std::make_unique<core::SmsController>(sys, smsCfg);
 
     std::vector<std::vector<Ann>> ann(ncpu);
     std::vector<trace::Trace> percpu(ncpu);
@@ -397,11 +406,77 @@ TEST(Timing, ZeroCopyPathMatchesReferenceImplementation)
         auto streams = w->generateStreams(p);
         for (bool useSms : {false, true}) {
             TimingConfig cfg = smallConfig(p.ncpu);
-            cfg.useSms = useSms;
-            auto ref = referenceRunTiming(streams, cfg, p.seed);
-            auto got = runTiming(streams, cfg, p.seed);
+            auto ref = referenceRunTiming(streams, cfg, p.seed, useSms);
+            std::unique_ptr<driver::PrefetcherDeployment> dep;
+            auto got = runTiming(streams, cfg, p.seed,
+                                 useSms ? registryAttach("sms", dep)
+                                        : prefetch::PfAttach{});
             expectBitIdentical(ref, got);
             EXPECT_GT(got.cycles, 0.0);
         }
+    }
+}
+
+TEST(Timing, GenericSeamBitIdenticalToPrivilegedSmsPath)
+{
+    // the tentpole guarantee: SMS hosted through the engine-agnostic
+    // attach seam — registry construction, option translation and all
+    // — reproduces the pre-refactor hard-wired SMS timing path bit for
+    // bit, at default and at non-default parameters
+    stems::workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 6000;
+    p.seed = 7;
+
+    auto w = stems::workloads::findWorkload("OLTP-Oracle")->make();
+    auto streams = w->generateStreams(p);
+    TimingConfig cfg = smallConfig(p.ncpu);
+
+    {
+        std::unique_ptr<driver::PrefetcherDeployment> dep;
+        auto ref = referenceRunTiming(streams, cfg, p.seed, true);
+        auto got = runTiming(streams, cfg, p.seed,
+                             registryAttach("sms", dep));
+        expectBitIdentical(ref, got);
+    }
+    {
+        // non-default engine options must translate identically
+        driver::Options opts{{"pht-entries", "1024"},
+                             {"pht-assoc", "8"},
+                             {"region", "1024"},
+                             {"pred-regs", "4"}};
+        core::SmsConfig smsCfg = driver::smsConfigFromOptions(opts);
+        std::unique_ptr<driver::PrefetcherDeployment> dep;
+        auto ref =
+            referenceRunTiming(streams, cfg, p.seed, true, smsCfg);
+        auto got = runTiming(streams, cfg, p.seed,
+                             registryAttach("sms", dep, opts));
+        expectBitIdentical(ref, got);
+    }
+}
+
+TEST(Timing, RegistryEnginesProduceDeterministicUipc)
+{
+    // GHB and stride are first-class timing citizens now: they run,
+    // produce a finite uIPC, and are deterministic across repeats
+    stems::workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 5000;
+    p.seed = 5;
+    auto w = stems::workloads::findWorkload("sparse")->make();
+    auto streams = w->generateStreams(p);
+    TimingConfig cfg = smallConfig(p.ncpu);
+    auto base = runTiming(streams, cfg, p.seed);
+    ASSERT_GT(base.uipc(), 0.0);
+
+    for (const char *kind : {"ghb", "stride", "next-line"}) {
+        std::unique_ptr<driver::PrefetcherDeployment> dep1, dep2;
+        auto a = runTiming(streams, cfg, p.seed,
+                           registryAttach(kind, dep1));
+        auto b = runTiming(streams, cfg, p.seed,
+                           registryAttach(kind, dep2));
+        expectBitIdentical(a, b);
+        EXPECT_GT(a.uipc(), 0.0) << kind;
+        EXPECT_EQ(a.userInstructions, base.userInstructions) << kind;
     }
 }

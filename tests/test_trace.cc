@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 
 #include "trace/access.hh"
 #include "trace/interleaver.hh"
@@ -161,6 +162,56 @@ TEST(TraceIo, RejectsCorruptMagic)
     std::fclose(f);
     Trace out;
     EXPECT_FALSE(readTrace(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedRecords)
+{
+    // the mmap read path must apply the same count-vs-size validation
+    // as the buffered one: chop the last record short and the file is
+    // rejected whole
+    Trace t = streamOf(1, 50, 0x9000);
+    std::string path = ::testing::TempDir() + "/stems_truncated.bin";
+    ASSERT_TRUE(writeTrace(t, path, 0x5eed));
+    Trace ok;
+    ASSERT_TRUE(readTrace(path, ok, 0x5eed));
+    ASSERT_EQ(ok.size(), t.size());
+
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long full = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), full - 5), 0);
+
+    Trace out;
+    EXPECT_FALSE(readTrace(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsWrongGeneratorHashViaMappedPath)
+{
+    Trace t = streamOf(2, 40, 0x2000);
+    std::string path = ::testing::TempDir() + "/stems_hash_check.bin";
+    ASSERT_TRUE(writeTrace(t, path, 0xAB));
+    Trace out;
+    EXPECT_FALSE(readTrace(path, out, 0xCD));  // wrong hash
+    EXPECT_TRUE(readTrace(path, out, 0xAB));   // right hash
+    EXPECT_TRUE(readTrace(path, out));         // hash check disabled
+    ASSERT_EQ(out.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(t[i] == out[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTripsThroughMappedPath)
+{
+    Trace t;
+    std::string path = ::testing::TempDir() + "/stems_empty.bin";
+    ASSERT_TRUE(writeTrace(t, path));
+    Trace out = streamOf(1, 5, 0x100);  // must be cleared by read
+    ASSERT_TRUE(readTrace(path, out));
+    EXPECT_TRUE(out.empty());
     std::remove(path.c_str());
 }
 
