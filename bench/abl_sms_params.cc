@@ -70,10 +70,10 @@ main()
             for (const auto &name : workloadsInGroup(group)) {
                 const driver::CellResult *r = byCell.at({name, v});
                 L1StudyResult lr;
-                lr.coveredReads = r->metrics.l1Covered;
-                lr.readMisses = r->metrics.l1ReadMisses;
-                lr.overpredictions = r->metrics.l1Overpred;
-                agg.add(r->metrics.baselineL1ReadMisses, lr);
+                lr.coveredReads = r->metrics.l1Covered();
+                lr.readMisses = r->metrics.l1ReadMisses();
+                lr.overpredictions = r->metrics.l1Overpred();
+                agg.add(r->metrics.baselineL1ReadMisses(), lr);
             }
             table.addRow({group, v, TablePrinter::pct(agg.coverage()),
                           TablePrinter::pct(agg.overprediction())});

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -63,38 +62,6 @@ struct CoverageAgg
     {
         return baselineMisses ? double(overpred) / baselineMisses : 0.0;
     }
-};
-
-/**
- * Run baseline L1 passes for every suite workload once and memoize
- * the baseline read-miss counts.
- */
-class L1BaselineCache
-{
-  public:
-    L1BaselineCache(study::TraceCache &traces,
-                    const workloads::WorkloadParams &p)
-        : traces(traces), params(p)
-    {}
-
-    uint64_t
-    baselineMisses(const std::string &name)
-    {
-        auto it = misses.find(name);
-        if (it != misses.end())
-            return it->second;
-        study::L1StudyConfig cfg;
-        cfg.ncpu = params.ncpu;
-        cfg.prefetch = false;
-        auto r = study::runL1Study(traces.get(name, params), cfg);
-        misses[name] = r.readMisses;
-        return r.readMisses;
-    }
-
-  private:
-    study::TraceCache &traces;
-    workloads::WorkloadParams params;
-    std::map<std::string, uint64_t> misses;
 };
 
 } // namespace stems::bench

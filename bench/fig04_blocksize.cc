@@ -81,24 +81,24 @@ main()
 
         if (size == 64) {
             // the 64 B baseline cell also carries the oracle trackers
-            instrOf[r.cell.workload] = double(m.instructions);
+            instrOf[r.cell.workload] = double(m.instructions());
             const double instr = instrOf[r.cell.workload];
-            base[group].l1Rate += 1000.0 * m.l1ReadMisses / instr;
-            base[group].l2Rate += 1000.0 * m.l2ReadMisses / instr;
-            l1_rate[group][64] += 1000.0 * m.l1ReadMisses / instr;
-            l2_rate[group][64] += 1000.0 * m.l2ReadMisses / instr;
+            base[group].l1Rate += 1000.0 * m.l1ReadMisses() / instr;
+            base[group].l2Rate += 1000.0 * m.l2ReadMisses() / instr;
+            l1_rate[group][64] += 1000.0 * m.l1ReadMisses() / instr;
+            l2_rate[group][64] += 1000.0 * m.l2ReadMisses() / instr;
             for (size_t s = 0; s < oracle_sizes.size(); ++s) {
                 l1_oracle[group][oracle_sizes[s]] +=
-                    1000.0 * m.oracleL1Gens[s] / instr;
+                    1000.0 * m.oracleL1Gens()[s] / instr;
                 l2_oracle[group][oracle_sizes[s]] +=
-                    1000.0 * m.oracleL2Gens[s] / instr;
+                    1000.0 * m.oracleL2Gens()[s] / instr;
             }
         } else {
             // larger-block hierarchies (coherence unit = block)
             const double instr = instrOf.at(r.cell.workload);
-            l1_rate[group][size] += 1000.0 * m.l1ReadMisses / instr;
-            l2_rate[group][size] += 1000.0 * m.l2ReadMisses / instr;
-            l2_false[group][size] += 1000.0 * m.falseSharing / instr;
+            l1_rate[group][size] += 1000.0 * m.l1ReadMisses() / instr;
+            l2_rate[group][size] += 1000.0 * m.l2ReadMisses() / instr;
+            l2_false[group][size] += 1000.0 * m.falseSharing() / instr;
         }
     }
 

@@ -5,11 +5,19 @@
  * (1 / 2-3 / 4-7 / 8-15 / 16-23 / 24-31 / 32 blocks). Wide variation
  * within and across applications is the argument that no single block
  * size can capture spatial correlation.
+ *
+ * Runs through the driver engine: one density=2048 spec whose cells
+ * carry the l1_density / l2_density histogram families, executed in
+ * parallel by the sharded runner (and dispatchable across worker
+ * processes). Both tables print from one pass per workload — the
+ * hand-rolled loop ran each workload twice — with identical output.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 #include "study/density.hh"
-#include "study/memstudy.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -21,8 +29,21 @@ main()
     banner("Figure 5: memory access density (2 kB regions)",
            "Percent of misses per generation-density bucket.");
 
-    auto params = defaultParams();
-    TraceCache traces;
+    driver::ExperimentSpec spec = driver::parseSpec(
+        {"workloads=paper", "prefetchers=none", "density=2048"});
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+
+    std::map<std::string, driver::MetricSet> cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " failed: " << r.error
+                      << "\n";
+            return 1;
+        }
+        cells[r.cell.workload] = r.metrics;
+    }
 
     for (int level = 1; level <= 2; ++level) {
         std::cout << "\n-- L" << (level == 1 ? "1 misses" : "2 misses")
@@ -33,10 +54,9 @@ main()
         TablePrinter table(headers);
 
         for (const auto &entry : workloads::paperSuite()) {
-            SystemStudyConfig cfg;
-            cfg.trackDensity = true;
-            auto r = runSystem(traces.get(entry.name, params), cfg);
-            const auto &hist = level == 1 ? r.l1Density : r.l2Density;
+            const driver::MetricSet &m = cells.at(entry.name);
+            const auto &hist =
+                level == 1 ? m.l1Density() : m.l2Density();
             uint64_t total = 0;
             for (auto v : hist)
                 total += v;

@@ -5,9 +5,19 @@
  * misses, and overpredictions per workload group, normalized to the
  * baseline (no-prefetch) miss count, exactly as the paper's stacked
  * bars.
+ *
+ * Runs through the driver engine: one mode=l1 spec whose engines are
+ * the four index functions, expanded into per-workload cells the
+ * sharded runner executes in parallel with the baseline pass memoized
+ * per workload; group bars fold cell MetricSets under the schema's
+ * aggregation rules. Output is identical to the original hand-rolled
+ * loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -20,32 +30,57 @@ main()
            "L1 read misses; unbounded PHT; unbounded AGT training.\n"
            "Coverage / Uncovered / Overpredictions vs baseline misses.");
 
-    auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
+    struct Index
+    {
+        core::IndexKind kind;
+        const char *opt;
+    };
+    const Index kinds[] = {{core::IndexKind::Address, "addr"},
+                           {core::IndexKind::PcAddress, "pc+addr"},
+                           {core::IndexKind::Pc, "pc"},
+                           {core::IndexKind::PcOffset, "pc+off"}};
 
-    const core::IndexKind kinds[] = {
-        core::IndexKind::Address, core::IndexKind::PcAddress,
-        core::IndexKind::Pc, core::IndexKind::PcOffset};
+    driver::ExperimentSpec spec =
+        driver::parseSpec({"mode=l1", "workloads=paper"});
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+    spec.engines.clear();
+    for (const auto &x : kinds) {
+        driver::EngineConfig e;
+        e.kind = "sms";
+        e.label = x.opt;
+        e.options["index"] = x.opt;
+        e.options["pht-entries"] = "0";  // unbounded
+        e.options["agt-filter"] = "0";   // unbounded
+        e.options["agt-accum"] = "0";
+        spec.engines.push_back(std::move(e));
+    }
+
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " "
+                      << r.cell.engine.displayLabel()
+                      << " failed: " << r.error << "\n";
+            return 1;
+        }
+        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
+            r.metrics;
+    }
 
     TablePrinter table({"Group", "Index", "Coverage", "Uncovered",
                         "Overpred"});
     for (const auto &group : groupNames()) {
-        for (auto kind : kinds) {
-            CoverageAgg agg;
-            for (const auto &name : workloadsInGroup(group)) {
-                L1StudyConfig cfg;
-                cfg.ncpu = params.ncpu;
-                cfg.sms.index = kind;
-                cfg.sms.pht.entries = 0;  // unbounded
-                cfg.sms.agt = {0, 0};     // unbounded
-                auto r = runL1Study(traces.get(name, params), cfg);
-                agg.add(baselines.baselineMisses(name), r);
-            }
-            table.addRow({group, core::indexName(kind),
-                          TablePrinter::pct(agg.coverage()),
-                          TablePrinter::pct(agg.uncovered()),
-                          TablePrinter::pct(agg.overprediction())});
+        for (const auto &x : kinds) {
+            driver::MetricSet agg;
+            for (const auto &name : workloadsInGroup(group))
+                agg.aggregate(cells.at({name, x.opt}));
+            table.addRow({group, core::indexName(x.kind),
+                          TablePrinter::pct(agg.l1Coverage()),
+                          TablePrinter::pct(agg.l1Uncovered()),
+                          TablePrinter::pct(agg.l1OverpredRate())});
         }
     }
     table.print();

@@ -4,9 +4,18 @@
  * Logical Sectored (LS), and the Active Generation Table (AGT), all
  * with an unbounded PHT. DS constrains the cache itself, so its
  * uncovered-miss bar can exceed 100% of the traditional baseline.
+ *
+ * Runs through the driver engine: one mode=l1 spec whose engines are
+ * the three trainer= variants, executed in parallel by the sharded
+ * runner; group bars fold cell MetricSets under the schema's
+ * aggregation rules. Output is identical to the original hand-rolled
+ * loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -19,32 +28,54 @@ main()
            "L1 read misses vs a traditional-cache baseline;\n"
            "unbounded PHT; PC+offset index; 2 kB regions.");
 
-    auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
+    struct Trainer
+    {
+        const char *opt;   //!< trainer= option value
+        const char *name;  //!< paper name (table column)
+    };
+    const Trainer kinds[] = {{"ds", "DS"}, {"ls", "LS"}, {"agt", "AGT"}};
 
-    const TrainerKind kinds[] = {TrainerKind::DecoupledSectored,
-                                 TrainerKind::LogicalSectored,
-                                 TrainerKind::AGT};
+    driver::ExperimentSpec spec =
+        driver::parseSpec({"mode=l1", "workloads=paper"});
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+    spec.engines.clear();
+    for (const auto &t : kinds) {
+        driver::EngineConfig e;
+        e.kind = "sms";
+        e.label = t.name;
+        e.options["trainer"] = t.opt;
+        e.options["pht-entries"] = "0";
+        e.options["agt-filter"] = "0";
+        e.options["agt-accum"] = "0";
+        spec.engines.push_back(std::move(e));
+    }
+
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " "
+                      << r.cell.engine.displayLabel()
+                      << " failed: " << r.error << "\n";
+            return 1;
+        }
+        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
+            r.metrics;
+    }
 
     TablePrinter table({"Group", "Trainer", "Coverage", "Uncovered",
                         "Overpred"});
     for (const auto &group : groupNames()) {
-        for (auto kind : kinds) {
-            CoverageAgg agg;
-            for (const auto &name : workloadsInGroup(group)) {
-                L1StudyConfig cfg;
-                cfg.ncpu = params.ncpu;
-                cfg.trainer = kind;
-                cfg.sms.pht.entries = 0;
-                cfg.sms.agt = {0, 0};
-                auto r = runL1Study(traces.get(name, params), cfg);
-                agg.add(baselines.baselineMisses(name), r);
-            }
-            table.addRow({group, trainerName(kind),
-                          TablePrinter::pct(agg.coverage()),
-                          TablePrinter::pct(agg.uncovered()),
-                          TablePrinter::pct(agg.overprediction())});
+        for (const auto &t : kinds) {
+            driver::MetricSet agg;
+            for (const auto &name : workloadsInGroup(group))
+                agg.aggregate(cells.at({name, t.name}));
+            table.addRow({group, t.name,
+                          TablePrinter::pct(agg.l1Coverage()),
+                          TablePrinter::pct(agg.l1Uncovered()),
+                          TablePrinter::pct(agg.l1OverpredRate())});
         }
     }
     table.print();

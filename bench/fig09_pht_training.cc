@@ -4,9 +4,18 @@
  * logical-sectored tag conflicts fragment generations into more (and
  * sparser) patterns — including single-block ones the AGT filters —
  * LS needs roughly twice the PHT capacity for equal coverage.
+ *
+ * Runs through the driver engine: one mode=l1 spec whose engines are
+ * the (PHT size x trainer) matrix, executed in parallel by the sharded
+ * runner; group bars fold cell MetricSets under the schema's
+ * aggregation rules. Output is identical to the original hand-rolled
+ * loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -18,32 +27,55 @@ main()
     banner("Figure 9: PHT storage sensitivity (LS vs AGT)",
            "L1 read-miss coverage; PC+offset index; 16-way PHTs.");
 
-    auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
-
     const uint32_t sizes[] = {256, 512, 1024, 2048, 4096, 8192, 16384, 0};
     auto size_name = [](uint32_t s) {
         return s == 0 ? std::string("infinite") : std::to_string(s);
     };
+    const char *trainers[] = {"ls", "agt"};
+
+    driver::ExperimentSpec spec =
+        driver::parseSpec({"mode=l1", "workloads=paper"});
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+    spec.engines.clear();
+    for (uint32_t size : sizes) {
+        for (const char *trainer : trainers) {
+            driver::EngineConfig e;
+            e.kind = "sms";
+            e.label = size_name(size) + "/" + trainer;
+            e.options["trainer"] = trainer;
+            e.options["pht-entries"] = std::to_string(size);
+            e.options["agt-filter"] = "0";
+            e.options["agt-accum"] = "0";
+            spec.engines.push_back(std::move(e));
+        }
+    }
+
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " "
+                      << r.cell.engine.displayLabel()
+                      << " failed: " << r.error << "\n";
+            return 1;
+        }
+        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
+            r.metrics;
+    }
 
     TablePrinter table({"Group", "PHT", "LS", "AGT"});
     for (const auto &group : groupNames()) {
         for (uint32_t size : sizes) {
             std::vector<std::string> row{group, size_name(size)};
-            for (auto kind : {TrainerKind::LogicalSectored,
-                              TrainerKind::AGT}) {
-                CoverageAgg agg;
-                for (const auto &name : workloadsInGroup(group)) {
-                    L1StudyConfig cfg;
-                    cfg.ncpu = params.ncpu;
-                    cfg.trainer = kind;
-                    cfg.sms.pht.entries = size;
-                    cfg.sms.agt = {0, 0};
-                    auto r = runL1Study(traces.get(name, params), cfg);
-                    agg.add(baselines.baselineMisses(name), r);
-                }
-                row.push_back(TablePrinter::pct(agg.coverage()));
+            for (const char *trainer : trainers) {
+                driver::MetricSet agg;
+                const std::string label =
+                    size_name(size) + "/" + trainer;
+                for (const auto &name : workloadsInGroup(group))
+                    agg.aggregate(cells.at({name, label}));
+                row.push_back(TablePrinter::pct(agg.l1Coverage()));
             }
             table.addRow(row);
         }

@@ -4,9 +4,17 @@
  * page), PC+offset indexing, AGT training, unbounded PHT. The paper
  * picks 2 kB: coverage peaks there for everything except OLTP, whose
  * page-aligned structures keep improving to the page size.
+ *
+ * Runs through the driver engine: one mode=l1 spec whose engines span
+ * the region= axis, executed in parallel by the sharded runner; group
+ * bars fold cell MetricSets under the schema's aggregation rules.
+ * Output is identical to the original hand-rolled loop.
  */
 
+#include <map>
+
 #include "bench/bench_util.hh"
+#include "driver/runner.hh"
 
 using namespace stems;
 using namespace stems::bench;
@@ -18,27 +26,46 @@ main()
     banner("Figure 10: spatial region size",
            "L1 read-miss coverage; PC+offset; AGT; unbounded PHT.");
 
-    auto params = defaultParams();
-    TraceCache traces;
-    L1BaselineCache baselines(traces, params);
-
     const uint32_t sizes[] = {128, 256, 512, 1024, 2048, 4096, 8192};
+
+    driver::ExperimentSpec spec =
+        driver::parseSpec({"mode=l1", "workloads=paper"});
+    spec.params = defaultParams();
+    spec.sys.ncpu = spec.params.ncpu;
+    spec.engines.clear();
+    for (uint32_t size : sizes) {
+        driver::EngineConfig e;
+        e.kind = "sms";
+        e.label = std::to_string(size);
+        e.options["region"] = std::to_string(size);
+        e.options["pht-entries"] = "0";
+        e.options["agt-filter"] = "0";
+        e.options["agt-accum"] = "0";
+        spec.engines.push_back(std::move(e));
+    }
+
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        cells;
+    driver::Runner runner(spec);
+    for (const auto &r : runner.run()) {
+        if (!r.error.empty()) {
+            std::cerr << r.cell.workload << " "
+                      << r.cell.engine.displayLabel()
+                      << " failed: " << r.error << "\n";
+            return 1;
+        }
+        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
+            r.metrics;
+    }
 
     TablePrinter table({"Region", "OLTP", "DSS", "Web", "Scientific"});
     for (uint32_t size : sizes) {
         std::vector<std::string> row{std::to_string(size) + "B"};
         for (const auto &group : groupNames()) {
-            CoverageAgg agg;
-            for (const auto &name : workloadsInGroup(group)) {
-                L1StudyConfig cfg;
-                cfg.ncpu = params.ncpu;
-                cfg.sms.geometry = core::RegionGeometry(size, 64);
-                cfg.sms.pht.entries = 0;
-                cfg.sms.agt = {0, 0};
-                auto r = runL1Study(traces.get(name, params), cfg);
-                agg.add(baselines.baselineMisses(name), r);
-            }
-            row.push_back(TablePrinter::pct(agg.coverage()));
+            driver::MetricSet agg;
+            for (const auto &name : workloadsInGroup(group))
+                agg.aggregate(cells.at({name, std::to_string(size)}));
+            row.push_back(TablePrinter::pct(agg.l1Coverage()));
         }
         table.addRow(row);
     }

@@ -75,7 +75,7 @@ main()
             return 1;
         }
         speedup[{r.cell.workload, r.cell.engine.kind}] =
-            r.metrics.speedup;
+            r.metrics.speedup();
     }
 
     const std::vector<std::string> engines = {"sms", "ghb", "stride",

@@ -67,8 +67,8 @@ main()
                           << " failed: " << r.error << "\n";
                 return 1;
             }
-            uipc[{r.cell.workload, seed}] = {r.metrics.baselineUipc,
-                                             r.metrics.uipc};
+            uipc[{r.cell.workload, seed}] = {r.metrics.baselineUipc(),
+                                             r.metrics.uipc()};
         }
     }
 

@@ -46,8 +46,8 @@ main()
                       << "\n";
             return 1;
         }
-        runs[r.cell.workload] = {r.metrics.baselineTiming,
-                                 r.metrics.timing};
+        runs[r.cell.workload] = {r.metrics.baselineTiming(),
+                                 r.metrics.timing()};
     }
 
     TablePrinter table({"App", "Cfg", "UserBusy", "SysBusy", "OffChip",

@@ -66,7 +66,7 @@ main()
             return 1;
         }
         cells[{r.cell.workload, r.cell.engine.displayLabel()}] = {
-            r.metrics.l1Coverage(), r.metrics.peakAccumOccupancy};
+            r.metrics.l1Coverage(), r.metrics.peakAccumOccupancy()};
     }
 
     TablePrinter table({"App", "8/16", "16/32", "32/64", "64/128", "inf",

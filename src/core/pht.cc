@@ -1,10 +1,78 @@
 #include "core/pht.hh"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/bits.hh"
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace stems::core {
+
+uint32_t
+phtProbeScalar(const uint64_t *tags, const uint8_t *meta,
+               uint32_t assoc, uint64_t tag)
+{
+    for (uint32_t w = 0; w < assoc; ++w)
+        if ((meta[w] & 0x80) && tags[w] == tag)
+            return w;
+    return assoc;
+}
+
+#if defined(__x86_64__)
+
+/**
+ * AVX2 set scan: four 64-bit tag compares per vector op over the
+ * dense SoA tag run, with the per-way valid bits folded in from the
+ * metadata bytes before picking the lowest set lane — the same way
+ * order the scalar loop walks.
+ */
+__attribute__((target("avx2"))) static uint32_t
+phtProbeAvx2(const uint64_t *tags, const uint8_t *meta, uint32_t assoc,
+             uint64_t tag)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(tag));
+    uint32_t w = 0;
+    for (; w + 4 <= assoc; w += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const __m256i eq = _mm256_cmpeq_epi64(t, needle);
+        uint32_t hit = static_cast<uint32_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        if (!hit)
+            continue;
+        uint32_t valid = 0;
+        for (uint32_t i = 0; i < 4; ++i)
+            valid |= static_cast<uint32_t>(meta[w + i] >> 7) << i;
+        hit &= valid;
+        if (hit)
+            return w + static_cast<uint32_t>(__builtin_ctz(hit));
+    }
+    for (; w < assoc; ++w)
+        if ((meta[w] & 0x80) && tags[w] == tag)
+            return w;
+    return assoc;
+}
+
+#endif // __x86_64__
+
+uint32_t
+phtProbe(const uint64_t *tags, const uint8_t *meta, uint32_t assoc,
+         uint64_t tag)
+{
+#if defined(__x86_64__)
+    // STEMS_NO_SIMD=1 forces the scalar path (A/B measurement and
+    // the bit-identity test exercise both); checked once per process
+    static const bool avx2 = __builtin_cpu_supports("avx2") &&
+        std::getenv("STEMS_NO_SIMD") == nullptr;
+    if (avx2)
+        return phtProbeAvx2(tags, meta, assoc, tag);
+#endif
+    return phtProbeScalar(tags, meta, assoc, tag);
+}
 
 PatternHistoryTable::PatternHistoryTable(const PhtConfig &config)
     : cfg(config)
@@ -34,10 +102,7 @@ uint32_t
 PatternHistoryTable::findWay(const uint64_t *tagBase,
                              const Meta *metaBase, uint64_t tag) const
 {
-    for (uint32_t w = 0; w < cfg.assoc; ++w)
-        if (valid(metaBase[w]) && tagBase[w] == tag)
-            return w;
-    return cfg.assoc;
+    return phtProbe(tagBase, metaBase, cfg.assoc, tag);
 }
 
 void

@@ -19,6 +19,24 @@
 
 namespace stems::core {
 
+/**
+ * Scalar reference probe over one set's packed SoA arrays: the first
+ * way in [0, assoc) whose metadata byte has the valid bit (0x80) set
+ * and whose tag equals @p tag, or assoc when absent.
+ */
+uint32_t phtProbeScalar(const uint64_t *tags, const uint8_t *meta,
+                        uint32_t assoc, uint64_t tag);
+
+/**
+ * The probe the PHT set scan uses: on x86-64 hosts with AVX2 it
+ * compares four ways per vector op (runtime-dispatched, so the binary
+ * stays baseline-ISA portable); elsewhere it is the scalar loop.
+ * Bit-identical to phtProbeScalar by construction — both return the
+ * lowest matching way.
+ */
+uint32_t phtProbe(const uint64_t *tags, const uint8_t *meta,
+                  uint32_t assoc, uint64_t tag);
+
 /** How an update merges with an existing entry for the same key. */
 enum class PhtUpdateMode
 {

@@ -201,6 +201,7 @@ encodeCellJob(const driver::RunCell &cell)
     j.key("mode").value(driver::studyModeName(cell.mode));
     j.key("timing").value(cell.timing);
     j.key("timing_only").value(cell.timingOnly);
+    j.key("density").value(uint64_t{cell.densityRegion});
     j.endObject();
     j.endObject();
     return j.str();
@@ -233,43 +234,44 @@ decodeCellJob(const JsonValue &msg)
         throw std::invalid_argument("wire: bad mode \"" + mode + "\"");
     cell.timing = c.at("timing").asBool();
     cell.timingOnly = c.at("timing_only").asBool();
+    cell.densityRegion = static_cast<uint32_t>(c.at("density").asU64());
     return cell;
 }
 
 std::string
 encodeResult(const driver::CellResult &result)
 {
-    const driver::CellMetrics &m = result.metrics;
+    const driver::MetricSet &m = result.metrics;
     JsonWriter j;
     j.beginObject();
     j.key("type").value("result");
     j.key("id").value(uint64_t{result.cell.id});
     j.key("error").value(result.error);
+    // schema-driven: every present family travels under its canonical
+    // name; ratios are derived on both ends and never ride the wire
     j.key("metrics").beginObject();
-    j.key("instructions").value(m.instructions);
-    j.key("l1_read_misses").value(m.l1ReadMisses);
-    j.key("l2_read_misses").value(m.l2ReadMisses);
-    j.key("l1_covered").value(m.l1Covered);
-    j.key("l2_covered").value(m.l2Covered);
-    j.key("l1_overpred").value(m.l1Overpred);
-    j.key("l2_overpred").value(m.l2Overpred);
-    j.key("baseline_l1").value(m.baselineL1ReadMisses);
-    j.key("baseline_l2").value(m.baselineL2ReadMisses);
-    j.key("false_sharing").value(m.falseSharing);
-    j.key("oracle_l1");
-    writeU64Array(j, m.oracleL1Gens);
-    j.key("oracle_l2");
-    writeU64Array(j, m.oracleL2Gens);
-    j.key("peak_accum").value(m.peakAccumOccupancy);
-    j.key("peak_filter").value(m.peakFilterOccupancy);
-    j.key("uipc").value(hexDouble(m.uipc));
-    j.key("baseline_uipc").value(hexDouble(m.baselineUipc));
-    j.key("speedup").value(hexDouble(m.speedup));
-    j.key("timing");
-    writeTimingResult(j, m.timing);
-    j.key("baseline_timing");
-    writeTimingResult(j, m.baselineTiming);
-    j.key("wall_ms").value(hexDouble(m.wallMs));
+    for (const auto &f : driver::MetricSchema::builtin().families()) {
+        if (!m.present(f.id) || f.kind == driver::MetricKind::Ratio)
+            continue;
+        j.key(f.name);
+        switch (f.kind) {
+          case driver::MetricKind::Counter:
+            j.value(m.u64(f.id));
+            break;
+          case driver::MetricKind::Value:
+            j.value(hexDouble(m.value(f.id)));
+            break;
+          case driver::MetricKind::Histogram:
+          case driver::MetricKind::Vector:
+            writeU64Array(j, m.vec(f.id));
+            break;
+          case driver::MetricKind::Timing:
+            writeTimingResult(j, m.timingResult(f.id));
+            break;
+          case driver::MetricKind::Ratio:
+            break;
+        }
+    }
     j.endObject();
     j.key("counters").beginArray();
     for (const auto &[name, count] : m.pfCounters) {
@@ -289,28 +291,32 @@ decodeResult(const JsonValue &msg)
     driver::CellResult out;
     out.cell.id = static_cast<uint32_t>(msg.at("id").asU64());
     out.error = msg.at("error").asString();
-    const JsonValue &m = msg.at("metrics");
-    driver::CellMetrics &d = out.metrics;
-    d.instructions = m.at("instructions").asU64();
-    d.l1ReadMisses = m.at("l1_read_misses").asU64();
-    d.l2ReadMisses = m.at("l2_read_misses").asU64();
-    d.l1Covered = m.at("l1_covered").asU64();
-    d.l2Covered = m.at("l2_covered").asU64();
-    d.l1Overpred = m.at("l1_overpred").asU64();
-    d.l2Overpred = m.at("l2_overpred").asU64();
-    d.baselineL1ReadMisses = m.at("baseline_l1").asU64();
-    d.baselineL2ReadMisses = m.at("baseline_l2").asU64();
-    d.falseSharing = m.at("false_sharing").asU64();
-    d.oracleL1Gens = readU64Array(m.at("oracle_l1"));
-    d.oracleL2Gens = readU64Array(m.at("oracle_l2"));
-    d.peakAccumOccupancy = m.at("peak_accum").asU64();
-    d.peakFilterOccupancy = m.at("peak_filter").asU64();
-    d.uipc = m.at("uipc").asDouble();
-    d.baselineUipc = m.at("baseline_uipc").asDouble();
-    d.speedup = m.at("speedup").asDouble();
-    d.timing = readTimingResult(m.at("timing"));
-    d.baselineTiming = readTimingResult(m.at("baseline_timing"));
-    d.wallMs = m.at("wall_ms").asDouble();
+    driver::MetricSet &d = out.metrics;
+    const driver::MetricSchema &schema = driver::MetricSchema::builtin();
+    for (const auto &[name, value] : msg.at("metrics").members) {
+        const driver::MetricFamily *f = schema.find(name);
+        if (!f)
+            throw std::invalid_argument(
+                "wire: unknown metric family \"" + name + "\"");
+        switch (f->kind) {
+          case driver::MetricKind::Counter:
+            d.setU64(f->id, value.asU64());
+            break;
+          case driver::MetricKind::Value:
+            d.setValue(f->id, value.asDouble());
+            break;
+          case driver::MetricKind::Histogram:
+          case driver::MetricKind::Vector:
+            d.setVec(f->id, readU64Array(value));
+            break;
+          case driver::MetricKind::Timing:
+            d.setTimingResult(f->id, readTimingResult(value));
+            break;
+          case driver::MetricKind::Ratio:
+            throw std::invalid_argument(
+                "wire: ratio family \"" + name + "\" is derived");
+        }
+    }
     for (const auto &pair : msg.at("counters").items) {
         if (pair.items.size() != 2)
             throw std::invalid_argument("wire: bad counter pair");

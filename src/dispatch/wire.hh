@@ -15,6 +15,14 @@
  * Doubles (uIPC, wall times) travel as C99 hexfloat strings so metric
  * values survive the round trip bit-exactly — the merged report must
  * be byte-identical to a single-process run.
+ *
+ * Since protocol v3, result metrics are schema-driven: the encoder
+ * iterates the MetricSchema and writes every present family under its
+ * canonical name with a kind-appropriate encoding (counters as
+ * numbers, values as hexfloat strings, histograms/vectors as arrays,
+ * timing passes as mixed arrays). Ratio families never travel — they
+ * are derived from the folded operands on both ends. A new metric
+ * family therefore rides the wire with no protocol edit.
  */
 
 #ifndef STEMS_DISPATCH_WIRE_HH
@@ -31,7 +39,7 @@
 namespace stems::dispatch {
 
 /** Wire protocol version; bumped on incompatible message changes. */
-constexpr uint32_t kProtocolVersion = 2;
+constexpr uint32_t kProtocolVersion = 3;
 
 /** Spec-global settings shipped to a worker before any cells. */
 struct WorkerInit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 
 #include "driver/registry.hh"
 #include "sim/timing.hh"
@@ -21,13 +22,23 @@ msSince(const std::chrono::steady_clock::time_point &t0)
         .count();
 }
 
+/** Density tracking region for @p cell, 0 when below the block grain. */
+uint32_t
+densityRegionFor(const RunCell &cell)
+{
+    const uint32_t block =
+        std::max(cell.sys.l1.blockSize, cell.sys.l2.blockSize);
+    return cell.densityRegion >= block ? cell.densityRegion : 0;
+}
+
 /**
- * Memo key: a cell's sys config can differ per cell (geometry sweeps)
- * and generation params could differ across executors sharing code
- * paths (per-seed harnesses), so both are part of the key.
+ * Everything the timing pass depends on: a cell's sys config can
+ * differ per cell (geometry sweeps) and generation params could
+ * differ across executors sharing code paths (per-seed harnesses),
+ * so both are part of the key.
  */
 std::string
-baselineKey(const RunCell &cell)
+geometryKey(const RunCell &cell)
 {
     const mem::MemSysConfig &s = cell.sys;
     return cell.workload + "/g" +
@@ -43,18 +54,35 @@ baselineKey(const RunCell &cell)
 }
 
 /**
+ * Baseline memo key: density tracking rides the baseline pass for
+ * "none" cells, so an *effective* tracked region size (below-block
+ * values disable tracking and share the untracked slot) keys its own
+ * slot on top of the geometry.
+ */
+std::string
+baselineKey(const RunCell &cell)
+{
+    std::string key = geometryKey(cell);
+    if (const uint32_t region = densityRegionFor(cell))
+        key += "/d" + std::to_string(region);
+    return key;
+}
+
+/**
  * Timing memo key: the timing pass depends on everything the miss
  * baseline depends on *plus* the full engine configuration, so a cell
  * whose engine options change (e.g. a pht-entries sweep) invalidates
  * into its own slot instead of reusing a stale result. The baseline
  * pass is the "none" engine's entry — "none" takes no options, so any
  * option noise on a none engine (the top-level block= key fans out to
- * every engine) is ignored for keying.
+ * every engine) is ignored for keying. Density never reaches the
+ * timing model, so the key deliberately omits it — density-swept
+ * cells share one timing pass per engine.
  */
 std::string
 timingKey(const RunCell &cell, const EngineConfig &engine)
 {
-    std::string key = baselineKey(cell) + "|" + engine.kind;
+    std::string key = geometryKey(cell) + "|" + engine.kind;
     if (engine.kind != "none")
         for (const auto &[k, v] : engine.options)
             key += "," + k + "=" + v;
@@ -75,6 +103,47 @@ oracleSizesFor(const std::vector<uint32_t> &sizes, const RunCell &cell)
         if (s < block)
             return {};
     return sizes;
+}
+
+/** L1-mode study configuration a cell's engine options select. */
+study::L1StudyConfig
+l1ConfigFor(const RunCell &cell)
+{
+    study::L1StudyConfig lcfg;
+    lcfg.ncpu = cell.params.ncpu;
+    lcfg.l1 = cell.sys.l1;
+    lcfg.prefetch = cell.engine.kind == "sms";
+    if (!lcfg.prefetch)
+        return lcfg;
+    lcfg.sms = smsConfigFromOptions(cell.engine.options);
+    const std::string trainer =
+        optStr(cell.engine.options, "trainer", "agt");
+    if (trainer == "agt") {
+        lcfg.trainer = study::TrainerKind::AGT;
+    } else if (trainer == "ls") {
+        lcfg.trainer = study::TrainerKind::LogicalSectored;
+    } else if (trainer == "ds") {
+        lcfg.trainer = study::TrainerKind::DecoupledSectored;
+        // DS is the cache: it inherits the cell's L1 shape and
+        // sectors it at the configured region size
+        lcfg.ds.dataBytes = cell.sys.l1.sizeBytes;
+        lcfg.ds.dataAssoc = cell.sys.l1.assoc;
+        lcfg.ds.blockSize = cell.sys.l1.blockSize;
+        lcfg.ds.sectorSize = lcfg.sms.geometry.regionSize();
+        lcfg.ds.tagMult = static_cast<uint32_t>(
+            optU64(cell.engine.options, "ds-tag-mult", lcfg.ds.tagMult));
+    } else {
+        throw std::invalid_argument("trainer=" + trainer +
+                                    ": expected agt|ls|ds");
+    }
+    return lcfg;
+}
+
+/** Copy a density histogram array into a metric-set vector. */
+std::vector<uint64_t>
+histVec(const std::array<uint64_t, study::kDensityBuckets> &h)
+{
+    return {h.begin(), h.end()};
 }
 
 } // anonymous namespace
@@ -99,6 +168,10 @@ CellExecutor::baseline(const RunCell &cell)
             scfg.sys = cell.sys;
             scfg.oracleRegionSizes =
                 oracleSizesFor(cfg.oracleRegionSizes, cell);
+            if (const uint32_t region = densityRegionFor(cell)) {
+                scfg.trackDensity = true;
+                scfg.densityRegionSize = region;
+            }
             auto r = study::runSystem(streams(cell), scfg,
                                       cell.params.seed);
             slot->instructions = r.instructions;
@@ -107,6 +180,8 @@ CellExecutor::baseline(const RunCell &cell)
             slot->falseSharing = r.falseSharing;
             slot->oracleL1Gens = r.oracleL1Gens;
             slot->oracleL2Gens = r.oracleL2Gens;
+            slot->l1Density = r.l1Density;
+            slot->l2Density = r.l2Density;
         } else {
             study::L1StudyConfig lcfg;
             lcfg.ncpu = cell.params.ncpu;
@@ -154,60 +229,74 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
 {
     const auto t0 = std::chrono::steady_clock::now();
     out.cell = cell;
-    CellMetrics &m = out.metrics;
+    MetricSet &m = out.metrics;
+    const metric::Builtin &M = metric::ids();
+
+    if (cell.mode == StudyMode::System &&
+        optStr(cell.engine.options, "trainer", "agt") != "agt")
+        throw std::invalid_argument(
+            "trainer= selects an L1-mode training structure "
+            "(requires mode=l1)");
 
     if (!cell.timingOnly) {
         if (cell.engine.kind == "none") {
             // a "none" cell IS the baseline run — reuse the memoized pass
             const BaselineSlot &base = baseline(cell);
-            m.instructions = base.instructions;
-            m.l1ReadMisses = base.l1ReadMisses;
-            m.l2ReadMisses = base.l2ReadMisses;
-            m.falseSharing = base.falseSharing;
-            m.oracleL1Gens = base.oracleL1Gens;
-            m.oracleL2Gens = base.oracleL2Gens;
+            m.setU64(M.instructions, base.instructions);
+            m.setU64(M.l1ReadMisses, base.l1ReadMisses);
+            m.setU64(M.l2ReadMisses, base.l2ReadMisses);
+            m.setU64(M.falseSharing, base.falseSharing);
+            m.setVec(M.oracleL1Gens, base.oracleL1Gens);
+            m.setVec(M.oracleL2Gens, base.oracleL2Gens);
+            if (densityRegionFor(cell)) {
+                m.setVec(M.l1Density, histVec(base.l1Density));
+                m.setVec(M.l2Density, histVec(base.l2Density));
+            }
         } else if (cell.mode == StudyMode::System) {
             study::SystemStudyConfig scfg;
             scfg.sys = cell.sys;
             scfg.oracleRegionSizes =
                 oracleSizesFor(cfg.oracleRegionSizes, cell);
+            if (const uint32_t region = densityRegionFor(cell)) {
+                scfg.trackDensity = true;
+                scfg.densityRegionSize = region;
+            }
             std::unique_ptr<PrefetcherDeployment> dep;
             auto r = study::runSystem(
                 streams(cell), scfg, cell.params.seed,
                 registryAttach(cell.engine.kind, dep,
                                cell.engine.options));
-            m.instructions = r.instructions;
-            m.l1ReadMisses = r.l1ReadMisses;
-            m.l2ReadMisses = r.l2ReadMisses;
-            m.l1Covered = r.l1Covered;
-            m.l2Covered = r.l2Covered;
-            m.l1Overpred = r.l1Overpred;
-            m.l2Overpred = r.l2Overpred;
-            m.falseSharing = r.falseSharing;
-            m.oracleL1Gens = r.oracleL1Gens;
-            m.oracleL2Gens = r.oracleL2Gens;
+            m.setU64(M.instructions, r.instructions);
+            m.setU64(M.l1ReadMisses, r.l1ReadMisses);
+            m.setU64(M.l2ReadMisses, r.l2ReadMisses);
+            m.setU64(M.l1Covered, r.l1Covered);
+            m.setU64(M.l2Covered, r.l2Covered);
+            m.setU64(M.l1Overpred, r.l1Overpred);
+            m.setU64(M.l2Overpred, r.l2Overpred);
+            m.setU64(M.falseSharing, r.falseSharing);
+            m.setVec(M.oracleL1Gens, r.oracleL1Gens);
+            m.setVec(M.oracleL2Gens, r.oracleL2Gens);
+            if (scfg.trackDensity) {
+                m.setVec(M.l1Density, histVec(r.l1Density));
+                m.setVec(M.l2Density, histVec(r.l2Density));
+            }
             if (dep)
                 m.pfCounters = dep->counters();
         } else {
-            study::L1StudyConfig lcfg;
-            lcfg.ncpu = cell.params.ncpu;
-            lcfg.l1 = cell.sys.l1;
-            lcfg.prefetch = cell.engine.kind == "sms";
-            if (lcfg.prefetch)
-                lcfg.sms = smsConfigFromOptions(cell.engine.options);
             auto r = study::runL1Study(
-                traces.get(cell.workload, cell.params), lcfg);
-            m.instructions = r.instructions;
-            m.l1ReadMisses = r.readMisses;
-            m.l1Covered = r.coveredReads;
-            m.l1Overpred = r.overpredictions;
-            m.peakAccumOccupancy = r.peakAccumOccupancy;
-            m.peakFilterOccupancy = r.peakFilterOccupancy;
+                traces.get(cell.workload, cell.params),
+                l1ConfigFor(cell));
+            m.setU64(M.instructions, r.instructions);
+            m.setU64(M.l1ReadMisses, r.readMisses);
+            m.setU64(M.l1Covered, r.coveredReads);
+            m.setU64(M.l1Overpred, r.overpredictions);
+            m.setU64(M.peakAccumOccupancy, r.peakAccumOccupancy);
+            m.setU64(M.peakFilterOccupancy, r.peakFilterOccupancy);
         }
 
         const BaselineSlot &base = baseline(cell);
-        m.baselineL1ReadMisses = base.l1ReadMisses;
-        m.baselineL2ReadMisses = base.l2ReadMisses;
+        m.setU64(M.baselineL1ReadMisses, base.l1ReadMisses);
+        m.setU64(M.baselineL2ReadMisses, base.l2ReadMisses);
     }
 
     if (cell.timing) {
@@ -215,17 +304,20 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
         // the "none" engine's memoized pass, and every registry
         // prefetcher runs through the same attach seam
         EngineConfig none;
-        m.baselineTiming = timingRun(cell, none);
-        m.baselineUipc = m.baselineTiming.uipc();
-        m.timing = cell.engine.kind == "none"
-                       ? m.baselineTiming
-                       : timingRun(cell, cell.engine);
-        m.uipc = m.timing.uipc();
-        if (m.baselineUipc > 0 && m.uipc > 0)
-            m.speedup = m.uipc / m.baselineUipc;
+        const sim::TimingResult &baseTiming = timingRun(cell, none);
+        m.setTimingResult(M.baselineTiming, baseTiming);
+        m.setValue(M.baselineUipc, baseTiming.uipc());
+        const sim::TimingResult &engineTiming =
+            cell.engine.kind == "none" ? baseTiming
+                                       : timingRun(cell, cell.engine);
+        m.setTimingResult(M.timing, engineTiming);
+        m.setValue(M.uipc, engineTiming.uipc());
+        if (baseTiming.uipc() > 0 && engineTiming.uipc() > 0)
+            m.setValue(M.speedup,
+                       engineTiming.uipc() / baseTiming.uipc());
     }
 
-    m.wallMs = msSince(t0);
+    m.setWallMs(msSince(t0));
 }
 
 CellExecutor::Config

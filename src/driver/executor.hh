@@ -7,127 +7,37 @@
  * reported against, so any execution context — thread, worker process,
  * future remote transport — produces identical CellResults for
  * identical RunCells.
+ *
+ * Cell measurements land in a schema-registered MetricSet (see
+ * driver/metrics.hh); the executor is a metric *producer* — it never
+ * serializes, so new families need only a registration plus an emit
+ * here.
  */
 
 #ifndef STEMS_DRIVER_EXECUTOR_HH
 #define STEMS_DRIVER_EXECUTOR_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "driver/metrics.hh"
 #include "driver/spec.hh"
 #include "sim/timing.hh"
+#include "study/density.hh"
 #include "study/suite.hh"
 #include "trace/access.hh"
 
 namespace stems::driver {
 
-/** Everything one cell measures. */
-struct CellMetrics
-{
-    uint64_t instructions = 0;
-    uint64_t l1ReadMisses = 0;
-    uint64_t l2ReadMisses = 0;   //!< off-chip read misses
-    uint64_t l1Covered = 0;      //!< reads hitting prefetched L1 blocks
-    uint64_t l2Covered = 0;
-    uint64_t l1Overpred = 0;     //!< prefetched blocks dropped unused
-    uint64_t l2Overpred = 0;
-    uint64_t baselineL1ReadMisses = 0;  //!< same workload, no prefetch
-    uint64_t baselineL2ReadMisses = 0;
-    uint64_t falseSharing = 0;   //!< false-sharing L2 misses (system mode)
-
-    /** Oracle spatial generations, parallel to spec.oracleRegionSizes. */
-    std::vector<uint64_t> oracleL1Gens;
-    std::vector<uint64_t> oracleL2Gens;
-
-    Counters pfCounters;         //!< registry-harvested (e.g. SmsStats)
-
-    /** Peak AGT accumulation/filter demand (L1 mode, SMS engines). */
-    uint64_t peakAccumOccupancy = 0;
-    uint64_t peakFilterOccupancy = 0;
-
-    // timing model (when spec.timing); any registry engine produces
-    // these through the attach seam — see sim/timing.hh
-    double uipc = 0;
-    double baselineUipc = 0;
-    double speedup = 0;
-    sim::TimingResult timing;          //!< this cell's engine pass
-    sim::TimingResult baselineTiming;  //!< the no-prefetch pass
-
-    double wallMs = 0;           //!< cell execution wall time
-
-    double
-    l1Coverage() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1Covered) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2Coverage() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2Covered) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l1Uncovered() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1ReadMisses) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2Uncovered() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2ReadMisses) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l1OverpredRate() const
-    {
-        return baselineL1ReadMisses
-                   ? double(l1Overpred) / double(baselineL1ReadMisses)
-                   : 0.0;
-    }
-
-    double
-    l2OverpredRate() const
-    {
-        return baselineL2ReadMisses
-                   ? double(l2Overpred) / double(baselineL2ReadMisses)
-                   : 0.0;
-    }
-
-    /** Useful prefetches over all prefetches that left the cache. */
-    double
-    l1Accuracy() const
-    {
-        const uint64_t denom = l1Covered + l1Overpred;
-        return denom ? double(l1Covered) / double(denom) : 0.0;
-    }
-
-    double
-    l2Accuracy() const
-    {
-        const uint64_t denom = l2Covered + l2Overpred;
-        return denom ? double(l2Covered) / double(denom) : 0.0;
-    }
-};
-
 /** One finished cell: its resolved spec point plus measurements. */
 struct CellResult
 {
     RunCell cell;
-    CellMetrics metrics;
+    MetricSet metrics;
     std::string error;  //!< non-empty when the cell failed
 };
 
@@ -163,6 +73,8 @@ class CellExecutor
         uint64_t falseSharing = 0;
         std::vector<uint64_t> oracleL1Gens;
         std::vector<uint64_t> oracleL2Gens;
+        std::array<uint64_t, study::kDensityBuckets> l1Density{};
+        std::array<uint64_t, study::kDensityBuckets> l2Density{};
     };
 
     struct TimingSlot

@@ -198,10 +198,10 @@ PrefetcherRegistry::builtin()
               "Spatial Memory Streaming: region, block, pht-entries, "
               "pht-assoc, pht-update=replace|union, agt-filter, "
               "agt-accum, index=pc+off|pc|addr|pc+addr, pred-regs, "
-              "into-l1",
+              "into-l1, trainer=agt|ls|ds (mode=l1), ds-tag-mult",
               {"region", "block", "pht-entries", "pht-assoc",
                "pht-update", "agt-filter", "agt-accum", "index",
-               "pred-regs", "into-l1"},
+               "pred-regs", "into-l1", "trainer", "ds-tag-mult"},
               [](mem::MemorySystem &sys, const Options &o) {
                   return std::make_unique<SmsDeployment>(sys, o);
               });

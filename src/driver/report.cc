@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "driver/metrics.hh"
 #include "study/table.hh"
 #include "workloads/workload.hh"
 
@@ -188,6 +189,62 @@ writeOptions(JsonWriter &j, const Options &opts)
     j.endObject();
 }
 
+void
+writeU64Array(JsonWriter &j, const std::vector<uint64_t> &values)
+{
+    j.beginArray();
+    for (uint64_t v : values)
+        j.value(v);
+    j.endArray();
+}
+
+/** Emit one family's value under its report key. */
+void
+writeFamilyValue(JsonWriter &j, const MetricFamily &f, const MetricSet &m)
+{
+    switch (f.kind) {
+      case MetricKind::Counter:
+        j.value(m.u64(f.id));
+        break;
+      case MetricKind::Value:
+      case MetricKind::Ratio:
+        j.value(m.value(f.id));
+        break;
+      case MetricKind::Histogram:
+        j.beginObject();
+        j.key("labels").beginArray();
+        for (const auto &label : f.buckets)
+            j.value(label);
+        j.endArray();
+        j.key("counts");
+        writeU64Array(j, m.vec(f.id));
+        j.endObject();
+        break;
+      case MetricKind::Vector:
+        writeU64Array(j, m.vec(f.id));
+        break;
+      case MetricKind::Timing:
+        break;  // wire/API only; never in the report
+    }
+}
+
+/**
+ * Whether the cell's nested oracle object should appear: the spec
+ * asked for region tracking and the cell produced generations (cells
+ * swept to a coarser block skip tracking).
+ */
+bool
+hasOracle(const ExperimentSpec &spec, const MetricSet &m)
+{
+    if (spec.oracleRegionSizes.empty())
+        return false;
+    for (const auto &f : MetricSchema::builtin().families())
+        if (f.section == MetricSection::Oracle && m.present(f.id) &&
+            !m.vec(f.id).empty())
+            return true;
+    return false;
+}
+
 } // anonymous namespace
 
 std::string
@@ -229,9 +286,10 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
     j.endObject();
     j.endObject();  // spec
 
+    const MetricSchema &schema = MetricSchema::builtin();
     j.key("cells").beginArray();
     for (const auto &r : results) {
-        const CellMetrics &m = r.metrics;
+        const MetricSet &m = r.metrics;
         j.beginObject();
         j.key("id").value(uint64_t{r.cell.id});
         j.key("workload").value(r.cell.workload);
@@ -247,40 +305,30 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
             j.endObject();
             continue;
         }
+        // the metrics object iterates the schema: core families
+        // always appear (historical layout), optional families only
+        // when the cell produced them
         j.key("metrics").beginObject();
-        j.key("instructions").value(m.instructions);
-        j.key("l1_read_misses").value(m.l1ReadMisses);
-        j.key("l2_read_misses").value(m.l2ReadMisses);
-        j.key("l1_covered").value(m.l1Covered);
-        j.key("l2_covered").value(m.l2Covered);
-        j.key("l1_overpredictions").value(m.l1Overpred);
-        j.key("l2_overpredictions").value(m.l2Overpred);
-        j.key("false_sharing").value(m.falseSharing);
-        j.key("baseline_l1_read_misses").value(m.baselineL1ReadMisses);
-        j.key("baseline_l2_read_misses").value(m.baselineL2ReadMisses);
-        j.key("l1_coverage").value(m.l1Coverage());
-        j.key("l2_coverage").value(m.l2Coverage());
-        j.key("l1_uncovered").value(m.l1Uncovered());
-        j.key("l2_uncovered").value(m.l2Uncovered());
-        j.key("l1_overprediction_rate").value(m.l1OverpredRate());
-        j.key("l2_overprediction_rate").value(m.l2OverpredRate());
-        j.key("l1_accuracy").value(m.l1Accuracy());
-        j.key("l2_accuracy").value(m.l2Accuracy());
-        if (!spec.oracleRegionSizes.empty() &&
-            !m.oracleL1Gens.empty()) {
+        for (const auto &f : schema.families()) {
+            if (f.section != MetricSection::Metrics)
+                continue;
+            if (!f.core && !m.present(f.id))
+                continue;
+            j.key(f.reportKey);
+            writeFamilyValue(j, f, m);
+        }
+        if (hasOracle(spec, m)) {
             j.key("oracle").beginObject();
             j.key("region_sizes").beginArray();
             for (uint32_t s : spec.oracleRegionSizes)
                 j.value(uint64_t{s});
             j.endArray();
-            j.key("l1_generations").beginArray();
-            for (uint64_t g : m.oracleL1Gens)
-                j.value(g);
-            j.endArray();
-            j.key("l2_generations").beginArray();
-            for (uint64_t g : m.oracleL2Gens)
-                j.value(g);
-            j.endArray();
+            for (const auto &f : schema.families()) {
+                if (f.section != MetricSection::Oracle)
+                    continue;
+                j.key(f.reportKey);
+                writeFamilyValue(j, f, m);
+            }
             j.endObject();
         }
         j.endObject();
@@ -290,13 +338,16 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
         j.endObject();
         if (r.cell.timing) {
             j.key("timing").beginObject();
-            j.key("uipc").value(m.uipc);
-            j.key("baseline_uipc").value(m.baselineUipc);
-            j.key("speedup").value(m.speedup);
+            for (const auto &f : schema.families()) {
+                if (f.section != MetricSection::Timing)
+                    continue;
+                j.key(f.reportKey);
+                writeFamilyValue(j, f, m);
+            }
             j.endObject();
         }
         if (spec.emitWall)
-            j.key("wall_ms").value(m.wallMs);
+            j.key("wall_ms").value(m.wallMs());
         j.endObject();
     }
     j.endArray();
@@ -307,15 +358,15 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
 std::string
 toCsv(const ExperimentSpec &spec, const std::vector<CellResult> &results)
 {
+    const MetricSchema &schema = MetricSchema::builtin();
     std::ostringstream os;
-    os << "id,workload,class,prefetcher,label,options,instructions,"
-          "l1_read_misses,l2_read_misses,l1_covered,l2_covered,"
-          "l1_overpredictions,l2_overpredictions,"
-          "baseline_l1_read_misses,baseline_l2_read_misses,"
-          "l1_coverage,l2_coverage,l1_accuracy,l2_accuracy,"
-          "uipc,baseline_uipc,speedup,wall_ms,error\n";
+    os << "id,workload,class,prefetcher,label,options";
+    for (const auto &f : schema.families())
+        if (f.csv)
+            os << ',' << f.name;
+    os << ",error\n";
     for (const auto &r : results) {
-        const CellMetrics &m = r.metrics;
+        const MetricSet &m = r.metrics;
         std::string opts;
         for (const auto &[k, v] : r.cell.engine.options)
             opts += (opts.empty() ? "" : ";") + k + "=" + v;
@@ -323,17 +374,19 @@ toCsv(const ExperimentSpec &spec, const std::vector<CellResult> &results)
            << workloadClass(r.cell.workload) << ','
            << csvField(r.cell.engine.kind) << ','
            << csvField(r.cell.engine.displayLabel()) << ','
-           << csvField(opts) << ','
-           << m.instructions << ',' << m.l1ReadMisses << ','
-           << m.l2ReadMisses << ',' << m.l1Covered << ','
-           << m.l2Covered << ',' << m.l1Overpred << ','
-           << m.l2Overpred << ',' << m.baselineL1ReadMisses << ','
-           << m.baselineL2ReadMisses << ',' << m.l1Coverage() << ','
-           << m.l2Coverage() << ',' << m.l1Accuracy() << ','
-           << m.l2Accuracy() << ',' << m.uipc << ','
-           << m.baselineUipc << ',' << m.speedup << ','
-           << (spec.emitWall ? m.wallMs : 0.0) << ','
-           << csvField(r.error) << '\n';
+           << csvField(opts);
+        for (const auto &f : schema.families()) {
+            if (!f.csv)
+                continue;
+            os << ',';
+            if (f.id == metric::ids().wallMs)
+                os << (spec.emitWall ? m.wallMs() : 0.0);
+            else if (f.kind == MetricKind::Counter)
+                os << m.u64(f.id);
+            else
+                os << m.value(f.id);
+        }
+        os << ',' << csvField(r.error) << '\n';
     }
     return os.str();
 }
@@ -346,7 +399,7 @@ toTable(const std::vector<CellResult> &results)
                         "L2 acc", "Off-chip misses", "Speedup",
                         "Status"});
     for (const auto &r : results) {
-        const CellMetrics &m = r.metrics;
+        const MetricSet &m = r.metrics;
         std::string label = r.cell.engine.displayLabel();
         for (const auto &[k, v] : r.cell.sweepPoint)
             label += " " + k + "=" + v;
@@ -354,9 +407,9 @@ toTable(const std::vector<CellResult> &results)
             {r.cell.workload, label, TablePrinter::pct(m.l1Coverage()),
              TablePrinter::pct(m.l2Coverage()),
              TablePrinter::pct(m.l2Accuracy()),
-             std::to_string(m.l2ReadMisses),
-             r.cell.timing && m.speedup > 0
-                 ? TablePrinter::fixed(m.speedup, 3)
+             std::to_string(m.l2ReadMisses()),
+             r.cell.timing && m.speedup() > 0
+                 ? TablePrinter::fixed(m.speedup(), 3)
                  : "-",
              r.error.empty() ? "ok" : ("FAILED: " + r.error)});
     }

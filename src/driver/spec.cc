@@ -240,13 +240,23 @@ parseSpec(const std::vector<std::string> &tokens)
                     "\"");
         } else if (key.rfind("sweep.", 0) == 0) {
             const std::string opt = key.substr(6);
-            // geometry axes reshape every cell's hierarchy instead of
-            // parameterizing a prefetcher, so they need no engine
-            if (!isGeometryKey(opt))
+            // geometry axes reshape every cell's hierarchy and the
+            // density axis retunes the cell's trackers — neither
+            // parameterizes a prefetcher, so they need no engine
+            if (!isGeometryKey(opt) && opt != "density")
                 checkOptionKnown(spec.engines, opt, key);
             auto values = splitList(value);
             if (values.empty())
                 throw std::invalid_argument("empty sweep axis " + key);
+            if (opt == "density") {
+                for (const auto &v : values) {
+                    const uint64_t size = parseU64(key, v, 0);
+                    if (size != 0 && (size & (size - 1)) != 0)
+                        throw std::invalid_argument(
+                            key + "=" + v +
+                            ": region sizes must be powers of two");
+                }
+            }
             bool replaced = false;
             for (auto &axis : spec.sweeps) {
                 if (axis.first == opt) {
@@ -308,6 +318,14 @@ parseSpec(const std::vector<std::string> &tokens)
                 e.options.emplace("block", value);  // keep pf.* override
         } else if (isGeometryKey(key)) {
             applyGeometry(spec.sys, key, value);
+        } else if (key == "density") {
+            const uint64_t size = parseU64(key, value, 0);
+            if (size != 0 && (size & (size - 1)) != 0)
+                throw std::invalid_argument(
+                    key + "=" + value +
+                    ": region size must be a power of two (or 0 = "
+                    "off)");
+            spec.densityRegion = static_cast<uint32_t>(size);
         } else if (key == "oracle-regions") {
             spec.oracleRegionSizes.clear();
             for (const auto &v : splitList(value)) {
@@ -355,6 +373,25 @@ parseSpec(const std::vector<std::string> &tokens)
         if (spec.timing)
             throw std::invalid_argument(
                 "timing requires mode=system");
+        bool sweepsDensity = false;
+        for (const auto &axis : spec.sweeps)
+            sweepsDensity = sweepsDensity || axis.first == "density";
+        if (spec.densityRegion || sweepsDensity)
+            throw std::invalid_argument(
+                "density= histograms ride the system study "
+                "(requires mode=system)");
+    } else {
+        // the trainer axis selects an L1-mode training structure
+        auto rejectTrainer = [](bool hit) {
+            if (hit)
+                throw std::invalid_argument(
+                    "trainer= selects an L1-mode training structure "
+                    "(requires mode=l1)");
+        };
+        for (const auto &e : spec.engines)
+            rejectTrainer(e.options.count("trainer") != 0);
+        for (const auto &axis : spec.sweeps)
+            rejectTrainer(axis.first == "trainer");
     }
     return spec;
 }
@@ -371,7 +408,8 @@ expandSpec(const ExperimentSpec &spec)
     auto pointsFor = [&](const EngineConfig &e) {
         std::vector<Options> points{Options{}};
         for (const auto &[opt, values] : spec.sweeps) {
-            if (!isGeometryKey(opt) && !reg.knowsOption(e.kind, opt))
+            if (!isGeometryKey(opt) && opt != "density" &&
+                !reg.knowsOption(e.kind, opt))
                 continue;
             std::vector<Options> next;
             for (const auto &base : points) {
@@ -398,10 +436,17 @@ expandSpec(const ExperimentSpec &spec)
                 cell.sweepPoint = point;
                 cell.params = spec.params;
                 cell.sys = spec.sys;
+                cell.densityRegion = spec.densityRegion;
                 for (const auto &[k, v] : point) {
                     // geometry axes reshape this cell's hierarchy;
                     // block additionally reaches the prefetcher (its
-                    // stream granularity must match the caches)
+                    // stream granularity must match the caches); the
+                    // density axis retunes the cell's trackers
+                    if (k == "density") {
+                        cell.densityRegion = static_cast<uint32_t>(
+                            optU64(point, k, 0));
+                        continue;
+                    }
                     if (isGeometryKey(k))
                         applyGeometry(cell.sys, k, v);
                     if (!isGeometryKey(k) || k == "block")
@@ -484,7 +529,10 @@ specHelp()
         "                                 byte-comparable output)\n"
         "  l1-kb=64 l1-assoc=2 l2-kb=N    cache geometry\n"
         "  l2-mb=8 l2-assoc=8 block=64\n"
-        "  oracle-regions=S1,S2,...       track oracle generations\n";
+        "  oracle-regions=S1,S2,...       track oracle generations\n"
+        "  density=BYTES                  track access-density\n"
+        "                                 histograms (Fig 5) at this\n"
+        "                                 region size (0 = off)\n";
 }
 
 } // namespace stems::driver

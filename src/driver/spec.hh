@@ -58,6 +58,12 @@ struct ExperimentSpec
     /** Track oracle spatial generations at these region sizes. */
     std::vector<uint32_t> oracleRegionSizes;
 
+    /**
+     * Track access-density histograms (Figure 5) at this spatial
+     * region size; 0 = off. Sweepable per cell via sweep.density=.
+     */
+    uint32_t densityRegion = 0;
+
     /** Cell-id filter ("" = all): comma list of ids and A-B ranges. */
     std::string cellFilter;
 
@@ -79,13 +85,15 @@ struct RunCell
     StudyMode mode = StudyMode::System;
     bool timing = false;
     bool timingOnly = false;
+    uint32_t densityRegion = 0;  //!< density-histogram region (0 = off)
 };
 
 /**
  * Parse key=value tokens into a spec. Recognized keys (see
  * specHelp()): config=FILE, workloads=, prefetchers=, sweep.K=,
  * opt.K=, pf.LABEL.K=, ncpu=, refs=, seed=, threads=, mode=, timing=,
- * trace-dir=, json=, csv=, table=, l1-kb=, l2-mb=, block=.
+ * trace-dir=, json=, csv=, table=, l1-kb=, l2-mb=, block=, density=,
+ * oracle-regions=.
  *
  * Throws std::invalid_argument on unknown keys, unknown workload or
  * prefetcher names, or malformed values.

@@ -15,6 +15,7 @@
  *   stems help                  usage
  */
 
+#include <cstdio>
 #include <cstring>
 #include <unistd.h>
 #include <exception>
@@ -28,6 +29,7 @@
 #include "dispatch/merge.hh"
 #include "dispatch/worker.hh"
 #include "driver/bench.hh"
+#include "driver/metrics.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
@@ -90,6 +92,29 @@ cmdList()
     const auto &reg = PrefetcherRegistry::builtin();
     for (const auto &name : reg.names())
         std::cout << "  " << name << ": " << reg.help(name) << "\n";
+    std::cout <<
+        "sweep axes (sweep.KEY=V1,V2,... crosses values per cell;\n"
+        "every KEY also works as a top-level key=value):\n"
+        "  block=BYTES                  cache/coherence block "
+        "(geometry)\n"
+        "  l1-kb= l1-assoc=             L1 geometry\n"
+        "  l2-kb= l2-mb= l2-assoc=      L2 geometry\n"
+        "  density=BYTES                access-density histograms at\n"
+        "                               this power-of-two region size\n"
+        "                               (mode=system; 0 = off)\n"
+        "  trainer=agt|ls|ds            sms training structure: Active\n"
+        "                               Generation Table, Logical\n"
+        "                               Sectored tags, or Decoupled\n"
+        "                               Sectored cache (mode=l1)\n"
+        "  index=pc+off|pc|addr|pc+addr sms prediction index\n"
+        "  (plus any prefetcher option listed above, e.g.\n"
+        "   sweep.pht-entries=1024,16384)\n";
+    std::cout << "metric families (JSON/CSV/wire emission is "
+                 "schema-driven):\n";
+    for (const auto &f : MetricSchema::builtin().families()) {
+        std::printf("  %-26s %-9s %s\n", f.name.c_str(),
+                    metricKindName(f.kind), f.help.c_str());
+    }
     return 0;
 }
 

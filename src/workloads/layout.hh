@@ -24,6 +24,7 @@ constexpr uint64_t kConnBase = 0x06'00000000ULL;        //!< connections
 constexpr uint64_t kFileCacheBase = 0x07'00000000ULL;   //!< web files
 constexpr uint64_t kGridBase = 0x08'00000000ULL;        //!< sci arrays
 constexpr uint64_t kPacketBase = 0x09'00000000ULL;      //!< RX rings/flows
+constexpr uint64_t kLsmBase = 0x0A'00000000ULL;         //!< LSM runs/bufs
 constexpr uint64_t kPrivateBase = 0x0F'00000000ULL;     //!< per-cpu heaps
 constexpr uint64_t kPrivateStride = 0x10000000ULL;      //!< 256 MB / cpu
 
@@ -58,6 +59,7 @@ constexpr uint32_t kModHash = 10;
 constexpr uint32_t kModGraph = 11;
 constexpr uint32_t kModHashJoin = 12;
 constexpr uint32_t kModPacket = 13;
+constexpr uint32_t kModLsm = 14;
 
 } // namespace stems::workloads::layout
 

@@ -1,0 +1,128 @@
+#include "workloads/lsmcompact.hh"
+
+#include "workloads/emitter.hh"
+#include "workloads/layout.hh"
+
+namespace stems::workloads {
+
+std::vector<trace::Trace>
+LsmCompactWorkload::generateStreams(const WorkloadParams &p)
+{
+    const uint64_t pc_heap = layout::pcSite(layout::kModLsm, 0);
+    const uint64_t pc_run = layout::pcSite(layout::kModLsm, 1);
+    const uint64_t pc_buf = layout::pcSite(layout::kModLsm, 2);
+    const uint64_t pc_flush_rd = layout::pcSite(layout::kModLsm, 3);
+    const uint64_t pc_flush_wr = layout::pcSite(layout::kModLsm, 4);
+    const uint64_t pc_bloom_rd = layout::pcSite(layout::kModLsm, 5);
+    const uint64_t pc_bloom_wr = layout::pcSite(layout::kModLsm, 6);
+    const uint64_t pc_manifest = layout::pcSite(layout::kModLsm, 7);
+    const uint64_t pc_publish = layout::pcSite(layout::kModLsm, 8);
+
+    // per-CPU shard arenas: input runs, output run, write buffer and
+    // Bloom/index metadata; one shared manifest page set for the
+    // engine-wide run catalogue (the sharing surface) sits below the
+    // first shard so no CPU's private blocks alias it
+    constexpr uint64_t kCpuStride = 0x10000000ULL;
+    constexpr uint64_t kShardsBase = layout::kLsmBase + 0x1000000ULL;
+    constexpr uint32_t kBlock = 64;
+    const uint32_t entriesPerBlock = kBlock / prm.entryBytes;
+    auto shardBase = [&](uint32_t cpu) {
+        return kShardsBase + uint64_t{cpu} * kCpuStride;
+    };
+    auto runAddr = [&](uint32_t cpu, uint32_t run, uint64_t entry) {
+        return shardBase(cpu) + 0x100000 + uint64_t{run} * 0x400000 +
+            entry * prm.entryBytes;
+    };
+    auto outAddr = [&](uint32_t cpu, uint64_t entry) {
+        return shardBase(cpu) + 0x4000000 + entry * prm.entryBytes;
+    };
+    auto bufAddr = [&](uint32_t cpu, uint64_t entry) {
+        return shardBase(cpu) + 0x8000000 +
+            (entry % (uint64_t{prm.writeBufferBlocks} *
+                      entriesPerBlock)) *
+            prm.entryBytes;
+    };
+    auto bloomAddr = [&](uint32_t cpu, uint32_t slot) {
+        return shardBase(cpu) + 0x9000000 + uint64_t{slot} * kBlock;
+    };
+    auto manifestAddr = [&](uint32_t slot) {
+        return layout::kLsmBase + uint64_t{slot} * kBlock;
+    };
+
+    const uint64_t runEntries =
+        uint64_t{prm.runBlocks} * entriesPerBlock;
+    const uint64_t bufEntries =
+        uint64_t{prm.writeBufferBlocks} * entriesPerBlock;
+
+    std::vector<trace::Trace> streams(p.ncpu);
+    for (uint32_t cpu = 0; cpu < p.ncpu; ++cpu) {
+        trace::Rng rng(p.seed * 0x15A7C0 + cpu + 1);
+        StreamEmitter e(streams[cpu], rng);
+
+        std::vector<uint64_t> cursor(prm.runs, 0);
+        uint64_t merged = 0;
+
+        while (e.count() < p.refsPerCpu) {
+            // pop the merge heap: which run owns the smallest key is
+            // data-dependent, so the sequential run streams interleave
+            // unpredictably per code site
+            const uint32_t run =
+                static_cast<uint32_t>(rng.below(prm.runs));
+            e.load(pc_heap, shardBase(cpu) + run * kBlock, 3);
+            // drain a short sorted stretch from the chosen run
+            const uint32_t stretch = 1 +
+                static_cast<uint32_t>(rng.below(entriesPerBlock * 2));
+            for (uint32_t i = 0;
+                 i < stretch && e.count() < p.refsPerCpu; ++i) {
+                const uint64_t entry = cursor[run] % runEntries;
+                ++cursor[run];
+                // read the run entry (dependent on the heap pop),
+                // append it to the write buffer
+                e.load(pc_run, runAddr(cpu, run, entry), 2, 1);
+                e.store(pc_buf, bufAddr(cpu, merged), 1, 1);
+                ++merged;
+                // block index + Bloom filter maintenance once per
+                // completed output block (hashed, irregular)
+                if (merged % entriesPerBlock == 0) {
+                    for (uint32_t b = 0; b < prm.bloomProbes; ++b) {
+                        const uint32_t slot = static_cast<uint32_t>(
+                            (merged * 0x9E3779B97F4A7C15ULL +
+                             b * 0x85EB) % prm.bloomSlots);
+                        e.load(pc_bloom_rd, bloomAddr(cpu, slot), 1);
+                        e.store(pc_bloom_wr, bloomAddr(cpu, slot), 1,
+                                1);
+                    }
+                }
+                // write buffer full: flush it sequentially into the
+                // output run (re-read + write, kernel-side I/O)
+                if (merged % bufEntries == 0) {
+                    const uint64_t first = merged - bufEntries;
+                    for (uint64_t f = 0;
+                         f < bufEntries && e.count() < p.refsPerCpu;
+                         f += entriesPerBlock) {
+                        e.load(pc_flush_rd, bufAddr(cpu, first + f), 1,
+                               0, true);
+                        e.store(pc_flush_wr, outAddr(cpu, first + f),
+                                1, 0, true);
+                    }
+                    // publish the new output extent in the shared
+                    // manifest (rare cross-CPU store)
+                    e.store(pc_publish,
+                            manifestAddr(static_cast<uint32_t>(
+                                (merged / bufEntries) % 64)),
+                            2, 0, true);
+                }
+                // occasional manifest lookup (run catalogue read)
+                if (rng.chance(prm.manifestFraction))
+                    e.load(pc_manifest,
+                           manifestAddr(static_cast<uint32_t>(
+                               rng.below(64))),
+                           2);
+            }
+        }
+        streams[cpu].resize(p.refsPerCpu);
+    }
+    return streams;
+}
+
+} // namespace stems::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Log-structured KV compaction workload: the merge phase of an
+ * LSM-tree storage engine. Each CPU compacts its own shard: several
+ * sorted input runs are consumed by interleaved sequential cursors
+ * (which run drains next depends on the key comparison at the merge
+ * heap's root — dense streams, but the interleave is data-dependent
+ * and stride-hostile), merged entries land in a per-CPU write buffer
+ * that is flushed sequentially into the output run when full, and
+ * every entry updates the output run's block index and Bloom filter
+ * (hashed, irregular). A shared manifest records run lifecycle, the
+ * cross-CPU sharing surface of real storage engines.
+ *
+ * The mix — a handful of concurrently advancing sequential read
+ * streams per code site, buffered sequential writes, and pointer-free
+ * hashed metadata — is spatially patterned at region grain while
+ * defeating per-PC stride detection, the same story as the commercial
+ * suite. Not part of the paper's Table 1; registered in the extension
+ * suite to grow scenario diversity for the experiment engine.
+ */
+
+#ifndef STEMS_WORKLOADS_LSMCOMPACT_HH
+#define STEMS_WORKLOADS_LSMCOMPACT_HH
+
+#include "workloads/workload.hh"
+
+namespace stems::workloads {
+
+/** Shape of one compaction. */
+struct LsmCompactParams
+{
+    uint32_t runs = 6;             //!< sorted input runs merged at once
+    uint32_t entryBytes = 32;      //!< key+value record size
+    uint32_t runBlocks = 4096;     //!< 64 B blocks per input run
+    uint32_t writeBufferBlocks = 32;  //!< per-CPU buffer before flush
+    uint32_t bloomSlots = 16384;   //!< Bloom/index slots per shard
+    uint32_t bloomProbes = 2;      //!< hash probes per entry
+    double manifestFraction = 0.002;  //!< entries touching the manifest
+};
+
+/** Sorted-run merge + write-buffer flush + index update generator. */
+class LsmCompactWorkload : public Workload
+{
+  public:
+    explicit LsmCompactWorkload(LsmCompactParams params = {})
+        : prm(params)
+    {}
+
+    std::string name() const override { return "lsmcompact"; }
+    SuiteClass suiteClass() const override { return SuiteClass::OLTP; }
+
+    std::vector<trace::Trace>
+    generateStreams(const WorkloadParams &p) override;
+
+  private:
+    LsmCompactParams prm;
+};
+
+} // namespace stems::workloads
+
+#endif // STEMS_WORKLOADS_LSMCOMPACT_HH

@@ -3,6 +3,7 @@
 #include "workloads/dss.hh"
 #include "workloads/graph.hh"
 #include "workloads/hashjoin.hh"
+#include "workloads/lsmcompact.hh"
 #include "workloads/oltp.hh"
 #include "workloads/packet.hh"
 #include "workloads/scientific.hh"
@@ -69,6 +70,9 @@ extensionSuite()
          }},
         {"packet", SuiteClass::Web, [] {
              return std::make_unique<PacketWorkload>();
+         }},
+        {"lsmcompact", SuiteClass::OLTP, [] {
+             return std::make_unique<LsmCompactWorkload>();
          }},
     };
     return suite;

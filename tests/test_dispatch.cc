@@ -198,60 +198,95 @@ TEST(DispatchWire, CellJobRoundTrips)
 
 TEST(DispatchWire, ResultRoundTripsDoublesBitExactly)
 {
+    const metric::Builtin &M = metric::ids();
     CellResult r;
     r.cell.id = 7;
-    r.metrics.instructions = 123456789;
-    r.metrics.l1ReadMisses = 42;
-    r.metrics.falseSharing = 17;
-    r.metrics.oracleL1Gens = {1, 2, 3};
-    r.metrics.oracleL2Gens = {4, 5, 6};
-    r.metrics.uipc = 1.0 / 3.0;                  // not exactly printable
-    r.metrics.baselineUipc = 0.1234567890123456; // in 6 digits
-    r.metrics.speedup = 1.3333333333333333;
-    r.metrics.peakAccumOccupancy = 77;
-    r.metrics.peakFilterOccupancy = 11;
-    r.metrics.timing.cycles = 9876.5432101234;
-    r.metrics.timing.userInstructions = 4242;
-    r.metrics.timing.systemInstructions = 17;
-    r.metrics.timing.breakdown.offChipRead = 2.0 / 7.0;
-    r.metrics.timing.breakdown.storeBuffer = 1e-17;
-    r.metrics.baselineTiming.cycles = 12345.000001;
-    r.metrics.baselineTiming.breakdown.userBusy = 0.3333333333333333;
-    r.metrics.wallMs = 0.0;
+    r.metrics.setU64(M.instructions, 123456789);
+    r.metrics.setU64(M.l1ReadMisses, 42);
+    r.metrics.setU64(M.falseSharing, 17);
+    r.metrics.setVec(M.oracleL1Gens, {1, 2, 3});
+    r.metrics.setVec(M.oracleL2Gens, {4, 5, 6});
+    r.metrics.setValue(M.uipc, 1.0 / 3.0);  // not exactly printable
+    r.metrics.setValue(M.baselineUipc, 0.1234567890123456);
+    r.metrics.setValue(M.speedup, 1.3333333333333333);
+    r.metrics.setU64(M.peakAccumOccupancy, 77);
+    r.metrics.setU64(M.peakFilterOccupancy, 11);
+    sim::TimingResult t;
+    t.cycles = 9876.5432101234;
+    t.userInstructions = 4242;
+    t.systemInstructions = 17;
+    t.breakdown.offChipRead = 2.0 / 7.0;
+    t.breakdown.storeBuffer = 1e-17;
+    r.metrics.setTimingResult(M.timing, t);
+    sim::TimingResult bt;
+    bt.cycles = 12345.000001;
+    bt.breakdown.userBusy = 0.3333333333333333;
+    r.metrics.setTimingResult(M.baselineTiming, bt);
+    r.metrics.setWallMs(0.0);
     r.metrics.pfCounters = {{"triggers", 9}, {"pht_hits", 8}};
     r.error = "";
 
     const CellResult back = decodeResult(parseJson(encodeResult(r)));
     EXPECT_EQ(back.cell.id, r.cell.id);
-    EXPECT_EQ(back.metrics.instructions, r.metrics.instructions);
-    EXPECT_EQ(back.metrics.l1ReadMisses, r.metrics.l1ReadMisses);
-    EXPECT_EQ(back.metrics.falseSharing, r.metrics.falseSharing);
-    EXPECT_EQ(back.metrics.oracleL1Gens, r.metrics.oracleL1Gens);
-    EXPECT_EQ(back.metrics.oracleL2Gens, r.metrics.oracleL2Gens);
+    EXPECT_EQ(back.metrics.instructions(), r.metrics.instructions());
+    EXPECT_EQ(back.metrics.l1ReadMisses(), r.metrics.l1ReadMisses());
+    EXPECT_EQ(back.metrics.falseSharing(), r.metrics.falseSharing());
+    EXPECT_EQ(back.metrics.oracleL1Gens(), r.metrics.oracleL1Gens());
+    EXPECT_EQ(back.metrics.oracleL2Gens(), r.metrics.oracleL2Gens());
     // bit-exact, not approximately equal — the report must be
     // byte-identical to a single-process run
-    EXPECT_EQ(back.metrics.uipc, r.metrics.uipc);
-    EXPECT_EQ(back.metrics.baselineUipc, r.metrics.baselineUipc);
-    EXPECT_EQ(back.metrics.speedup, r.metrics.speedup);
-    EXPECT_EQ(back.metrics.peakAccumOccupancy,
-              r.metrics.peakAccumOccupancy);
-    EXPECT_EQ(back.metrics.peakFilterOccupancy,
-              r.metrics.peakFilterOccupancy);
-    EXPECT_EQ(back.metrics.timing.cycles, r.metrics.timing.cycles);
-    EXPECT_EQ(back.metrics.timing.userInstructions,
-              r.metrics.timing.userInstructions);
-    EXPECT_EQ(back.metrics.timing.systemInstructions,
-              r.metrics.timing.systemInstructions);
-    EXPECT_EQ(back.metrics.timing.breakdown.offChipRead,
-              r.metrics.timing.breakdown.offChipRead);
-    EXPECT_EQ(back.metrics.timing.breakdown.storeBuffer,
-              r.metrics.timing.breakdown.storeBuffer);
-    EXPECT_EQ(back.metrics.baselineTiming.cycles,
-              r.metrics.baselineTiming.cycles);
-    EXPECT_EQ(back.metrics.baselineTiming.breakdown.userBusy,
-              r.metrics.baselineTiming.breakdown.userBusy);
+    EXPECT_EQ(back.metrics.uipc(), r.metrics.uipc());
+    EXPECT_EQ(back.metrics.baselineUipc(), r.metrics.baselineUipc());
+    EXPECT_EQ(back.metrics.speedup(), r.metrics.speedup());
+    EXPECT_EQ(back.metrics.peakAccumOccupancy(),
+              r.metrics.peakAccumOccupancy());
+    EXPECT_EQ(back.metrics.peakFilterOccupancy(),
+              r.metrics.peakFilterOccupancy());
+    EXPECT_EQ(back.metrics.timing().cycles, t.cycles);
+    EXPECT_EQ(back.metrics.timing().userInstructions,
+              t.userInstructions);
+    EXPECT_EQ(back.metrics.timing().systemInstructions,
+              t.systemInstructions);
+    EXPECT_EQ(back.metrics.timing().breakdown.offChipRead,
+              t.breakdown.offChipRead);
+    EXPECT_EQ(back.metrics.timing().breakdown.storeBuffer,
+              t.breakdown.storeBuffer);
+    EXPECT_EQ(back.metrics.baselineTiming().cycles, bt.cycles);
+    EXPECT_EQ(back.metrics.baselineTiming().breakdown.userBusy,
+              bt.breakdown.userBusy);
     EXPECT_EQ(back.metrics.pfCounters, r.metrics.pfCounters);
     EXPECT_TRUE(back.error.empty());
+    // absent families stay absent across the wire
+    EXPECT_FALSE(back.metrics.present(M.l1Density));
+    EXPECT_TRUE(back.metrics.present(M.oracleL1Gens));
+}
+
+TEST(DispatchWire, HistogramAndVectorFamiliesRoundTrip)
+{
+    // protocol v3: histogram/vector families ride under their schema
+    // names with no per-family wire code
+    const metric::Builtin &M = metric::ids();
+    CellResult r;
+    r.cell.id = 3;
+    r.metrics.setVec(M.l1Density, {10, 20, 30, 40, 50, 60, 70});
+    r.metrics.setVec(M.l2Density, {1, 0, 0, 2, 0, 0, 3});
+    r.metrics.setVec(M.oracleL1Gens, {});
+    const CellResult back = decodeResult(parseJson(encodeResult(r)));
+    EXPECT_EQ(back.metrics.l1Density(), r.metrics.l1Density());
+    EXPECT_EQ(back.metrics.l2Density(), r.metrics.l2Density());
+    EXPECT_TRUE(back.metrics.present(M.oracleL1Gens));
+    EXPECT_TRUE(back.metrics.oracleL1Gens().empty());
+    EXPECT_FALSE(back.metrics.present(M.oracleL2Gens));
+    EXPECT_FALSE(back.metrics.present(M.instructions));
+}
+
+TEST(DispatchWire, RejectsUnknownMetricFamily)
+{
+    EXPECT_THROW(
+        decodeResult(parseJson(
+            R"({"type":"result","id":1,"error":"",)"
+            R"("metrics":{"no_such_family":1},"counters":[]})")),
+        std::invalid_argument);
 }
 
 TEST(DispatchWire, FrameDecoderHandlesChunkedDelivery)
@@ -307,6 +342,37 @@ TEST(Dispatch, AblCellsByteIdenticalToInProcess)
     EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
 }
 
+TEST(Dispatch, DensityHistogramCellsByteIdenticalToInProcess)
+{
+    // protocol v3 carries the l1_density/l2_density histogram families
+    // (and the oracle vectors) bit-exactly: a dispatched Figure-5 run
+    // must reproduce the in-process report byte for byte
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,Apache", "prefetchers=sms,none",
+         "density=2048", "oracle-regions=512,2048", "ncpu=4",
+         "refs=2000", "seed=3", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+    const std::string dispatched = dispatchedJson(spec, 2);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_NE(inproc.find("\"l1_density\""), std::string::npos);
+    EXPECT_NE(inproc.find("\"oracle\""), std::string::npos);
+    EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+}
+
+TEST(Dispatch, TrainerSweepCellsByteIdenticalToInProcess)
+{
+    // the trainer= axis (DS/LS/AGT training structures) over the wire
+    ExperimentSpec spec = parseSpec(
+        {"mode=l1", "workloads=sparse,Apache", "prefetchers=sms",
+         "opt.pht-entries=0", "opt.agt-filter=0", "opt.agt-accum=0",
+         "sweep.trainer=ds,ls,agt", "ncpu=4", "refs=2000", "seed=3",
+         "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+    const std::string dispatched = dispatchedJson(spec, 2);
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_EQ(inproc.find("\"error\""), std::string::npos);
+}
+
 TEST(Dispatch, GhbStrideTimingCellsByteIdenticalToInProcess)
 {
     // the engine-agnostic timing pipeline over the wire: GHB and
@@ -358,7 +424,7 @@ TEST(Dispatch, RetryCapRecordsCellErrorNotCrash)
         << results[0].error;
     // the sweep survives: the other cell still ran to completion
     EXPECT_TRUE(results[1].error.empty()) << results[1].error;
-    EXPECT_GT(results[1].metrics.instructions, 0u);
+    EXPECT_GT(results[1].metrics.instructions(), 0u);
 }
 
 TEST(Dispatch, CellTimeoutRequeuesToAnotherWorker)
@@ -499,16 +565,16 @@ TEST(TimingOnly, MatchesFullTimingUipcExactly)
         ASSERT_TRUE(fullResults[i].error.empty());
         ASSERT_TRUE(leanResults[i].error.empty());
         // same timing numbers, bit-exact
-        EXPECT_EQ(fullResults[i].metrics.uipc,
-                  leanResults[i].metrics.uipc);
-        EXPECT_EQ(fullResults[i].metrics.baselineUipc,
-                  leanResults[i].metrics.baselineUipc);
-        EXPECT_EQ(fullResults[i].metrics.speedup,
-                  leanResults[i].metrics.speedup);
+        EXPECT_EQ(fullResults[i].metrics.uipc(),
+                  leanResults[i].metrics.uipc());
+        EXPECT_EQ(fullResults[i].metrics.baselineUipc(),
+                  leanResults[i].metrics.baselineUipc());
+        EXPECT_EQ(fullResults[i].metrics.speedup(),
+                  leanResults[i].metrics.speedup());
         // ... without paying for the system-study pass
-        EXPECT_GT(fullResults[i].metrics.instructions, 0u);
-        EXPECT_EQ(leanResults[i].metrics.instructions, 0u);
-        EXPECT_EQ(leanResults[i].metrics.baselineL1ReadMisses, 0u);
+        EXPECT_GT(fullResults[i].metrics.instructions(), 0u);
+        EXPECT_EQ(leanResults[i].metrics.instructions(), 0u);
+        EXPECT_EQ(leanResults[i].metrics.baselineL1ReadMisses(), 0u);
     }
 }
 
@@ -543,12 +609,12 @@ TEST(GeometrySweep, L2SizeAxisReshapesEachCell)
         ASSERT_TRUE(r.error.empty()) << r.error;
     // each L2 size gets its own memoized baseline: a smaller L2 must
     // miss at least as often off-chip
-    EXPECT_GE(results[2].metrics.l2ReadMisses,
-              results[3].metrics.l2ReadMisses);
-    EXPECT_EQ(results[0].metrics.baselineL2ReadMisses,
-              results[2].metrics.l2ReadMisses);
-    EXPECT_EQ(results[1].metrics.baselineL2ReadMisses,
-              results[3].metrics.l2ReadMisses);
+    EXPECT_GE(results[2].metrics.l2ReadMisses(),
+              results[3].metrics.l2ReadMisses());
+    EXPECT_EQ(results[0].metrics.baselineL2ReadMisses(),
+              results[2].metrics.l2ReadMisses());
+    EXPECT_EQ(results[1].metrics.baselineL2ReadMisses(),
+              results[3].metrics.l2ReadMisses());
 }
 
 TEST(GeometrySweep, GeometryKeysLegalOnlyAsSweepOrTopLevel)

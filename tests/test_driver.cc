@@ -13,10 +13,13 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "dispatch/json.hh"
+#include "dispatch/wire.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
 #include "sim/timing.hh"
+#include "study/l1study.hh"
 #include "workloads/graph.hh"
 #include "study/suite.hh"
 #include "trace/io.hh"
@@ -44,17 +47,32 @@ quickTokens()
 }
 
 void
-expectSameMetrics(const CellMetrics &a, const CellMetrics &b)
+expectSameMetrics(const MetricSet &a, const MetricSet &b)
 {
-    EXPECT_EQ(a.instructions, b.instructions);
-    EXPECT_EQ(a.l1ReadMisses, b.l1ReadMisses);
-    EXPECT_EQ(a.l2ReadMisses, b.l2ReadMisses);
-    EXPECT_EQ(a.l1Covered, b.l1Covered);
-    EXPECT_EQ(a.l2Covered, b.l2Covered);
-    EXPECT_EQ(a.l1Overpred, b.l1Overpred);
-    EXPECT_EQ(a.l2Overpred, b.l2Overpred);
-    EXPECT_EQ(a.baselineL1ReadMisses, b.baselineL1ReadMisses);
-    EXPECT_EQ(a.baselineL2ReadMisses, b.baselineL2ReadMisses);
+    // every registered family must agree, whatever its kind
+    for (const auto &f : MetricSchema::builtin().families()) {
+        if (f.id == metric::ids().wallMs)
+            continue;  // wall time legitimately differs across runs
+        EXPECT_EQ(a.present(f.id), b.present(f.id)) << f.name;
+        switch (f.kind) {
+          case MetricKind::Counter:
+            EXPECT_EQ(a.u64(f.id), b.u64(f.id)) << f.name;
+            break;
+          case MetricKind::Value:
+          case MetricKind::Ratio:
+            EXPECT_EQ(a.value(f.id), b.value(f.id)) << f.name;
+            break;
+          case MetricKind::Histogram:
+          case MetricKind::Vector:
+            EXPECT_EQ(a.vec(f.id), b.vec(f.id)) << f.name;
+            break;
+          case MetricKind::Timing:
+            EXPECT_EQ(a.timingResult(f.id).cycles,
+                      b.timingResult(f.id).cycles)
+                << f.name;
+            break;
+        }
+    }
     ASSERT_EQ(a.pfCounters.size(), b.pfCounters.size());
     for (size_t i = 0; i < a.pfCounters.size(); ++i) {
         EXPECT_EQ(a.pfCounters[i].first, b.pfCounters[i].first);
@@ -299,7 +317,7 @@ TEST(Runner, DeterministicAcrossThreadCounts)
         expectSameMetrics(r1[i].metrics, r4[i].metrics);
     }
     // sanity: SMS actually prefetched something
-    EXPECT_GT(r1[0].metrics.l1Covered, 0u);
+    EXPECT_GT(r1[0].metrics.l1Covered(), 0u);
 }
 
 TEST(Runner, TraceRecordThenReplayMatchesLiveStats)
@@ -566,7 +584,7 @@ TEST(SuiteExtension, HashJoinRunsThroughTheEngine)
     for (const auto &r : results)
         ASSERT_TRUE(r.error.empty()) << r.error;
     // SMS finds the join's spatial structure
-    EXPECT_GT(results[0].metrics.l1Covered, 0u);
+    EXPECT_GT(results[0].metrics.l1Covered(), 0u);
 }
 
 TEST(SuiteExtension, GraphSurvivesMoreCpusThanVertices)
@@ -651,7 +669,59 @@ TEST(SuiteExtension, PacketRunsThroughTheEngine)
     for (const auto &r : results)
         ASSERT_TRUE(r.error.empty()) << r.error;
     // SMS finds the RX path's spatial structure
-    EXPECT_GT(results[0].metrics.l1Covered, 0u);
+    EXPECT_GT(results[0].metrics.l1Covered(), 0u);
+}
+
+TEST(SuiteExtension, LsmCompactRegisteredOutsidePaperSuite)
+{
+    EXPECT_NE(workloads::findWorkload("lsmcompact"), nullptr);
+    for (const auto &e : workloads::paperSuite())
+        EXPECT_NE(e.name, "lsmcompact");
+}
+
+TEST(SuiteExtension, LsmCompactGeneratesDeterministicStreams)
+{
+    workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 3000;
+    p.seed = 31;
+    auto w1 = workloads::findWorkload("lsmcompact")->make();
+    auto w2 = workloads::findWorkload("lsmcompact")->make();
+    auto s1 = w1->generateStreams(p);
+    auto s2 = w2->generateStreams(p);
+    ASSERT_EQ(s1.size(), 4u);
+    for (size_t c = 0; c < s1.size(); ++c) {
+        ASSERT_EQ(s1[c].size(), p.refsPerCpu);
+        EXPECT_TRUE(s1[c] == s2[c]);
+    }
+    // a different seed produces a different merge order
+    p.seed = 32;
+    auto s3 = w1->generateStreams(p);
+    EXPECT_FALSE(s1[0] == s3[0]);
+    // the compaction loop reads the sorted runs and writes both the
+    // write buffer and the shared manifest (kernel-side flushes)
+    bool stores = false, kernel = false, deps = false;
+    for (const auto &a : s1[0]) {
+        stores = stores || a.isWrite;
+        kernel = kernel || a.isKernel;
+        deps = deps || a.dep > 0;
+    }
+    EXPECT_TRUE(stores);
+    EXPECT_TRUE(kernel);
+    EXPECT_TRUE(deps);
+}
+
+TEST(SuiteExtension, LsmCompactRunsThroughTheEngine)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=lsmcompact", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.error.empty()) << r.error;
+    // SMS covers the sorted-run scans and buffered flushes
+    EXPECT_GT(results[0].metrics.l1Covered(), 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -667,13 +737,13 @@ TEST(TimingPipeline, EveryRegistryEngineReportsUipcAndSpeedup)
     ASSERT_EQ(results.size(), 5u);
     for (const auto &r : results) {
         ASSERT_TRUE(r.error.empty()) << r.error;
-        EXPECT_GT(r.metrics.uipc, 0.0) << r.cell.engine.kind;
-        EXPECT_GT(r.metrics.baselineUipc, 0.0) << r.cell.engine.kind;
-        EXPECT_GT(r.metrics.speedup, 0.0) << r.cell.engine.kind;
-        EXPECT_GT(r.metrics.timing.cycles, 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.uipc(), 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.baselineUipc(), 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.speedup(), 0.0) << r.cell.engine.kind;
+        EXPECT_GT(r.metrics.timing().cycles, 0.0) << r.cell.engine.kind;
         // baselines agree across engines: one memoized "none" pass
-        EXPECT_EQ(r.metrics.baselineUipc,
-                  results.back().metrics.uipc);
+        EXPECT_EQ(r.metrics.baselineUipc(),
+                  results.back().metrics.uipc());
     }
 }
 
@@ -694,12 +764,12 @@ TEST(TimingPipeline, GhbStrideTimingDeterministicAcrossThreadCounts)
     for (auto *rs : {&r1, &r4})
         for (auto &r : *rs) {
             ASSERT_TRUE(r.error.empty()) << r.error;
-            r.metrics.wallMs = 0;
+            r.metrics.setWallMs(0);
         }
     EXPECT_EQ(toJson(one, r1), toJson(one, r4));
     for (size_t i = 0; i < r1.size(); ++i) {
-        EXPECT_EQ(r1[i].metrics.uipc, r4[i].metrics.uipc);
-        EXPECT_GT(r1[i].metrics.uipc, 0.0);
+        EXPECT_EQ(r1[i].metrics.uipc(), r4[i].metrics.uipc());
+        EXPECT_GT(r1[i].metrics.uipc(), 0.0);
     }
 }
 
@@ -717,13 +787,13 @@ TEST(TimingPipeline, TimingMemoKeysOnEngineOptions)
     ASSERT_EQ(results.size(), 3u);
     for (const auto &r : results)
         ASSERT_TRUE(r.error.empty()) << r.error;
-    EXPECT_NE(results[0].metrics.uipc, results[1].metrics.uipc);
+    EXPECT_NE(results[0].metrics.uipc(), results[1].metrics.uipc());
     // ...while engines with identical configurations share one
     // memoized pass bit-exactly
-    EXPECT_EQ(results[1].metrics.uipc, results[2].metrics.uipc);
+    EXPECT_EQ(results[1].metrics.uipc(), results[2].metrics.uipc());
     // and every cell's baseline is the shared no-prefetch pass
-    EXPECT_EQ(results[0].metrics.baselineUipc,
-              results[1].metrics.baselineUipc);
+    EXPECT_EQ(results[0].metrics.baselineUipc(),
+              results[1].metrics.baselineUipc());
 }
 
 TEST(TimingPipeline, SmsThroughGenericSeamMatchesDirectController)
@@ -750,7 +820,7 @@ TEST(TimingPipeline, SmsThroughGenericSeamMatchesDirectController)
             return dep.get();
         });
 
-    const sim::TimingResult &cell = results[0].metrics.timing;
+    const sim::TimingResult &cell = results[0].metrics.timing();
     EXPECT_EQ(cell.cycles, direct.cycles);
     EXPECT_EQ(cell.userInstructions, direct.userInstructions);
     EXPECT_EQ(cell.breakdown.userBusy, direct.breakdown.userBusy);
@@ -758,7 +828,7 @@ TEST(TimingPipeline, SmsThroughGenericSeamMatchesDirectController)
     EXPECT_EQ(cell.breakdown.onChipRead, direct.breakdown.onChipRead);
     EXPECT_EQ(cell.breakdown.storeBuffer, direct.breakdown.storeBuffer);
     EXPECT_EQ(cell.breakdown.other, direct.breakdown.other);
-    EXPECT_EQ(results[0].metrics.uipc, direct.uipc());
+    EXPECT_EQ(results[0].metrics.uipc(), direct.uipc());
 }
 
 // ---------------------------------------------------------------------
@@ -787,10 +857,215 @@ TEST(Equivalence, PaperSuitePlusGraphJsonIdenticalAcrossThreadCounts)
     for (auto *rs : {&r1, &r4})
         for (auto &r : *rs) {
             ASSERT_TRUE(r.error.empty()) << r.error;
-            r.metrics.wallMs = 0;
+            r.metrics.setWallMs(0);
         }
     // spec.threads differs by construction; compare the cells array
     const std::string j1 = toJson(one, r1);
     const std::string j4 = toJson(one, r4);
     EXPECT_EQ(j1, j4);
+}
+
+// ---------------------------------------------------------------------
+// metrics schema
+// ---------------------------------------------------------------------
+
+TEST(MetricSchema, BuiltinFamiliesResolveAndAreUnique)
+{
+    const MetricSchema &s = MetricSchema::builtin();
+    ASSERT_GE(s.size(), 30u);
+    for (const auto &f : s.families()) {
+        ASSERT_EQ(&s.family(f.id), &f);
+        ASSERT_EQ(s.find(f.name), &f) << f.name;
+        if (f.kind == MetricKind::Ratio) {
+            ASSERT_TRUE(f.derive) << f.name;
+        }
+    }
+    EXPECT_EQ(s.find("no_such_family"), nullptr);
+    const metric::Builtin &M = metric::ids();
+    EXPECT_EQ(s.family(M.instructions).name, "instructions");
+    EXPECT_EQ(s.family(M.l1Density).kind, MetricKind::Histogram);
+    EXPECT_EQ(s.family(M.peakAccumOccupancy).agg, MetricAgg::Max);
+}
+
+TEST(MetricSchema, RejectsDuplicatesAndRatioWithoutDerive)
+{
+    MetricSchema s;
+    s.addCounter("a", MetricAgg::Sum, true, true, "");
+    EXPECT_THROW(s.addCounter("a", MetricAgg::Sum, true, true, ""),
+                 std::invalid_argument);
+    MetricFamily bad;
+    bad.name = "r";
+    bad.kind = MetricKind::Ratio;
+    EXPECT_THROW(s.add(std::move(bad)), std::invalid_argument);
+}
+
+TEST(MetricSet, AggregateFollowsFamilyRules)
+{
+    const metric::Builtin &M = metric::ids();
+    MetricSet a, b;
+    a.setU64(M.l1Covered, 10);
+    a.setU64(M.baselineL1ReadMisses, 100);
+    a.setU64(M.peakAccumOccupancy, 7);
+    a.setVec(M.l1Density, {1, 2, 3, 4, 5, 6, 7});
+    a.pfCounters = {{"triggers", 5}};
+    b.setU64(M.l1Covered, 30);
+    b.setU64(M.baselineL1ReadMisses, 100);
+    b.setU64(M.peakAccumOccupancy, 3);
+    b.setVec(M.l1Density, {10, 0, 0, 0, 0, 0, 0});
+    b.pfCounters = {{"triggers", 2}, {"pht_hits", 1}};
+
+    MetricSet agg;
+    agg.aggregate(a);
+    agg.aggregate(b);
+    EXPECT_EQ(agg.l1Covered(), 40u);                 // Sum
+    EXPECT_EQ(agg.baselineL1ReadMisses(), 200u);     // Sum
+    EXPECT_EQ(agg.peakAccumOccupancy(), 7u);         // Max
+    EXPECT_EQ(agg.l1Density(),
+              (std::vector<uint64_t>{11, 2, 3, 4, 5, 6, 7}));
+    // ratios derive from the folded operands, CoverageAgg-style
+    EXPECT_DOUBLE_EQ(agg.l1Coverage(), 40.0 / 200.0);
+    ASSERT_EQ(agg.pfCounters.size(), 2u);
+    EXPECT_EQ(agg.pfCounters[0], (std::pair<std::string, uint64_t>{
+                                     "triggers", 7}));
+    // families neither input produced stay absent
+    EXPECT_FALSE(agg.present(M.uipc));
+}
+
+TEST(MetricSet, RegisteredExtensionFamilyRidesEverySink)
+{
+    // the point of the API: one registration, no serializer edits
+    static const MetricId ext = MetricSchema::builtin().addCounter(
+        "test_extension_counter", MetricAgg::Sum, false, false,
+        "registered by the test suite");
+    CellResult r;
+    r.cell.id = 0;
+    r.metrics.setU64(ext, 1234);
+    // wire: encodes under its name, decodes into the same slot
+    const auto wire = dispatch::encodeResult(r);
+    EXPECT_NE(wire.find("\"test_extension_counter\":1234"),
+              std::string::npos);
+    const CellResult back =
+        dispatch::decodeResult(dispatch::parseJson(wire));
+    EXPECT_EQ(back.metrics.u64(ext), 1234u);
+    // JSON report: non-core families appear only when present
+    ExperimentSpec spec = parseSpec({"workloads=sparse"});
+    const std::string json = toJson(spec, {r});
+    EXPECT_EQ(json.find("test_extension_counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// density and trainer axes
+// ---------------------------------------------------------------------
+
+TEST(DensityAxis, CellsCarrySevenBucketHistograms)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=none", "density=2048",
+         "ncpu=4", "refs=2000"});
+    auto results = Runner(spec).run();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+    const MetricSet &m = results[0].metrics;
+    ASSERT_EQ(m.l1Density().size(), study::kDensityBuckets);
+    ASSERT_EQ(m.l2Density().size(), study::kDensityBuckets);
+    uint64_t total = 0;
+    for (uint64_t v : m.l1Density())
+        total += v;
+    EXPECT_GT(total, 0u);
+    // the histogram listener must not perturb the measured system
+    ExperimentSpec plain = parseSpec(
+        {"workloads=sparse", "prefetchers=none", "ncpu=4",
+         "refs=2000"});
+    auto base = Runner(plain).run();
+    ASSERT_TRUE(base[0].error.empty());
+    EXPECT_EQ(base[0].metrics.l1ReadMisses(), m.l1ReadMisses());
+    EXPECT_EQ(base[0].metrics.l2ReadMisses(), m.l2ReadMisses());
+    EXPECT_FALSE(base[0].metrics.present(metric::ids().l1Density));
+}
+
+TEST(DensityAxis, SweepsPerCellAndStaysDeterministic)
+{
+    std::vector<std::string> tokens{
+        "workloads=sparse", "prefetchers=none",
+        "sweep.density=512,2048", "ncpu=4", "refs=2000", "seed=5",
+        "threads=1"};
+    ExperimentSpec one = parseSpec(tokens);
+    tokens.back() = "threads=4";
+    ExperimentSpec four = parseSpec(tokens);
+    auto r1 = Runner(one).run();
+    auto r4 = Runner(four).run();
+    ASSERT_EQ(r1.size(), 2u);
+    EXPECT_EQ(r1[0].cell.densityRegion, 512u);
+    EXPECT_EQ(r1[1].cell.densityRegion, 2048u);
+    for (auto *rs : {&r1, &r4})
+        for (auto &r : *rs) {
+            ASSERT_TRUE(r.error.empty()) << r.error;
+            r.metrics.setWallMs(0);
+        }
+    EXPECT_EQ(toJson(one, r1), toJson(one, r4));
+    // coarser regions concentrate the same misses into fewer, denser
+    // generations — the histograms must differ
+    EXPECT_NE(r1[0].metrics.l1Density(), r1[1].metrics.l1Density());
+}
+
+TEST(TrainerAxis, SweepMatchesDirectL1StudyAndIsDeterministic)
+{
+    std::vector<std::string> tokens{
+        "mode=l1", "workloads=sparse,Apache", "prefetchers=sms",
+        "opt.pht-entries=0", "opt.agt-filter=0", "opt.agt-accum=0",
+        "sweep.trainer=ds,ls,agt", "ncpu=4", "refs=2000", "seed=5",
+        "threads=1"};
+    ExperimentSpec one = parseSpec(tokens);
+    tokens.back() = "threads=4";
+    ExperimentSpec four = parseSpec(tokens);
+    auto r1 = Runner(one).run();
+    auto r4 = Runner(four).run();
+    ASSERT_EQ(r1.size(), 6u);
+    for (auto *rs : {&r1, &r4})
+        for (auto &r : *rs) {
+            ASSERT_TRUE(r.error.empty()) << r.error;
+            r.metrics.setWallMs(0);
+        }
+    EXPECT_EQ(toJson(one, r1), toJson(one, r4));
+
+    // each trainer cell reproduces a hand-wired study::runL1Study
+    study::TraceCache traces;
+    workloads::WorkloadParams p;
+    p.ncpu = 4;
+    p.refsPerCpu = 2000;
+    p.seed = 5;
+    const study::TrainerKind kinds[] = {
+        study::TrainerKind::DecoupledSectored,
+        study::TrainerKind::LogicalSectored,
+        study::TrainerKind::AGT};
+    for (size_t i = 0; i < 3; ++i) {
+        study::L1StudyConfig cfg;
+        cfg.ncpu = p.ncpu;
+        cfg.trainer = kinds[i];
+        cfg.sms.pht.entries = 0;
+        cfg.sms.agt = {0, 0};
+        auto direct = study::runL1Study(traces.get("sparse", p), cfg);
+        EXPECT_EQ(r1[i].metrics.l1Covered(), direct.coveredReads)
+            << trainerName(kinds[i]);
+        EXPECT_EQ(r1[i].metrics.l1ReadMisses(), direct.readMisses);
+        EXPECT_EQ(r1[i].metrics.l1Overpred(), direct.overpredictions);
+    }
+    // the trainers genuinely differ on this workload
+    EXPECT_NE(r1[0].metrics.l1ReadMisses(),
+              r1[2].metrics.l1ReadMisses());
+}
+
+TEST(TrainerAxis, RejectedOutsideL1Mode)
+{
+    EXPECT_THROW(parseSpec({"workloads=sparse", "prefetchers=sms",
+                            "opt.trainer=ls"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"workloads=sparse", "prefetchers=sms",
+                            "sweep.trainer=ls,agt"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"mode=l1", "workloads=sparse",
+                            "prefetchers=sms", "density=2048"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parseSpec({"workloads=sparse", "density=100"}),
+                 std::invalid_argument);
 }

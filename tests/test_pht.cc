@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "core/pht.hh"
 
 using namespace stems::core;
@@ -135,3 +138,44 @@ TEST_P(PhtAssoc, SmallWorkingSetNeverEvicted)
 
 INSTANTIATE_TEST_SUITE_P(Assocs, PhtAssoc,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// ---------------------------------------------------------------------
+// SIMD set-scan probe
+// ---------------------------------------------------------------------
+
+/**
+ * The dispatching probe (AVX2 on capable hosts) must be bit-identical
+ * to the scalar reference across associativities, valid masks and
+ * duplicate tags — including picking the lowest matching way.
+ */
+TEST(PhtProbe, MatchesScalarOnRandomizedSets)
+{
+    std::mt19937_64 rng(0xC0FFEE);
+    for (int trial = 0; trial < 50000; ++trial) {
+        const uint32_t assoc = 1 + static_cast<uint32_t>(rng() % 32);
+        std::vector<uint64_t> tags(assoc);
+        std::vector<uint8_t> meta(assoc);
+        // tiny tag space forces frequent (and duplicate) matches
+        for (auto &t : tags)
+            t = rng() & 0x7;
+        for (auto &m : meta)
+            m = static_cast<uint8_t>(rng() & 0x8F);
+        const uint64_t probe = rng() & 0x7;
+        EXPECT_EQ(phtProbe(tags.data(), meta.data(), assoc, probe),
+                  phtProbeScalar(tags.data(), meta.data(), assoc,
+                                 probe))
+            << "assoc " << assoc << " trial " << trial;
+    }
+}
+
+/** Invalid ways whose stale tags equal the probe must not match. */
+TEST(PhtProbe, IgnoresInvalidWays)
+{
+    std::vector<uint64_t> tags{42, 42, 42, 42, 42, 42, 42, 42};
+    std::vector<uint8_t> meta(8, 0x00);  // all invalid
+    EXPECT_EQ(phtProbe(tags.data(), meta.data(), 8, 42), 8u);
+    meta[5] = 0x80;
+    EXPECT_EQ(phtProbe(tags.data(), meta.data(), 8, 42), 5u);
+    meta[2] = 0x80;  // lowest matching way wins
+    EXPECT_EQ(phtProbe(tags.data(), meta.data(), 8, 42), 2u);
+}
