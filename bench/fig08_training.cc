@@ -7,14 +7,15 @@
  *
  * Runs through the driver engine: one mode=l1 spec whose engines are
  * the three trainer= variants, executed in parallel by the sharded
- * runner; group bars fold cell MetricSets under the schema's
- * aggregation rules. Output is identical to the original hand-rolled
- * loop.
+ * runner; group bars come from the engine's own fold
+ * (driver::aggregateGroups). Output is identical to the original
+ * hand-rolled loop.
  */
 
 #include <map>
 
 #include "bench/bench_util.hh"
+#include "driver/report.hh"
 #include "driver/runner.hh"
 
 using namespace stems;
@@ -51,27 +52,27 @@ main()
         spec.engines.push_back(std::move(e));
     }
 
-    std::map<std::pair<std::string, std::string>, driver::MetricSet>
-        cells;
     driver::Runner runner(spec);
-    for (const auto &r : runner.run()) {
+    const auto results = runner.run();
+    for (const auto &r : results) {
         if (!r.error.empty()) {
             std::cerr << r.cell.workload << " "
                       << r.cell.engine.displayLabel()
                       << " failed: " << r.error << "\n";
             return 1;
         }
-        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
-            r.metrics;
     }
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        groups;
+    for (auto &g : driver::aggregateGroups(results))
+        groups[{g.group, g.engine.displayLabel()}] =
+            std::move(g.metrics);
 
     TablePrinter table({"Group", "Trainer", "Coverage", "Uncovered",
                         "Overpred"});
     for (const auto &group : groupNames()) {
         for (const auto &t : kinds) {
-            driver::MetricSet agg;
-            for (const auto &name : workloadsInGroup(group))
-                agg.aggregate(cells.at({name, t.name}));
+            const driver::MetricSet &agg = groups.at({group, t.name});
             table.addRow({group, t.name,
                           TablePrinter::pct(agg.l1Coverage()),
                           TablePrinter::pct(agg.l1Uncovered()),

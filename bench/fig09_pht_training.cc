@@ -7,14 +7,15 @@
  *
  * Runs through the driver engine: one mode=l1 spec whose engines are
  * the (PHT size x trainer) matrix, executed in parallel by the sharded
- * runner; group bars fold cell MetricSets under the schema's
- * aggregation rules. Output is identical to the original hand-rolled
- * loop.
+ * runner; group bars come from the engine's own fold
+ * (driver::aggregateGroups). Output is identical to the original
+ * hand-rolled loop.
  */
 
 #include <map>
 
 #include "bench/bench_util.hh"
+#include "driver/report.hh"
 #include "driver/runner.hh"
 
 using namespace stems;
@@ -51,30 +52,29 @@ main()
         }
     }
 
-    std::map<std::pair<std::string, std::string>, driver::MetricSet>
-        cells;
     driver::Runner runner(spec);
-    for (const auto &r : runner.run()) {
+    const auto results = runner.run();
+    for (const auto &r : results) {
         if (!r.error.empty()) {
             std::cerr << r.cell.workload << " "
                       << r.cell.engine.displayLabel()
                       << " failed: " << r.error << "\n";
             return 1;
         }
-        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
-            r.metrics;
     }
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        groups;
+    for (auto &g : driver::aggregateGroups(results))
+        groups[{g.group, g.engine.displayLabel()}] =
+            std::move(g.metrics);
 
     TablePrinter table({"Group", "PHT", "LS", "AGT"});
     for (const auto &group : groupNames()) {
         for (uint32_t size : sizes) {
             std::vector<std::string> row{group, size_name(size)};
             for (const char *trainer : trainers) {
-                driver::MetricSet agg;
-                const std::string label =
-                    size_name(size) + "/" + trainer;
-                for (const auto &name : workloadsInGroup(group))
-                    agg.aggregate(cells.at({name, label}));
+                const driver::MetricSet &agg = groups.at(
+                    {group, size_name(size) + "/" + trainer});
                 row.push_back(TablePrinter::pct(agg.l1Coverage()));
             }
             table.addRow(row);

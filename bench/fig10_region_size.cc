@@ -7,13 +7,14 @@
  *
  * Runs through the driver engine: one mode=l1 spec whose engines span
  * the region= axis, executed in parallel by the sharded runner; group
- * bars fold cell MetricSets under the schema's aggregation rules.
+ * bars come from the engine's own fold (driver::aggregateGroups).
  * Output is identical to the original hand-rolled loop.
  */
 
 #include <map>
 
 #include "bench/bench_util.hh"
+#include "driver/report.hh"
 #include "driver/runner.hh"
 
 using namespace stems;
@@ -44,29 +45,29 @@ main()
         spec.engines.push_back(std::move(e));
     }
 
-    std::map<std::pair<std::string, std::string>, driver::MetricSet>
-        cells;
     driver::Runner runner(spec);
-    for (const auto &r : runner.run()) {
+    const auto results = runner.run();
+    for (const auto &r : results) {
         if (!r.error.empty()) {
             std::cerr << r.cell.workload << " "
                       << r.cell.engine.displayLabel()
                       << " failed: " << r.error << "\n";
             return 1;
         }
-        cells[{r.cell.workload, r.cell.engine.displayLabel()}] =
-            r.metrics;
     }
+    std::map<std::pair<std::string, std::string>, driver::MetricSet>
+        groups;
+    for (auto &g : driver::aggregateGroups(results))
+        groups[{g.group, g.engine.displayLabel()}] =
+            std::move(g.metrics);
 
     TablePrinter table({"Region", "OLTP", "DSS", "Web", "Scientific"});
     for (uint32_t size : sizes) {
         std::vector<std::string> row{std::to_string(size) + "B"};
-        for (const auto &group : groupNames()) {
-            driver::MetricSet agg;
-            for (const auto &name : workloadsInGroup(group))
-                agg.aggregate(cells.at({name, std::to_string(size)}));
-            row.push_back(TablePrinter::pct(agg.l1Coverage()));
-        }
+        for (const auto &group : groupNames())
+            row.push_back(TablePrinter::pct(
+                groups.at({group, std::to_string(size)})
+                    .l1Coverage()));
         table.addRow(row);
     }
     table.print();

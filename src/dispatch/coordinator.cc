@@ -1,5 +1,6 @@
 #include "dispatch/coordinator.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -13,7 +14,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <sstream>
+
 #include "dispatch/wire.hh"
+#include "obs/counters.hh"
+#include "obs/obs.hh"
+#include "study/table.hh"
 
 namespace stems::dispatch {
 
@@ -116,6 +122,8 @@ struct Coordinator::Worker
     bool ready = false;     //!< handshake complete, can take cells
     int cell = -1;          //!< index into cells_ (-1 = idle)
     Clock::time_point deadline{};  //!< valid when cell != -1
+    uint64_t assignedAtNs = 0;     //!< round-trip start (monotonic)
+    int stats = -1;         //!< index into workerStats_ (-1 = none)
 };
 
 Coordinator::Coordinator(const driver::ExperimentSpec &spec,
@@ -164,8 +172,11 @@ std::vector<CellResult>
 Coordinator::run(const ProgressFn &progress)
 {
     std::vector<CellResult> results(cells_.size());
+    workerStats_.clear();
+    wallMs_ = 0;
     if (cells_.empty())
         return results;
+    const auto runStart = Clock::now();
 
     // a worker dying mid-write must surface as EPIPE, not SIGPIPE
     std::signal(SIGPIPE, SIG_IGN);
@@ -173,6 +184,7 @@ Coordinator::run(const ProgressFn &progress)
     WorkerInit init;
     init.traceDir = spec.traceDir;
     init.oracleRegionSizes = spec.oracleRegionSizes;
+    init.trace = cfg.trace;
     const std::string initFrame = encodeInit(init);
 
     std::deque<int> pending;  //!< cell indices awaiting a worker
@@ -216,6 +228,11 @@ Coordinator::run(const ProgressFn &progress)
     // through the cell-error path
     auto workerLost = [&](Worker &w, const std::string &reason) {
         const int cell = w.cell;
+        obs::instant("worker_lost",
+                     {{"pid", std::to_string(w.proc.pid)},
+                      {"reason", reason}});
+        if (w.stats >= 0)
+            ++workerStats_[w.stats].lost;
         w.cell = -1;
         reap(w);
         if (cell < 0)
@@ -225,6 +242,10 @@ Coordinator::run(const ProgressFn &progress)
             failCell(cell, reason);
         } else {
             pending.push_front(cell);  // retry promptly, other worker
+            obs::count(&obs::Counters::cellsRequeued);
+            obs::instant("cell_requeued",
+                         {{"cell",
+                           std::to_string(cells_[cell].id)}});
         }
     };
 
@@ -243,6 +264,12 @@ Coordinator::run(const ProgressFn &progress)
         w.ready = false;
         w.cell = -1;
         w.decoder = FrameDecoder();
+        WorkerStats stats;
+        stats.pid = w.proc.pid;
+        w.stats = static_cast<int>(workerStats_.size());
+        workerStats_.push_back(std::move(stats));
+        obs::instant("worker_spawn",
+                     {{"pid", std::to_string(w.proc.pid)}});
         if (!writeFrame(w.proc.toWorker, initFrame)) {
             reap(w);
             return false;
@@ -256,12 +283,21 @@ Coordinator::run(const ProgressFn &progress)
         const int cell = pending.front();
         pending.pop_front();
         ++attempts[cell];
+        if (attempts[cell] > 1)
+            obs::count(&obs::Counters::dispatchRetries);
         w.cell = cell;
+        w.assignedAtNs = obs::monotonicNs();
         if (cfg.timeoutMs > 0)
             w.deadline = Clock::now() +
                 std::chrono::milliseconds(cfg.timeoutMs);
-        if (!writeFrame(w.proc.toWorker,
-                        encodeCellJob(cells_[cell])))
+        std::string job;
+        {
+            obs::Span span("encode_cell",
+                           {{"cell",
+                             std::to_string(cells_[cell].id)}});
+            job = encodeCellJob(cells_[cell]);
+        }
+        if (!writeFrame(w.proc.toWorker, job))
             workerLost(w, "worker rejected cell " +
                               std::to_string(cells_[cell].id));
     };
@@ -278,7 +314,11 @@ Coordinator::run(const ProgressFn &progress)
                 if (type == "ready") {
                     w.ready = true;
                 } else if (type == "result") {
-                    CellResult wire = decodeResult(msg);
+                    CellResult wire;
+                    {
+                        obs::Span span("decode_result");
+                        wire = decodeResult(msg);
+                    }
                     const int cell = w.cell;
                     if (cell < 0 ||
                         wire.cell.id != cells_[cell].id) {
@@ -291,6 +331,58 @@ Coordinator::run(const ProgressFn &progress)
                     results[cell].cell = cells_[cell];
                     results[cell].metrics = std::move(wire.metrics);
                     results[cell].error = std::move(wire.error);
+
+                    // fold the v4 telemetry sidecar into this
+                    // incarnation's health stats and merge any worker
+                    // spans (re-tagged with the worker pid) into the
+                    // coordinator's trace timeline
+                    const double rtMs =
+                        static_cast<double>(obs::monotonicNs() -
+                                            w.assignedAtNs) /
+                        1e6;
+                    if (w.stats >= 0) {
+                        WorkerStats &ws = workerStats_[w.stats];
+                        ++ws.cellsDone;
+                        ws.busyMs += rtMs;
+                        for (const auto &[name, ms] :
+                             wire.telemetry.phases) {
+                            auto it = std::find_if(
+                                ws.phaseMs.begin(), ws.phaseMs.end(),
+                                [&](const auto &p) {
+                                    return p.first == name;
+                                });
+                            if (it == ws.phaseMs.end())
+                                ws.phaseMs.emplace_back(name, ms);
+                            else
+                                it->second += ms;
+                        }
+                        if (!wire.telemetry.counters.empty())
+                            ws.counters = wire.telemetry.counters;
+                        ws.rssKb =
+                            std::max(ws.rssKb, wire.telemetry.rssKb);
+                    }
+                    obs::Recorder &rec = obs::Recorder::get();
+                    if (rec.enabled()) {
+                        obs::Event e;
+                        e.name = "dispatch_cell";
+                        e.tsNs = w.assignedAtNs;
+                        e.durNs = obs::monotonicNs() - w.assignedAtNs;
+                        e.args.emplace_back(
+                            "cell", std::to_string(cells_[cell].id));
+                        e.args.emplace_back(
+                            "pid", std::to_string(w.proc.pid));
+                        rec.record(std::move(e));
+                        if (!wire.telemetry.spans.empty()) {
+                            for (auto &s : wire.telemetry.spans)
+                                s.pid = w.proc.pid;
+                            rec.ingest(
+                                std::move(wire.telemetry.spans));
+                            wire.telemetry.spans.clear();
+                        }
+                    }
+                    results[cell].telemetry =
+                        std::move(wire.telemetry);
+
                     w.cell = -1;
                     ++done;
                     if (progress)
@@ -318,8 +410,8 @@ Coordinator::run(const ProgressFn &progress)
         // shutdown and waste respawn budget
         size_t alive = 0;
         for (auto &w : pool) {
-            if (!w.alive && !pending.empty())
-                trySpawn(w);
+            if (!w.alive && !pending.empty() && trySpawn(w))
+                obs::count(&obs::Counters::workerRespawns);
             if (w.alive) {
                 ++alive;
                 assign(w);
@@ -381,6 +473,8 @@ Coordinator::run(const ProgressFn &progress)
             const ssize_t r =
                 ::read(w.proc.fromWorker, chunk, sizeof(chunk));
             if (r > 0) {
+                obs::count(&obs::Counters::wireBytesReceived,
+                           static_cast<uint64_t>(r));
                 w.decoder.feed(chunk, static_cast<size_t>(r));
                 handleFrames(w);
             } else if (r == 0 || errno != EINTR) {
@@ -405,19 +499,68 @@ Coordinator::run(const ProgressFn &progress)
             writeFrame(w.proc.toWorker, encodeShutdown());
         reap(w);
     }
+    wallMs_ = std::chrono::duration<double, std::milli>(
+                  Clock::now() - runStart)
+                  .count();
     return results;
+}
+
+std::string
+workerSummary(const std::vector<WorkerStats> &stats, double wallMs)
+{
+    study::TablePrinter t({"Worker", "Cells", "Busy ms", "Util",
+                           "Trace ms", "Study ms", "Timing ms",
+                           "RSS MB", "Lost"});
+    auto phaseTotal = [](const WorkerStats &ws, const char *a,
+                         const char *b) {
+        double ms = 0;
+        for (const auto &[name, v] : ws.phaseMs)
+            if (name == a || (b && name == b))
+                ms += v;
+        return ms;
+    };
+    for (const auto &ws : stats) {
+        const double util = wallMs > 0 ? ws.busyMs / wallMs : 0;
+        t.addRow({std::to_string(ws.pid),
+                  std::to_string(ws.cellsDone),
+                  study::TablePrinter::fixed(ws.busyMs, 1),
+                  study::TablePrinter::pct(util),
+                  study::TablePrinter::fixed(
+                      phaseTotal(ws, "trace", nullptr), 1),
+                  study::TablePrinter::fixed(
+                      phaseTotal(ws, "system_study", "l1_study") +
+                          phaseTotal(ws, "baseline", nullptr),
+                      1),
+                  study::TablePrinter::fixed(
+                      phaseTotal(ws, "timing", nullptr), 1),
+                  study::TablePrinter::fixed(
+                      static_cast<double>(ws.rssKb) / 1024.0, 1),
+                  std::to_string(ws.lost)});
+    }
+    std::ostringstream os;
+    os << "stems dispatch: worker summary (wall "
+       << study::TablePrinter::fixed(wallMs, 1) << " ms)\n";
+    t.print(os);
+    return os.str();
 }
 
 std::vector<CellResult>
 runDispatched(const driver::ExperimentSpec &spec,
-              const ProgressFn &progress)
+              const ProgressFn &progress,
+              std::vector<WorkerStats> *statsOut, double *wallMsOut)
 {
     DispatchConfig cfg;
     cfg.workers = spec.dispatch ? spec.dispatch : 1;
     cfg.timeoutMs = spec.dispatchTimeoutMs;
     cfg.maxAttempts = spec.dispatchRetries;
+    cfg.trace = !spec.traceOut.empty();
     Coordinator coord(spec, cfg);
-    return coord.run(progress);
+    auto results = coord.run(progress);
+    if (statsOut)
+        *statsOut = coord.workerStats();
+    if (wallMsOut)
+        *wallMsOut = coord.wallMs();
+    return results;
 }
 
 } // namespace stems::dispatch

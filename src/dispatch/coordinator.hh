@@ -72,7 +72,34 @@ struct DispatchConfig
     uint32_t timeoutMs = 0;     //!< per-cell timeout (0 = none)
     uint32_t maxAttempts = 3;   //!< per-cell tries before giving up
     std::string workerExe;      //!< "" = this binary (/proc/self/exe)
+    bool trace = false;         //!< workers record + ship spans (v4)
 };
+
+/**
+ * Health telemetry for one worker incarnation (one spawned process;
+ * a respawned slot appends a fresh entry). busyMs is measured on the
+ * coordinator side — assignment to result, wire time included — so
+ * stragglers show up even when a worker's own clocks look healthy.
+ */
+struct WorkerStats
+{
+    pid_t pid = -1;
+    uint64_t cellsDone = 0;
+    uint64_t lost = 0;      //!< crash/timeout/protocol events
+    double busyMs = 0;      //!< total assign→result round-trip
+    /** Phase wall-ms totals folded from per-cell worker telemetry. */
+    std::vector<std::pair<std::string, double>> phaseMs;
+    /** Latest worker counter snapshot (v4 results only). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    uint64_t rssKb = 0;     //!< worker peak RSS high-water mark
+};
+
+/**
+ * The per-worker utilization/straggler summary as an ASCII table.
+ * @param wallMs the dispatch run's wall time (utilization denominator)
+ */
+std::string workerSummary(const std::vector<WorkerStats> &stats,
+                          double wallMs);
 
 /** Multi-process analogue of driver::Runner. */
 class Coordinator
@@ -96,6 +123,15 @@ class Coordinator
 
     const std::vector<driver::RunCell> &cells() const { return cells_; }
 
+    /** Per-incarnation worker health stats from the last run(). */
+    const std::vector<WorkerStats> &workerStats() const
+    {
+        return workerStats_;
+    }
+
+    /** Wall time of the last run() in ms. */
+    double wallMs() const { return wallMs_; }
+
   private:
     struct Worker;
 
@@ -104,6 +140,8 @@ class Coordinator
     std::unique_ptr<Transport> transport;
     std::vector<driver::RunCell> cells_;
     std::string ownedTraceDir;  //!< temp spill dir we created (cleaned)
+    std::vector<WorkerStats> workerStats_;
+    double wallMs_ = 0;
 };
 
 /** This binary's path (for spawning `stems worker` from itself). */
@@ -112,10 +150,14 @@ std::string selfExePath();
 /**
  * Convenience wrapper for the CLI: dispatch @p spec across
  * spec.dispatch local workers with the spec's timeout/retry policy.
+ * When @p statsOut is non-null it receives the per-worker health
+ * stats (and the run's wall ms in the paired double).
  */
 std::vector<driver::CellResult>
 runDispatched(const driver::ExperimentSpec &spec,
-              const driver::ProgressFn &progress = {});
+              const driver::ProgressFn &progress = {},
+              std::vector<WorkerStats> *statsOut = nullptr,
+              double *wallMsOut = nullptr);
 
 } // namespace stems::dispatch
 

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "driver/report.hh"
+#include "obs/counters.hh"
 
 namespace stems::dispatch {
 
@@ -103,6 +104,88 @@ writeTimingResult(JsonWriter &j, const sim::TimingResult &t)
     j.endArray();
 }
 
+/**
+ * The v4 result telemetry sidecar: phase wall times (hexfloat ms),
+ * a worker counter snapshot, peak RSS, and the worker's buffered
+ * spans as [name, ph, ts_ns, dur_ns, tid, {args}] tuples.
+ */
+void
+writeTelemetry(JsonWriter &j, const obs::CellTelemetry &t)
+{
+    j.beginObject();
+    j.key("phases").beginArray();
+    for (const auto &[name, ms] : t.phases) {
+        j.beginArray();
+        j.value(name);
+        j.value(hexDouble(ms));
+        j.endArray();
+    }
+    j.endArray();
+    j.key("counters").beginArray();
+    for (const auto &[name, count] : t.counters) {
+        j.beginArray();
+        j.value(name);
+        j.value(count);
+        j.endArray();
+    }
+    j.endArray();
+    j.key("rss_kb").value(t.rssKb);
+    j.key("spans").beginArray();
+    for (const auto &e : t.spans) {
+        j.beginArray();
+        j.value(e.name);
+        j.value(std::string(1, e.phase));
+        j.value(e.tsNs);
+        j.value(e.durNs);
+        j.value(uint64_t{e.tid});
+        j.beginObject();
+        for (const auto &[k, v] : e.args)
+            j.key(k).value(v);
+        j.endObject();
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+obs::CellTelemetry
+readTelemetry(const JsonValue &v)
+{
+    obs::CellTelemetry t;
+    if (const JsonValue *phases = v.find("phases"))
+        for (const auto &pair : phases->items) {
+            if (pair.items.size() != 2)
+                throw std::invalid_argument("wire: bad phase pair");
+            t.phases.emplace_back(pair.items[0].asString(),
+                                  pair.items[1].asDouble());
+        }
+    if (const JsonValue *counters = v.find("counters"))
+        for (const auto &pair : counters->items) {
+            if (pair.items.size() != 2)
+                throw std::invalid_argument("wire: bad counter pair");
+            t.counters.emplace_back(pair.items[0].asString(),
+                                    pair.items[1].asU64());
+        }
+    if (const JsonValue *rss = v.find("rss_kb"))
+        t.rssKb = rss->asU64();
+    if (const JsonValue *spans = v.find("spans"))
+        for (const auto &tuple : spans->items) {
+            if (tuple.items.size() != 6 ||
+                tuple.items[1].asString().size() != 1)
+                throw std::invalid_argument("wire: bad span tuple");
+            obs::Event e;
+            e.name = tuple.items[0].asString();
+            e.phase = tuple.items[1].asString()[0];
+            e.tsNs = tuple.items[2].asU64();
+            e.durNs = tuple.items[3].asU64();
+            e.tid = static_cast<uint32_t>(tuple.items[4].asU64());
+            for (const auto &[k, val] : tuple.items[5].members)
+                e.args.emplace_back(k, val.asString());
+            t.spans.push_back(std::move(e));
+        }
+    return t;
+}
+
 sim::TimingResult
 readTimingResult(const JsonValue &v)
 {
@@ -141,6 +224,7 @@ encodeInit(const WorkerInit &init)
     for (uint32_t s : init.oracleRegionSizes)
         j.value(uint64_t{s});
     j.endArray();
+    j.key("trace").value(init.trace);
     j.endObject();
     return j.str();
 }
@@ -159,6 +243,9 @@ decodeInit(const JsonValue &msg)
     for (const auto &s : msg.at("oracle_regions").items)
         init.oracleRegionSizes.push_back(
             static_cast<uint32_t>(s.asU64()));
+    // v4 observability field; optional so readers stay tolerant
+    if (const JsonValue *trace = msg.find("trace"))
+        init.trace = trace->asBool();
     return init;
 }
 
@@ -281,6 +368,8 @@ encodeResult(const driver::CellResult &result)
         j.endArray();
     }
     j.endArray();
+    j.key("telemetry");
+    writeTelemetry(j, result.telemetry);
     j.endObject();
     return j.str();
 }
@@ -323,6 +412,9 @@ decodeResult(const JsonValue &msg)
         d.pfCounters.emplace_back(pair.items[0].asString(),
                                   pair.items[1].asU64());
     }
+    // v4 observability field; optional so readers stay tolerant
+    if (const JsonValue *t = msg.find("telemetry"))
+        out.telemetry = readTelemetry(*t);
     return out;
 }
 
@@ -389,6 +481,7 @@ writeFrame(int fd, const std::string &payload)
         }
         off += static_cast<size_t>(n);
     }
+    obs::count(&obs::Counters::wireBytesSent, frame.size());
     return true;
 }
 
@@ -407,6 +500,8 @@ readFrame(int fd, FrameDecoder &decoder, std::string &out)
                 continue;
             return false;
         }
+        obs::count(&obs::Counters::wireBytesReceived,
+                   static_cast<uint64_t>(n));
         decoder.feed(chunk, static_cast<size_t>(n));
     }
 }

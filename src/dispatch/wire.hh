@@ -16,6 +16,14 @@
  * values survive the round trip bit-exactly — the merged report must
  * be byte-identical to a single-process run.
  *
+ * Since protocol v4, messages carry optional observability fields,
+ * all read tolerantly (JsonValue::find), so readers ignore what they
+ * don't know: init gains "trace" (enable the worker's span recorder)
+ * and result gains "telemetry" — the worker's per-cell phase wall
+ * times, a process counter snapshot, peak RSS, and (when tracing)
+ * its buffered spans, which the coordinator re-tags with the worker
+ * pid and merges into one machine-wide trace timeline.
+ *
  * Since protocol v3, result metrics are schema-driven: the encoder
  * iterates the MetricSchema and writes every present family under its
  * canonical name with a kind-appropriate encoding (counters as
@@ -39,7 +47,7 @@
 namespace stems::dispatch {
 
 /** Wire protocol version; bumped on incompatible message changes. */
-constexpr uint32_t kProtocolVersion = 3;
+constexpr uint32_t kProtocolVersion = 4;
 
 /** Spec-global settings shipped to a worker before any cells. */
 struct WorkerInit
@@ -47,6 +55,7 @@ struct WorkerInit
     uint32_t protocol = kProtocolVersion;
     std::string traceDir;  //!< shared .stmt spill dir ("" = live gen)
     std::vector<uint32_t> oracleRegionSizes;
+    bool trace = false;    //!< enable the worker's span recorder (v4)
 };
 
 // message payloads (each is one self-contained JSON document)

@@ -13,6 +13,8 @@
 
 #include "dispatch/wire.hh"
 #include "driver/executor.hh"
+#include "obs/counters.hh"
+#include "obs/obs.hh"
 
 namespace stems::dispatch {
 
@@ -112,6 +114,10 @@ runWorker(int inFd, int outFd)
         cfg.traceDir = init.traceDir;
         cfg.oracleRegionSizes = init.oracleRegionSizes;
         executor = std::make_unique<driver::CellExecutor>(cfg);
+        if (init.trace) {
+            obs::Recorder::get().enable();
+            obs::setThreadName("worker");
+        }
     } catch (const std::exception &e) {
         std::cerr << "stems worker: bad init: " << e.what() << "\n";
         return 2;
@@ -132,7 +138,20 @@ runWorker(int inFd, int outFd)
             }
             const driver::RunCell cell = decodeCellJob(msg);
             applyTestHooks(cell.id);
-            const driver::CellResult result = executor->execute(cell);
+            driver::CellResult result;
+            {
+                obs::Span span("worker_cell",
+                               {{"cell", std::to_string(cell.id)},
+                                {"workload", cell.workload}});
+                result = executor->execute(cell);
+            }
+            // the v4 telemetry sidecar: this process's counter
+            // snapshot + peak RSS, and (when tracing) the spans
+            // buffered since the last result
+            result.telemetry.counters = obs::snapshotCounters();
+            result.telemetry.rssKb = obs::peakRssKb();
+            if (obs::Recorder::get().enabled())
+                result.telemetry.spans = obs::Recorder::get().drain();
             if (!writeFrame(outFd, encodeResult(result)))
                 return 0;  // coordinator went away
         } catch (const std::exception &e) {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "driver/registry.hh"
+#include "obs/counters.hh"
+#include "obs/obs.hh"
 #include "sim/timing.hh"
 #include "study/l1study.hh"
 #include "study/memstudy.hh"
@@ -162,7 +164,10 @@ CellExecutor::baseline(const RunCell &cell)
         std::lock_guard<std::mutex> lock(memoMu);
         slot = &baselines[baselineKey(cell)];
     }
+    bool ran = false;
     std::call_once(slot->once, [&] {
+        ran = true;
+        obs::Span span("baseline_pass", {{"workload", cell.workload}});
         if (cell.mode == StudyMode::System) {
             study::SystemStudyConfig scfg;
             scfg.sys = cell.sys;
@@ -193,6 +198,10 @@ CellExecutor::baseline(const RunCell &cell)
             slot->l1ReadMisses = r.readMisses;
         }
     });
+    // `ran` is true exactly once per memo slot regardless of thread
+    // count, so hit/miss totals are deterministic 1-vs-N threads
+    obs::count(ran ? &obs::Counters::baselineMemoMisses
+                   : &obs::Counters::baselineMemoHits);
     return *slot;
 }
 
@@ -210,7 +219,11 @@ CellExecutor::timingRun(const RunCell &cell, const EngineConfig &engine)
         std::lock_guard<std::mutex> lock(memoMu);
         slot = &timingRuns[timingKey(cell, engine)];
     }
+    bool ran = false;
     std::call_once(slot->once, [&] {
+        ran = true;
+        obs::Span span("timing_pass", {{"workload", cell.workload},
+                                       {"engine", engine.kind}});
         sim::TimingConfig tc;
         tc.sys = cell.sys;
         // every engine — "none" included — attaches through the
@@ -221,6 +234,8 @@ CellExecutor::timingRun(const RunCell &cell, const EngineConfig &engine)
                            registryAttach(engine.kind, dep,
                                           engine.options));
     });
+    obs::count(ran ? &obs::Counters::timingMemoMisses
+                   : &obs::Counters::timingMemoHits);
     return slot->result;
 }
 
@@ -238,83 +253,111 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
             "trainer= selects an L1-mode training structure "
             "(requires mode=l1)");
 
+    // each phase gets a trace span and a named wall-time entry in the
+    // result's telemetry sidecar (dispatch workers ship these back for
+    // the coordinator's straggler table)
+    auto phase = [&](const char *name, auto &&body) {
+        obs::Span span(name, {{"workload", cell.workload},
+                              {"engine", cell.engine.kind}});
+        const auto p0 = std::chrono::steady_clock::now();
+        body();
+        out.telemetry.phases.emplace_back(name, msSince(p0));
+    };
+
+    // warm the trace cache up front so generation/replay cost is
+    // attributed to the trace phase, not whichever study ran first
+    phase("trace", [&] {
+        if (cell.mode == StudyMode::L1)
+            traces.get(cell.workload, cell.params);
+        else
+            streams(cell);
+    });
+
     if (!cell.timingOnly) {
+        const BaselineSlot *base = nullptr;
+        phase("baseline", [&] { base = &baseline(cell); });
+
         if (cell.engine.kind == "none") {
             // a "none" cell IS the baseline run — reuse the memoized pass
-            const BaselineSlot &base = baseline(cell);
-            m.setU64(M.instructions, base.instructions);
-            m.setU64(M.l1ReadMisses, base.l1ReadMisses);
-            m.setU64(M.l2ReadMisses, base.l2ReadMisses);
-            m.setU64(M.falseSharing, base.falseSharing);
-            m.setVec(M.oracleL1Gens, base.oracleL1Gens);
-            m.setVec(M.oracleL2Gens, base.oracleL2Gens);
+            m.setU64(M.instructions, base->instructions);
+            m.setU64(M.l1ReadMisses, base->l1ReadMisses);
+            m.setU64(M.l2ReadMisses, base->l2ReadMisses);
+            m.setU64(M.falseSharing, base->falseSharing);
+            m.setVec(M.oracleL1Gens, base->oracleL1Gens);
+            m.setVec(M.oracleL2Gens, base->oracleL2Gens);
             if (densityRegionFor(cell)) {
-                m.setVec(M.l1Density, histVec(base.l1Density));
-                m.setVec(M.l2Density, histVec(base.l2Density));
+                m.setVec(M.l1Density, histVec(base->l1Density));
+                m.setVec(M.l2Density, histVec(base->l2Density));
             }
         } else if (cell.mode == StudyMode::System) {
-            study::SystemStudyConfig scfg;
-            scfg.sys = cell.sys;
-            scfg.oracleRegionSizes =
-                oracleSizesFor(cfg.oracleRegionSizes, cell);
-            if (const uint32_t region = densityRegionFor(cell)) {
-                scfg.trackDensity = true;
-                scfg.densityRegionSize = region;
-            }
-            std::unique_ptr<PrefetcherDeployment> dep;
-            auto r = study::runSystem(
-                streams(cell), scfg, cell.params.seed,
-                registryAttach(cell.engine.kind, dep,
-                               cell.engine.options));
-            m.setU64(M.instructions, r.instructions);
-            m.setU64(M.l1ReadMisses, r.l1ReadMisses);
-            m.setU64(M.l2ReadMisses, r.l2ReadMisses);
-            m.setU64(M.l1Covered, r.l1Covered);
-            m.setU64(M.l2Covered, r.l2Covered);
-            m.setU64(M.l1Overpred, r.l1Overpred);
-            m.setU64(M.l2Overpred, r.l2Overpred);
-            m.setU64(M.falseSharing, r.falseSharing);
-            m.setVec(M.oracleL1Gens, r.oracleL1Gens);
-            m.setVec(M.oracleL2Gens, r.oracleL2Gens);
-            if (scfg.trackDensity) {
-                m.setVec(M.l1Density, histVec(r.l1Density));
-                m.setVec(M.l2Density, histVec(r.l2Density));
-            }
-            if (dep)
-                m.pfCounters = dep->counters();
+            phase("system_study", [&] {
+                study::SystemStudyConfig scfg;
+                scfg.sys = cell.sys;
+                scfg.oracleRegionSizes =
+                    oracleSizesFor(cfg.oracleRegionSizes, cell);
+                if (const uint32_t region = densityRegionFor(cell)) {
+                    scfg.trackDensity = true;
+                    scfg.densityRegionSize = region;
+                }
+                std::unique_ptr<PrefetcherDeployment> dep;
+                auto r = study::runSystem(
+                    streams(cell), scfg, cell.params.seed,
+                    registryAttach(cell.engine.kind, dep,
+                                   cell.engine.options));
+                m.setU64(M.instructions, r.instructions);
+                m.setU64(M.l1ReadMisses, r.l1ReadMisses);
+                m.setU64(M.l2ReadMisses, r.l2ReadMisses);
+                m.setU64(M.l1Covered, r.l1Covered);
+                m.setU64(M.l2Covered, r.l2Covered);
+                m.setU64(M.l1Overpred, r.l1Overpred);
+                m.setU64(M.l2Overpred, r.l2Overpred);
+                m.setU64(M.falseSharing, r.falseSharing);
+                m.setVec(M.oracleL1Gens, r.oracleL1Gens);
+                m.setVec(M.oracleL2Gens, r.oracleL2Gens);
+                if (scfg.trackDensity) {
+                    m.setVec(M.l1Density, histVec(r.l1Density));
+                    m.setVec(M.l2Density, histVec(r.l2Density));
+                }
+                if (dep)
+                    m.pfCounters = dep->counters();
+            });
         } else {
-            auto r = study::runL1Study(
-                traces.get(cell.workload, cell.params),
-                l1ConfigFor(cell));
-            m.setU64(M.instructions, r.instructions);
-            m.setU64(M.l1ReadMisses, r.readMisses);
-            m.setU64(M.l1Covered, r.coveredReads);
-            m.setU64(M.l1Overpred, r.overpredictions);
-            m.setU64(M.peakAccumOccupancy, r.peakAccumOccupancy);
-            m.setU64(M.peakFilterOccupancy, r.peakFilterOccupancy);
+            phase("l1_study", [&] {
+                auto r = study::runL1Study(
+                    traces.get(cell.workload, cell.params),
+                    l1ConfigFor(cell));
+                m.setU64(M.instructions, r.instructions);
+                m.setU64(M.l1ReadMisses, r.readMisses);
+                m.setU64(M.l1Covered, r.coveredReads);
+                m.setU64(M.l1Overpred, r.overpredictions);
+                m.setU64(M.peakAccumOccupancy, r.peakAccumOccupancy);
+                m.setU64(M.peakFilterOccupancy, r.peakFilterOccupancy);
+            });
         }
 
-        const BaselineSlot &base = baseline(cell);
-        m.setU64(M.baselineL1ReadMisses, base.l1ReadMisses);
-        m.setU64(M.baselineL2ReadMisses, base.l2ReadMisses);
+        m.setU64(M.baselineL1ReadMisses, base->l1ReadMisses);
+        m.setU64(M.baselineL2ReadMisses, base->l2ReadMisses);
     }
 
     if (cell.timing) {
-        // the engine-agnostic timing pipeline: the baseline is just
-        // the "none" engine's memoized pass, and every registry
-        // prefetcher runs through the same attach seam
-        EngineConfig none;
-        const sim::TimingResult &baseTiming = timingRun(cell, none);
-        m.setTimingResult(M.baselineTiming, baseTiming);
-        m.setValue(M.baselineUipc, baseTiming.uipc());
-        const sim::TimingResult &engineTiming =
-            cell.engine.kind == "none" ? baseTiming
-                                       : timingRun(cell, cell.engine);
-        m.setTimingResult(M.timing, engineTiming);
-        m.setValue(M.uipc, engineTiming.uipc());
-        if (baseTiming.uipc() > 0 && engineTiming.uipc() > 0)
-            m.setValue(M.speedup,
-                       engineTiming.uipc() / baseTiming.uipc());
+        phase("timing", [&] {
+            // the engine-agnostic timing pipeline: the baseline is just
+            // the "none" engine's memoized pass, and every registry
+            // prefetcher runs through the same attach seam
+            EngineConfig none;
+            const sim::TimingResult &baseTiming = timingRun(cell, none);
+            m.setTimingResult(M.baselineTiming, baseTiming);
+            m.setValue(M.baselineUipc, baseTiming.uipc());
+            const sim::TimingResult &engineTiming =
+                cell.engine.kind == "none"
+                    ? baseTiming
+                    : timingRun(cell, cell.engine);
+            m.setTimingResult(M.timing, engineTiming);
+            m.setValue(M.uipc, engineTiming.uipc());
+            if (baseTiming.uipc() > 0 && engineTiming.uipc() > 0)
+                m.setValue(M.speedup,
+                           engineTiming.uipc() / baseTiming.uipc());
+        });
     }
 
     m.setWallMs(msSince(t0));
@@ -333,6 +376,7 @@ CellResult
 CellExecutor::execute(const RunCell &cell)
 {
     CellResult out;
+    obs::count(&obs::Counters::cellsExecuted);
     try {
         runCell(cell, out);
     } catch (const std::exception &e) {

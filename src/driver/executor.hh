@@ -26,6 +26,7 @@
 
 #include "driver/metrics.hh"
 #include "driver/spec.hh"
+#include "obs/obs.hh"
 #include "sim/timing.hh"
 #include "study/density.hh"
 #include "study/suite.hh"
@@ -39,6 +40,14 @@ struct CellResult
     RunCell cell;
     MetricSet metrics;
     std::string error;  //!< non-empty when the cell failed
+
+    /**
+     * Observability sidecar (phase timings; plus worker counters and
+     * spans when the result crossed the dispatch wire). Report sinks
+     * never read it — reports are byte-identical with telemetry on or
+     * off.
+     */
+    obs::CellTelemetry telemetry;
 };
 
 /** Executes fully-resolved run cells; thread-safe. */

@@ -247,6 +247,43 @@ hasOracle(const ExperimentSpec &spec, const MetricSet &m)
 
 } // anonymous namespace
 
+std::vector<GroupResult>
+aggregateGroups(const std::vector<CellResult> &results)
+{
+    std::vector<GroupResult> groups;
+    for (const auto &r : results) {
+        if (!r.error.empty())
+            continue;
+        const std::string cls = workloadClass(r.cell.workload);
+        std::string sweep;
+        for (const auto &[k, v] : r.cell.sweepPoint)
+            sweep += k + "=" + v + ";";
+        GroupResult *row = nullptr;
+        for (auto &g : groups) {
+            std::string gsweep;
+            for (const auto &[k, v] : g.sweepPoint)
+                gsweep += k + "=" + v + ";";
+            if (g.group == cls &&
+                g.engine.displayLabel() ==
+                    r.cell.engine.displayLabel() &&
+                gsweep == sweep) {
+                row = &g;
+                break;
+            }
+        }
+        if (!row) {
+            groups.emplace_back();
+            row = &groups.back();
+            row->group = cls;
+            row->engine = r.cell.engine;
+            row->sweepPoint = r.cell.sweepPoint;
+        }
+        row->metrics.aggregate(r.metrics);
+        ++row->cells;
+    }
+    return groups;
+}
+
 std::string
 toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
 {
@@ -351,6 +388,32 @@ toJson(const ExperimentSpec &spec, const std::vector<CellResult> &results)
         j.endObject();
     }
     j.endArray();
+    // opt-in engine-folded aggregate rows; the default layout above
+    // is unchanged so existing goldens stay byte-identical
+    if (spec.groups) {
+        j.key("groups").beginArray();
+        for (const auto &g : aggregateGroups(results)) {
+            j.beginObject();
+            j.key("group").value(g.group);
+            j.key("prefetcher").value(g.engine.kind);
+            j.key("label").value(g.engine.displayLabel());
+            j.key("sweep");
+            writeOptions(j, g.sweepPoint);
+            j.key("cells").value(g.cells);
+            j.key("metrics").beginObject();
+            for (const auto &f : schema.families()) {
+                if (f.section != MetricSection::Metrics)
+                    continue;
+                if (!f.core && !g.metrics.present(f.id))
+                    continue;
+                j.key(f.reportKey);
+                writeFamilyValue(j, f, g.metrics);
+            }
+            j.endObject();
+            j.endObject();
+        }
+        j.endArray();
+    }
     j.endObject();
     return j.str() + "\n";
 }
@@ -414,6 +477,33 @@ toTable(const std::vector<CellResult> &results)
              r.error.empty() ? "ok" : ("FAILED: " + r.error)});
     }
     std::ostringstream os;
+    table.print(os);
+    return os.str();
+}
+
+std::string
+toTable(const ExperimentSpec &spec,
+        const std::vector<CellResult> &results)
+{
+    std::string out = toTable(results);
+    if (!spec.groups)
+        return out;
+    using study::TablePrinter;
+    TablePrinter table({"Group", "Prefetcher", "Cells", "L1 cov",
+                        "L2 cov", "L2 acc", "Off-chip misses"});
+    for (const auto &g : aggregateGroups(results)) {
+        std::string label = g.engine.displayLabel();
+        for (const auto &[k, v] : g.sweepPoint)
+            label += " " + k + "=" + v;
+        const MetricSet &m = g.metrics;
+        table.addRow({g.group, label, std::to_string(g.cells),
+                      TablePrinter::pct(m.l1Coverage()),
+                      TablePrinter::pct(m.l2Coverage()),
+                      TablePrinter::pct(m.l2Accuracy()),
+                      std::to_string(m.l2ReadMisses())});
+    }
+    std::ostringstream os;
+    os << out << '\n';
     table.print(os);
     return os.str();
 }

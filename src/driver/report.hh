@@ -45,6 +45,31 @@ class JsonWriter
     bool pendingKey = false;
 };
 
+/**
+ * One engine-folded aggregate row: every successful cell of a suite
+ * group (OLTP/DSS/Web/Scientific) sharing an engine label and sweep
+ * point, folded with MetricSet::aggregate() in result order.
+ */
+struct GroupResult
+{
+    std::string group;      //!< suite class name
+    EngineConfig engine;    //!< first folded cell's engine
+    Options sweepPoint;     //!< shared sweep assignment
+    MetricSet metrics;      //!< aggregate (ratios derive on read)
+    uint64_t cells = 0;     //!< cells folded in
+};
+
+/**
+ * Fold @p results into per-group aggregate rows, keyed by (workload
+ * class, engine display label, sweep point) in first-appearance
+ * order. Since results are workload-major in suite order, the fold
+ * order per row matches iterating study::workloadsInGroup() — the
+ * hand-rolled folding the fig benches used to do. Error cells are
+ * skipped.
+ */
+std::vector<GroupResult>
+aggregateGroups(const std::vector<CellResult> &results);
+
 /** Full experiment report as a JSON document. */
 std::string toJson(const ExperimentSpec &spec,
                    const std::vector<CellResult> &results);
@@ -59,6 +84,14 @@ std::string toCsv(const ExperimentSpec &spec,
 
 /** Human-readable summary table. */
 std::string toTable(const std::vector<CellResult> &results);
+
+/**
+ * toTable() plus, when spec.groups is set, engine-folded per-group
+ * aggregate rows appended after the cell rows. With spec.groups off
+ * the output is byte-identical to toTable(results).
+ */
+std::string toTable(const ExperimentSpec &spec,
+                    const std::vector<CellResult> &results);
 
 /** Write @p content to @p path, or to stdout when path is "-". */
 void writeReport(const std::string &path, const std::string &content);

@@ -1,8 +1,11 @@
 #include "driver/runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
+
+#include "obs/obs.hh"
 
 namespace stems::driver {
 
@@ -30,13 +33,28 @@ Runner::run(const ProgressFn &progress)
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::mutex progressMu;
+    const auto queuedAt = std::chrono::steady_clock::now();
 
-    auto worker = [&] {
+    auto drainCells = [&] {
         for (;;) {
             const size_t i = next.fetch_add(1);
             if (i >= cells_.size())
                 return;
-            results[i] = executor_.execute(cells_[i]);
+            {
+                // queue_ms: how long the cell sat behind earlier work
+                // before a pool thread picked it up
+                const double waitMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - queuedAt)
+                        .count();
+                obs::Span span(
+                    "cell",
+                    {{"workload", cells_[i].workload},
+                     {"engine", cells_[i].engine.kind},
+                     {"id", std::to_string(cells_[i].id)},
+                     {"queue_ms", std::to_string(waitMs)}});
+                results[i] = executor_.execute(cells_[i]);
+            }
             const size_t n = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMu);
@@ -46,11 +64,14 @@ Runner::run(const ProgressFn &progress)
     };
 
     if (nthreads <= 1) {
-        worker();
+        drainCells();
     } else {
         std::vector<std::thread> pool;
         for (uint32_t k = 0; k < nthreads; ++k)
-            pool.emplace_back(worker);
+            pool.emplace_back([&, k] {
+                obs::setThreadName("runner-" + std::to_string(k));
+                drainCells();
+            });
         for (auto &th : pool)
             th.join();
     }

@@ -312,6 +312,19 @@ parseSpec(const std::vector<std::string> &tokens)
         } else if (key == "table") {
             Options o{{key, value}};
             spec.table = optBool(o, key, spec.table);
+        } else if (key == "quiet") {
+            Options o{{key, value}};
+            spec.quiet = optBool(o, key, spec.quiet);
+        } else if (key == "groups") {
+            Options o{{key, value}};
+            spec.groups = optBool(o, key, spec.groups);
+        } else if (key == "trace-out") {
+            spec.traceOut = value;
+        } else if (key == "telemetry-out") {
+            spec.telemetryOut = value;
+        } else if (key == "telemetry") {
+            Options o{{key, value}};
+            spec.telemetry = optBool(o, key, spec.telemetry);
         } else if (key == "block") {
             applyGeometry(spec.sys, key, value);
             for (auto &e : spec.engines)
@@ -525,6 +538,13 @@ specHelp()
         "  trace-dir=DIR                  record/replay traces on disk\n"
         "  json=PATH|- csv=PATH|-         reports (- = stdout)\n"
         "  table=0|1                      ASCII summary table\n"
+        "  groups=0|1                     engine-folded per-group\n"
+        "                                 aggregate rows in json/table\n"
+        "  quiet=0|1                      suppress progress lines\n"
+        "  trace-out=PATH                 Chrome trace-event JSON\n"
+        "                                 (Perfetto-loadable spans)\n"
+        "  telemetry=0|1                  counters JSON on stderr\n"
+        "  telemetry-out=PATH             counters JSON to a file\n"
         "  wall=0|1                       wall_ms in JSON (0 = stable\n"
         "                                 byte-comparable output)\n"
         "  l1-kb=64 l1-assoc=2 l2-kb=N    cache geometry\n"

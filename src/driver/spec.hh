@@ -54,6 +54,14 @@ struct ExperimentSpec
     bool table = false;                   //!< ASCII summary table
     bool emitWall = true;                 //!< wall_ms in JSON (wall=0
                                           //!< gives byte-stable reports)
+    bool quiet = false;                   //!< suppress progress lines
+    bool groups = false;                  //!< engine-folded per-group
+                                          //!< aggregate rows (opt-in)
+
+    // observability sinks (see src/obs/); never touch report output
+    std::string traceOut;      //!< Chrome trace-event JSON ("" = off)
+    std::string telemetryOut;  //!< counters JSON file ("" = off)
+    bool telemetry = false;    //!< dump counters JSON to stderr
 
     /** Track oracle spatial generations at these region sizes. */
     std::vector<uint32_t> oracleRegionSizes;

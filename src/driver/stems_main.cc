@@ -15,6 +15,7 @@
  *   stems help                  usage
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <unistd.h>
@@ -33,6 +34,8 @@
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
+#include "obs/counters.hh"
+#include "obs/obs.hh"
 #include "study/suite.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
@@ -226,15 +229,65 @@ cmdBench(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * The end-of-run telemetry dump: process counters (dispatch runs fold
+ * each worker's latest snapshot on top of the coordinator's own), peak
+ * RSS, wall time, and per-worker health stats.
+ */
+std::string
+telemetryJson(double wallMs,
+              const std::vector<dispatch::WorkerStats> &workers)
+{
+    auto counters = obs::snapshotCounters();
+    for (const auto &ws : workers)
+        for (const auto &[name, count] : ws.counters)
+            for (auto &[localName, total] : counters)
+                if (localName == name)
+                    total += count;
+
+    JsonWriter j;
+    j.beginObject();
+    j.key("telemetry").beginObject();
+    j.key("schema").value(uint64_t{1});
+    j.key("wall_ms").value(wallMs);
+    j.key("peak_rss_kb").value(obs::peakRssKb());
+    j.key("counters").beginObject();
+    for (const auto &[name, count] : counters)
+        j.key(name).value(count);
+    j.endObject();
+    j.key("workers").beginArray();
+    for (const auto &ws : workers) {
+        j.beginObject();
+        j.key("pid").value(static_cast<uint64_t>(ws.pid));
+        j.key("cells").value(ws.cellsDone);
+        j.key("busy_ms").value(ws.busyMs);
+        j.key("lost").value(ws.lost);
+        j.key("peak_rss_kb").value(ws.rssKb);
+        j.key("phases").beginObject();
+        for (const auto &[name, ms] : ws.phaseMs)
+            j.key(name).value(ms);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    j.endObject();
+    return j.str() + "\n";
+}
+
 int
 cmdRun(const std::vector<std::string> &args)
 {
-    // --dispatch=N is sugar for the dispatch=N spec key
+    // --key=value is sugar for the key=value spec key (and a bare
+    // --flag for flag=1), so dispatch/observability switches read
+    // like conventional CLI options
     std::vector<std::string> tokens;
     tokens.reserve(args.size());
     for (const auto &arg : args) {
-        if (arg.rfind("--dispatch=", 0) == 0)
-            tokens.push_back(arg.substr(2));
+        if (arg.rfind("--", 0) == 0)
+            tokens.push_back(arg.find('=') != std::string::npos
+                                 ? arg.substr(2)
+                                 : arg.substr(2) + "=1");
         else
             tokens.push_back(arg);
     }
@@ -243,36 +296,60 @@ cmdRun(const std::vector<std::string> &args)
     if (spec.jsonPath.empty() && spec.csvPath.empty() && !spec.table)
         spec.jsonPath = "-";
 
+    if (!spec.traceOut.empty()) {
+        obs::Recorder::get().enable();
+        obs::setThreadName(spec.dispatch > 0 ? "coordinator" : "main");
+    }
+
+    // progress lines are composed before the single stream write so
+    // they cannot interleave with worker stderr mid-line
+    const bool quiet = spec.quiet;
     const auto progress =
-        [](const CellResult &r, size_t done, size_t total) {
-            std::cerr << "stems: [" << done << "/" << total << "] "
-                      << r.cell.workload << " / "
-                      << r.cell.engine.displayLabel()
-                      << (r.error.empty() ? "" : "  FAILED: " + r.error)
-                      << "\n";
+        [quiet](const CellResult &r, size_t done, size_t total) {
+            if (quiet)
+                return;
+            std::ostringstream line;
+            line << "stems: [" << done << "/" << total << "] "
+                 << r.cell.workload << " / "
+                 << r.cell.engine.displayLabel()
+                 << (r.error.empty() ? "" : "  FAILED: " + r.error)
+                 << "\n";
+            std::cerr << line.str();
         };
 
+    const auto runStart = std::chrono::steady_clock::now();
     std::vector<CellResult> results;
+    std::vector<dispatch::WorkerStats> workerStats;
     if (spec.dispatch > 0) {
         dispatch::DispatchConfig dcfg;
         dcfg.workers = spec.dispatch;
         dcfg.timeoutMs = spec.dispatchTimeoutMs;
         dcfg.maxAttempts = spec.dispatchRetries;
+        dcfg.trace = !spec.traceOut.empty();
         dispatch::Coordinator coord(spec, dcfg);
-        std::cerr << "stems: " << coord.cells().size()
-                  << " cells across "
-                  << std::min<size_t>(spec.dispatch,
-                                      coord.cells().size())
-                  << " worker processes\n";
+        if (!quiet)
+            std::cerr << "stems: " << coord.cells().size()
+                      << " cells across "
+                      << std::min<size_t>(spec.dispatch,
+                                          coord.cells().size())
+                      << " worker processes\n";
         results = coord.run(progress);
+        workerStats = coord.workerStats();
     } else {
         Runner runner(spec);
-        std::cerr << "stems: " << runner.cells().size() << " cells ("
-                  << spec.workloads.size() << " workloads x "
-                  << spec.engines.size() << " prefetchers"
-                  << (spec.sweeps.empty() ? "" : " x sweep") << ")\n";
+        if (!quiet)
+            std::cerr << "stems: " << runner.cells().size()
+                      << " cells (" << spec.workloads.size()
+                      << " workloads x " << spec.engines.size()
+                      << " prefetchers"
+                      << (spec.sweeps.empty() ? "" : " x sweep")
+                      << ")\n";
         results = runner.run(progress);
     }
+    const double runWallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - runStart)
+            .count();
 
     if (!spec.jsonPath.empty())
         writeReport(spec.jsonPath, toJson(spec, results));
@@ -280,9 +357,25 @@ cmdRun(const std::vector<std::string> &args)
         writeReport(spec.csvPath, toCsv(spec, results));
     if (spec.table) {
         // keep stdout clean for machine-readable output
-        const bool stdoutBusy =
-            spec.jsonPath == "-" || spec.csvPath == "-";
-        (stdoutBusy ? std::cerr : std::cout) << toTable(results);
+        const bool stdoutBusy = spec.jsonPath == "-" ||
+            spec.csvPath == "-" || spec.traceOut == "-" ||
+            spec.telemetryOut == "-";
+        (stdoutBusy ? std::cerr : std::cout) << toTable(spec, results);
+    }
+
+    // observability sinks come last so a report on stdout is already
+    // complete before any telemetry text appears anywhere
+    if (!spec.traceOut.empty())
+        writeReport(spec.traceOut, obs::Recorder::get().chromeJson());
+    if (spec.telemetry || !spec.telemetryOut.empty()) {
+        const std::string dump = telemetryJson(runWallMs, workerStats);
+        if (!spec.telemetryOut.empty())
+            writeReport(spec.telemetryOut, dump);
+        if (spec.telemetry)
+            std::cerr << dump;
+        if (!workerStats.empty())
+            std::cerr << dispatch::workerSummary(workerStats,
+                                                 runWallMs);
     }
 
     int failed = 0;

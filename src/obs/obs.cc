@@ -1,0 +1,238 @@
+#include "obs/obs.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+#include <unistd.h>
+
+namespace stems::obs {
+
+namespace {
+
+/** Per-thread pointer into the recorder's registered buffer list. */
+thread_local void *tlsBuf = nullptr;
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                os << hex;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+uint64_t
+monotonicNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Recorder &
+Recorder::get()
+{
+    static Recorder r;
+    return r;
+}
+
+Recorder::ThreadBuf &
+Recorder::threadBuf()
+{
+    if (!tlsBuf) {
+        std::lock_guard<std::mutex> lock(mu);
+        auto buf = std::make_unique<ThreadBuf>();
+        buf->tid = static_cast<uint32_t>(bufs.size() + 1);
+        tlsBuf = buf.get();
+        bufs.push_back(std::move(buf));
+    }
+    return *static_cast<ThreadBuf *>(tlsBuf);
+}
+
+void
+Recorder::record(Event e)
+{
+    if (!enabled())
+        return;
+    ThreadBuf &buf = threadBuf();
+    e.tid = buf.tid;
+    buf.events.push_back(std::move(e));
+}
+
+void
+Recorder::ingest(std::vector<Event> events)
+{
+    if (events.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    foreign.insert(foreign.end(),
+                   std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+}
+
+void
+Recorder::setThreadName(const std::string &name)
+{
+    threadBuf().name = name;
+}
+
+uint32_t
+Recorder::threadTid()
+{
+    return threadBuf().tid;
+}
+
+std::vector<Event>
+Recorder::drain()
+{
+    std::vector<Event> out;
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &buf : bufs) {
+        if (!buf->name.empty()) {
+            Event meta;
+            meta.name = "thread_name";
+            meta.phase = 'M';
+            meta.tid = buf->tid;
+            meta.args.emplace_back("name", buf->name);
+            out.push_back(std::move(meta));
+        }
+        out.insert(out.end(),
+                   std::make_move_iterator(buf->events.begin()),
+                   std::make_move_iterator(buf->events.end()));
+        buf->events.clear();
+    }
+    out.insert(out.end(),
+               std::make_move_iterator(foreign.begin()),
+               std::make_move_iterator(foreign.end()));
+    foreign.clear();
+    return out;
+}
+
+std::string
+Recorder::chromeJson()
+{
+    std::vector<Event> events = drain();
+
+    // normalize to the earliest timestamp so the trace opens at t=0
+    uint64_t base = UINT64_MAX;
+    for (const Event &e : events)
+        if (e.phase != 'M' && e.tsNs < base)
+            base = e.tsNs;
+    if (base == UINT64_MAX)
+        base = 0;
+
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"";
+        jsonEscape(os, e.name);
+        os << "\",\"ph\":\"" << e.phase << "\"";
+        if (e.phase != 'M') {
+            // trace-event ts is microseconds; keep sub-µs precision
+            const uint64_t rel = e.tsNs - base;
+            os << ",\"ts\":" << rel / 1000 << "." << (rel % 1000);
+        } else {
+            os << ",\"ts\":0";
+        }
+        if (e.phase == 'X')
+            os << ",\"dur\":" << e.durNs / 1000 << "."
+               << (e.durNs % 1000);
+        if (e.phase == 'i')
+            os << ",\"s\":\"p\"";
+        // pid -1 marks "this process": resolve at write time
+        os << ",\"pid\":" << (e.pid < 0 ? ::getpid() : e.pid)
+           << ",\"tid\":" << e.tid;
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const auto &[k, v] : e.args) {
+                if (!firstArg)
+                    os << ",";
+                firstArg = false;
+                os << "\"";
+                jsonEscape(os, k);
+                os << "\":\"";
+                jsonEscape(os, v);
+                os << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+Span::Span(const char *name) : name(name)
+{
+    if (Recorder::get().enabled())
+        t0 = monotonicNs();
+}
+
+Span::Span(const char *name, std::initializer_list<EventArg> args)
+    : name(name)
+{
+    if (Recorder::get().enabled()) {
+        t0 = monotonicNs();
+        this->args.assign(args.begin(), args.end());
+    }
+}
+
+Span::~Span()
+{
+    if (!t0)
+        return;
+    Recorder &r = Recorder::get();
+    if (!r.enabled())
+        return;
+    Event e;
+    e.name = name;
+    e.phase = 'X';
+    e.tsNs = t0;
+    e.durNs = monotonicNs() - t0;
+    e.args = std::move(args);
+    r.record(std::move(e));
+}
+
+void
+instant(const char *name, std::initializer_list<EventArg> args)
+{
+    Recorder &r = Recorder::get();
+    if (!r.enabled())
+        return;
+    Event e;
+    e.name = name;
+    e.phase = 'i';
+    e.tsNs = monotonicNs();
+    e.args.assign(args.begin(), args.end());
+    r.record(std::move(e));
+}
+
+void
+setThreadName(const std::string &name)
+{
+    Recorder::get().setThreadName(name);
+}
+
+} // namespace stems::obs

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Flight-recorder tracing for the stems engine: RAII scoped spans and
+ * instant events collected into lock-free per-thread buffers and
+ * emitted as Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing).
+ *
+ * The recorder is compiled in but off by default: a disabled Span
+ * costs one relaxed atomic load and records nothing, so
+ * instrumentation stays in place on hot control paths (cell
+ * execution, dispatch round-trips) at zero cost to byte-stable
+ * reports. Timestamps are machine-wide CLOCK_MONOTONIC nanoseconds,
+ * so events recorded in worker processes and shipped to the
+ * coordinator (see dispatch/wire.hh, protocol v4) land on one aligned
+ * timeline.
+ *
+ * Threading contract: record() appends to a buffer owned by the
+ * calling thread (no locking); drain() and chromeJson() read every
+ * buffer and must only run when recording threads have been joined
+ * (the runner joins its pool, workers drain between cells).
+ */
+
+#ifndef STEMS_OBS_OBS_HH
+#define STEMS_OBS_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stems::obs {
+
+/** One key=value annotation on an event. */
+using EventArg = std::pair<std::string, std::string>;
+
+/** One recorded trace event (Chrome trace-event model). */
+struct Event
+{
+    std::string name;
+    char phase = 'X';   //!< 'X' complete, 'i' instant, 'M' metadata
+    uint64_t tsNs = 0;  //!< CLOCK_MONOTONIC; comparable across processes
+    uint64_t durNs = 0; //!< complete events only
+    uint32_t tid = 0;   //!< recorder-assigned thread tag
+    int64_t pid = -1;   //!< emitting process; -1 = this process
+    std::vector<EventArg> args;
+};
+
+/** Machine-wide monotonic clock, nanoseconds. */
+uint64_t monotonicNs();
+
+/**
+ * The process-wide event sink. Each thread owns one append-only
+ * buffer (registered on first use; the buffer outlives the thread so
+ * joined workers' events survive); foreign events ingested from
+ * dispatch workers live in a separate mutex-guarded list.
+ */
+class Recorder
+{
+  public:
+    static Recorder &get();
+
+    void enable() { on.store(true, std::memory_order_relaxed); }
+    void disable() { on.store(false, std::memory_order_relaxed); }
+
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Append to the calling thread's buffer (no-op when disabled). */
+    void record(Event e);
+
+    /** Adopt events recorded in another process (worker spans). */
+    void ingest(std::vector<Event> events);
+
+    /**
+     * Collect and clear every buffered event, thread_name metadata
+     * events included. Caller must have joined recording threads.
+     */
+    std::vector<Event> drain();
+
+    /** All buffered events as a Chrome trace-event JSON document. */
+    std::string chromeJson();
+
+    /** Tag the calling thread ("main", "runner-3", "worker"). */
+    void setThreadName(const std::string &name);
+
+    /** The calling thread's recorder tag (assigned on first use). */
+    uint32_t threadTid();
+
+  private:
+    struct ThreadBuf
+    {
+        uint32_t tid = 0;
+        std::string name;
+        std::vector<Event> events;
+    };
+
+    ThreadBuf &threadBuf();
+
+    std::atomic<bool> on{false};
+    std::mutex mu;  //!< guards bufs shape and foreign
+    std::vector<std::unique_ptr<ThreadBuf>> bufs;
+    std::vector<Event> foreign;
+};
+
+/**
+ * RAII scoped span: records one complete ('X') event covering its
+ * lifetime. When the recorder is disabled at construction the span is
+ * inert (one atomic load, no allocation).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    Span(const char *name, std::initializer_list<EventArg> args);
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    ~Span();
+
+  private:
+    const char *name;
+    uint64_t t0 = 0;  //!< 0 = recorder was off at construction
+    std::vector<EventArg> args;
+};
+
+/** Record one instant event (no-op when the recorder is disabled). */
+void instant(const char *name, std::initializer_list<EventArg> args = {});
+
+/** Shorthand for Recorder::get().setThreadName(). */
+void setThreadName(const std::string &name);
+
+/**
+ * Per-cell observability payload carried alongside a CellResult: the
+ * executor's phase wall times plus, for dispatch workers, a counter
+ * snapshot and buffered spans shipped back over the wire (protocol
+ * v4). Never reaches the report sinks — reports stay byte-identical
+ * with telemetry on or off.
+ */
+struct CellTelemetry
+{
+    /** Phase name → wall ms, in execution order. */
+    std::vector<std::pair<std::string, double>> phases;
+    /** Worker-process counter snapshot (wire only). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    uint64_t rssKb = 0;         //!< worker peak RSS (wire only)
+    std::vector<Event> spans;   //!< worker-recorded events (wire only)
+};
+
+} // namespace stems::obs
+
+#endif // STEMS_OBS_OBS_HH

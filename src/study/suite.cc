@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/counters.hh"
+#include "obs/obs.hh"
 #include "trace/io.hh"
 #include "trace/lock.hh"
 #include "util/flat_map.hh"
@@ -84,7 +86,9 @@ TraceCache::streams(const std::string &name,
                     const workloads::WorkloadParams &p)
 {
     Slot &s = slot(name, p);
+    bool ran = false;
     std::call_once(s.streamsOnce, [&] {
+        ran = true;
         const uint64_t hash = generatorConfigHash(name, p);
         const std::string file = spillDir.empty()
             ? std::string()
@@ -96,6 +100,7 @@ TraceCache::streams(const std::string &name,
         // cpu field set to its stream index, so the per-CPU streams
         // are recovered by a stable partition
         auto tryReplay = [&]() -> bool {
+            obs::Span span("trace_replay", {{"workload", name}});
             trace::Trace merged;
             try {
                 if (!trace::readTrace(file, merged, hash))
@@ -109,6 +114,7 @@ TraceCache::streams(const std::string &name,
                     demerged[a.cpu].push_back(a);
                 }
                 s.streams = std::move(demerged);
+                obs::count(&obs::Counters::traceSpillReplays);
                 return true;
             } catch (const std::exception &) {
                 // unreadable spill files fall back to live generation
@@ -117,6 +123,7 @@ TraceCache::streams(const std::string &name,
         };
 
         auto generate = [&] {
+            obs::Span span("trace_generate", {{"workload", name}});
             const workloads::SuiteEntry *entry =
                 workloads::findWorkload(name);
             if (!entry)
@@ -145,6 +152,10 @@ TraceCache::streams(const std::string &name,
             trace::canonicalView(s.streams, p.seed);
         trace::writeTrace(view, file, hash);
     });
+    // one miss per distinct (workload, params) slot, hits for every
+    // later lookup — deterministic across thread counts
+    obs::count(ran ? &obs::Counters::traceCacheMisses
+                   : &obs::Counters::traceCacheHits);
     return s.streams;
 }
 

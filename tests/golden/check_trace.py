@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI checker for stems observability artifacts.
+
+Usage: check_trace.py TRACE.json TELEMETRY.json [--dispatched]
+
+Asserts the --trace-out file is a loadable Chrome trace-event document
+(the format Perfetto / chrome://tracing read) covering the span names
+the engine is instrumented with, and that the --telemetry-out file
+carries the counter registry with the counters a real run must bump.
+With --dispatched, additionally requires the merged trace to span
+multiple processes (coordinator + workers) and wire traffic to have
+been counted.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("check_trace: FAIL:", msg)
+    sys.exit(1)
+
+
+def check_trace(path, dispatched):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit != ms")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    names = set()
+    pids = set()
+    min_ts = None
+    for e in events:
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                fail(f"{path}: event missing {field}: {e}")
+        names.add(e["name"])
+        if e["ph"] == "M":
+            continue
+        pids.add(e["pid"])
+        ts = float(e["ts"])
+        if ts < 0:
+            fail(f"{path}: negative ts: {e}")
+        min_ts = ts if min_ts is None else min(min_ts, ts)
+        if e["ph"] == "X" and float(e["dur"]) < 0:
+            fail(f"{path}: negative dur: {e}")
+        if e["ph"] == "i" and e.get("s") != "p":
+            fail(f"{path}: instant without process scope: {e}")
+
+    if min_ts != 0.0:
+        fail(f"{path}: trace does not open at t=0 (min ts {min_ts})")
+
+    want = {"trace", "baseline", "baseline_pass", "thread_name"}
+    if dispatched:
+        want |= {"dispatch_cell", "worker_cell", "worker_spawn",
+                 "encode_cell", "decode_result"}
+    else:
+        want |= {"cell"}
+    missing = want - names
+    if missing:
+        fail(f"{path}: missing span names {sorted(missing)}; "
+             f"have {sorted(names)}")
+
+    if dispatched and len(pids) < 2:
+        fail(f"{path}: dispatched trace spans {len(pids)} process(es)")
+
+    print(f"check_trace: {path}: {len(events)} events, "
+          f"{len(pids)} process(es), spans {sorted(names)}")
+
+
+def check_telemetry(path, dispatched):
+    with open(path) as f:
+        doc = json.load(f)
+
+    t = doc.get("telemetry")
+    if not isinstance(t, dict):
+        fail(f"{path}: no telemetry object")
+    if t.get("schema") != 1:
+        fail(f"{path}: telemetry schema != 1")
+    if not t.get("wall_ms", 0) > 0:
+        fail(f"{path}: wall_ms not positive")
+    if not t.get("peak_rss_kb", 0) > 0:
+        fail(f"{path}: peak_rss_kb not positive")
+
+    c = t.get("counters")
+    if not isinstance(c, dict):
+        fail(f"{path}: no counters object")
+    must_be_positive = ["trace_cache_misses", "baseline_memo_misses",
+                        "cells_executed"]
+    if dispatched:
+        must_be_positive += ["wire_bytes_sent", "wire_bytes_received"]
+    for name in must_be_positive:
+        if not c.get(name, 0) > 0:
+            fail(f"{path}: counter {name} is {c.get(name)}")
+
+    workers = t.get("workers")
+    if dispatched:
+        if not workers:
+            fail(f"{path}: dispatched telemetry has no workers")
+        for w in workers:
+            if w.get("cells", 0) > 0 and not w.get("busy_ms", 0) > 0:
+                fail(f"{path}: worker with cells but no busy time: {w}")
+
+    print(f"check_trace: {path}: counters ok "
+          f"({sum(1 for v in c.values() if v)} non-zero), "
+          f"{len(workers or [])} worker(s)")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    dispatched = "--dispatched" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__)
+        sys.exit(2)
+    check_trace(args[0], dispatched)
+    check_telemetry(args[1], dispatched)
+    print("check_trace: ok")
+
+
+if __name__ == "__main__":
+    main()
