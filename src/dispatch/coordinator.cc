@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "dispatch/wire.hh"
+#include "driver/executor.hh"
 #include "obs/counters.hh"
 #include "obs/obs.hh"
 #include "study/table.hh"
@@ -124,7 +125,42 @@ struct Coordinator::Worker
     Clock::time_point deadline{};  //!< valid when cell != -1
     uint64_t assignedAtNs = 0;     //!< round-trip start (monotonic)
     int stats = -1;         //!< index into workerStats_ (-1 = none)
+    Clock::time_point lastHeardAt{};  //!< any bytes read (liveness)
+    uint32_t failStreak = 0;    //!< consecutive losses (backoff input)
+    Clock::time_point nextSpawnAt{};  //!< backoff gate for respawn
 };
+
+namespace {
+
+/** Consecutive heartbeat periods a worker may miss before it is
+ *  declared wedged and killed. */
+constexpr uint32_t kHeartbeatMissBudget = 4;
+
+/** Respawn backoff ceiling. */
+constexpr uint32_t kBackoffCapMs = 5000;
+
+/** Minimum straggler round trip before speculation may fire. */
+constexpr double kSpeculateFloorMs = 2000;
+
+/** Deterministic backoff with jitter for the Nth consecutive loss. */
+uint32_t
+backoffDelayMs(uint32_t baseMs, uint32_t streak, uint64_t salt)
+{
+    if (baseMs == 0 || streak == 0)
+        return 0;
+    const uint32_t shift = std::min<uint32_t>(streak - 1, 6);
+    const uint64_t exp =
+        std::min<uint64_t>(uint64_t{baseMs} << shift, kBackoffCapMs);
+    // jitter in [0, baseMs) desynchronizes a pool crashing in lockstep
+    uint64_t h = salt * 0x9e3779b97f4a7c15ULL + streak;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(exp + h % baseMs, kBackoffCapMs));
+}
+
+} // anonymous namespace
 
 Coordinator::Coordinator(const driver::ExperimentSpec &spec,
                          DispatchConfig config,
@@ -185,12 +221,20 @@ Coordinator::run(const ProgressFn &progress)
     init.traceDir = spec.traceDir;
     init.oracleRegionSizes = spec.oracleRegionSizes;
     init.trace = cfg.trace;
+    init.heartbeatMs = cfg.heartbeatMs;
     const std::string initFrame = encodeInit(init);
 
     std::deque<int> pending;  //!< cell indices awaiting a worker
     for (size_t i = 0; i < cells_.size(); ++i)
         pending.push_back(static_cast<int>(i));
     std::vector<uint32_t> attempts(cells_.size(), 0);
+    // speculation bookkeeping: a cell may be in flight on two workers
+    // at once (original + one speculative copy); the first result
+    // wins and the loser's is discarded
+    std::vector<char> completed(cells_.size(), 0);
+    std::vector<uint32_t> running(cells_.size(), 0);
+    std::vector<char> speculated(cells_.size(), 0);
+    std::vector<double> doneRttMs;  //!< completed round trips (median)
     size_t done = 0;
 
     // enough respawns that the per-cell attempt cap is the real
@@ -215,6 +259,9 @@ Coordinator::run(const ProgressFn &progress)
     };
 
     auto failCell = [&](int cell, const std::string &reason) {
+        if (completed[cell])
+            return;
+        completed[cell] = 1;
         results[cell].cell = cells_[cell];
         results[cell].error = "dispatch: " + reason + " after " +
             std::to_string(attempts[cell]) + " attempt(s)";
@@ -223,9 +270,10 @@ Coordinator::run(const ProgressFn &progress)
             progress(results[cell], done, cells_.size());
     };
 
-    // a worker died (crash, timeout, protocol error): re-queue its
-    // in-flight cell or, past the attempt cap, record the failure
-    // through the cell-error path
+    // a worker died (crash, heartbeat loss, timeout, protocol error):
+    // re-queue its in-flight cell or, past the attempt cap, record
+    // the failure through the cell-error path; the slot backs off
+    // exponentially before it may respawn
     auto workerLost = [&](Worker &w, const std::string &reason) {
         const int cell = w.cell;
         obs::instant("worker_lost",
@@ -235,8 +283,21 @@ Coordinator::run(const ProgressFn &progress)
             ++workerStats_[w.stats].lost;
         w.cell = -1;
         reap(w);
+        ++w.failStreak;
+        const uint32_t delay = backoffDelayMs(
+            cfg.backoffMs, w.failStreak,
+            static_cast<uint64_t>(&w - pool.data()) + 1);
+        if (delay > 0)
+            w.nextSpawnAt =
+                Clock::now() + std::chrono::milliseconds(delay);
         if (cell < 0)
             return;
+        if (running[cell] > 0)
+            --running[cell];
+        if (completed[cell])
+            return;  // a speculative twin already delivered
+        if (running[cell] > 0)
+            return;  // the other in-flight copy is still running
         if (attempts[cell] >=
             std::max<uint32_t>(cfg.maxAttempts, 1)) {
             failCell(cell, reason);
@@ -252,6 +313,8 @@ Coordinator::run(const ProgressFn &progress)
     auto trySpawn = [&](Worker &w) -> bool {
         if (respawnBudget == 0)
             return false;
+        if (Clock::now() < w.nextSpawnAt)
+            return false;  // still backing off; budget not consumed
         --respawnBudget;
         try {
             w.proc = transport->spawn();
@@ -264,6 +327,7 @@ Coordinator::run(const ProgressFn &progress)
         w.ready = false;
         w.cell = -1;
         w.decoder = FrameDecoder();
+        w.lastHeardAt = Clock::now();
         WorkerStats stats;
         stats.pid = w.proc.pid;
         w.stats = static_cast<int>(workerStats_.size());
@@ -277,15 +341,14 @@ Coordinator::run(const ProgressFn &progress)
         return true;
     };
 
-    auto assign = [&](Worker &w) {
-        if (!w.alive || !w.ready || w.cell != -1 || pending.empty())
-            return;
-        const int cell = pending.front();
-        pending.pop_front();
+    // hand @p cell to @p w; the attempt number rides the wire so the
+    // fault injector can key first-attempt-only chaos deterministically
+    auto dispatchCell = [&](Worker &w, int cell) {
         ++attempts[cell];
         if (attempts[cell] > 1)
             obs::count(&obs::Counters::dispatchRetries);
         w.cell = cell;
+        ++running[cell];
         w.assignedAtNs = obs::monotonicNs();
         if (cfg.timeoutMs > 0)
             w.deadline = Clock::now() +
@@ -295,11 +358,19 @@ Coordinator::run(const ProgressFn &progress)
             obs::Span span("encode_cell",
                            {{"cell",
                              std::to_string(cells_[cell].id)}});
-            job = encodeCellJob(cells_[cell]);
+            job = encodeCellJob(cells_[cell], attempts[cell]);
         }
         if (!writeFrame(w.proc.toWorker, job))
             workerLost(w, "worker rejected cell " +
                               std::to_string(cells_[cell].id));
+    };
+
+    auto assign = [&](Worker &w) {
+        if (!w.alive || !w.ready || w.cell != -1 || pending.empty())
+            return;
+        const int cell = pending.front();
+        pending.pop_front();
+        dispatchCell(w, cell);
     };
 
     // drain every complete frame buffered for one worker
@@ -313,6 +384,9 @@ Coordinator::run(const ProgressFn &progress)
                 const std::string &type = messageType(msg);
                 if (type == "ready") {
                     w.ready = true;
+                } else if (type == "heartbeat") {
+                    // liveness only; lastHeardAt was already bumped
+                    // when the bytes arrived
                 } else if (type == "result") {
                     CellResult wire;
                     {
@@ -325,6 +399,16 @@ Coordinator::run(const ProgressFn &progress)
                         workerLost(w, "worker answered for the wrong "
                                       "cell");
                         return;
+                    }
+                    w.cell = -1;
+                    w.failStreak = 0;
+                    if (running[cell] > 0)
+                        --running[cell];
+                    if (completed[cell]) {
+                        // a speculative twin already delivered this
+                        // cell; discard the straggler's copy
+                        assign(w);
+                        continue;
                     }
                     // the coordinator's cell is authoritative for the
                     // report; the wire carries measurements only
@@ -340,6 +424,7 @@ Coordinator::run(const ProgressFn &progress)
                         static_cast<double>(obs::monotonicNs() -
                                             w.assignedAtNs) /
                         1e6;
+                    doneRttMs.push_back(rtMs);
                     if (w.stats >= 0) {
                         WorkerStats &ws = workerStats_[w.stats];
                         ++ws.cellsDone;
@@ -383,7 +468,7 @@ Coordinator::run(const ProgressFn &progress)
                     results[cell].telemetry =
                         std::move(wire.telemetry);
 
-                    w.cell = -1;
+                    completed[cell] = 1;
                     ++done;
                     if (progress)
                         progress(results[cell], done, cells_.size());
@@ -401,34 +486,133 @@ Coordinator::run(const ProgressFn &progress)
         }
     };
 
+    // the straggler tail: when no pending work remains, duplicate the
+    // slowest in-flight cell onto an idle worker once its round trip
+    // exceeds 3x the median completed round trip (first result wins)
+    auto speculate = [&]() {
+        if (!cfg.speculate || !pending.empty() ||
+            doneRttMs.size() < 3)
+            return;
+        std::vector<double> rtts = doneRttMs;
+        std::nth_element(rtts.begin(),
+                         rtts.begin() + rtts.size() / 2, rtts.end());
+        const double threshold = std::max(
+            3.0 * rtts[rtts.size() / 2], kSpeculateFloorMs);
+        for (auto &idle : pool) {
+            if (!idle.alive || !idle.ready || idle.cell != -1)
+                continue;
+            Worker *straggler = nullptr;
+            double worstMs = threshold;
+            for (auto &busy : pool) {
+                if (!busy.alive || busy.cell < 0)
+                    continue;
+                const int c = busy.cell;
+                if (completed[c] || speculated[c])
+                    continue;
+                const double elapsedMs =
+                    static_cast<double>(obs::monotonicNs() -
+                                        busy.assignedAtNs) /
+                    1e6;
+                if (elapsedMs > worstMs) {
+                    worstMs = elapsedMs;
+                    straggler = &busy;
+                }
+            }
+            if (!straggler)
+                return;
+            const int c = straggler->cell;
+            speculated[c] = 1;
+            obs::count(&obs::Counters::speculativeRedispatches);
+            obs::instant("speculative_redispatch",
+                         {{"cell", std::to_string(cells_[c].id)},
+                          {"stuck_pid",
+                           std::to_string(straggler->proc.pid)}});
+            dispatchCell(idle, c);
+        }
+    };
+
     for (auto &w : pool)
         trySpawn(w);
 
     while (done < cells_.size()) {
-        // refill dead slots only while un-assigned work exists — a
-        // respawned worker with nothing pending would idle until
-        // shutdown and waste respawn budget
+        // refill dead slots only while there is un-assigned work no
+        // live worker could absorb — a respawned worker with nothing
+        // pending would idle until shutdown and waste respawn budget
+        size_t unassigned = 0;
+        for (const auto &w : pool)
+            if (w.alive && w.cell == -1)
+                ++unassigned;
+        for (auto &w : pool) {
+            if (w.alive || pending.size() <= unassigned)
+                continue;
+            if (trySpawn(w)) {
+                ++unassigned;
+                obs::count(&obs::Counters::workerRespawns);
+            }
+        }
         size_t alive = 0;
         for (auto &w : pool) {
-            if (!w.alive && !pending.empty() && trySpawn(w))
-                obs::count(&obs::Counters::workerRespawns);
             if (w.alive) {
                 ++alive;
                 assign(w);
             }
         }
         if (alive == 0) {
+            // every slot is dead; if any may still respawn (budget
+            // left, backoff pending) wait for the earliest gate
+            if (respawnBudget > 0 && !pending.empty()) {
+                const auto now = Clock::now();
+                Clock::time_point earliest{};
+                bool waiting = false;
+                for (const auto &w : pool) {
+                    if (w.nextSpawnAt <= now)
+                        continue;
+                    if (!waiting || w.nextSpawnAt < earliest)
+                        earliest = w.nextSpawnAt;
+                    waiting = true;
+                }
+                if (waiting) {
+                    const auto ms = std::chrono::duration_cast<
+                        std::chrono::milliseconds>(earliest - now)
+                        .count();
+                    ::poll(nullptr, 0, static_cast<int>(ms) + 1);
+                    continue;
+                }
+                // no slot is gated yet spawning keeps failing: fall
+                // through and burn the remaining budget next rounds
+                if (respawnBudget > 0)
+                    continue;
+            }
             // pool unrecoverable (spawn failures / budget exhausted):
-            // fail whatever is left through the cell-error path
-            while (!pending.empty()) {
-                const int cell = pending.front();
-                pending.pop_front();
-                if (attempts[cell] == 0)
-                    ++attempts[cell];
-                failCell(cell, "no workers available");
+            // degrade to in-process execution of whatever is left
+            // instead of erroring the cells — slower, never wrong
+            if (!pending.empty()) {
+                std::cerr << "stems dispatch: worker pool "
+                             "unrecoverable; running "
+                          << pending.size()
+                          << " remaining cell(s) in-process\n";
+                driver::CellExecutor exec(
+                    driver::executorConfig(spec));
+                while (!pending.empty()) {
+                    const int cell = pending.front();
+                    pending.pop_front();
+                    if (completed[cell])
+                        continue;
+                    if (attempts[cell] == 0)
+                        ++attempts[cell];
+                    obs::count(&obs::Counters::degradedCells);
+                    results[cell] = exec.execute(cells_[cell]);
+                    results[cell].cell = cells_[cell];
+                    completed[cell] = 1;
+                    ++done;
+                    if (progress)
+                        progress(results[cell], done, cells_.size());
+                }
             }
             break;
         }
+
+        speculate();
 
         std::vector<pollfd> fds;
         std::vector<Worker *> fdOwner;
@@ -440,20 +624,40 @@ Coordinator::run(const ProgressFn &progress)
         }
 
         int timeout = -1;
-        if (cfg.timeoutMs > 0) {
+        auto wakeAt = [&timeout](Clock::time_point tp,
+                                 Clock::time_point now) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(tp - now)
+                .count();
+            const int ms = left < 0 ? 0 : static_cast<int>(left) + 1;
+            if (timeout < 0 || ms < timeout)
+                timeout = ms;
+        };
+        {
             const auto now = Clock::now();
             for (auto &w : pool) {
-                if (!w.alive || w.cell < 0)
+                if (!w.alive)
                     continue;
-                const auto left =
-                    std::chrono::duration_cast<
-                        std::chrono::milliseconds>(w.deadline - now)
-                        .count();
-                const int ms =
-                    left < 0 ? 0 : static_cast<int>(left) + 1;
-                if (timeout < 0 || ms < timeout)
-                    timeout = ms;
+                if (cfg.timeoutMs > 0 && w.cell >= 0)
+                    wakeAt(w.deadline, now);
+                if (cfg.heartbeatMs > 0)
+                    wakeAt(w.lastHeardAt +
+                               std::chrono::milliseconds(
+                                   kHeartbeatMissBudget *
+                                   cfg.heartbeatMs),
+                           now);
             }
+            // dead slots gated by backoff must wake the loop too
+            for (auto &w : pool)
+                if (!w.alive && !pending.empty() &&
+                    w.nextSpawnAt > now)
+                    wakeAt(w.nextSpawnAt, now);
+            // while speculation is armed, re-evaluate stragglers on
+            // a coarse cadence
+            if (cfg.speculate && pending.empty() &&
+                doneRttMs.size() >= 3 &&
+                (timeout < 0 || timeout > 100))
+                timeout = 100;
         }
 
         const int n = ::poll(fds.data(),
@@ -475,6 +679,7 @@ Coordinator::run(const ProgressFn &progress)
             if (r > 0) {
                 obs::count(&obs::Counters::wireBytesReceived,
                            static_cast<uint64_t>(r));
+                w.lastHeardAt = Clock::now();
                 w.decoder.feed(chunk, static_cast<size_t>(r));
                 handleFrames(w);
             } else if (r == 0 || errno != EINTR) {
@@ -490,6 +695,24 @@ Coordinator::run(const ProgressFn &progress)
                                       std::to_string(
                                           cells_[w.cell].id) +
                                       " timed out");
+            }
+        }
+
+        // liveness, distinct from the per-cell timeout: a wedged
+        // worker (no frames at all — a slow cell still heartbeats)
+        // is killed fast and its cell re-queued
+        if (cfg.heartbeatMs > 0) {
+            const auto now = Clock::now();
+            const auto budget = std::chrono::milliseconds(
+                kHeartbeatMissBudget * cfg.heartbeatMs);
+            for (auto &w : pool) {
+                if (w.alive && now - w.lastHeardAt > budget) {
+                    obs::count(&obs::Counters::heartbeatsMissed);
+                    workerLost(w, "worker missed " +
+                                      std::to_string(
+                                          kHeartbeatMissBudget) +
+                                      " heartbeats");
+                }
             }
         }
     }
@@ -541,6 +764,29 @@ workerSummary(const std::vector<WorkerStats> &stats, double wallMs)
     os << "stems dispatch: worker summary (wall "
        << study::TablePrinter::fixed(wallMs, 1) << " ms)\n";
     t.print(os);
+
+    // fault-tolerance footer: only the families that actually fired,
+    // so a clean run's summary stays unchanged
+    static const char *const kFtFamilies[] = {
+        "faults_injected",          "heartbeats_missed",
+        "journal_cells_written",    "journal_cells_replayed",
+        "speculative_redispatches", "degraded_cells"};
+    std::string ft;
+    for (const auto &[name, value] : obs::snapshotCounters()) {
+        if (value == 0)
+            continue;
+        for (const char *family : kFtFamilies) {
+            if (name == family) {
+                if (!ft.empty())
+                    ft += ", ";
+                ft += name;
+                ft += '=';
+                ft += std::to_string(value);
+            }
+        }
+    }
+    if (!ft.empty())
+        os << "stems dispatch: fault tolerance: " << ft << "\n";
     return os.str();
 }
 
@@ -554,6 +800,9 @@ runDispatched(const driver::ExperimentSpec &spec,
     cfg.timeoutMs = spec.dispatchTimeoutMs;
     cfg.maxAttempts = spec.dispatchRetries;
     cfg.trace = !spec.traceOut.empty();
+    cfg.heartbeatMs = spec.dispatchHeartbeatMs;
+    cfg.backoffMs = spec.dispatchBackoffMs;
+    cfg.speculate = spec.dispatchSpeculate;
     Coordinator coord(spec, cfg);
     auto results = coord.run(progress);
     if (statsOut)

@@ -5,12 +5,18 @@
  * results into the same ordered CellResult vector driver::Runner
  * produces — reports built from either path are byte-identical.
  *
- * Fault tolerance: a worker that crashes, returns garbage, or blows a
- * per-cell timeout is reaped and its in-flight cell re-queued to
- * another worker; after a per-cell attempt cap the failure is recorded
- * through the runner's existing cell-error path (the report's "error"
- * field) instead of taking down the sweep. Dead workers are replaced
- * as long as work remains, within a respawn budget.
+ * Fault tolerance: a worker that crashes, returns garbage, misses its
+ * liveness heartbeats, or blows a per-cell timeout is reaped and its
+ * in-flight cell re-queued to another worker; after a per-cell
+ * attempt cap the failure is recorded through the runner's existing
+ * cell-error path (the report's "error" field) instead of taking down
+ * the sweep. Dead workers are replaced as long as work remains —
+ * never more replacements than there are unassigned cells — behind
+ * exponential backoff with deterministic jitter, within a respawn
+ * budget; when the pool is unrecoverable the remaining cells degrade
+ * to in-process execution instead of erroring. Idle workers
+ * speculatively re-run tail stragglers' cells (first result wins)
+ * when configured.
  *
  * Workers share generated .stmt traces through the TraceCache spill
  * dir (a temp dir is provisioned when the spec has none), so each
@@ -73,6 +79,30 @@ struct DispatchConfig
     uint32_t maxAttempts = 3;   //!< per-cell tries before giving up
     std::string workerExe;      //!< "" = this binary (/proc/self/exe)
     bool trace = false;         //!< workers record + ship spans (v4)
+
+    /**
+     * Worker liveness heartbeat period (0 = off). Distinct from the
+     * per-cell timeout: a worker that misses kHeartbeatMissBudget
+     * consecutive heartbeats is wedged (hung syscall, deadlock) and
+     * is killed fast, while a slow-but-heartbeating cell runs on.
+     */
+    uint32_t heartbeatMs = 0;
+
+    /**
+     * Base respawn backoff in ms (0 = immediate respawn). A slot's
+     * delay doubles per consecutive loss (capped at 5 s) with
+     * deterministic jitter, so a crash-looping worker cannot pin the
+     * coordinator in a fork storm.
+     */
+    uint32_t backoffMs = 50;
+
+    /**
+     * Re-dispatch a tail straggler's cell to an idle worker when its
+     * round trip exceeds 3x the median completed round trip (and a
+     * floor); the first result wins, the loser is discarded. At most
+     * one speculative copy per cell.
+     */
+    bool speculate = false;
 };
 
 /**

@@ -1,0 +1,379 @@
+#include "dispatch/journal.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <iostream>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "dispatch/wire.hh"
+#include "driver/report.hh"
+#include "fault/fault.hh"
+#include "obs/counters.hh"
+
+namespace stems::dispatch {
+
+using driver::CellResult;
+using driver::ProgressFn;
+
+namespace {
+
+constexpr uint32_t kJournalVersion = 1;
+
+std::string
+hexU64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+std::string
+headerFrame(uint64_t specHash, uint64_t cellCount)
+{
+    driver::JsonWriter j;
+    j.beginObject();
+    j.key("type").value("journal");
+    j.key("version").value(uint64_t{kJournalVersion});
+    j.key("spec").value(hexU64(specHash));
+    j.key("cells").value(cellCount);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+frameBytes(const std::string &payload)
+{
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+    return frame;
+}
+
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Scan one frame starting at @p off in @p buf. Returns true and
+ * advances @p off past the frame, filling @p payload; false when the
+ * remaining bytes do not hold a complete well-formed frame (the torn
+ * tail a killed writer leaves).
+ */
+bool
+scanFrame(const std::string &buf, size_t &off, std::string &payload)
+{
+    const size_t nl = buf.find('\n', off);
+    if (nl == std::string::npos || nl == off)
+        return false;
+    size_t len = 0;
+    for (size_t i = off; i < nl; ++i) {
+        const char c = buf[i];
+        if (c < '0' || c > '9')
+            return false;
+        len = len * 10 + static_cast<size_t>(c - '0');
+        if (len > (64u << 20))
+            return false;
+    }
+    if (buf.size() - (nl + 1) < len + 1)
+        return false;
+    if (buf[nl + 1 + len] != '\n')
+        return false;
+    payload.assign(buf, nl + 1, len);
+    off = nl + 1 + len + 1;
+    return true;
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::string out;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return out;
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        out.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+} // anonymous namespace
+
+uint64_t
+specFingerprint(const std::vector<driver::RunCell> &cells)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0x1f;  // frame separator so encodings cannot alias
+        h *= 0x100000001b3ULL;
+    };
+    for (const auto &cell : cells)
+        fold(encodeCellJob(cell));
+    return h;
+}
+
+RunJournal::~RunJournal()
+{
+    close();
+}
+
+void
+RunJournal::open(const std::string &path, uint64_t specHash,
+                 uint64_t cellCount, bool resume)
+{
+    close();
+    replayed_.clear();
+    path_ = path;
+
+    size_t validEnd = 0;
+    bool haveExisting = false;
+    if (resume) {
+        const std::string buf = slurpFile(path);
+        size_t off = 0;
+        std::string payload;
+        if (!buf.empty() && scanFrame(buf, off, payload)) {
+            haveExisting = true;
+            try {
+                const JsonValue header = parseJson(payload);
+                if (messageType(header) != "journal" ||
+                    header.at("version").asU64() != kJournalVersion)
+                    throw std::invalid_argument(
+                        "journal: " + path +
+                        " is not a stems run journal");
+                if (header.at("spec").asString() != hexU64(specHash))
+                    throw std::invalid_argument(
+                        "journal: " + path +
+                        " was written by a different spec (or cells= "
+                        "filter) — refusing to splice unrelated "
+                        "results");
+            } catch (const std::invalid_argument &) {
+                throw;
+            } catch (const std::exception &e) {
+                throw std::invalid_argument(
+                    "journal: " + path + ": bad header (" + e.what() +
+                    ")");
+            }
+            validEnd = off;
+            // result frames, first-ok-wins per id; stop at the first
+            // torn or unparseable frame (a killed writer's tail)
+            while (scanFrame(buf, off, payload)) {
+                try {
+                    const JsonValue msg = parseJson(payload);
+                    if (messageType(msg) != "result")
+                        break;
+                    CellResult r = decodeResult(msg);
+                    const uint32_t id = r.cell.id;
+                    if (r.error.empty() && !replayed_.count(id))
+                        replayed_.emplace(id, std::move(r));
+                } catch (const std::exception &) {
+                    break;
+                }
+                validEnd = off;
+            }
+        }
+    }
+
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (fd_ < 0)
+        throw std::runtime_error("journal: cannot open " + path + ": " +
+                                 std::strerror(errno));
+    if (haveExisting) {
+        // drop the torn tail so appends land on a frame boundary
+        if (::ftruncate(fd_, static_cast<off_t>(validEnd)) != 0 ||
+            ::lseek(fd_, 0, SEEK_END) < 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error("journal: cannot truncate " +
+                                     path + ": " + std::strerror(err));
+        }
+        obs::count(&obs::Counters::journalCellsReplayed,
+                   replayed_.size());
+    } else {
+        if (::ftruncate(fd_, 0) != 0 ||
+            !writeAll(fd_, frameBytes(headerFrame(specHash,
+                                                  cellCount))) ||
+            ::fsync(fd_) != 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error("journal: cannot write " + path +
+                                     ": " + std::strerror(err));
+        }
+    }
+}
+
+void
+RunJournal::append(const CellResult &result)
+{
+    if (fd_ < 0)
+        return;
+    if (!writeAll(fd_, frameBytes(encodeResult(result))) ||
+        ::fsync(fd_) != 0) {
+        std::cerr << "stems: journal write to " << path_
+                  << " failed (" << std::strerror(errno)
+                  << "); continuing without durability\n";
+        close();
+        return;
+    }
+    obs::count(&obs::Counters::journalCellsWritten);
+}
+
+void
+RunJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::vector<CellResult>
+runSpec(const driver::ExperimentSpec &spec, const ProgressFn &progress,
+        std::vector<WorkerStats> *statsOut, double *wallMsOut)
+{
+    if (statsOut)
+        statsOut->clear();
+    if (wallMsOut)
+        *wallMsOut = 0;
+
+    // chaos plan: install process-wide (spill faults fire in-process
+    // too) and export so forked workers inherit it; validate before
+    // any work happens
+    if (!spec.faultPlan.empty()) {
+        fault::installPlan(fault::parsePlan(spec.faultPlan));
+        ::setenv("STEMS_FAULTS", spec.faultPlan.c_str(), 1);
+    }
+
+    const std::vector<driver::RunCell> allCells =
+        driver::selectedCells(spec);
+
+    RunJournal journal;
+    if (!spec.journalPath.empty())
+        journal.open(spec.journalPath, specFingerprint(allCells),
+                     allCells.size(), spec.resume);
+
+    // a resumed run executes only the cells the journal does not
+    // already hold; ids are preserved under cells= filters, so the
+    // remaining ids form a valid sub-filter
+    driver::ExperimentSpec subSpec = spec;
+    bool runNeeded = true;
+    if (!journal.replayed().empty()) {
+        std::string remaining;
+        for (const auto &cell : allCells) {
+            if (journal.replayed().count(cell.id))
+                continue;
+            if (!remaining.empty())
+                remaining += ',';
+            remaining += std::to_string(cell.id);
+        }
+        if (remaining.empty())
+            runNeeded = false;
+        else
+            subSpec.cellFilter = remaining;
+    }
+
+    ProgressFn journaled = progress;
+    if (journal.isOpen())
+        journaled = [&journal, &progress](const CellResult &r,
+                                          size_t done, size_t total) {
+            journal.append(r);
+            if (progress)
+                progress(r, done, total);
+        };
+
+    std::vector<CellResult> ran;
+    if (runNeeded) {
+        if (spec.dispatch > 0) {
+            DispatchConfig dcfg;
+            dcfg.workers = spec.dispatch;
+            dcfg.timeoutMs = spec.dispatchTimeoutMs;
+            dcfg.maxAttempts = spec.dispatchRetries;
+            dcfg.trace = !spec.traceOut.empty();
+            dcfg.heartbeatMs = spec.dispatchHeartbeatMs;
+            dcfg.backoffMs = spec.dispatchBackoffMs;
+            dcfg.speculate = spec.dispatchSpeculate;
+            dcfg.workerExe = spec.dispatchWorkerExe;
+            Coordinator coord(subSpec, dcfg);
+            ran = coord.run(journaled);
+            if (statsOut)
+                *statsOut = coord.workerStats();
+            if (wallMsOut)
+                *wallMsOut = coord.wallMs();
+        } else {
+            const auto start = std::chrono::steady_clock::now();
+            driver::Runner runner(subSpec);
+            ran = runner.run(journaled);
+            if (wallMsOut)
+                *wallMsOut =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        }
+    }
+
+    if (journal.replayed().empty())
+        return ran;
+
+    // splice journaled and fresh results back into expansion order;
+    // the local expansion's cell metadata is authoritative (the
+    // journal, like the wire, carries measurements plus the id)
+    std::map<uint32_t, CellResult *> fresh;
+    for (auto &r : ran)
+        fresh.emplace(r.cell.id, &r);
+    std::vector<CellResult> out;
+    out.reserve(allCells.size());
+    for (const auto &cell : allCells) {
+        const auto joIt = journal.replayed().find(cell.id);
+        if (joIt != journal.replayed().end()) {
+            CellResult r;
+            r.cell = cell;
+            r.metrics = joIt->second.metrics;
+            r.telemetry = joIt->second.telemetry;
+            out.push_back(std::move(r));
+            continue;
+        }
+        const auto frIt = fresh.find(cell.id);
+        if (frIt != fresh.end()) {
+            out.push_back(std::move(*frIt->second));
+        } else {
+            CellResult r;
+            r.cell = cell;
+            r.error = "resume: cell was neither journaled nor re-run";
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+} // namespace stems::dispatch

@@ -1,5 +1,7 @@
 #include "dispatch/json.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -244,9 +246,24 @@ JsonValue::at(const std::string &key) const
 uint64_t
 JsonValue::asU64() const
 {
+    // strict: a malformed wire value must throw (the coordinator maps
+    // that to a worker protocol error and a cell-error past the retry
+    // cap) rather than silently decode as zero or a wrapped negative
     if (kind != Kind::Number)
         throw std::invalid_argument("json: expected number");
-    return std::strtoull(text.c_str(), nullptr, 10);
+    if (text.empty() || text[0] == '-')
+        throw std::invalid_argument("json: expected unsigned integer, "
+                                    "got \"" + text + "\"");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE)
+        throw std::invalid_argument("json: integer overflow in \"" +
+                                    text + "\"");
+    if (end != text.c_str() + text.size())
+        throw std::invalid_argument("json: trailing bytes in integer \""
+                                    + text + "\"");
+    return v;
 }
 
 double
@@ -254,7 +271,19 @@ JsonValue::asDouble() const
 {
     if (kind != Kind::Number && kind != Kind::String)
         throw std::invalid_argument("json: expected number");
-    return std::strtod(text.c_str(), nullptr);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        throw std::invalid_argument("json: malformed number \"" + text +
+                                    "\"");
+    // NaN/inf (including hexfloat overflow) must not enter the metric
+    // fold: a NaN uIPC would propagate into the report as null and
+    // silently corrupt aggregates
+    if (!std::isfinite(v))
+        throw std::invalid_argument("json: non-finite number \"" + text +
+                                    "\"");
+    return v;
 }
 
 const std::string &

@@ -225,6 +225,7 @@ encodeInit(const WorkerInit &init)
         j.value(uint64_t{s});
     j.endArray();
     j.key("trace").value(init.trace);
+    j.key("heartbeat_ms").value(uint64_t{init.heartbeatMs});
     j.endObject();
     return j.str();
 }
@@ -243,9 +244,11 @@ decodeInit(const JsonValue &msg)
     for (const auto &s : msg.at("oracle_regions").items)
         init.oracleRegionSizes.push_back(
             static_cast<uint32_t>(s.asU64()));
-    // v4 observability field; optional so readers stay tolerant
+    // v4/v5 fields; optional so readers stay tolerant
     if (const JsonValue *trace = msg.find("trace"))
         init.trace = trace->asBool();
+    if (const JsonValue *hb = msg.find("heartbeat_ms"))
+        init.heartbeatMs = static_cast<uint32_t>(hb->asU64());
     return init;
 }
 
@@ -261,11 +264,15 @@ encodeReady(int pid)
 }
 
 std::string
-encodeCellJob(const driver::RunCell &cell)
+encodeCellJob(const driver::RunCell &cell, uint32_t attempt)
 {
     JsonWriter j;
     j.beginObject();
     j.key("type").value("cell");
+    // attempt is a sibling of "cell": the cell object's encoding
+    // doubles as the journal's spec fingerprint input and must not
+    // change across retries
+    j.key("attempt").value(uint64_t{attempt});
     j.key("cell").beginObject();
     j.key("id").value(uint64_t{cell.id});
     j.key("workload").value(cell.workload);
@@ -323,6 +330,20 @@ decodeCellJob(const JsonValue &msg)
     cell.timingOnly = c.at("timing_only").asBool();
     cell.densityRegion = static_cast<uint32_t>(c.at("density").asU64());
     return cell;
+}
+
+uint32_t
+decodeCellAttempt(const JsonValue &msg)
+{
+    if (const JsonValue *attempt = msg.find("attempt"))
+        return static_cast<uint32_t>(attempt->asU64());
+    return 1;
+}
+
+std::string
+encodeHeartbeat()
+{
+    return "{\"type\":\"heartbeat\"}";
 }
 
 std::string

@@ -10,7 +10,16 @@
  *
  * Message flow:
  *   coordinator -> worker:  init, cell*, shutdown
- *   worker -> coordinator:  ready, result*
+ *   worker -> coordinator:  ready, heartbeat*, result*
+ *
+ * Since protocol v5, the coordinator may request liveness heartbeats
+ * (init "heartbeat_ms" > 0): a worker thread then emits "heartbeat"
+ * frames on that period, letting the coordinator kill a wedged worker
+ * fast without any per-cell timeout — a slow cell keeps heartbeating,
+ * a hung process does not. Cell jobs also carry the coordinator's
+ * attempt number ("attempt", a sibling of the "cell" object so cell
+ * fingerprints stay attempt-independent), which seeds deterministic
+ * fault injection (src/fault/) and first-attempt-only chaos clauses.
  *
  * Doubles (uIPC, wall times) travel as C99 hexfloat strings so metric
  * values survive the round trip bit-exactly — the merged report must
@@ -47,7 +56,7 @@
 namespace stems::dispatch {
 
 /** Wire protocol version; bumped on incompatible message changes. */
-constexpr uint32_t kProtocolVersion = 4;
+constexpr uint32_t kProtocolVersion = 5;
 
 /** Spec-global settings shipped to a worker before any cells. */
 struct WorkerInit
@@ -56,6 +65,7 @@ struct WorkerInit
     std::string traceDir;  //!< shared .stmt spill dir ("" = live gen)
     std::vector<uint32_t> oracleRegionSizes;
     bool trace = false;    //!< enable the worker's span recorder (v4)
+    uint32_t heartbeatMs = 0;  //!< liveness frame period (v5; 0 = off)
 };
 
 // message payloads (each is one self-contained JSON document)
@@ -65,8 +75,19 @@ WorkerInit decodeInit(const JsonValue &msg);
 
 std::string encodeReady(int pid);
 
-std::string encodeCellJob(const driver::RunCell &cell);
+/**
+ * @param attempt the coordinator's 1-based try counter for this cell,
+ *        shipped OUTSIDE the "cell" object so the cell encoding (and
+ *        hence journal spec fingerprints) stays attempt-independent
+ */
+std::string encodeCellJob(const driver::RunCell &cell,
+                          uint32_t attempt = 1);
 driver::RunCell decodeCellJob(const JsonValue &msg);
+
+/** The "attempt" field of a cell job (1 when absent). */
+uint32_t decodeCellAttempt(const JsonValue &msg);
+
+std::string encodeHeartbeat();
 
 std::string encodeResult(const driver::CellResult &result);
 /** Decodes metrics/error; the cell field carries only the id. */

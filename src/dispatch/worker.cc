@@ -1,18 +1,21 @@
 #include "dispatch/worker.hh"
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
-#include <fcntl.h>
 #include <iostream>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unistd.h>
 
 #include "dispatch/wire.hh"
 #include "driver/executor.hh"
+#include "fault/fault.hh"
 #include "obs/counters.hh"
 #include "obs/obs.hh"
 
@@ -20,71 +23,85 @@ namespace stems::dispatch {
 
 namespace {
 
-/** One parsed fault-injection hook (test instrumentation). */
-struct FaultHook
+/**
+ * Liveness heartbeats: a background thread frames "heartbeat" onto the
+ * worker's stdout every period, sharing @p wireMu with result writes so
+ * frames never interleave. The fault injector's Hang clause wedges the
+ * worker *holding* that mutex — heartbeats stop exactly like they would
+ * for a real deadlock, which is what the coordinator's liveness check
+ * keys on (a merely slow cell keeps beating).
+ */
+class HeartbeatThread
 {
-    uint32_t cellId = 0;
-    uint32_t sleepMs = 0;     //!< 0 = crash instead of stalling
-    std::string markerPath;   //!< "" = fire on every attempt
+  public:
+    HeartbeatThread(int outFd, uint32_t periodMs, std::mutex &wireMu)
+        : outFd(outFd), periodMs(periodMs), wireMu(wireMu)
+    {
+        if (periodMs > 0)
+            thread = std::thread([this] { run(); });
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stop = true;
+        }
+        cv.notify_all();
+        if (thread.joinable())
+            thread.join();
+    }
+
+  private:
+    void run()
+    {
+        const std::string beat = encodeHeartbeat();
+        std::unique_lock<std::mutex> lk(mu);
+        for (;;) {
+            cv.wait_for(lk, std::chrono::milliseconds(periodMs),
+                        [this] { return stop; });
+            if (stop)
+                return;
+            std::lock_guard<std::mutex> wire(wireMu);
+            if (!writeFrame(outFd, beat))
+                return;  // coordinator went away; the main loop exits
+        }
+    }
+
+    int outFd;
+    uint32_t periodMs;
+    std::mutex &wireMu;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
 };
 
-/**
- * Parse "ID[:MS][:MARKER]" from @p env. @p withSleep selects the
- * STEMS_DISPATCH_SLEEP shape (which carries the MS field).
- */
-std::optional<FaultHook>
-parseHook(const char *env, bool withSleep)
+/** The raw on-pipe bytes of one frame (for the Truncate fault). */
+std::string
+frameBytes(const std::string &payload)
 {
-    const char *raw = std::getenv(env);
-    if (!raw)
-        return std::nullopt;
-    FaultHook hook;
-    std::string s(raw);
-    size_t colon = s.find(':');
-    hook.cellId =
-        static_cast<uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
-    if (withSleep) {
-        if (colon == std::string::npos)
-            return std::nullopt;
-        hook.sleepMs = static_cast<uint32_t>(
-            std::strtoul(s.c_str() + colon + 1, nullptr, 10));
-        colon = s.find(':', colon + 1);
-    }
-    if (colon != std::string::npos)
-        hook.markerPath = s.substr(colon + 1);
-    return hook;
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+    return frame;
 }
 
-/**
- * Whether the hook fires for this attempt: without a marker it always
- * fires; with one, only the attempt that creates the marker file does
- * (so the re-queued attempt runs clean).
- */
-bool
-hookFires(const FaultHook &hook, uint32_t cellId)
-{
-    if (cellId != hook.cellId)
-        return false;
-    if (hook.markerPath.empty())
-        return true;
-    const int fd = ::open(hook.markerPath.c_str(),
-                          O_CREAT | O_EXCL | O_WRONLY, 0644);
-    if (fd < 0)
-        return false;  // marker exists: a previous attempt already fired
-    ::close(fd);
-    return true;
-}
-
+/** Best-effort raw write of @p bytes (torn-frame injection only). */
 void
-applyTestHooks(uint32_t cellId)
+writeRaw(int fd, const char *data, size_t len)
 {
-    static const auto crash = parseHook("STEMS_DISPATCH_CRASH", false);
-    static const auto stall = parseHook("STEMS_DISPATCH_SLEEP", true);
-    if (crash && hookFires(*crash, cellId))
-        ::_exit(137);  // simulate a SIGKILLed/crashed worker mid-cell
-    if (stall && hookFires(*stall, cellId))
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(stall->sleepMs));
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
 }
 
 } // anonymous namespace
@@ -95,6 +112,11 @@ runWorker(int inFd, int outFd)
     // a dying coordinator must surface as a failed write, not SIGPIPE
     std::signal(SIGPIPE, SIG_IGN);
 
+    // chaos plan (STEMS_FAULTS and/or the legacy crash/sleep hooks);
+    // worker-context clauses fire at the injection sites below, spill
+    // clauses inside the .stmt writer
+    fault::installFromEnv();
+
     FrameDecoder decoder;
     std::string payload;
 
@@ -102,6 +124,7 @@ runWorker(int inFd, int outFd)
     if (!readFrame(inFd, decoder, payload))
         return 0;  // coordinator went away before init
     std::unique_ptr<driver::CellExecutor> executor;
+    uint32_t heartbeatMs = 0;
     try {
         const JsonValue msg = parseJson(payload);
         if (messageType(msg) != "init") {
@@ -114,6 +137,7 @@ runWorker(int inFd, int outFd)
         cfg.traceDir = init.traceDir;
         cfg.oracleRegionSizes = init.oracleRegionSizes;
         executor = std::make_unique<driver::CellExecutor>(cfg);
+        heartbeatMs = init.heartbeatMs;
         if (init.trace) {
             obs::Recorder::get().enable();
             obs::setThreadName("worker");
@@ -122,8 +146,14 @@ runWorker(int inFd, int outFd)
         std::cerr << "stems worker: bad init: " << e.what() << "\n";
         return 2;
     }
-    if (!writeFrame(outFd, encodeReady(::getpid())))
-        return 0;
+
+    std::mutex wireMu;  //!< serializes result and heartbeat frames
+    {
+        std::lock_guard<std::mutex> wire(wireMu);
+        if (!writeFrame(outFd, encodeReady(::getpid())))
+            return 0;
+    }
+    HeartbeatThread heartbeats(outFd, heartbeatMs, wireMu);
 
     while (readFrame(inFd, decoder, payload)) {
         try {
@@ -137,7 +167,19 @@ runWorker(int inFd, int outFd)
                 return 2;
             }
             const driver::RunCell cell = decodeCellJob(msg);
-            applyTestHooks(cell.id);
+            fault::setCellContext(cell.id, decodeCellAttempt(msg));
+
+            if (fault::cellFault(fault::Kind::Crash))
+                ::_exit(137);  // simulated SIGKILL mid-cell
+            if (const fault::Clause *hang =
+                    fault::cellFault(fault::Kind::Hang)) {
+                // wedge with the wire lock held: heartbeats stop too,
+                // exactly like a real deadlock would look
+                std::lock_guard<std::mutex> wire(wireMu);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(hang->hangMs));
+            }
+
             driver::CellResult result;
             {
                 obs::Span span("worker_cell",
@@ -152,6 +194,26 @@ runWorker(int inFd, int outFd)
             result.telemetry.rssKb = obs::peakRssKb();
             if (obs::Recorder::get().enabled())
                 result.telemetry.spans = obs::Recorder::get().drain();
+
+            if (fault::cellFault(fault::Kind::Garbage)) {
+                // a validly-framed but unparseable payload: exercises
+                // the coordinator's decode-hardening path
+                std::lock_guard<std::mutex> wire(wireMu);
+                writeFrame(outFd, "{\"type\":\"result\",!garbage!");
+                fault::clearCellContext();
+                continue;  // coordinator reaps us; nothing else to do
+            }
+            if (fault::cellFault(fault::Kind::Truncate)) {
+                // torn wire write: half a frame, then death
+                const std::string frame =
+                    frameBytes(encodeResult(result));
+                std::lock_guard<std::mutex> wire(wireMu);
+                writeRaw(outFd, frame.data(), frame.size() / 2);
+                ::_exit(137);
+            }
+
+            fault::clearCellContext();
+            std::lock_guard<std::mutex> wire(wireMu);
             if (!writeFrame(outFd, encodeResult(result)))
                 return 0;  // coordinator went away
         } catch (const std::exception &e) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault.hh"
 #include "study/suite.hh"
 
 namespace stems::driver {
@@ -365,6 +366,24 @@ parseSpec(const std::vector<std::string> &tokens)
             if (spec.dispatchRetries == 0)
                 throw std::invalid_argument(
                     "dispatch-retries must be positive");
+        } else if (key == "dispatch-heartbeat-ms") {
+            spec.dispatchHeartbeatMs = static_cast<uint32_t>(
+                parseU64(key, value, spec.dispatchHeartbeatMs));
+        } else if (key == "dispatch-backoff-ms") {
+            spec.dispatchBackoffMs = static_cast<uint32_t>(
+                parseU64(key, value, spec.dispatchBackoffMs));
+        } else if (key == "dispatch-speculate") {
+            Options o{{key, value}};
+            spec.dispatchSpeculate =
+                optBool(o, key, spec.dispatchSpeculate);
+        } else if (key == "fault-plan") {
+            (void)fault::parsePlan(value);  // fail early on bad input
+            spec.faultPlan = value;
+        } else if (key == "journal") {
+            spec.journalPath = value;
+        } else if (key == "resume") {
+            Options o{{key, value}};
+            spec.resume = optBool(o, key, spec.resume);
         } else if (key == "wall") {
             Options o{{key, value}};
             spec.emitWall = optBool(o, key, spec.emitWall);
@@ -406,6 +425,11 @@ parseSpec(const std::vector<std::string> &tokens)
         for (const auto &axis : spec.sweeps)
             rejectTrainer(axis.first == "trainer");
     }
+
+    if (spec.resume && spec.journalPath.empty())
+        throw std::invalid_argument(
+            "resume=1 needs a journal=FILE to splice results from");
+
     return spec;
 }
 
@@ -533,6 +557,21 @@ specHelp()
         "                                 processes (crash-isolated)\n"
         "  dispatch-timeout-ms=N          per-cell timeout (0 = none)\n"
         "  dispatch-retries=N             attempts per cell (default 3)\n"
+        "  dispatch-heartbeat-ms=N        worker liveness period; a\n"
+        "                                 wedged worker is killed after\n"
+        "                                 4 missed beats (0 = off)\n"
+        "  dispatch-backoff-ms=N          respawn backoff base, doubles\n"
+        "                                 per loss, 5s cap (default 50)\n"
+        "  dispatch-speculate=0|1         re-dispatch tail stragglers\n"
+        "                                 to idle workers (first result\n"
+        "                                 wins)\n"
+        "  journal=FILE                   append each completed cell to\n"
+        "                                 a crash-safe result journal\n"
+        "  resume=0|1                     skip journaled cells, splice\n"
+        "                                 them into the report\n"
+        "  fault-plan=SPEC                seeded chaos injection (e.g.\n"
+        "                                 seed=7,crash=0.2,hang=0.1/4000\n"
+        "                                 — see src/fault/fault.hh)\n"
         "  cells=A-B,C,...                run a cell-id subset (ids are\n"
         "                                 kept, stems merge recombines)\n"
         "  trace-dir=DIR                  record/replay traces on disk\n"

@@ -79,6 +79,15 @@ struct ExperimentSpec
     uint32_t dispatch = 0;            //!< worker processes (0 = in-proc)
     uint32_t dispatchTimeoutMs = 0;   //!< per-cell timeout (0 = none)
     uint32_t dispatchRetries = 3;     //!< attempts per cell before error
+    uint32_t dispatchHeartbeatMs = 0; //!< liveness period (0 = off)
+    uint32_t dispatchBackoffMs = 50;  //!< respawn backoff base
+    bool dispatchSpeculate = false;   //!< re-dispatch tail stragglers
+    std::string dispatchWorkerExe;    //!< "" = this binary
+
+    // fault tolerance (see dispatch/journal.hh, fault/fault.hh)
+    std::string faultPlan;     //!< chaos plan ("" = none)
+    std::string journalPath;   //!< crash-safe result journal ("" = off)
+    bool resume = false;       //!< splice journaled cells, run the rest
 };
 
 /** One independent run: a fully-resolved point of the matrix. */

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dispatch/coordinator.hh"
+#include "dispatch/journal.hh"
 #include "dispatch/merge.hh"
 #include "dispatch/worker.hh"
 #include "driver/bench.hh"
@@ -317,35 +318,26 @@ cmdRun(const std::vector<std::string> &args)
             std::cerr << line.str();
         };
 
-    const auto runStart = std::chrono::steady_clock::now();
-    std::vector<CellResult> results;
-    std::vector<dispatch::WorkerStats> workerStats;
-    if (spec.dispatch > 0) {
-        dispatch::DispatchConfig dcfg;
-        dcfg.workers = spec.dispatch;
-        dcfg.timeoutMs = spec.dispatchTimeoutMs;
-        dcfg.maxAttempts = spec.dispatchRetries;
-        dcfg.trace = !spec.traceOut.empty();
-        dispatch::Coordinator coord(spec, dcfg);
-        if (!quiet)
-            std::cerr << "stems: " << coord.cells().size()
-                      << " cells across "
-                      << std::min<size_t>(spec.dispatch,
-                                          coord.cells().size())
+    if (!quiet) {
+        const size_t nCells = selectedCells(spec).size();
+        if (spec.dispatch > 0)
+            std::cerr << "stems: " << nCells << " cells across "
+                      << std::min<size_t>(spec.dispatch, nCells)
                       << " worker processes\n";
-        results = coord.run(progress);
-        workerStats = coord.workerStats();
-    } else {
-        Runner runner(spec);
-        if (!quiet)
-            std::cerr << "stems: " << runner.cells().size()
-                      << " cells (" << spec.workloads.size()
-                      << " workloads x " << spec.engines.size()
-                      << " prefetchers"
+        else
+            std::cerr << "stems: " << nCells << " cells ("
+                      << spec.workloads.size() << " workloads x "
+                      << spec.engines.size() << " prefetchers"
                       << (spec.sweeps.empty() ? "" : " x sweep")
                       << ")\n";
-        results = runner.run(progress);
     }
+
+    const auto runStart = std::chrono::steady_clock::now();
+    std::vector<dispatch::WorkerStats> workerStats;
+    // runSpec is the one execution entry point: fault plan, journal
+    // and resume splicing, dispatch-vs-in-process selection
+    std::vector<CellResult> results =
+        dispatch::runSpec(spec, progress, &workerStats);
     const double runWallMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - runStart)

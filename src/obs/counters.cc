@@ -27,6 +27,12 @@ Counters::reset()
     workerRespawns = 0;
     wireBytesSent = 0;
     wireBytesReceived = 0;
+    faultsInjected = 0;
+    heartbeatsMissed = 0;
+    journalCellsWritten = 0;
+    journalCellsReplayed = 0;
+    speculativeRedispatches = 0;
+    degradedCells = 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>>
@@ -50,6 +56,12 @@ snapshotCounters()
         {"worker_respawns", v(c.workerRespawns)},
         {"wire_bytes_sent", v(c.wireBytesSent)},
         {"wire_bytes_received", v(c.wireBytesReceived)},
+        {"faults_injected", v(c.faultsInjected)},
+        {"heartbeats_missed", v(c.heartbeatsMissed)},
+        {"journal_cells_written", v(c.journalCellsWritten)},
+        {"journal_cells_replayed", v(c.journalCellsReplayed)},
+        {"speculative_redispatches", v(c.speculativeRedispatches)},
+        {"degraded_cells", v(c.degradedCells)},
     };
 }
 

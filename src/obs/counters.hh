@@ -39,6 +39,14 @@ struct Counters
     std::atomic<uint64_t> workerRespawns{0};
     std::atomic<uint64_t> wireBytesSent{0};
     std::atomic<uint64_t> wireBytesReceived{0};
+    // fault-tolerance families (PR 7): chaos injection, liveness,
+    // run durability and straggler mitigation
+    std::atomic<uint64_t> faultsInjected{0};
+    std::atomic<uint64_t> heartbeatsMissed{0};
+    std::atomic<uint64_t> journalCellsWritten{0};
+    std::atomic<uint64_t> journalCellsReplayed{0};
+    std::atomic<uint64_t> speculativeRedispatches{0};
+    std::atomic<uint64_t> degradedCells{0};
 
     static Counters &get();
 

@@ -9,6 +9,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "fault/fault.hh"
+
 namespace stems::trace {
 
 namespace {
@@ -29,8 +31,15 @@ tempName(const std::string &path)
 bool
 commitOrDiscard(const std::string &tmp, const std::string &path, bool ok)
 {
-    if (ok && std::rename(tmp.c_str(), path.c_str()) == 0)
+    if (ok && std::rename(tmp.c_str(), path.c_str()) == 0) {
+        // chaos hook: flip one payload byte of the committed file;
+        // the v3 checksum makes the damage detectable, so replay
+        // rejects the spill and the TraceCache regenerates it
+        if (fault::spillFault(fault::Kind::CorruptSpill, path))
+            fault::corruptFileByte(path, fault::currentPlan().seed,
+                                   kTraceHeaderBytes);
         return true;
+    }
     std::remove(tmp.c_str());
     return false;
 }
@@ -55,9 +64,39 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<FILE, FileCloser>;
 
-/** Fixed .stmt header: magic, version, generator hash, record count. */
-constexpr size_t kHeaderBytes = 4 + sizeof(uint32_t) +
-    sizeof(uint64_t) + sizeof(uint64_t);
+/**
+ * Fixed .stmt header: magic, version, generator hash, record count,
+ * payload checksum (v3).
+ */
+constexpr size_t kHeaderBytes = kTraceHeaderBytes;
+
+/** Byte offset of the checksum field (rewritten after streaming). */
+constexpr long kChecksumOffset = 4 + sizeof(uint32_t) +
+    2 * sizeof(uint64_t);
+
+/**
+ * Write the v3 header with a placeholder checksum; the writers seek
+ * back and fill the real value once every record has streamed through
+ * the running FNV fold.
+ */
+bool
+writeHeader(FILE *f, uint64_t config_hash, uint64_t count)
+{
+    const uint64_t placeholder = 0;
+    return std::fwrite(kMagic, 1, 4, f) == 4 &&
+        std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion),
+                    1, f) == 1 &&
+        std::fwrite(&config_hash, sizeof(config_hash), 1, f) == 1 &&
+        std::fwrite(&count, sizeof(count), 1, f) == 1 &&
+        std::fwrite(&placeholder, sizeof(placeholder), 1, f) == 1;
+}
+
+bool
+patchChecksum(FILE *f, uint64_t checksum)
+{
+    return std::fseek(f, kChecksumOffset, SEEK_SET) == 0 &&
+        std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+}
 
 /** Copy one unaligned little-endian field out of a byte view. */
 template <typename T>
@@ -84,12 +123,18 @@ parseTraceImage(const unsigned char *data, size_t size, Trace &out,
         return false;
     const uint64_t config_hash = loadField<uint64_t>(data + 8);
     const uint64_t count = loadField<uint64_t>(data + 16);
+    const uint64_t checksum = loadField<uint64_t>(data + 24);
     // a stale trace from an incompatible generator must not replay
     if (expected_hash != 0 && config_hash != expected_hash)
         return false;
     // a corrupt count must not drive reserve(): the image must
     // actually hold that many records
     if (count != (size - kHeaderBytes) / sizeof(PackedAccess))
+        return false;
+    // corrupted record payloads must not replay (v3): silently wrong
+    // references would break the byte-identity of dispatched reports
+    if (checksum != traceChecksum(data + kHeaderBytes,
+                                  size - kHeaderBytes))
         return false;
 
     out.clear();
@@ -161,9 +206,22 @@ readTraceMapped(const std::string &path, Trace &out,
 
 } // anonymous namespace
 
+uint64_t
+traceChecksum(const unsigned char *data, size_t size, uint64_t h)
+{
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 bool
 writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
 {
+    // chaos hook: model a full disk before any bytes land
+    if (fault::spillFault(fault::Kind::Enospc, path))
+        return false;
     const std::string tmp = tempName(path);
     bool ok = false;
     {
@@ -171,22 +229,21 @@ writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
         if (!f)
             return false;
 
-        uint64_t count = t.size();
-        ok = std::fwrite(kMagic, 1, 4, f.get()) == 4 &&
-            std::fwrite(&kTraceFormatVersion,
-                        sizeof(kTraceFormatVersion), 1, f.get()) == 1 &&
-            std::fwrite(&config_hash, sizeof(config_hash), 1,
-                        f.get()) == 1 &&
-            std::fwrite(&count, sizeof(count), 1, f.get()) == 1;
+        ok = writeHeader(f.get(), config_hash, t.size());
 
+        uint64_t checksum = traceChecksum(nullptr, 0);
         for (const auto &a : t) {
             if (!ok)
                 break;
             PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
                            static_cast<uint8_t>(a.isWrite),
                            static_cast<uint8_t>(a.isKernel)};
+            checksum = traceChecksum(
+                reinterpret_cast<const unsigned char *>(&p), sizeof(p),
+                checksum);
             ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
         }
+        ok = ok && patchChecksum(f.get(), checksum);
     }
     return commitOrDiscard(tmp, path, ok);
 }
@@ -195,6 +252,8 @@ bool
 writeTrace(InterleavedView &view, const std::string &path,
            uint64_t config_hash)
 {
+    if (fault::spillFault(fault::Kind::Enospc, path))
+        return false;
     const std::string tmp = tempName(path);
     bool ok = false;
     {
@@ -202,21 +261,20 @@ writeTrace(InterleavedView &view, const std::string &path,
         if (!f)
             return false;
 
-        uint64_t count = view.size();
-        ok = std::fwrite(kMagic, 1, 4, f.get()) == 4 &&
-            std::fwrite(&kTraceFormatVersion,
-                        sizeof(kTraceFormatVersion), 1, f.get()) == 1 &&
-            std::fwrite(&config_hash, sizeof(config_hash), 1,
-                        f.get()) == 1 &&
-            std::fwrite(&count, sizeof(count), 1, f.get()) == 1;
+        ok = writeHeader(f.get(), config_hash, view.size());
 
+        uint64_t checksum = traceChecksum(nullptr, 0);
         MemAccess a;
         while (ok && view.next(a)) {
             PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
                            static_cast<uint8_t>(a.isWrite),
                            static_cast<uint8_t>(a.isKernel)};
+            checksum = traceChecksum(
+                reinterpret_cast<const unsigned char *>(&p), sizeof(p),
+                checksum);
             ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
         }
+        ok = ok && patchChecksum(f.get(), checksum);
     }
     return commitOrDiscard(tmp, path, ok);
 }

@@ -8,11 +8,19 @@
  * they expect, and files written by an incompatible generator (or in
  * an older format) are rejected instead of silently replaying stale
  * references.
+ *
+ * Format v3 adds a 64-bit checksum of the record payload to the
+ * header, so a spill corrupted after commit (bit rot, a torn device
+ * write, or the fault injector's corrupt-spill mode) is rejected on
+ * replay — the TraceCache then regenerates the trace instead of
+ * silently replaying corrupted references, which would break the
+ * byte-identity of dispatched reports.
  */
 
 #ifndef STEMS_TRACE_IO_HH
 #define STEMS_TRACE_IO_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -22,7 +30,15 @@
 namespace stems::trace {
 
 /** Current .stmt container format version. */
-constexpr uint32_t kTraceFormatVersion = 2;
+constexpr uint32_t kTraceFormatVersion = 3;
+
+/** .stmt header size: magic, version, generator hash, count, checksum. */
+constexpr size_t kTraceHeaderBytes =
+    4 + sizeof(uint32_t) + 3 * sizeof(uint64_t);
+
+/** The payload checksum (FNV-1a 64 over the record bytes). */
+uint64_t traceChecksum(const unsigned char *data, size_t size,
+                       uint64_t h = 0xcbf29ce484222325ULL);
 
 /**
  * Write @p t to @p path in the native STEMS binary format
@@ -58,7 +74,8 @@ bool writeTrace(InterleavedView &view, const std::string &path,
  * @param out           receives the trace on success
  * @param expected_hash when nonzero, the stored generator-config hash
  *                      must match or the file is rejected
- * @return true on success (magic/version/hash/count all validated).
+ * @return true on success (magic/version/hash/count/checksum all
+ *         validated).
  */
 bool readTrace(const std::string &path, Trace &out,
                uint64_t expected_hash = 0);

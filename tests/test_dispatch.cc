@@ -10,17 +10,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "dispatch/coordinator.hh"
 #include "dispatch/json.hh"
+#include "dispatch/journal.hh"
 #include "dispatch/merge.hh"
 #include "dispatch/wire.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
+#include "obs/counters.hh"
 
 using namespace stems;
 using namespace stems::dispatch;
@@ -113,6 +119,17 @@ tempPath(const char *tag)
             (std::string("stems_dispatch_") + tag + "_" +
              std::to_string(::getpid())))
         .string();
+}
+
+uint64_t
+counterValue(const std::vector<std::pair<std::string, uint64_t>> &snap,
+             const std::string &name)
+{
+    for (const auto &[k, v] : snap)
+        if (k == name)
+            return v;
+    ADD_FAILURE() << "no counter named " << name;
+    return 0;
 }
 
 } // anonymous namespace
@@ -646,4 +663,421 @@ TEST(GeometrySweep, BlockAxisAppliesToEveryEngine)
     EXPECT_EQ(cells[0].sys.l1.blockSize, 64u);
     EXPECT_EQ(cells[1].sys.l1.blockSize, 128u);
     EXPECT_EQ(cells[1].sys.l2.blockSize, 128u);
+}
+
+// ---------------------------------------------------------------------
+// hardened wire decoding (adversarial frames)
+// ---------------------------------------------------------------------
+
+TEST(DispatchWireHardening, RejectsNonFiniteMetricValues)
+{
+    // NaN/inf — and hexfloat overflow, which strtod maps to inf —
+    // must never enter the metric fold: reports would stop being
+    // byte-comparable and comparisons would silently misorder
+    for (const char *bad : {"nan", "inf", "-inf", "0x1.fp+20000"}) {
+        const std::string payload = std::string(
+            R"({"type":"result","id":1,"error":"","metrics":{"uipc":")") +
+            bad + R"("},"counters":[]})";
+        EXPECT_THROW(decodeResult(parseJson(payload)),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(DispatchWireHardening, RejectsMalformedU64Fields)
+{
+    // a negative, overflowing, or non-numeric id must throw, not wrap
+    for (const char *bad :
+         {"-1", "99999999999999999999999999", "1.5", "true", "\"7\""}) {
+        const std::string payload = std::string(
+            R"({"type":"result","id":)") + bad +
+            R"(,"error":"","metrics":{},"counters":[]})";
+        EXPECT_THROW(decodeResult(parseJson(payload)), std::exception)
+            << bad;
+    }
+}
+
+TEST(DispatchWireHardening, FrameDecoderCapsFrameSize)
+{
+    // a corrupt length prefix claiming a 17 GB frame must fail fast
+    // instead of buffering until OOM
+    FrameDecoder dec;
+    std::string out;
+    dec.feed("17179869184\n", 12);
+    EXPECT_THROW(dec.next(out), std::invalid_argument);
+
+    FrameDecoder dec2;
+    dec2.feed("\n", 1);  // empty length prefix
+    EXPECT_THROW(dec2.next(out), std::invalid_argument);
+}
+
+TEST(DispatchWireHardening, GarbageResultCostsTheCellNothingFinal)
+{
+    // a worker that frames unparseable bytes is reaped and the cell
+    // retried on a clean worker — the sweep output is unaffected
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=11", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+    ScopedEnv plan("STEMS_FAULTS", "garbage=cell:1");
+    const std::string dispatched = dispatchedJson(spec, 2);
+    EXPECT_EQ(inproc, dispatched);
+}
+
+// ---------------------------------------------------------------------
+// fault-plan chaos runs
+// ---------------------------------------------------------------------
+
+TEST(DispatchChaos, SeededFaultPlanKeepsReportsByteIdentical)
+{
+    // crash + hang + garbage + truncate across the fig11 cell set:
+    // every fault is retried onto a clean attempt (plan faults fire
+    // first-attempt-only), so the chaos run must converge to the
+    // uninterrupted report byte for byte
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,graph", "prefetchers=sms,none", "ncpu=4",
+         "refs=2000", "seed=13", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    ScopedEnv plan("STEMS_FAULTS",
+                   "seed=5,crash=0.4,garbage=0.3,truncate=0.3,"
+                   "hang=0.2/100");
+    DispatchConfig cfg = localConfig(3);
+    cfg.heartbeatMs = 200;
+    const std::string dispatched = dispatchedJson(spec, 3, cfg);
+    EXPECT_EQ(inproc, dispatched);
+}
+
+TEST(DispatchChaos, HeartbeatLivenessKillsWedgedWorker)
+{
+    // the hang fault wedges cell 0's worker for 30 s holding the wire
+    // lock (heartbeats stop, like a real deadlock); with a 100 ms
+    // heartbeat the coordinator kills it after ~4 missed beats and
+    // the retry completes promptly — no per-cell timeout needed
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=5", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    ScopedEnv plan("STEMS_FAULTS", "hang=cell:0/30000");
+    DispatchConfig cfg = localConfig(2);
+    cfg.heartbeatMs = 100;
+    const auto start = std::chrono::steady_clock::now();
+    const std::string dispatched = dispatchedJson(spec, 2, cfg);
+    const double tookMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_LT(tookMs, 25000.0) << "liveness check never fired";
+}
+
+TEST(DispatchChaos, DegradesToInProcessWhenPoolUnrecoverable)
+{
+    // a transport that can never spawn: the respawn budget burns out
+    // and the remaining cells execute in-process instead of erroring
+    class FailingTransport : public Transport
+    {
+      public:
+        WorkerProcess spawn() override
+        {
+            throw std::runtime_error("induced spawn failure");
+        }
+    };
+
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=7", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    obs::Counters::get().reset();
+    DispatchConfig cfg = localConfig(2);
+    Coordinator coord(spec, cfg,
+                      std::make_unique<FailingTransport>());
+    const std::string degraded = toJson(spec, coord.run());
+    EXPECT_EQ(inproc, degraded);
+    EXPECT_GE(counterValue(obs::snapshotCounters(), "degraded_cells"),
+              2u);
+    obs::Counters::get().reset();
+}
+
+TEST(DispatchChaos, SpeculationDuplicatesTailStraggler)
+{
+    // cell 3 hangs 30 s on its first attempt; once the pending queue
+    // drains and enough round trips are in, the idle worker gets a
+    // speculative copy (attempt 2 — the hang is first-attempt-only)
+    // and the run finishes long before the straggler would
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,graph", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=9", "wall=0"});
+    const std::string inproc = inProcessJson(spec);
+
+    obs::Counters::get().reset();
+    ScopedEnv plan("STEMS_FAULTS", "hang=cell:3/30000");
+    DispatchConfig cfg = localConfig(2);
+    cfg.speculate = true;
+    const auto start = std::chrono::steady_clock::now();
+    const std::string dispatched = dispatchedJson(spec, 2, cfg);
+    const double tookMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(inproc, dispatched);
+    EXPECT_LT(tookMs, 25000.0) << "speculation never fired";
+    EXPECT_GE(counterValue(obs::snapshotCounters(),
+                           "speculative_redispatches"),
+              1u);
+    obs::Counters::get().reset();
+}
+
+// ---------------------------------------------------------------------
+// crash-safe journal and resume
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** runSpec with the worker exe pointed at the real stems binary. */
+ExperimentSpec
+withTestWorkerExe(ExperimentSpec spec)
+{
+    spec.dispatchWorkerExe = stemsBinary();
+    return spec;
+}
+
+/** Split a journal file into its raw frames. */
+std::vector<std::string>
+journalFrames(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    std::vector<std::string> frames;
+    size_t off = 0;
+    while (off < buf.size()) {
+        const size_t nl = buf.find('\n', off);
+        if (nl == std::string::npos)
+            break;
+        const size_t len = std::stoul(buf.substr(off, nl - off));
+        if (buf.size() < nl + 1 + len + 1)
+            break;
+        frames.push_back(buf.substr(off, nl + 1 + len + 1 - off));
+        off = nl + 1 + len + 1;
+    }
+    return frames;
+}
+
+void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+} // anonymous namespace
+
+TEST(DispatchJournal, SpecFingerprintTracksCellsAndFilters)
+{
+    ExperimentSpec spec = parseSpec(fig11Tokens());
+    const uint64_t full = specFingerprint(selectedCells(spec));
+    EXPECT_EQ(full, specFingerprint(selectedCells(spec)));
+
+    auto filtered = fig11Tokens();
+    filtered.push_back("cells=0-9");
+    EXPECT_NE(full,
+              specFingerprint(selectedCells(parseSpec(filtered))));
+
+    ExperimentSpec other = parseSpec(
+        {"workloads=sparse", "prefetchers=none", "refs=1500",
+         "wall=0"});
+    EXPECT_NE(full, specFingerprint(selectedCells(other)));
+}
+
+TEST(DispatchJournal, ResumeSplicesByteIdenticallyInProcess)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse,graph", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=21", "wall=0"});
+    const std::string clean = inProcessJson(spec);
+
+    const std::string journal = tempPath("journal_inproc");
+    std::filesystem::remove(journal);
+    spec.journalPath = journal;
+    const std::string full = toJson(spec, dispatch::runSpec(spec));
+    EXPECT_EQ(clean, full);
+
+    // keep the header + the first two results + a torn tail, as a
+    // SIGKILLed writer would leave it
+    auto frames = journalFrames(journal);
+    ASSERT_GE(frames.size(), 4u);
+    writeFileBytes(journal,
+                   frames[0] + frames[1] + frames[2] +
+                       frames[3].substr(0, frames[3].size() / 2));
+
+    obs::Counters::get().reset();
+    spec.resume = true;
+    const std::string resumed = toJson(spec, dispatch::runSpec(spec));
+    EXPECT_EQ(clean, resumed);
+    EXPECT_EQ(counterValue(obs::snapshotCounters(),
+                           "journal_cells_replayed"),
+              2u);
+    obs::Counters::get().reset();
+    std::filesystem::remove(journal);
+}
+
+TEST(DispatchJournal, ResumeSplicesByteIdenticallyDispatched)
+{
+    ExperimentSpec spec = withTestWorkerExe(parseSpec(
+        {"workloads=sparse,graph", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=23", "wall=0", "dispatch=2"}));
+    const std::string journal = tempPath("journal_disp");
+    std::filesystem::remove(journal);
+    spec.journalPath = journal;
+    const std::string full = toJson(spec, dispatch::runSpec(spec));
+
+    ExperimentSpec plain = spec;
+    plain.dispatch = 0;
+    plain.journalPath.clear();
+    const std::string clean = inProcessJson(plain);
+    EXPECT_EQ(clean, full);
+
+    auto frames = journalFrames(journal);
+    ASSERT_GE(frames.size(), 3u);
+    writeFileBytes(journal, frames[0] + frames[1] + frames[2]);
+
+    spec.resume = true;
+    const std::string resumed = toJson(spec, dispatch::runSpec(spec));
+    EXPECT_EQ(clean, resumed);
+    std::filesystem::remove(journal);
+}
+
+TEST(DispatchJournal, ResumeCompletedRunReExecutesNothing)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=25", "wall=0"});
+    const std::string journal = tempPath("journal_done");
+    std::filesystem::remove(journal);
+    spec.journalPath = journal;
+    const std::string full = toJson(spec, dispatch::runSpec(spec));
+
+    spec.resume = true;
+    double wallMs = -1;
+    const std::string resumed = toJson(
+        spec, dispatch::runSpec(spec, {}, nullptr, &wallMs));
+    EXPECT_EQ(full, resumed);
+    EXPECT_EQ(wallMs, 0.0) << "everything should have been replayed";
+    std::filesystem::remove(journal);
+}
+
+TEST(DispatchJournal, RejectsResumeUnderDifferentSpec)
+{
+    ExperimentSpec spec = parseSpec(
+        {"workloads=sparse", "prefetchers=sms,none", "ncpu=4",
+         "refs=1500", "seed=27", "wall=0"});
+    const std::string journal = tempPath("journal_mismatch");
+    std::filesystem::remove(journal);
+    spec.journalPath = journal;
+    (void)dispatch::runSpec(spec);
+
+    ExperimentSpec other = parseSpec(
+        {"workloads=graph", "prefetchers=none", "ncpu=4",
+         "refs=1500", "wall=0"});
+    other.journalPath = journal;
+    other.resume = true;
+    EXPECT_THROW(dispatch::runSpec(other), std::invalid_argument);
+    std::filesystem::remove(journal);
+}
+
+TEST(DispatchJournal, ResumeRequiresJournalKey)
+{
+    EXPECT_THROW(parseSpec({"workloads=sparse", "prefetchers=none",
+                            "resume=1"}),
+                 std::invalid_argument);
+}
+
+TEST(DispatchJournal, CoordinatorSigkillMidRunResumesByteIdentically)
+{
+    // the full crash-safety story, end to end on the real CLI: a
+    // dispatched run is SIGKILLed mid-sweep, then --resume replays
+    // the journaled cells and re-runs the rest — the final report is
+    // byte-identical to a never-interrupted run
+    const std::string journal = tempPath("journal_sigkill");
+    const std::string outJson = tempPath("sigkill_out.json");
+    const std::string cleanJson = tempPath("sigkill_clean.json");
+    std::filesystem::remove(journal);
+
+    const std::string bin = stemsBinary();
+    std::vector<std::string> base{
+        "run",           "workloads=sparse,graph",
+        "prefetchers=sms,none", "ncpu=4",
+        "refs=2000",     "seed=31",
+        "wall=0",        "quiet=1",
+        "dispatch=2"};
+
+    auto spawnRun = [&](const std::vector<std::string> &extra) {
+        std::vector<std::string> args = base;
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(bin.c_str()));
+        for (auto &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            ::execv(bin.c_str(), argv.data());
+            ::_exit(127);
+        }
+        return pid;
+    };
+
+    // clean reference run
+    {
+        const pid_t pid = spawnRun({"json=" + cleanJson});
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // interrupted run: SIGKILL the coordinator once the journal holds
+    // at least one completed cell
+    {
+        const pid_t pid = spawnRun(
+            {"journal=" + journal,
+             "json=" + tempPath("sigkill_scratch.json")});
+        bool sawProgress = false;
+        for (int i = 0; i < 600; ++i) {
+            if (journalFrames(journal).size() >= 2) {
+                sawProgress = true;
+                break;
+            }
+            ::usleep(100 * 1000);
+        }
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(sawProgress) << "journal never grew";
+    }
+
+    // resumed run completes the sweep
+    {
+        const pid_t pid = spawnRun({"journal=" + journal, "resume=1",
+                                    "json=" + outJson});
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    std::ifstream a(cleanJson, std::ios::binary), b(outJson,
+                                                    std::ios::binary);
+    const std::string clean((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+    const std::string resumed((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, resumed);
+
+    std::filesystem::remove(journal);
+    std::filesystem::remove(outJson);
+    std::filesystem::remove(cleanJson);
+    std::filesystem::remove(tempPath("sigkill_scratch.json"));
 }

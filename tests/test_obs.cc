@@ -262,6 +262,13 @@ TEST(ObsCounters, SnapshotSchemaIsStable)
     EXPECT_EQ(counterValue(obs::snapshotCounters(),
                            "dispatch_retries"),
               3u);
+
+    // the fault-tolerance families (PR 7) are part of the schema
+    for (const char *name :
+         {"faults_injected", "heartbeats_missed",
+          "journal_cells_written", "journal_cells_replayed",
+          "speculative_redispatches", "degraded_cells"})
+        EXPECT_EQ(counterValue(obs::snapshotCounters(), name), 0u);
     obs::Counters::get().reset();
 }
 

@@ -189,6 +189,53 @@ TEST(TraceIo, RejectsTruncatedRecords)
     std::remove(path.c_str());
 }
 
+TEST(TraceIo, RejectsFlippedPayloadByteViaChecksum)
+{
+    // format v3: a spill corrupted after commit (bit rot, a torn
+    // device write, the fault injector's corrupt-spill mode) must be
+    // rejected whole, not silently replayed — the file still has the
+    // right magic, version, hash and count
+    Trace t = streamOf(1, 80, 0x4000);
+    std::string path = ::testing::TempDir() + "/stems_bitflip.bin";
+    ASSERT_TRUE(writeTrace(t, path, 0x5eed));
+    Trace ok;
+    ASSERT_TRUE(readTrace(path, ok, 0x5eed));
+
+    FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    // flip one payload byte well past the header
+    ASSERT_EQ(std::fseek(f,
+                         static_cast<long>(kTraceHeaderBytes) + 133,
+                         SEEK_SET),
+              0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+
+    Trace out;
+    EXPECT_FALSE(readTrace(path, out, 0x5eed));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ChecksumIsIncrementalOverRecords)
+{
+    // the streaming writer accumulates the checksum record by record;
+    // it must equal the contiguous fold the reader computes
+    Trace t = streamOf(0, 17, 0x100);
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(t.data());
+    const size_t size = t.size() * sizeof(MemAccess);
+    uint64_t whole = traceChecksum(bytes, size);
+    uint64_t incremental = traceChecksum(nullptr, 0);
+    for (const auto &a : t)
+        incremental = traceChecksum(
+            reinterpret_cast<const unsigned char *>(&a), sizeof(a),
+            incremental);
+    EXPECT_EQ(whole, incremental);
+}
+
 TEST(TraceIo, RejectsWrongGeneratorHashViaMappedPath)
 {
     Trace t = streamOf(2, 40, 0x2000);
