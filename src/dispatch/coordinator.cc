@@ -17,9 +17,12 @@
 #include <sstream>
 
 #include "dispatch/wire.hh"
+#include "driver/costmodel.hh"
 #include "driver/executor.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
 #include "obs/obs.hh"
+#include "obs/sampler.hh"
 #include "study/table.hh"
 
 namespace stems::dispatch {
@@ -224,9 +227,13 @@ Coordinator::run(const ProgressFn &progress)
     init.heartbeatMs = cfg.heartbeatMs;
     const std::string initFrame = encodeInit(init);
 
+    // schedule=cost queues cells longest-estimated-first (LPT);
+    // results are placed by cell index either way, so the report is
+    // byte-identical to fifo order
     std::deque<int> pending;  //!< cell indices awaiting a worker
-    for (size_t i = 0; i < cells_.size(); ++i)
+    for (size_t i : driver::scheduleOrder(spec, cells_))
         pending.push_back(static_cast<int>(i));
+    obs::Gauges::get().reset();
     std::vector<uint32_t> attempts(cells_.size(), 0);
     // speculation bookkeeping: a cell may be in flight on two workers
     // at once (original + one speculative copy); the first result
@@ -425,6 +432,23 @@ Coordinator::run(const ProgressFn &progress)
                                             w.assignedAtNs) /
                         1e6;
                     doneRttMs.push_back(rtMs);
+                    obs::recordHist(
+                        &obs::Histograms::dispatchRttUs,
+                        static_cast<uint64_t>(rtMs * 1000.0));
+                    {
+                        // the worker's own wall is the sum of its
+                        // phase timings; the RTT above additionally
+                        // carries wire + queue overhead
+                        double phaseSumMs = 0;
+                        for (const auto &[name, ms] :
+                             wire.telemetry.phases)
+                            phaseSumMs += ms;
+                        if (phaseSumMs > 0)
+                            obs::recordHist(
+                                &obs::Histograms::cellWallUs,
+                                static_cast<uint64_t>(phaseSumMs *
+                                                      1000.0));
+                    }
                     if (w.stats >= 0) {
                         WorkerStats &ws = workerStats_[w.stats];
                         ++ws.cellsDone;
@@ -551,12 +575,49 @@ Coordinator::run(const ProgressFn &progress)
             }
         }
         size_t alive = 0;
-        for (auto &w : pool) {
-            if (w.alive) {
+        {
+            // with schedule=cost, fill idle workers fastest-first so
+            // the longest pending cells (the LPT queue front) land on
+            // the fastest incarnations and the slowest worker takes
+            // work last
+            std::vector<Worker *> idle;
+            for (auto &w : pool) {
+                if (!w.alive)
+                    continue;
                 ++alive;
-                assign(w);
+                if (w.ready && w.cell == -1)
+                    idle.push_back(&w);
             }
+            if (spec.scheduleCost && idle.size() > 1) {
+                auto meanCellMs = [&](const Worker *w) {
+                    if (w->stats < 0)
+                        return 0.0;
+                    const WorkerStats &ws = workerStats_[w->stats];
+                    return ws.cellsDone
+                        ? ws.busyMs /
+                              static_cast<double>(ws.cellsDone)
+                        : 0.0;
+                };
+                std::stable_sort(
+                    idle.begin(), idle.end(),
+                    [&](const Worker *a, const Worker *b) {
+                        return meanCellMs(a) < meanCellMs(b);
+                    });
+            }
+            for (Worker *w : idle)
+                assign(*w);
         }
+        obs::gaugeSet(&obs::Gauges::cellsPending,
+                      static_cast<int64_t>(pending.size()));
+        {
+            int64_t busy = 0;
+            for (const auto &w : pool)
+                if (w.alive && w.cell != -1)
+                    ++busy;
+            obs::gaugeSet(&obs::Gauges::workersBusy, busy);
+        }
+        obs::gaugeSet(&obs::Gauges::cellsDone,
+                      static_cast<int64_t>(done));
         if (alive == 0) {
             // every slot is dead; if any may still respawn (budget
             // left, backoff pending) wait for the earliest gate

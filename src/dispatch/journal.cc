@@ -15,6 +15,8 @@
 #include "driver/report.hh"
 #include "fault/fault.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
+#include "obs/obs.hh"
 
 namespace stems::dispatch {
 
@@ -158,6 +160,7 @@ RunJournal::open(const std::string &path, uint64_t specHash,
     size_t validEnd = 0;
     bool haveExisting = false;
     if (resume) {
+        obs::Span span("journal_replay", {{"path", path}});
         const std::string buf = slurpFile(path);
         size_t off = 0;
         std::string payload;
@@ -238,8 +241,16 @@ RunJournal::append(const CellResult &result)
 {
     if (fd_ < 0)
         return;
-    if (!writeAll(fd_, frameBytes(encodeResult(result))) ||
-        ::fsync(fd_) != 0) {
+    obs::Span span("journal_append",
+                   {{"cell", std::to_string(result.cell.id)}});
+    bool ok = writeAll(fd_, frameBytes(encodeResult(result)));
+    if (ok) {
+        const uint64_t t0 = obs::monotonicNs();
+        ok = ::fsync(fd_) == 0;
+        obs::recordHist(&obs::Histograms::journalFsyncUs,
+                        (obs::monotonicNs() - t0) / 1000);
+    }
+    if (!ok) {
         std::cerr << "stems: journal write to " << path_
                   << " failed (" << std::strerror(errno)
                   << "); continuing without durability\n";

@@ -8,7 +8,11 @@
 #include "driver/options.hh"
 #include "driver/registry.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
+#include "driver/spec.hh"
 #include "mem/memsys.hh"
+#include "obs/obs.hh"
+#include "obs/sampler.hh"
 #include "sim/timing.hh"
 #include "trace/interleaver.hh"
 #include "workloads/workload.hh"
@@ -140,9 +144,60 @@ runEngineBench(const BenchOptions &opt)
     return out;
 }
 
+ObsOverhead
+runObsOverheadBench(const BenchOptions &opt)
+{
+    // a real multi-engine cell matrix through the production Runner —
+    // trace generation, memo passes, study and the thread pool all
+    // inside the measured region, exactly what a user run exercises
+    ExperimentSpec spec = parseSpec(
+        {"workloads=OLTP-DB2,sparse", "prefetchers=sms,ghb,none",
+         "ncpu=" + std::to_string(opt.ncpu),
+         "refs=" + std::to_string(opt.refsPerCpu),
+         "seed=" + std::to_string(opt.seed), "wall=0", "threads=0"});
+
+    ObsOverhead o;
+    o.cells = static_cast<uint32_t>(expandSpec(spec).size());
+
+    auto once = [&spec] { Runner(spec).run(); };
+    once();  // warm the trace cache so both arms pay identical memo costs
+
+    auto best = [&](const std::function<void()> &body) {
+        double b = -1.0;
+        for (uint32_t i = 0; i < opt.repeats; ++i) {
+            const auto t0 = Clock::now();
+            body();
+            const double ms = msSince(t0);
+            if (b < 0 || ms < b)
+                b = ms;
+        }
+        return b;
+    };
+
+    obs::Recorder::get().disable();
+    o.plainMs = best(once);
+
+    obs::Recorder::get().enable();
+    o.observedMs = best([&] {
+        obs::StatsSampler sampler;
+        sampler.start("/dev/null", 10);
+        once();
+        sampler.stop();
+        obs::Recorder::get().drain();
+    });
+    obs::Recorder::get().disable();
+    obs::Recorder::get().drain();
+
+    o.overheadPct = o.plainMs > 0
+        ? (o.observedMs - o.plainMs) / o.plainMs * 100.0
+        : 0.0;
+    return o;
+}
+
 std::string
 benchToJson(const BenchOptions &opt,
-            const std::vector<BenchResult> &results)
+            const std::vector<BenchResult> &results,
+            const ObsOverhead *obs)
 {
     JsonWriter j;
     j.beginObject();
@@ -168,6 +223,14 @@ benchToJson(const BenchOptions &opt,
         j.endObject();
     }
     j.endArray();
+    if (obs) {
+        j.key("obs_overhead").beginObject();
+        j.key("cells").value(uint64_t{obs->cells});
+        j.key("plain_ms").value(obs->plainMs);
+        j.key("observed_ms").value(obs->observedMs);
+        j.key("overhead_pct").value(obs->overheadPct);
+        j.endObject();
+    }
     j.endObject();
     return j.str() + "\n";
 }

@@ -44,9 +44,26 @@ struct BenchResult
 /** Run every engine benchmark. Throws on unknown workload. */
 std::vector<BenchResult> runEngineBench(const BenchOptions &opt);
 
+/**
+ * Paired whole-pipeline runs over one small cell matrix: best-of-N
+ * wall with every observability sink off, then again with the span
+ * recorder and stats sampler live — the number that proves the
+ * flight recorder stays within measurement noise.
+ */
+struct ObsOverhead
+{
+    uint32_t cells = 0;
+    double plainMs = 0;     //!< best-of-N, recorder off
+    double observedMs = 0;  //!< best-of-N, recorder + sampler on
+    double overheadPct = 0; //!< (observed - plain) / plain * 100
+};
+
+ObsOverhead runObsOverheadBench(const BenchOptions &opt);
+
 /** Render results as the BENCH_engine.json document. */
 std::string benchToJson(const BenchOptions &opt,
-                        const std::vector<BenchResult> &results);
+                        const std::vector<BenchResult> &results,
+                        const ObsOverhead *obs = nullptr);
 
 } // namespace stems::driver
 

@@ -7,6 +7,7 @@
 
 #include "driver/registry.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
 #include "obs/obs.hh"
 #include "sim/timing.hh"
 #include "study/l1study.hh"
@@ -377,12 +378,15 @@ CellExecutor::execute(const RunCell &cell)
 {
     CellResult out;
     obs::count(&obs::Counters::cellsExecuted);
+    const auto t0 = std::chrono::steady_clock::now();
     try {
         runCell(cell, out);
     } catch (const std::exception &e) {
         out.cell = cell;
         out.error = e.what();
     }
+    obs::recordHist(&obs::Histograms::cellWallUs,
+                    static_cast<uint64_t>(msSince(t0) * 1000.0));
     return out;
 }
 

@@ -5,7 +5,9 @@
 #include <mutex>
 #include <thread>
 
+#include "driver/costmodel.hh"
 #include "obs/obs.hh"
+#include "obs/sampler.hh"
 
 namespace stems::driver {
 
@@ -30,16 +32,28 @@ Runner::run(const ProgressFn &progress)
         nthreads, static_cast<uint32_t>(std::max<size_t>(
                       cells_.size(), 1)));
 
+    // schedule=cost pulls cells longest-estimated-first (LPT) so the
+    // expensive ones cannot land last and stretch the tail; results
+    // are still placed by expansion index, so reports are
+    // byte-identical to fifo order
+    const std::vector<size_t> order = scheduleOrder(spec, cells_);
+
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::mutex progressMu;
     const auto queuedAt = std::chrono::steady_clock::now();
+    obs::Gauges::get().reset();
+    obs::gaugeSet(&obs::Gauges::cellsPending,
+                  static_cast<int64_t>(cells_.size()));
 
     auto drainCells = [&] {
         for (;;) {
-            const size_t i = next.fetch_add(1);
-            if (i >= cells_.size())
+            const size_t slot = next.fetch_add(1);
+            if (slot >= order.size())
                 return;
+            const size_t i = order[slot];
+            obs::gaugeAdd(&obs::Gauges::cellsPending, -1);
+            obs::gaugeAdd(&obs::Gauges::workersBusy, 1);
             {
                 // queue_ms: how long the cell sat behind earlier work
                 // before a pool thread picked it up
@@ -55,6 +69,8 @@ Runner::run(const ProgressFn &progress)
                      {"queue_ms", std::to_string(waitMs)}});
                 results[i] = executor_.execute(cells_[i]);
             }
+            obs::gaugeAdd(&obs::Gauges::workersBusy, -1);
+            obs::gaugeAdd(&obs::Gauges::cellsDone, 1);
             const size_t n = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMu);

@@ -323,6 +323,24 @@ parseSpec(const std::vector<std::string> &tokens)
             spec.traceOut = value;
         } else if (key == "telemetry-out") {
             spec.telemetryOut = value;
+        } else if (key == "stats-out") {
+            spec.statsOut = value;
+        } else if (key == "stats-interval-ms") {
+            spec.statsIntervalMs = static_cast<uint32_t>(
+                parseU64(key, value, spec.statsIntervalMs));
+            if (spec.statsIntervalMs == 0)
+                throw std::invalid_argument(
+                    "stats-interval-ms must be positive");
+        } else if (key == "schedule") {
+            if (value == "cost")
+                spec.scheduleCost = true;
+            else if (value == "fifo")
+                spec.scheduleCost = false;
+            else
+                throw std::invalid_argument(
+                    "schedule=" + value + ": expected cost|fifo");
+        } else if (key == "schedule-from") {
+            spec.scheduleFrom = value;
         } else if (key == "telemetry") {
             Options o{{key, value}};
             spec.telemetry = optBool(o, key, spec.telemetry);
@@ -553,6 +571,13 @@ specHelp()
         "                                 model; \"only\" skips the\n"
         "                                 system-study pass\n"
         "  threads=N                      runner shards (0 = all cores)\n"
+        "  schedule=fifo|cost             cell dispatch order: expansion\n"
+        "                                 order, or longest-estimated-\n"
+        "                                 first with slowest-worker-last\n"
+        "                                 (reports byte-identical)\n"
+        "  schedule-from=FILE             calibrate the cost model from\n"
+        "                                 a prior run's journal or\n"
+        "                                 report JSON\n"
         "  dispatch=N                     execute cells in N worker\n"
         "                                 processes (crash-isolated)\n"
         "  dispatch-timeout-ms=N          per-cell timeout (0 = none)\n"
@@ -584,6 +609,9 @@ specHelp()
         "                                 (Perfetto-loadable spans)\n"
         "  telemetry=0|1                  counters JSON on stderr\n"
         "  telemetry-out=PATH             counters JSON to a file\n"
+        "  stats-out=PATH                 sampled time-series JSONL\n"
+        "                                 (counters, gauges, RSS)\n"
+        "  stats-interval-ms=N            sampler period (default 100)\n"
         "  wall=0|1                       wall_ms in JSON (0 = stable\n"
         "                                 byte-comparable output)\n"
         "  l1-kb=64 l1-assoc=2 l2-kb=N    cache geometry\n"

@@ -62,6 +62,13 @@ struct ExperimentSpec
     std::string traceOut;      //!< Chrome trace-event JSON ("" = off)
     std::string telemetryOut;  //!< counters JSON file ("" = off)
     bool telemetry = false;    //!< dump counters JSON to stderr
+    std::string statsOut;      //!< time-series JSONL file ("" = off)
+    uint32_t statsIntervalMs = 100;  //!< sampler period (stats-out)
+
+    // scheduling (see driver/costmodel.hh); never changes report bytes
+    bool scheduleCost = false;   //!< LPT order + slowest-worker-last
+    std::string scheduleFrom;    //!< calibration journal/report ("" =
+                                 //!< heuristic cost model)
 
     /** Track oracle spatial generations at these region sizes. */
     std::vector<uint32_t> oracleRegionSizes;

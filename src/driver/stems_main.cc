@@ -22,6 +22,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,13 +31,17 @@
 #include "dispatch/journal.hh"
 #include "dispatch/merge.hh"
 #include "dispatch/worker.hh"
+#include "driver/analyze.hh"
 #include "driver/bench.hh"
+#include "driver/costmodel.hh"
 #include "driver/metrics.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/spec.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
 #include "obs/obs.hh"
+#include "obs/sampler.hh"
 #include "study/suite.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
@@ -63,6 +68,12 @@ usage()
         "                               cost, emit BENCH_engine.json\n"
         "  stems merge [json=OUT] A.json B.json ...\n"
         "                               merge run reports by cell id\n"
+        "  stems analyze [trace=F] [telemetry=F] [format=table|json]\n"
+        "                               offline run analysis: critical\n"
+        "                               path, phase breakdown, memo hit\n"
+        "                               rates, worker utilization and\n"
+        "                               stragglers from --trace-out /\n"
+        "                               --telemetry-out artifacts\n"
         "  stems worker                 serve dispatched cells on\n"
         "                               stdin/stdout (spawned by\n"
         "                               stems run --dispatch=N)\n"
@@ -224,7 +235,13 @@ cmdBench(const std::vector<std::string> &args)
                      r.workload.c_str(), r.name.c_str(), r.wallMs,
                      r.nsPerRef, r.refsPerSec / 1e6);
     }
-    writeReport(opt.jsonPath, benchToJson(opt, results));
+    const ObsOverhead obs = runObsOverheadBench(opt);
+    std::fprintf(stderr,
+                 "stems bench: obs overhead: %u cells, %.1f ms plain, "
+                 "%.1f ms observed (%+.1f%%)\n",
+                 obs.cells, obs.plainMs, obs.observedMs,
+                 obs.overheadPct);
+    writeReport(opt.jsonPath, benchToJson(opt, results, &obs));
     if (opt.jsonPath != "-")
         std::cerr << "stems bench: wrote " << opt.jsonPath << "\n";
     return 0;
@@ -249,12 +266,26 @@ telemetryJson(double wallMs,
     JsonWriter j;
     j.beginObject();
     j.key("telemetry").beginObject();
-    j.key("schema").value(uint64_t{1});
+    j.key("schema").value(uint64_t{2});
     j.key("wall_ms").value(wallMs);
     j.key("peak_rss_kb").value(obs::peakRssKb());
     j.key("counters").beginObject();
     for (const auto &[name, count] : counters)
         j.key(name).value(count);
+    j.endObject();
+    // schema 2: log2-bucketed latency distributions (bucket index is
+    // bit_width of the µs sample; sparse — zero buckets omitted)
+    j.key("histograms").beginObject();
+    for (const auto &h : obs::snapshotHistograms()) {
+        j.key(h.name).beginObject();
+        j.key("count").value(h.count);
+        j.key("sum_us").value(h.sum);
+        j.key("buckets").beginObject();
+        for (const auto &[idx, n] : h.buckets)
+            j.key(std::to_string(idx)).value(n);
+        j.endObject();
+        j.endObject();
+    }
     j.endObject();
     j.key("workers").beginArray();
     for (const auto &ws : workers) {
@@ -302,21 +333,70 @@ cmdRun(const std::vector<std::string> &args)
         obs::setThreadName(spec.dispatch > 0 ? "coordinator" : "main");
     }
 
-    // progress lines are composed before the single stream write so
-    // they cannot interleave with worker stderr mid-line
     const bool quiet = spec.quiet;
-    const auto progress =
-        [quiet](const CellResult &r, size_t done, size_t total) {
-            if (quiet)
-                return;
-            std::ostringstream line;
-            line << "stems: [" << done << "/" << total << "] "
-                 << r.cell.workload << " / "
-                 << r.cell.engine.displayLabel()
-                 << (r.error.empty() ? "" : "  FAILED: " + r.error)
-                 << "\n";
-            std::cerr << line.str();
-        };
+    // keep stdout clean for machine-readable output; when the summary
+    // table is re-routed to stderr it shares the stream with progress,
+    // so the ETA decoration is dropped there to keep it greppable
+    const bool stdoutBusy = spec.jsonPath == "-" ||
+        spec.csvPath == "-" || spec.traceOut == "-" ||
+        spec.telemetryOut == "-";
+    const bool showEta = !quiet && !(spec.table && stdoutBusy);
+
+    // per-cell cost estimates power the progress ETA — the same model
+    // schedule=cost dispatches by (see driver/costmodel.hh)
+    std::map<uint32_t, double> costById;
+    double totalCost = 0;
+    if (showEta) {
+        const CostModel model = CostModel::fromSpec(spec);
+        for (const auto &cell : selectedCells(spec)) {
+            const double c = model.estimate(cell);
+            costById.emplace(cell.id, c);
+            totalCost += c;
+        }
+    }
+
+    // progress lines are composed before the single stream write so
+    // they cannot interleave with worker stderr mid-line; doneCost and
+    // lastPrint are guarded by the runner's progress mutex (the
+    // dispatch coordinator calls from one thread)
+    double doneCost = 0;
+    const auto progressStart = std::chrono::steady_clock::now();
+    auto lastPrint = progressStart - std::chrono::seconds(10);
+    const auto progress = [&](const CellResult &r, size_t done,
+                              size_t total) {
+        if (quiet)
+            return;
+        const auto it = costById.find(r.cell.id);
+        if (it != costById.end())
+            doneCost += it->second;
+        // rate-limit: a large sweep would otherwise flood stderr with
+        // one line per cell; failures and the final cell always print
+        const auto now = std::chrono::steady_clock::now();
+        if (r.error.empty() && done != total &&
+            now - lastPrint < std::chrono::milliseconds(250))
+            return;
+        lastPrint = now;
+        std::ostringstream line;
+        line << "stems: [" << done << "/" << total << "] "
+             << r.cell.workload << " / "
+             << r.cell.engine.displayLabel();
+        const double elapsedS =
+            std::chrono::duration<double>(now - progressStart)
+                .count();
+        if (showEta && done < total && doneCost > 0 &&
+            totalCost > doneCost && elapsedS > 0) {
+            char eta[64];
+            std::snprintf(eta, sizeof(eta),
+                          "  %.1f cells/s, ETA %.0fs",
+                          static_cast<double>(done) / elapsedS,
+                          elapsedS * (totalCost - doneCost) /
+                              doneCost);
+            line << eta;
+        }
+        line << (r.error.empty() ? "" : "  FAILED: " + r.error)
+             << "\n";
+        std::cerr << line.str();
+    };
 
     if (!quiet) {
         const size_t nCells = selectedCells(spec).size();
@@ -332,6 +412,13 @@ cmdRun(const std::vector<std::string> &args)
                       << ")\n";
     }
 
+    // time-series sampler: ticks in the background for the duration
+    // of the run, reading atomics only — report bytes are identical
+    // with it on or off
+    obs::StatsSampler sampler;
+    if (!spec.statsOut.empty())
+        sampler.start(spec.statsOut, spec.statsIntervalMs);
+
     const auto runStart = std::chrono::steady_clock::now();
     std::vector<dispatch::WorkerStats> workerStats;
     // runSpec is the one execution entry point: fault plan, journal
@@ -342,18 +429,14 @@ cmdRun(const std::vector<std::string> &args)
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - runStart)
             .count();
+    sampler.stop();
 
     if (!spec.jsonPath.empty())
         writeReport(spec.jsonPath, toJson(spec, results));
     if (!spec.csvPath.empty())
         writeReport(spec.csvPath, toCsv(spec, results));
-    if (spec.table) {
-        // keep stdout clean for machine-readable output
-        const bool stdoutBusy = spec.jsonPath == "-" ||
-            spec.csvPath == "-" || spec.traceOut == "-" ||
-            spec.telemetryOut == "-";
+    if (spec.table)
         (stdoutBusy ? std::cerr : std::cout) << toTable(spec, results);
-    }
 
     // observability sinks come last so a report on stdout is already
     // complete before any telemetry text appears anywhere
@@ -436,6 +519,8 @@ main(int argc, char **argv)
             return cmdBench(args);
         if (cmd == "merge")
             return cmdMerge(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
         if (cmd == "worker")
             return dispatch::runWorker(STDIN_FILENO, STDOUT_FILENO);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "obs/counters.hh"
+#include "obs/obs.hh"
 
 namespace stems::fault {
 
@@ -320,6 +321,10 @@ cellFault(Kind kind)
             continue;
         if (clauseFires(c, gCellId, gAttempt)) {
             obs::count(&obs::Counters::faultsInjected);
+            obs::instant("fault_fired",
+                         {{"kind", kindName(kind)},
+                          {"cell", std::to_string(gCellId)},
+                          {"attempt", std::to_string(gAttempt)}});
             return &c;
         }
     }
@@ -349,6 +354,8 @@ spillFault(Kind kind, const std::string &path)
         match->prob)
         return false;
     obs::count(&obs::Counters::faultsInjected);
+    obs::instant("fault_fired",
+                 {{"kind", kindName(kind)}, {"path", base}});
     return true;
 }
 

@@ -1,0 +1,60 @@
+#include "obs/histogram.hh"
+
+namespace stems::obs {
+
+Histograms &
+Histograms::get()
+{
+    static Histograms h;
+    return h;
+}
+
+namespace {
+
+void
+zero(Histogram &h)
+{
+    for (auto &b : h.buckets)
+        b.store(0, std::memory_order_relaxed);
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+snap(const char *name, const Histogram &h)
+{
+    HistogramSnapshot out;
+    out.name = name;
+    out.count = h.count.load(std::memory_order_relaxed);
+    out.sum = h.sum.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+        const uint64_t n =
+            h.buckets[i].load(std::memory_order_relaxed);
+        if (n)
+            out.buckets.emplace_back(i, n);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+Histograms::reset()
+{
+    zero(dispatchRttUs);
+    zero(cellWallUs);
+    zero(journalFsyncUs);
+}
+
+std::vector<HistogramSnapshot>
+snapshotHistograms()
+{
+    const Histograms &h = Histograms::get();
+    return {
+        snap("dispatch_rtt_us", h.dispatchRttUs),
+        snap("cell_wall_us", h.cellWallUs),
+        snap("journal_fsync_us", h.journalFsyncUs),
+    };
+}
+
+} // namespace stems::obs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Log2-bucketed latency histograms for engine observability: a fixed
+ * set of process-wide distribution families (dispatch round-trip,
+ * per-cell wall, journal fsync) recorded with relaxed atomics — one
+ * increment plus one add per sample, at per-cell / per-append
+ * granularity, never on the per-reference hot path.
+ *
+ * A sample of value v (microseconds) lands in bucket bit_width(v):
+ * bucket 0 holds zeros, bucket b >= 1 covers [2^(b-1), 2^b - 1]. The
+ * bucket layout is value-deterministic — identical samples produce
+ * identical histograms regardless of which thread recorded them —
+ * while the sampled latencies themselves are wall-clock dependent, so
+ * histograms ride the telemetry sinks only and never touch reports.
+ */
+
+#ifndef STEMS_OBS_HISTOGRAM_HH
+#define STEMS_OBS_HISTOGRAM_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stems::obs {
+
+/** One log2-bucketed distribution (relaxed-atomic, thread-safe). */
+struct Histogram
+{
+    /** Bucket 0 plus bit_width 1..64 cover the full uint64_t range. */
+    static constexpr uint32_t kBuckets = 65;
+
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+
+    /** The bucket index a value lands in: 0, or bit_width(v). */
+    static uint32_t
+    bucketOf(uint64_t v)
+    {
+        return v == 0 ? 0 : static_cast<uint32_t>(std::bit_width(v));
+    }
+
+    void
+    record(uint64_t v)
+    {
+        buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(v, std::memory_order_relaxed);
+    }
+};
+
+/** The fixed set of engine latency-distribution families. */
+struct Histograms
+{
+    Histogram dispatchRttUs;   //!< coordinator assign→result round-trip
+    Histogram cellWallUs;      //!< per-cell executor wall time
+    Histogram journalFsyncUs;  //!< result-journal fsync latency
+
+    static Histograms &get();
+
+    /** Zero every family (tests only — not thread-safe vs recording). */
+    void reset();
+};
+
+/** Shorthand: record a sample on the process-wide registry. */
+inline void
+recordHist(Histogram Histograms::*member, uint64_t v)
+{
+    (Histograms::get().*member).record(v);
+}
+
+/** One family's snapshot: non-empty buckets as (index, count). */
+struct HistogramSnapshot
+{
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<std::pair<uint32_t, uint64_t>> buckets;
+};
+
+/**
+ * Name → snapshot in declaration order; zero-count families included
+ * (with empty bucket lists) so the telemetry schema is stable run to
+ * run.
+ */
+std::vector<HistogramSnapshot> snapshotHistograms();
+
+} // namespace stems::obs
+
+#endif // STEMS_OBS_HISTOGRAM_HH

@@ -148,16 +148,24 @@ Recorder::chromeJson()
         os << "{\"name\":\"";
         jsonEscape(os, e.name);
         os << "\",\"ph\":\"" << e.phase << "\"";
+        // trace-event ts is microseconds; keep sub-µs precision
+        // (the fraction needs zero padding: 1005 ns is 1.005 µs)
+        auto us = [&os](uint64_t ns) {
+            char frac[8];
+            std::snprintf(frac, sizeof(frac), "%03u",
+                          static_cast<unsigned>(ns % 1000));
+            os << ns / 1000 << "." << frac;
+        };
         if (e.phase != 'M') {
-            // trace-event ts is microseconds; keep sub-µs precision
-            const uint64_t rel = e.tsNs - base;
-            os << ",\"ts\":" << rel / 1000 << "." << (rel % 1000);
+            os << ",\"ts\":";
+            us(e.tsNs - base);
         } else {
             os << ",\"ts\":0";
         }
-        if (e.phase == 'X')
-            os << ",\"dur\":" << e.durNs / 1000 << "."
-               << (e.durNs % 1000);
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            us(e.durNs);
+        }
         if (e.phase == 'i')
             os << ",\"s\":\"p\"";
         // pid -1 marks "this process": resolve at write time

@@ -1,0 +1,123 @@
+#include "obs/sampler.hh"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/counters.hh"
+#include "obs/obs.hh"
+
+namespace stems::obs {
+
+Gauges &
+Gauges::get()
+{
+    static Gauges g;
+    return g;
+}
+
+void
+Gauges::reset()
+{
+    cellsPending.store(0, std::memory_order_relaxed);
+    workersBusy.store(0, std::memory_order_relaxed);
+    cellsDone.store(0, std::memory_order_relaxed);
+}
+
+StatsSampler::~StatsSampler()
+{
+    stop();
+}
+
+void
+StatsSampler::start(const std::string &path, uint32_t intervalMs)
+{
+    stop();
+    if (path == "-") {
+        file_ = stdout;
+        ownsFile_ = false;
+    } else {
+        file_ = std::fopen(path.c_str(), "w");
+        ownsFile_ = true;
+        if (!file_)
+            throw std::runtime_error("stats-out: cannot open " + path);
+    }
+    stopping_ = false;
+    startNs_ = monotonicNs();
+    thread_ = std::thread(
+        [this, intervalMs] { loop(intervalMs ? intervalMs : 1); });
+}
+
+void
+StatsSampler::stop()
+{
+    if (!thread_.joinable()) {
+        if (file_ && ownsFile_)
+            std::fclose(file_);
+        file_ = nullptr;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    writeSample();  // final sample: short runs still get one line
+    std::fflush(file_);
+    if (ownsFile_)
+        std::fclose(file_);
+    file_ = nullptr;
+}
+
+void
+StatsSampler::loop(uint32_t intervalMs)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(intervalMs),
+                         [this] { return stopping_; }))
+            return;
+        writeSample();
+    }
+}
+
+std::string
+StatsSampler::sampleLine(double tsMs)
+{
+    const Gauges &g = Gauges::get();
+    auto gv = [](const std::atomic<int64_t> &a) {
+        return static_cast<long long>(
+            a.load(std::memory_order_relaxed));
+    };
+    std::ostringstream os;
+    os << "{\"schema\":1,\"ts_ms\":" << tsMs
+       << ",\"rss_kb\":" << peakRssKb()
+       << ",\"gauges\":{\"cells_pending\":" << gv(g.cellsPending)
+       << ",\"workers_busy\":" << gv(g.workersBusy)
+       << ",\"cells_done\":" << gv(g.cellsDone) << "}"
+       << ",\"counters\":{";
+    bool first = true;
+    // counter names are fixed identifiers — no escaping needed
+    for (const auto &[name, value] : snapshotCounters()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << value;
+    }
+    os << "}}";
+    return os.str();
+}
+
+void
+StatsSampler::writeSample()
+{
+    if (!file_)
+        return;
+    const double tsMs =
+        static_cast<double>(monotonicNs() - startNs_) / 1e6;
+    const std::string line = sampleLine(tsMs) + "\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+} // namespace stems::obs

@@ -2,14 +2,17 @@
 """CI checker for stems observability artifacts.
 
 Usage: check_trace.py TRACE.json TELEMETRY.json [--dispatched]
+                      [--analyze=FILE] [--stats=FILE]
 
 Asserts the --trace-out file is a loadable Chrome trace-event document
 (the format Perfetto / chrome://tracing read) covering the span names
 the engine is instrumented with, and that the --telemetry-out file
-carries the counter registry with the counters a real run must bump.
-With --dispatched, additionally requires the merged trace to span
-multiple processes (coordinator + workers) and wire traffic to have
-been counted.
+carries the counter registry with the counters a real run must bump,
+plus the schema-2 latency histograms.  With --dispatched,
+additionally requires the merged trace to span multiple processes
+(coordinator + workers) and wire traffic to have been counted.  With
+--analyze=FILE, validates `stems analyze --format=json` output; with
+--stats=FILE, validates a --stats-out JSONL time series.
 """
 
 import json
@@ -79,8 +82,8 @@ def check_telemetry(path, dispatched):
     t = doc.get("telemetry")
     if not isinstance(t, dict):
         fail(f"{path}: no telemetry object")
-    if t.get("schema") != 1:
-        fail(f"{path}: telemetry schema != 1")
+    if t.get("schema") != 2:
+        fail(f"{path}: telemetry schema != 2")
     if not t.get("wall_ms", 0) > 0:
         fail(f"{path}: wall_ms not positive")
     if not t.get("peak_rss_kb", 0) > 0:
@@ -97,6 +100,28 @@ def check_telemetry(path, dispatched):
         if not c.get(name, 0) > 0:
             fail(f"{path}: counter {name} is {c.get(name)}")
 
+    hists = t.get("histograms")
+    if not isinstance(hists, dict):
+        fail(f"{path}: no histograms object")
+    for want in ("dispatch_rtt_us", "cell_wall_us", "journal_fsync_us"):
+        if want not in hists:
+            fail(f"{path}: missing histogram family {want}")
+    for name, h in hists.items():
+        buckets = h.get("buckets")
+        if not isinstance(buckets, dict):
+            fail(f"{path}: histogram {name} has no buckets object")
+        total = sum(buckets.values())
+        if total != h.get("count"):
+            fail(f"{path}: histogram {name} bucket sum {total} "
+                 f"!= count {h.get('count')}")
+        for idx, n in buckets.items():
+            if not (0 <= int(idx) <= 64) or n <= 0:
+                fail(f"{path}: histogram {name} bad bucket {idx}:{n}")
+    if not hists["cell_wall_us"].get("count", 0) > 0:
+        fail(f"{path}: cell_wall_us histogram is empty")
+    if dispatched and not hists["dispatch_rtt_us"].get("count", 0) > 0:
+        fail(f"{path}: dispatched run recorded no dispatch RTTs")
+
     workers = t.get("workers")
     if dispatched:
         if not workers:
@@ -110,14 +135,86 @@ def check_telemetry(path, dispatched):
           f"{len(workers or [])} worker(s)")
 
 
+def check_analyze(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    a = doc.get("analyze")
+    if not isinstance(a, dict):
+        fail(f"{path}: no analyze object")
+    if a.get("schema") != 1:
+        fail(f"{path}: analyze schema != 1")
+    for key in ("trace_extent_ms", "span_count", "phases",
+                "critical_path", "timeline", "hit_rates", "workers"):
+        if key not in a:
+            fail(f"{path}: analyze missing {key}")
+    if not a["span_count"] > 0:
+        fail(f"{path}: analyze saw no spans")
+    if not a["critical_path"]:
+        fail(f"{path}: empty critical path")
+    prev_end = None
+    for step in a["critical_path"]:
+        for key in ("name", "start_ms", "dur_ms"):
+            if key not in step:
+                fail(f"{path}: critical-path step missing {key}: {step}")
+        # emitted chronologically: each step ends no earlier than the
+        # one it unblocked
+        end = step["start_ms"] + step["dur_ms"]
+        if prev_end is not None and end < prev_end - 1e-6:
+            fail(f"{path}: critical path not chronological at {step}")
+        prev_end = end
+    for ph in a["phases"]:
+        if not ph.get("total_ms", 0) >= 0 or not ph.get("count", 0) > 0:
+            fail(f"{path}: bad phase row {ph}")
+    print(f"check_trace: {path}: analyze ok "
+          f"({a['span_count']} spans, "
+          f"{len(a['critical_path'])}-step critical path)")
+
+
+def check_stats(path):
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l.strip()]
+    if not lines:
+        fail(f"{path}: stats file has no samples")
+
+    prev_ts = None
+    for i, line in enumerate(lines):
+        try:
+            s = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not JSON: {e}")
+        if s.get("schema") != 1:
+            fail(f"{path}:{i + 1}: stats schema != 1")
+        for key in ("ts_ms", "rss_kb", "gauges", "counters"):
+            if key not in s:
+                fail(f"{path}:{i + 1}: sample missing {key}")
+        if prev_ts is not None and s["ts_ms"] < prev_ts:
+            fail(f"{path}:{i + 1}: ts_ms went backwards")
+        prev_ts = s["ts_ms"]
+        for g in ("cells_pending", "workers_busy", "cells_done"):
+            if g not in s["gauges"]:
+                fail(f"{path}:{i + 1}: gauges missing {g}")
+    print(f"check_trace: {path}: {len(lines)} stats sample(s) ok")
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     dispatched = "--dispatched" in sys.argv[1:]
+    analyze = stats = None
+    for a in sys.argv[1:]:
+        if a.startswith("--analyze="):
+            analyze = a.split("=", 1)[1]
+        elif a.startswith("--stats="):
+            stats = a.split("=", 1)[1]
     if len(args) != 2:
         print(__doc__)
         sys.exit(2)
     check_trace(args[0], dispatched)
     check_telemetry(args[1], dispatched)
+    if analyze:
+        check_analyze(analyze)
+    if stats:
+        check_stats(stats)
     print("check_trace: ok")
 
 

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <thread>
 #include <unistd.h>
@@ -27,7 +29,9 @@
 #include "driver/runner.hh"
 #include "driver/spec.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
 #include "obs/obs.hh"
+#include "obs/sampler.hh"
 #include "study/suite.hh"
 
 using namespace stems;
@@ -544,4 +548,140 @@ TEST(ReportGroups, OptInOnlyInReportSinks)
     EXPECT_GT(groupTable.size(), plainTable.size());
     EXPECT_NE(toJson(spec, results).find("\"groups\""),
               std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// log2 histograms (PR 8)
+// -------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries)
+{
+    EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1024), 11u);
+    // bit_width(UINT64_MAX) = 64 must stay in range
+    EXPECT_EQ(obs::Histogram::bucketOf(UINT64_MAX), 64u);
+    EXPECT_LT(obs::Histogram::bucketOf(UINT64_MAX),
+              obs::Histogram::kBuckets);
+}
+
+TEST(ObsHistogram, RecordAccumulatesCountSumAndBuckets)
+{
+    obs::Histogram h;
+    h.record(0);
+    h.record(5);
+    h.record(5);
+    h.record(UINT64_MAX);
+    EXPECT_EQ(h.count.load(), 4u);
+    EXPECT_EQ(h.sum.load(), 10 + UINT64_MAX);  // wraps, by design
+    EXPECT_EQ(h.buckets[0].load(), 1u);
+    EXPECT_EQ(h.buckets[3].load(), 2u);
+    EXPECT_EQ(h.buckets[64].load(), 1u);
+}
+
+TEST(ObsHistogram, SnapshotSchemaIsStable)
+{
+    obs::Histograms::get().reset();
+    const auto snap = obs::snapshotHistograms();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "dispatch_rtt_us");
+    EXPECT_EQ(snap[1].name, "cell_wall_us");
+    EXPECT_EQ(snap[2].name, "journal_fsync_us");
+    // zero-count families still appear, with no buckets
+    for (const auto &h : snap) {
+        EXPECT_EQ(h.count, 0u);
+        EXPECT_TRUE(h.buckets.empty());
+    }
+}
+
+TEST(ObsHistogram, CellWallCountDeterministicAcrossThreads)
+{
+    // the recorded latencies are wall-clock dependent, but the sample
+    // count is one per executed cell — identical for 1 and 4 threads
+    auto cellWallCount = [](uint32_t threads) {
+        obs::Histograms::get().reset();
+        Runner runner(smallSpec(threads));
+        const auto results = runner.run();
+        for (const auto &r : results)
+            EXPECT_TRUE(r.error.empty()) << r.error;
+        const auto snap = obs::snapshotHistograms();
+        return std::pair<uint64_t, uint64_t>(snap[1].count,
+                                             results.size());
+    };
+    const auto [count1, cells1] = cellWallCount(1);
+    const auto [count4, cells4] = cellWallCount(4);
+    EXPECT_EQ(count1, cells1);
+    EXPECT_EQ(count4, cells4);
+    EXPECT_EQ(count1, count4);
+    obs::Histograms::get().reset();
+}
+
+// -------------------------------------------------------------------
+// time-series sampler (PR 8)
+// -------------------------------------------------------------------
+
+TEST(ObsSampler, SampleLineSchemaRoundTrips)
+{
+    obs::Gauges::get().reset();
+    obs::gaugeSet(&obs::Gauges::cellsPending, 7);
+    obs::gaugeSet(&obs::Gauges::workersBusy, 3);
+    obs::gaugeSet(&obs::Gauges::cellsDone, 11);
+
+    const std::string line = obs::StatsSampler::sampleLine(12.5);
+    const dispatch::JsonValue doc = dispatch::parseJson(line);
+    EXPECT_EQ(doc.at("schema").asU64(), 1u);
+    EXPECT_DOUBLE_EQ(doc.at("ts_ms").asDouble(), 12.5);
+    EXPECT_GT(doc.at("rss_kb").asU64(), 0u);
+
+    const dispatch::JsonValue &gauges = doc.at("gauges");
+    EXPECT_EQ(gauges.at("cells_pending").asU64(), 7u);
+    EXPECT_EQ(gauges.at("workers_busy").asU64(), 3u);
+    EXPECT_EQ(gauges.at("cells_done").asU64(), 11u);
+
+    // every counter family appears, in declaration order
+    const dispatch::JsonValue &counters = doc.at("counters");
+    const auto snap = obs::snapshotCounters();
+    ASSERT_EQ(counters.members.size(), snap.size());
+    for (size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(counters.members[i].first, snap[i].first);
+    obs::Gauges::get().reset();
+}
+
+TEST(ObsSampler, WritesParsableJsonl)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("stems-sampler-" + std::to_string(::getpid()) + ".jsonl"))
+            .string();
+    {
+        obs::StatsSampler sampler;
+        sampler.start(path, 5);
+        EXPECT_TRUE(sampler.running());
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        sampler.stop();
+        EXPECT_FALSE(sampler.running());
+    }
+    std::ifstream f(path);
+    ASSERT_TRUE(f.is_open());
+    std::string line;
+    size_t lines = 0;
+    double lastTs = -1;
+    while (std::getline(f, line)) {
+        if (line.empty())
+            continue;
+        const dispatch::JsonValue doc = dispatch::parseJson(line);
+        EXPECT_EQ(doc.at("schema").asU64(), 1u);
+        const double ts = doc.at("ts_ms").asDouble();
+        EXPECT_GE(ts, lastTs);  // monotone within one run
+        lastTs = ts;
+        ++lines;
+    }
+    EXPECT_GE(lines, 1u);  // stop() always takes a final sample
+    std::filesystem::remove(path);
 }
