@@ -1,8 +1,10 @@
 #include "driver/bench.hh"
 
 #include <chrono>
+#include <filesystem>
 #include <functional>
 #include <stdexcept>
+#include <unistd.h>
 
 #include "core/sms.hh"
 #include "driver/options.hh"
@@ -15,6 +17,8 @@
 #include "obs/sampler.hh"
 #include "sim/timing.hh"
 #include "trace/interleaver.hh"
+#include "trace/io.hh"
+#include "trace/stream.hh"
 #include "workloads/workload.hh"
 
 namespace stems::driver {
@@ -131,6 +135,29 @@ benchOneWorkload(const std::string &workload, const BenchOptions &opt,
                           [&] { timedRun("sms"); }));
     out.push_back(measure(workload, "run_timing_ghb", refs, opt.repeats,
                           [&] { timedRun("ghb"); }));
+
+    // the paired panel for run_timing: the same baseline timing pass
+    // consuming a mapped spill zero-copy (the streaming replay path)
+    // instead of in-memory vectors — the before/after for the
+    // zero-materialization pipeline
+    const std::string spill =
+        (std::filesystem::temp_directory_path() /
+         ("stems_bench_view_" + std::to_string(::getpid()) + ".stmt"))
+            .string();
+    if (trace::writeTraceStreams(streams, spill)) {
+        if (auto mapped = trace::MappedTrace::open(spill)) {
+            const trace::StreamSet set = trace::StreamSet::mapped(mapped);
+            out.push_back(measure(workload, "run_timing_view", refs,
+                                  opt.repeats, [&] {
+                sim::TimingConfig cfg;
+                cfg.sys.ncpu = p.ncpu;
+                std::unique_ptr<PrefetcherDeployment> dep;
+                sim::runTiming(set, cfg, p.seed,
+                               registryAttach("none", dep));
+            }));
+        }
+        std::filesystem::remove(spill);
+    }
 }
 
 } // anonymous namespace

@@ -178,7 +178,7 @@ CellExecutor::baseline(const RunCell &cell)
                 scfg.trackDensity = true;
                 scfg.densityRegionSize = region;
             }
-            auto r = study::runSystem(streams(cell), scfg,
+            auto r = study::runSystem(viewSet(cell), scfg,
                                       cell.params.seed);
             slot->instructions = r.instructions;
             slot->l1ReadMisses = r.l1ReadMisses;
@@ -193,8 +193,8 @@ CellExecutor::baseline(const RunCell &cell)
             lcfg.ncpu = cell.params.ncpu;
             lcfg.l1 = cell.sys.l1;
             lcfg.prefetch = false;
-            auto r = study::runL1Study(
-                traces.get(cell.workload, cell.params), lcfg);
+            auto r = study::runL1Study(viewSet(cell), lcfg,
+                                       cell.params.seed);
             slot->instructions = r.instructions;
             slot->l1ReadMisses = r.readMisses;
         }
@@ -206,10 +206,28 @@ CellExecutor::baseline(const RunCell &cell)
     return *slot;
 }
 
-const std::vector<trace::Trace> &
-CellExecutor::streams(const RunCell &cell)
+const trace::StreamSet &
+CellExecutor::viewSet(const RunCell &cell)
 {
-    return traces.streams(cell.workload, cell.params);
+    return traces.viewSet(cell.workload, cell.params);
+}
+
+void
+CellExecutor::prefetch(const RunCell &cell)
+{
+    obs::Span span("trace_stream", {{"workload", cell.workload}});
+    try {
+        traces.prepare(cell.workload, cell.params);
+        obs::count(&obs::Counters::tracePrefetchAhead);
+    } catch (const std::exception &) {
+        // leave the failure to the executing thread, which reports it
+    }
+}
+
+bool
+CellExecutor::prepared(const RunCell &cell)
+{
+    return traces.ready(cell.workload, cell.params);
 }
 
 const sim::TimingResult &
@@ -231,7 +249,7 @@ CellExecutor::timingRun(const RunCell &cell, const EngineConfig &engine)
         // registry: the timing model has no engine-specific wiring
         std::unique_ptr<PrefetcherDeployment> dep;
         slot->result =
-            sim::runTiming(streams(cell), tc, cell.params.seed,
+            sim::runTiming(viewSet(cell), tc, cell.params.seed,
                            registryAttach(engine.kind, dep,
                                           engine.options));
     });
@@ -267,12 +285,7 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
 
     // warm the trace cache up front so generation/replay cost is
     // attributed to the trace phase, not whichever study ran first
-    phase("trace", [&] {
-        if (cell.mode == StudyMode::L1)
-            traces.get(cell.workload, cell.params);
-        else
-            streams(cell);
-    });
+    phase("trace", [&] { viewSet(cell); });
 
     if (!cell.timingOnly) {
         const BaselineSlot *base = nullptr;
@@ -302,7 +315,7 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
                 }
                 std::unique_ptr<PrefetcherDeployment> dep;
                 auto r = study::runSystem(
-                    streams(cell), scfg, cell.params.seed,
+                    viewSet(cell), scfg, cell.params.seed,
                     registryAttach(cell.engine.kind, dep,
                                    cell.engine.options));
                 m.setU64(M.instructions, r.instructions);
@@ -324,9 +337,9 @@ CellExecutor::runCell(const RunCell &cell, CellResult &out)
             });
         } else {
             phase("l1_study", [&] {
-                auto r = study::runL1Study(
-                    traces.get(cell.workload, cell.params),
-                    l1ConfigFor(cell));
+                auto r = study::runL1Study(viewSet(cell),
+                                           l1ConfigFor(cell),
+                                           cell.params.seed);
                 m.setU64(M.instructions, r.instructions);
                 m.setU64(M.l1ReadMisses, r.readMisses);
                 m.setU64(M.l1Covered, r.coveredReads);

@@ -70,6 +70,17 @@ class CellExecutor
      */
     CellResult execute(const RunCell &cell);
 
+    /**
+     * Build (generate or map-replay) @p cell's trace ahead of its
+     * execution — the background streamer's entry. Never counts a
+     * trace-cache lookup and never throws; a failing prefetch simply
+     * leaves the work to the executing thread.
+     */
+    void prefetch(const RunCell &cell);
+
+    /** Whether @p cell's trace is already built (non-blocking). */
+    bool prepared(const RunCell &cell);
+
     const Config &config() const { return cfg; }
 
   private:
@@ -105,8 +116,8 @@ class CellExecutor
     const sim::TimingResult &timingRun(const RunCell &cell,
                                        const EngineConfig &engine);
 
-    /** Per-CPU streams shared through the TraceCache (zero-copy). */
-    const std::vector<trace::Trace> &streams(const RunCell &cell);
+    /** The cell's stream views through the TraceCache (zero-copy). */
+    const trace::StreamSet &viewSet(const RunCell &cell);
 
     Config cfg;
     study::TraceCache traces;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "driver/costmodel.hh"
+#include "obs/counters.hh"
 #include "obs/obs.hh"
 #include "obs/sampler.hh"
 
@@ -46,12 +47,69 @@ Runner::run(const ProgressFn &progress)
     obs::gaugeSet(&obs::Gauges::cellsPending,
                   static_cast<int64_t>(cells_.size()));
 
+    // background trace streamer (stream=1): while the pool simulates
+    // cell N, prepare — generate, or fault a mapped spill in — the
+    // traces of the next cells in schedule order, bounded by a cell
+    // count (stream-ahead) and a byte watermark with hysteresis. The
+    // streamer only warms the TraceCache through CellExecutor::prefetch
+    // (never counts a cache lookup, never fails a cell), so reports
+    // are byte-identical with it on or off.
+    std::atomic<bool> streamStop{false};
+    std::thread streamer;
+    if (spec.stream && !order.empty()) {
+        streamer = std::thread([&] {
+            obs::setThreadName("streamer");
+            // per-cell trace-size estimate, prefix-summed in schedule
+            // order so the prepared-ahead byte count is O(1)
+            std::vector<uint64_t> prefix(order.size() + 1, 0);
+            for (size_t k = 0; k < order.size(); ++k) {
+                const RunCell &c = cells_[order[k]];
+                prefix[k + 1] = prefix[k] +
+                    uint64_t{c.params.refsPerCpu} * c.params.ncpu *
+                        sizeof(trace::MemAccess);
+            }
+            const uint64_t high = uint64_t{spec.streamWatermarkMb} << 20;
+            const uint64_t low = high / 2;
+            size_t ahead = 0;   //!< next schedule slot to prepare
+            bool paused = false;
+            while (!streamStop.load(std::memory_order_relaxed)) {
+                const size_t cursor =
+                    std::min(next.load(std::memory_order_relaxed),
+                             order.size());
+                if (cursor >= order.size())
+                    return;  // every cell claimed; nothing left to warm
+                if (ahead < cursor)
+                    ahead = cursor;
+                const uint64_t bytesAhead =
+                    prefix[ahead] - prefix[cursor];
+                if (paused && bytesAhead <= low)
+                    paused = false;
+                else if (!paused && bytesAhead >= high)
+                    paused = true;
+                const size_t limit = std::min<size_t>(
+                    order.size(), cursor + 1 + spec.streamAhead);
+                if (!paused && ahead < limit) {
+                    executor_.prefetch(cells_[order[ahead]]);
+                    ++ahead;
+                    continue;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+
     auto drainCells = [&] {
         for (;;) {
             const size_t slot = next.fetch_add(1);
             if (slot >= order.size())
                 return;
             const size_t i = order[slot];
+            // a stall = the pool reached a cell the streamer had not
+            // finished (or started) preparing — the executing thread
+            // pays the generate/replay cost inline
+            if (spec.stream && !executor_.prepared(cells_[i]))
+                obs::count(&obs::Counters::streamStalls);
             obs::gaugeAdd(&obs::Gauges::cellsPending, -1);
             obs::gaugeAdd(&obs::Gauges::workersBusy, 1);
             {
@@ -90,6 +148,10 @@ Runner::run(const ProgressFn &progress)
             });
         for (auto &th : pool)
             th.join();
+    }
+    if (streamer.joinable()) {
+        streamStop.store(true, std::memory_order_relaxed);
+        streamer.join();
     }
     return results;
 }

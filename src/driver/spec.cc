@@ -341,6 +341,18 @@ parseSpec(const std::vector<std::string> &tokens)
                     "schedule=" + value + ": expected cost|fifo");
         } else if (key == "schedule-from") {
             spec.scheduleFrom = value;
+        } else if (key == "stream") {
+            Options o{{key, value}};
+            spec.stream = optBool(o, key, spec.stream);
+        } else if (key == "stream-ahead") {
+            spec.streamAhead = static_cast<uint32_t>(
+                parseU64(key, value, spec.streamAhead));
+        } else if (key == "stream-watermark-mb") {
+            spec.streamWatermarkMb = static_cast<uint32_t>(
+                parseU64(key, value, spec.streamWatermarkMb));
+            if (spec.streamWatermarkMb == 0)
+                throw std::invalid_argument(
+                    "stream-watermark-mb must be positive");
         } else if (key == "telemetry") {
             Options o{{key, value}};
             spec.telemetry = optBool(o, key, spec.telemetry);
@@ -600,6 +612,15 @@ specHelp()
         "  cells=A-B,C,...                run a cell-id subset (ids are\n"
         "                                 kept, stems merge recombines)\n"
         "  trace-dir=DIR                  record/replay traces on disk\n"
+        "  stream=0|1                     background trace streamer:\n"
+        "                                 prepare (generate or map) the\n"
+        "                                 next cells' traces while the\n"
+        "                                 current ones simulate\n"
+        "  stream-ahead=N                 cells prepared ahead of the\n"
+        "                                 execution cursor (default 2)\n"
+        "  stream-watermark-mb=N          streamer byte budget: pause\n"
+        "                                 above N MB prepared-ahead,\n"
+        "                                 resume at half (default 512)\n"
         "  json=PATH|- csv=PATH|-         reports (- = stdout)\n"
         "  table=0|1                      ASCII summary table\n"
         "  groups=0|1                     engine-folded per-group\n"

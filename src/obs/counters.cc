@@ -33,6 +33,9 @@ Counters::reset()
     journalCellsReplayed = 0;
     speculativeRedispatches = 0;
     degradedCells = 0;
+    traceBytesMapped = 0;
+    tracePrefetchAhead = 0;
+    streamStalls = 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>>
@@ -62,6 +65,9 @@ snapshotCounters()
         {"journal_cells_replayed", v(c.journalCellsReplayed)},
         {"speculative_redispatches", v(c.speculativeRedispatches)},
         {"degraded_cells", v(c.degradedCells)},
+        {"trace_bytes_mapped", v(c.traceBytesMapped)},
+        {"trace_prefetch_ahead", v(c.tracePrefetchAhead)},
+        {"stream_stalls", v(c.streamStalls)},
     };
 }
 

@@ -47,6 +47,12 @@ struct Counters
     std::atomic<uint64_t> journalCellsReplayed{0};
     std::atomic<uint64_t> speculativeRedispatches{0};
     std::atomic<uint64_t> degradedCells{0};
+    // streaming trace pipeline (PR 9). Bytes mapped and spill replays
+    // stay slot-tied (deterministic); prefetch-ahead and stream stalls
+    // depend on scheduling and are only meaningful as rates.
+    std::atomic<uint64_t> traceBytesMapped{0};
+    std::atomic<uint64_t> tracePrefetchAhead{0};
+    std::atomic<uint64_t> streamStalls{0};
 
     static Counters &get();
 

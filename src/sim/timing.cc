@@ -18,17 +18,30 @@ enum class Cat : uint8_t { L1, OnChip, OffChip };
  * interleaved view, with no merged trace, no per-CPU re-copy, and no
  * materialised annotation buffer between the two phases.
  */
+/**
+ * How far back a dependence distance can reach. Completion times are
+ * kept in a fixed power-of-two ring instead of an O(nrefs) vector so
+ * the core model's footprint is independent of trace length — the
+ * point of the streaming pipeline. Workload generators emit distances
+ * of a few references; anything beyond the window (impossible today)
+ * would conservatively drop the dependence edge.
+ */
+constexpr size_t kDepWindow = 8192;
+static_assert((kDepWindow & (kDepWindow - 1)) == 0);
+
 struct CoreModel
 {
-    CoreModel(const CoreConfig &cfg, size_t nrefs)
+    CoreModel(const CoreConfig &cfg)
         : cfg(cfg), rob_window(cfg.robEntries + 1), mshr(cfg.mshrs + 1),
           sb(cfg.storeBuffer + 1)
     {
-        complete.resize(nrefs, 0.0);
+        complete.resize(kDepWindow, 0.0);
     }
 
+    double &completeAt(size_t pos) { return complete[pos & (kDepWindow - 1)]; }
+
     const CoreConfig &cfg;
-    std::vector<double> complete;
+    std::vector<double> complete;  //!< ring, indexed mod kDepWindow
     size_t i = 0;  //!< per-CPU reference position
     double retire = 0.0;
     double dispatch = 0.0;
@@ -57,8 +70,8 @@ struct CoreModel
         }
 
         double start = dispatch;
-        if (a.dep != 0 && a.dep <= i)
-            start = std::max(start, complete[i - a.dep]);
+        if (a.dep != 0 && a.dep <= i && a.dep < kDepWindow)
+            start = std::max(start, completeAt(i - a.dep));
 
         if (!a.isWrite) {
             if (cat != Cat::L1) {
@@ -69,21 +82,21 @@ struct CoreModel
                     start = std::max(start, mshr.top());
                     mshr.pop();
                 }
-                complete[i] = start + lat;
-                mshr.push(complete[i]);
+                completeAt(i) = start + lat;
+                mshr.push(completeAt(i));
             } else {
-                complete[i] = start + lat;
+                completeAt(i) = start + lat;
             }
         } else {
             // stores leave the critical path at retire
-            complete[i] = start + 1.0;
+            completeAt(i) = start + 1.0;
         }
 
         // in-order retirement at the configured width
         const double earliest = retire + slot;
         double r = earliest;
         if (!a.isWrite)
-            r = std::max(r, complete[i]);
+            r = std::max(r, completeAt(i));
 
         if (a.isWrite) {
             while (!sb.empty() && sb.front() <= r)
@@ -132,21 +145,33 @@ struct CoreModel
     }
 };
 
-} // anonymous namespace
+/** One annotated reference, staged between the two batch loops. */
+struct Annotated
+{
+    trace::MemAccess a;
+    uint32_t lat;
+    Cat cat;
+};
 
+/** Accesses staged per batch; amortizes the annotate/retire switch. */
+constexpr size_t kBatch = 128;
+
+/**
+ * Single fused pass over @p view: each reference is annotated by the
+ * coherent memory system and retired through its CPU's core model.
+ * Batched in groups of kBatch — the annotate loop (cache hierarchy +
+ * latency classification) runs back to back, then the core-model
+ * retire loop drains the batch. The two loops touch disjoint state
+ * (annotation never reads core time), so the split is numerically
+ * identical to the interleaved form while keeping each loop's
+ * branches and data hot.
+ */
 TimingResult
-runTiming(const std::vector<trace::Trace> &streams,
-          const TimingConfig &cfg, uint64_t seed,
-          const prefetch::PfAttach &attach)
+runTimingView(trace::InterleavedView &view, const TimingConfig &cfg,
+              const prefetch::PfAttach &attach)
 {
     const uint32_t ncpu = cfg.sys.ncpu;
     Torus torus(4, 4, cfg.core.hopLatency);
-
-    // single fused pass: the interleaved order is a zero-copy view
-    // over the per-CPU streams; each reference is annotated by the
-    // coherent memory system and immediately retired through its
-    // CPU's core model
-    trace::InterleavedView view = trace::canonicalView(streams, seed);
 
     mem::MemorySystem sys(cfg.sys);
     prefetch::AttachedPrefetcher *pf = attach ? attach(sys) : nullptr;
@@ -154,13 +179,21 @@ runTiming(const std::vector<trace::Trace> &streams,
     std::vector<CoreModel> cores;
     cores.reserve(ncpu);
     for (uint32_t c = 0; c < ncpu; ++c)
-        cores.emplace_back(cfg.core, streams[c].size());
+        cores.emplace_back(cfg.core);
+
+    std::vector<Annotated> batch(kBatch);
+    size_t filled = 0;
+    auto drain = [&] {
+        for (size_t k = 0; k < filled; ++k)
+            cores[batch[k].a.cpu].step(batch[k].a, batch[k].lat,
+                                       batch[k].cat);
+        filled = 0;
+    };
 
     const trace::MemAccess *span;
     uint32_t spanCpu;
     size_t spanLen;
     while ((spanLen = view.nextSpan(span, spanCpu)) != 0) {
-        CoreModel &core = cores[spanCpu];
         for (size_t k = 0; k < spanLen; ++k) {
             trace::MemAccess a = span[k];
             a.cpu = spanCpu;
@@ -202,9 +235,12 @@ runTiming(const std::vector<trace::Trace> &streams,
                         cfg.core.memLatency);
                 cat = Cat::OffChip;
             }
-            core.step(a, lat, cat);
+            batch[filled++] = {a, lat, cat};
+            if (filled == kBatch)
+                drain();
         }
     }
+    drain();
 
     if (pf)
         pf->drain();
@@ -218,6 +254,25 @@ runTiming(const std::vector<trace::Trace> &streams,
         res.systemInstructions += cores[c].systemInstructions;
     }
     return res;
+}
+
+} // anonymous namespace
+
+TimingResult
+runTiming(const std::vector<trace::Trace> &streams,
+          const TimingConfig &cfg, uint64_t seed,
+          const prefetch::PfAttach &attach)
+{
+    trace::InterleavedView view = trace::canonicalView(streams, seed);
+    return runTimingView(view, cfg, attach);
+}
+
+TimingResult
+runTiming(const trace::StreamSet &set, const TimingConfig &cfg,
+          uint64_t seed, const prefetch::PfAttach &attach)
+{
+    trace::InterleavedView view = trace::canonicalView(set, seed);
+    return runTimingView(view, cfg, attach);
 }
 
 } // namespace stems::sim

@@ -42,6 +42,7 @@
 #include "prefetch/attach.hh"
 #include "sim/torus.hh"
 #include "trace/access.hh"
+#include "trace/stream.hh"
 
 namespace stems::sim {
 
@@ -124,6 +125,16 @@ struct TimingResult
  *               last reference, exactly as in study::runSystem.
  */
 TimingResult runTiming(const std::vector<trace::Trace> &streams,
+                       const TimingConfig &cfg, uint64_t seed = 1,
+                       const prefetch::PfAttach &attach = {});
+
+/**
+ * Zero-materialization form: drive the fused annotate+retire pass
+ * from a StreamSet, whose backing may be an mmap'd spill consumed
+ * straight from the page cache. Byte-identical results to the
+ * vector-of-streams overload.
+ */
+TimingResult runTiming(const trace::StreamSet &set,
                        const TimingConfig &cfg, uint64_t seed = 1,
                        const prefetch::PfAttach &attach = {});
 

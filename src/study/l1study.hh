@@ -23,6 +23,7 @@
 #include "core/sms.hh"
 #include "mem/cache.hh"
 #include "trace/access.hh"
+#include "trace/stream.hh"
 
 namespace stems::study {
 
@@ -91,6 +92,16 @@ struct L1StudyResult
 
 /** Run one pass of the trace through the shadow-L1 pipeline. */
 L1StudyResult runL1Study(const trace::Trace &t, const L1StudyConfig &cfg);
+
+/**
+ * Zero-materialization form: drive the shadow pipeline from a
+ * StreamSet in canonical interleaved order for workload seed @p seed
+ * (identical to the order the merged trace materialises), so the
+ * merged copy is never built. Results are byte-identical to the
+ * merged-trace overload.
+ */
+L1StudyResult runL1Study(const trace::StreamSet &set,
+                         const L1StudyConfig &cfg, uint64_t seed);
 
 } // namespace stems::study
 

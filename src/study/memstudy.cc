@@ -185,6 +185,27 @@ runSystem(const trace::Trace &t, const SystemStudyConfig &cfg,
         cfg, attach);
 }
 
+namespace {
+
+/** Drive @p sink over @p view in span order, cpu field restamped. */
+template <typename Sink>
+void
+driveView(trace::InterleavedView &view, Sink &&sink)
+{
+    const trace::MemAccess *span;
+    uint32_t spanCpu;
+    size_t n;
+    while ((n = view.nextSpan(span, spanCpu)) != 0) {
+        for (size_t k = 0; k < n; ++k) {
+            trace::MemAccess a = span[k];
+            a.cpu = spanCpu;
+            sink(a);
+        }
+    }
+}
+
+} // anonymous namespace
+
 SystemStudyResult
 runSystem(const std::vector<trace::Trace> &streams,
           const SystemStudyConfig &cfg, uint64_t seed,
@@ -194,16 +215,19 @@ runSystem(const std::vector<trace::Trace> &streams,
         [&streams, seed](auto &&sink) {
             trace::InterleavedView view =
                 trace::canonicalView(streams, seed);
-            const trace::MemAccess *span;
-            uint32_t spanCpu;
-            size_t n;
-            while ((n = view.nextSpan(span, spanCpu)) != 0) {
-                for (size_t k = 0; k < n; ++k) {
-                    trace::MemAccess a = span[k];
-                    a.cpu = spanCpu;
-                    sink(a);
-                }
-            }
+            driveView(view, sink);
+        },
+        cfg, attach);
+}
+
+SystemStudyResult
+runSystem(const trace::StreamSet &set, const SystemStudyConfig &cfg,
+          uint64_t seed, const PfAttach &attach)
+{
+    return runSystemImpl(
+        [&set, seed](auto &&sink) {
+            trace::InterleavedView view = trace::canonicalView(set, seed);
+            driveView(view, sink);
         },
         cfg, attach);
 }

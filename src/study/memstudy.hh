@@ -22,6 +22,7 @@
 #include "prefetch/ghb.hh"
 #include "study/density.hh"
 #include "trace/access.hh"
+#include "trace/stream.hh"
 
 namespace stems::study {
 
@@ -108,6 +109,16 @@ SystemStudyResult runSystem(const trace::Trace &t,
  * trace. Results are identical to the merged-trace overloads.
  */
 SystemStudyResult runSystem(const std::vector<trace::Trace> &streams,
+                            const SystemStudyConfig &cfg, uint64_t seed,
+                            const PfAttach &attach = {});
+
+/**
+ * Zero-materialization form: same canonical interleave, driven from a
+ * StreamSet whose backing may be an mmap'd spill (consumed pages are
+ * dropped behind the cursor). Results are byte-identical to the other
+ * overloads by construction.
+ */
+SystemStudyResult runSystem(const trace::StreamSet &set,
                             const SystemStudyConfig &cfg, uint64_t seed,
                             const PfAttach &attach = {});
 

@@ -7,6 +7,7 @@
 
 #include "obs/counters.hh"
 #include "obs/obs.hh"
+#include "trace/interleaver.hh"
 #include "trace/io.hh"
 #include "trace/lock.hh"
 #include "util/flat_map.hh"
@@ -81,14 +82,19 @@ TraceCache::slot(const std::string &name,
     return slots[key.str()];
 }
 
-const std::vector<trace::Trace> &
-TraceCache::streams(const std::string &name,
-                    const workloads::WorkloadParams &p)
+const trace::StreamSet &
+TraceCache::viewSetImpl(const std::string &name,
+                        const workloads::WorkloadParams &p,
+                        bool count_lookup)
 {
     Slot &s = slot(name, p);
     bool ran = false;
-    std::call_once(s.streamsOnce, [&] {
+    std::call_once(s.setOnce, [&] {
         ran = true;
+        // the miss is counted inside the once so it stays slot-tied
+        // (exactly one per distinct key) no matter which caller — a
+        // consumer or the background streamer — gets here first
+        obs::count(&obs::Counters::traceCacheMisses);
         const uint64_t hash = generatorConfigHash(name, p);
         const std::string file = spillDir.empty()
             ? std::string()
@@ -96,24 +102,29 @@ TraceCache::streams(const std::string &name,
                 "_" + std::to_string(p.refsPerCpu) + "_" +
                 std::to_string(p.seed) + ".stmt";
 
-        // replay: the spill holds the merged trace with each access's
-        // cpu field set to its stream index, so the per-CPU streams
-        // are recovered by a stable partition
+        // replay: v4 spills hold one section per stream, so the fast
+        // path maps the file and hands out zero-copy views; the stdio
+        // path (STEMS_NO_MMAP=1, or mapping failed) materialises the
+        // sections instead. Either way the file is fully validated —
+        // header, section table, size, checksum — before any view
+        // escapes, so corruption is a replay miss, never a SIGBUS.
         auto tryReplay = [&]() -> bool {
             obs::Span span("trace_replay", {{"workload", name}});
-            trace::Trace merged;
             try {
-                if (!trace::readTrace(file, merged, hash))
-                    return false;
-                std::vector<trace::Trace> demerged(p.ncpu);
-                for (auto &st : demerged)
-                    st.reserve(p.refsPerCpu);
-                for (const auto &a : merged) {
-                    if (a.cpu >= p.ncpu)
+                if (auto m = trace::MappedTrace::open(file, hash)) {
+                    if (m->numStreams() != p.ncpu)
                         return false;
-                    demerged[a.cpu].push_back(a);
+                    obs::count(&obs::Counters::traceBytesMapped,
+                               m->bytes());
+                    s.set = trace::StreamSet::mapped(std::move(m));
+                    obs::count(&obs::Counters::traceSpillReplays);
+                    return true;
                 }
-                s.streams = std::move(demerged);
+                std::vector<trace::Trace> streams;
+                if (!trace::readTraceStreams(file, streams, hash) ||
+                    streams.size() != p.ncpu)
+                    return false;
+                s.set = trace::StreamSet::owned(std::move(streams));
                 obs::count(&obs::Counters::traceSpillReplays);
                 return true;
             } catch (const std::exception &) {
@@ -129,33 +140,75 @@ TraceCache::streams(const std::string &name,
             if (!entry)
                 throw std::invalid_argument("unknown workload: " + name);
             auto w = entry->make();
-            s.streams = w->generateStreams(p);
+            s.set = trace::StreamSet::owned(w->generateStreams(p));
         };
 
-        if (file.empty()) {
+        auto build = [&] {
+            if (file.empty()) {
+                generate();
+                return;
+            }
+            if (tryReplay())
+                return;
+            // concurrent generators (dispatch workers sharing the
+            // spill dir) serialize here so each trace is generated
+            // exactly once: the lock winner records, the losers wake
+            // up and replay
+            trace::FileLock lock(file + ".lock");
+            if (lock.held() && tryReplay())
+                return;
             generate();
-            return;
-        }
-        if (tryReplay())
-            return;
-        // concurrent generators (dispatch workers sharing the spill
-        // dir) serialize here so each trace is generated exactly once:
-        // the lock winner records, the losers wake up and replay
-        trace::FileLock lock(file + ".lock");
-        if (lock.held() && tryReplay())
-            return;
-        generate();
-        // record, best effort: stream the canonical interleaved order
-        // straight to disk without materialising it (atomic rename, so
-        // lockless fast-path readers never see a torn file)
-        trace::InterleavedView view =
-            trace::canonicalView(s.streams, p.seed);
-        trace::writeTrace(view, file, hash);
+            // record, best effort (atomic rename, so lockless
+            // fast-path readers never see a torn file)
+            trace::writeTraceStreams(*s.set.vectors(), file, hash);
+        };
+        build();
+        s.prepared.store(true, std::memory_order_release);
     });
-    // one miss per distinct (workload, params) slot, hits for every
-    // later lookup — deterministic across thread counts
-    obs::count(ran ? &obs::Counters::traceCacheMisses
-                   : &obs::Counters::traceCacheHits);
+    // hits for every later lookup — deterministic across thread
+    // counts; prepare() passes count_lookup=false so the background
+    // streamer never perturbs the hit count
+    if (count_lookup && !ran)
+        obs::count(&obs::Counters::traceCacheHits);
+    return s.set;
+}
+
+const trace::StreamSet &
+TraceCache::viewSet(const std::string &name,
+                    const workloads::WorkloadParams &p)
+{
+    return viewSetImpl(name, p, true);
+}
+
+void
+TraceCache::prepare(const std::string &name,
+                    const workloads::WorkloadParams &p)
+{
+    viewSetImpl(name, p, false);
+}
+
+bool
+TraceCache::ready(const std::string &name,
+                  const workloads::WorkloadParams &p)
+{
+    std::ostringstream key;
+    key << name << "_" << p.ncpu << "_" << p.refsPerCpu << "_" << p.seed;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = slots.find(key.str());
+    return it != slots.end() &&
+        it->second.prepared.load(std::memory_order_acquire);
+}
+
+const std::vector<trace::Trace> &
+TraceCache::streams(const std::string &name,
+                    const workloads::WorkloadParams &p)
+{
+    Slot &s = slot(name, p);
+    const trace::StreamSet &set = viewSetImpl(name, p, true);
+    if (const auto *v = set.vectors())
+        return *v;
+    // mapped backing: legacy callers need real vectors, copy out once
+    std::call_once(s.streamsOnce, [&] { s.streams = set.materialize(); });
     return s.streams;
 }
 

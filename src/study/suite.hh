@@ -9,12 +9,14 @@
 #ifndef STEMS_STUDY_SUITE_HH
 #define STEMS_STUDY_SUITE_HH
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "trace/access.hh"
+#include "trace/stream.hh"
 #include "workloads/workload.hh"
 
 namespace stems::study {
@@ -41,19 +43,26 @@ uint64_t generatorConfigHash(const std::string &name,
 /**
  * Generates-once, reuses-thereafter trace storage for sweeps.
  *
- * The cache's unit of storage is the per-CPU stream set; the merged
+ * The cache's unit of storage is a trace::StreamSet — per-CPU stream
+ * views behind one ownership model. Freshly-generated workloads are
+ * owned vectors; spill replay hands out a zero-copy mapped backing
+ * (trace::MappedTrace) when possible, so replaying a cell never
+ * materialises the trace at all. Zero-copy consumers
+ * (study::runSystem, study::runL1Study, sim::runTiming) take the set
+ * through viewSet(); streams()/get() are the legacy materialising
+ * wrappers and copy a mapped backing out on first use. The merged
  * (interleaved) trace is materialised lazily only for callers that
- * need a flat trace. Zero-copy consumers (study::runSystem over a
- * stream view, sim::runTiming) use streams() and never pay for the
- * merged copy.
+ * need a flat trace.
  *
  * Thread-safe: concurrent calls for the same key block until the
  * first caller finishes generating; returned references stay valid for
  * the cache's lifetime. With a spill directory set, generation is
- * replaced by record/replay through trace::writeTrace / readTrace so
+ * replaced by record/replay through trace::writeTraceStreams /
+ * MappedTrace::open (stdio fallback under STEMS_NO_MMAP=1) so
  * expensive workloads are generated once across processes. Spill
- * files embed generatorConfigHash(); mismatching or old-format files
- * are regenerated and overwritten.
+ * files embed generatorConfigHash(); mismatching, truncated, corrupt
+ * or old-format files are rejected up front — before any view is
+ * handed out — and regenerated.
  */
 class TraceCache
 {
@@ -69,7 +78,27 @@ class TraceCache
      */
     void setSpillDir(const std::string &dir);
 
-    /** Per-CPU streams for suite entry @p name under @p p (cached). */
+    /**
+     * Stream views for suite entry @p name under @p p (cached) — the
+     * primary entry for zero-copy consumers. The returned set stays
+     * valid for the cache's lifetime.
+     */
+    const trace::StreamSet &
+    viewSet(const std::string &name, const workloads::WorkloadParams &p);
+
+    /**
+     * Build (generate-or-replay) the set for @p name ahead of its
+     * consumer, without counting a cache lookup — the background
+     * streamer's entry. Safe to race with viewSet().
+     */
+    void prepare(const std::string &name,
+                 const workloads::WorkloadParams &p);
+
+    /** Whether the set for @p name is already built (non-blocking). */
+    bool ready(const std::string &name,
+               const workloads::WorkloadParams &p);
+
+    /** Per-CPU streams, materialised (legacy callers; cached). */
     const std::vector<trace::Trace> &
     streams(const std::string &name, const workloads::WorkloadParams &p);
 
@@ -80,14 +109,21 @@ class TraceCache
   private:
     struct Slot
     {
+        std::once_flag setOnce;
         std::once_flag streamsOnce;
         std::once_flag mergedOnce;
-        std::vector<trace::Trace> streams;
+        trace::StreamSet set;
+        std::atomic<bool> prepared{false};
+        std::vector<trace::Trace> streams;  //!< mapped-set materialisation
         trace::Trace merged;
     };
 
     Slot &slot(const std::string &name,
                const workloads::WorkloadParams &p);
+
+    const trace::StreamSet &viewSetImpl(const std::string &name,
+                                        const workloads::WorkloadParams &p,
+                                        bool count_lookup);
 
     std::string spillDir;
     std::mutex mu;                      //!< guards slots map shape

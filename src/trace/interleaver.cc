@@ -6,12 +6,12 @@ void
 InterleavedView::reset()
 {
     rng.reseed(seed_);
-    pos.assign(streams_->size(), 0);
+    pos.assign(views_.size(), 0);
     total = 0;
     live = 0;
-    for (const auto &s : *streams_) {
+    for (const auto &s : views_) {
         total += s.size();
-        if (!s.empty())
+        if (s.size() != 0)
             ++live;
     }
     cpu = 0;

@@ -20,6 +20,7 @@
 
 #include "trace/access.hh"
 #include "trace/rng.hh"
+#include "trace/stream.hh"
 
 namespace stems::trace {
 
@@ -33,9 +34,13 @@ namespace stems::trace {
  * defeat coupled training structures (Section 4.3), so the schedule
  * interleaves well below transaction granularity.
  *
- * The view only reads the streams; the caller keeps them alive and
- * unchanged while iterating. Each access's cpu field is rewritten to
- * its stream index in the copy handed out by next().
+ * The view only reads the streams. It walks StreamViews, so the
+ * backing can be caller-owned vectors (kept alive and unchanged while
+ * iterating) or sections of an mmap'd spill — in the mapped case the
+ * cursor reports consumption back to each view so pages behind it are
+ * dropped and peak RSS tracks the interleave window, not the trace
+ * length. Each access's cpu field is rewritten to its stream index in
+ * the copy handed out by next().
  */
 class InterleavedView
 {
@@ -43,8 +48,20 @@ class InterleavedView
     InterleavedView(const std::vector<Trace> &streams,
                     uint32_t min_chunk = 1, uint32_t max_chunk = 16,
                     uint64_t seed = 42)
-        : streams_(&streams), minChunk(min_chunk), maxChunk(max_chunk),
-          seed_(seed)
+        : minChunk(min_chunk), maxChunk(max_chunk), seed_(seed)
+    {
+        views_.reserve(streams.size());
+        for (const auto &s : streams)
+            views_.emplace_back(s);
+        reset();
+    }
+
+    /** Walk pre-built per-stream cursors (e.g. StreamSet::views()). */
+    explicit InterleavedView(std::vector<StreamView> views,
+                             uint32_t min_chunk = 1,
+                             uint32_t max_chunk = 16, uint64_t seed = 42)
+        : views_(std::move(views)), minChunk(min_chunk),
+          maxChunk(max_chunk), seed_(seed)
     {
         reset();
     }
@@ -93,7 +110,7 @@ class InterleavedView
     size_t size() const { return total; }
 
     /** Number of per-CPU streams. */
-    size_t numStreams() const { return streams_->size(); }
+    size_t numStreams() const { return views_.size(); }
 
   private:
     /**
@@ -105,10 +122,10 @@ class InterleavedView
     refill()
     {
         while (live > 0) {
-            const Trace &s = (*streams_)[cpu];
+            StreamView &s = views_[cpu];
             const size_t remaining = s.size() - pos[cpu];
             if (remaining == 0) {
-                cpu = (cpu + 1) % streams_->size();
+                cpu = (cpu + 1) % views_.size();
                 continue;
             }
             const uint64_t chunk = rng.range(minChunk, maxChunk);
@@ -119,9 +136,11 @@ class InterleavedView
             spanLeft = n;
             spanCpu = static_cast<uint32_t>(cpu);
             pos[cpu] += n;
+            // mapped backings drop pages behind the cursor
+            s.consumed(pos[cpu]);
             if (pos[cpu] == s.size())
                 --live;
-            cpu = (cpu + 1) % streams_->size();
+            cpu = (cpu + 1) % views_.size();
             if (n != 0)
                 return true;
             // chunk == 0 (minChunk == 0): an empty turn, keep going
@@ -129,7 +148,7 @@ class InterleavedView
         return false;
     }
 
-    const std::vector<Trace> *streams_;
+    std::vector<StreamView> views_;
     uint32_t minChunk;
     uint32_t maxChunk;
     uint64_t seed_;
@@ -193,6 +212,18 @@ inline InterleavedView
 canonicalView(const std::vector<Trace> &streams, uint64_t workload_seed)
 {
     return InterleavedView(streams, 1, 16, workload_seed * 977 + 13);
+}
+
+/**
+ * Canonical-order cursor over a StreamSet's backing, whatever it is —
+ * borrowed/owned vectors or a mapped spill. The schedule depends only
+ * on stream sizes and the seed, so the emitted order (and with it
+ * every downstream report byte) is identical across backings.
+ */
+inline InterleavedView
+canonicalView(const StreamSet &set, uint64_t workload_seed)
+{
+    return InterleavedView(set.views(), 1, 16, workload_seed * 977 + 13);
 }
 
 } // namespace stems::trace

@@ -10,12 +10,16 @@
 #include <unistd.h>
 
 #include "fault/fault.hh"
+#include "trace/stream.hh"
 
 namespace stems::trace {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'M', 'T'};
+
+/** Sanity bound: more sections than this is a corrupt header. */
+constexpr uint32_t kMaxStreams = 1u << 20;
 
 /**
  * Writes go to a per-process temp name and are renamed into place on
@@ -29,22 +33,23 @@ tempName(const std::string &path)
 }
 
 bool
-commitOrDiscard(const std::string &tmp, const std::string &path, bool ok)
+commitOrDiscard(const std::string &tmp, const std::string &path, bool ok,
+                size_t payload_offset)
 {
     if (ok && std::rename(tmp.c_str(), path.c_str()) == 0) {
         // chaos hook: flip one payload byte of the committed file;
-        // the v3 checksum makes the damage detectable, so replay
+        // the checksum makes the damage detectable, so replay
         // rejects the spill and the TraceCache regenerates it
         if (fault::spillFault(fault::Kind::CorruptSpill, path))
             fault::corruptFileByte(path, fault::currentPlan().seed,
-                                   kTraceHeaderBytes);
+                                   payload_offset);
         return true;
     }
     std::remove(tmp.c_str());
     return false;
 }
 
-/** On-disk packed record; kept independent of MemAccess layout. */
+/** On-disk packed record; bit-identical to MemAccess (see stream.hh). */
 struct PackedAccess
 {
     uint64_t pc;
@@ -57,6 +62,8 @@ struct PackedAccess
     uint8_t isKernel;
 };
 
+static_assert(sizeof(PackedAccess) == sizeof(MemAccess));
+
 struct FileCloser
 {
     void operator()(FILE *f) const { if (f) std::fclose(f); }
@@ -64,31 +71,36 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<FILE, FileCloser>;
 
-/**
- * Fixed .stmt header: magic, version, generator hash, record count,
- * payload checksum (v3).
- */
-constexpr size_t kHeaderBytes = kTraceHeaderBytes;
-
 /** Byte offset of the checksum field (rewritten after streaming). */
 constexpr long kChecksumOffset = 4 + sizeof(uint32_t) +
     2 * sizeof(uint64_t);
 
 /**
- * Write the v3 header with a placeholder checksum; the writers seek
- * back and fill the real value once every record has streamed through
- * the running FNV fold.
+ * Write the v4 header and section table with a placeholder checksum;
+ * the writers seek back and fill the real value once every record has
+ * streamed through the running FNV fold.
  */
 bool
-writeHeader(FILE *f, uint64_t config_hash, uint64_t count)
+writeHeader(FILE *f, uint64_t config_hash,
+            const std::vector<uint64_t> &counts)
 {
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
     const uint64_t placeholder = 0;
-    return std::fwrite(kMagic, 1, 4, f) == 4 &&
+    const uint32_t nstreams = static_cast<uint32_t>(counts.size());
+    const uint32_t pad = 0;  // keeps the payload 8-byte aligned
+    bool ok = std::fwrite(kMagic, 1, 4, f) == 4 &&
         std::fwrite(&kTraceFormatVersion, sizeof(kTraceFormatVersion),
                     1, f) == 1 &&
         std::fwrite(&config_hash, sizeof(config_hash), 1, f) == 1 &&
-        std::fwrite(&count, sizeof(count), 1, f) == 1 &&
-        std::fwrite(&placeholder, sizeof(placeholder), 1, f) == 1;
+        std::fwrite(&total, sizeof(total), 1, f) == 1 &&
+        std::fwrite(&placeholder, sizeof(placeholder), 1, f) == 1 &&
+        std::fwrite(&nstreams, sizeof(nstreams), 1, f) == 1 &&
+        std::fwrite(&pad, sizeof(pad), 1, f) == 1;
+    for (uint64_t c : counts)
+        ok = ok && std::fwrite(&c, sizeof(c), 1, f) == 1;
+    return ok;
 }
 
 bool
@@ -109,71 +121,139 @@ loadField(const unsigned char *p)
 }
 
 /**
- * Parse a complete .stmt image (header + records) from a contiguous
- * byte view into @p out. Shared by the mmap fast path and (indirectly,
- * via identical field logic) the buffered fallback.
+ * Stream one section's records through the checksum fold and out to
+ * @p f, with the cpu field optionally rewritten to @p stream_index.
  */
 bool
-parseTraceImage(const unsigned char *data, size_t size, Trace &out,
-                uint64_t expected_hash)
+writeSection(FILE *f, const Trace &t, uint32_t stream_index,
+             bool rewrite_cpu, uint64_t &checksum)
 {
-    if (size < kHeaderBytes || std::memcmp(data, kMagic, 4) != 0)
-        return false;
-    if (loadField<uint32_t>(data + 4) != kTraceFormatVersion)
-        return false;
-    const uint64_t config_hash = loadField<uint64_t>(data + 8);
-    const uint64_t count = loadField<uint64_t>(data + 16);
-    const uint64_t checksum = loadField<uint64_t>(data + 24);
-    // a stale trace from an incompatible generator must not replay
-    if (expected_hash != 0 && config_hash != expected_hash)
-        return false;
-    // a corrupt count must not drive reserve(): the image must
-    // actually hold that many records
-    if (count != (size - kHeaderBytes) / sizeof(PackedAccess))
-        return false;
-    // corrupted record payloads must not replay (v3): silently wrong
-    // references would break the byte-identity of dispatched reports
-    if (checksum != traceChecksum(data + kHeaderBytes,
-                                  size - kHeaderBytes))
-        return false;
-
-    out.clear();
-    out.reserve(count);
-    const unsigned char *rec = data + kHeaderBytes;
-    for (uint64_t i = 0; i < count; ++i, rec += sizeof(PackedAccess)) {
-        PackedAccess p;
-        std::memcpy(&p, rec, sizeof(p));
-        MemAccess a;
-        a.pc = p.pc;
-        a.addr = p.addr;
-        a.cpu = p.cpu;
-        a.ninst = p.ninst;
-        a.dep = p.dep;
-        a.size = p.size;
-        a.isWrite = p.isWrite != 0;
-        a.isKernel = p.isKernel != 0;
-        out.push_back(a);
+    for (const auto &a : t) {
+        PackedAccess p{a.pc, a.addr,
+                       rewrite_cpu ? stream_index : a.cpu,
+                       a.ninst, a.dep, a.size,
+                       static_cast<uint8_t>(a.isWrite),
+                       static_cast<uint8_t>(a.isKernel)};
+        checksum = traceChecksum(
+            reinterpret_cast<const unsigned char *>(&p), sizeof(p),
+            checksum);
+        if (std::fwrite(&p, sizeof(p), 1, f) != 1)
+            return false;
     }
     return true;
 }
 
+bool
+writeSections(const std::vector<const Trace *> &streams,
+              const std::string &path, uint64_t config_hash,
+              bool rewrite_cpu)
+{
+    // chaos hook: model a full disk before any bytes land
+    if (fault::spillFault(fault::Kind::Enospc, path))
+        return false;
+    const std::string tmp = tempName(path);
+    bool ok = false;
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            return false;
+
+        std::vector<uint64_t> counts;
+        counts.reserve(streams.size());
+        for (const Trace *t : streams)
+            counts.push_back(t->size());
+        ok = writeHeader(f.get(), config_hash, counts);
+
+        uint64_t checksum = traceChecksum(nullptr, 0);
+        for (size_t i = 0; ok && i < streams.size(); ++i)
+            ok = writeSection(f.get(), *streams[i],
+                              static_cast<uint32_t>(i), rewrite_cpu,
+                              checksum);
+        ok = ok && patchChecksum(f.get(), checksum);
+    }
+    return commitOrDiscard(
+        tmp, path, ok,
+        tracePayloadOffset(static_cast<uint32_t>(streams.size())));
+}
+
+/**
+ * Parse a complete .stmt image (header + records) from a contiguous
+ * byte view into per-section traces. Shared by the buffered readers;
+ * the mmap view path (trace/stream.cc) validates the same header via
+ * parseTraceHeader and never decodes.
+ */
+bool
+parseTraceImage(const unsigned char *data, size_t size,
+                std::vector<Trace> &out, uint64_t expected_hash)
+{
+    TraceFileHeader h;
+    if (!parseTraceHeader(data, size, h, expected_hash))
+        return false;
+    // corrupted record payloads must not replay: silently wrong
+    // references would break the byte-identity of dispatched reports
+    if (h.checksum != traceChecksum(data + h.payloadOffset,
+                                    size - h.payloadOffset))
+        return false;
+
+    out.clear();
+    out.resize(h.streamCounts.size());
+    const unsigned char *rec = data + h.payloadOffset;
+    for (size_t s = 0; s < h.streamCounts.size(); ++s) {
+        Trace &t = out[s];
+        t.reserve(h.streamCounts[s]);
+        for (uint64_t i = 0; i < h.streamCounts[s];
+             ++i, rec += sizeof(PackedAccess)) {
+            PackedAccess p;
+            std::memcpy(&p, rec, sizeof(p));
+            MemAccess a;
+            a.pc = p.pc;
+            a.addr = p.addr;
+            a.cpu = p.cpu;
+            a.ninst = p.ninst;
+            a.dep = p.dep;
+            a.size = p.size;
+            a.isWrite = p.isWrite != 0;
+            a.isKernel = p.isKernel != 0;
+            t.push_back(a);
+        }
+    }
+    return true;
+}
+
+/** Slurp @p path whole; false on open/short-read failure. */
+bool
+slurpFile(const std::string &path, std::vector<unsigned char> &image)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return false;
+    const long fileSize = std::ftell(f.get());
+    if (fileSize < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0)
+        return false;
+    image.resize(static_cast<size_t>(fileSize));
+    return image.empty() ||
+        std::fread(image.data(), 1, image.size(), f.get()) ==
+            image.size();
+}
+
 /**
  * mmap-backed read path: map the file as a read-only MAP_PRIVATE view
- * and parse records straight out of the page cache. Replay then keeps
- * no second buffered copy of the file in userspace — the mapped pages
- * are clean, evictable and shared across every concurrent reader of
- * the same spill file (dispatch workers replaying one generation),
- * which is what cuts resident replay memory against the stdio path.
+ * and parse records straight out of the page cache, so replay keeps
+ * no second buffered copy of the file in userspace.
  *
  * @param usedMap set true when the file was mapped (parse outcome is
  *                then final); left false when mmap is unavailable and
  *                the caller must fall back to the buffered path.
  */
 bool
-readTraceMapped(const std::string &path, Trace &out,
+readTraceMapped(const std::string &path, std::vector<Trace> &out,
                 uint64_t expected_hash, bool &usedMap)
 {
     usedMap = false;
+    if (mmapDisabled())
+        return false;  // kill-switch: force the buffered path
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return false;
@@ -184,7 +264,7 @@ readTraceMapped(const std::string &path, Trace &out,
         return false;  // stat failed: let stdio try
     }
     if (st.st_size < 0 ||
-        static_cast<uint64_t>(st.st_size) < kHeaderBytes) {
+        static_cast<uint64_t>(st.st_size) < kTraceHeaderBytes) {
         ::close(fd);
         usedMap = true;  // too short to be a trace however it is read
         return false;
@@ -204,6 +284,27 @@ readTraceMapped(const std::string &path, Trace &out,
     return ok;
 }
 
+/** Shared front end of readTrace/readTraceStreams. */
+bool
+readSections(const std::string &path, std::vector<Trace> &out,
+             uint64_t expected_hash)
+{
+    // prefer the mmap view; fall back to buffered stdio only when the
+    // file cannot be mapped at all (or mapping is disabled)
+    bool usedMap = false;
+    const bool ok = readTraceMapped(path, out, expected_hash, usedMap);
+    if (usedMap || ok)
+        return ok;
+
+    // stdio fallback: slurp the image and run the one decoder, so
+    // both paths validate and decode the format identically
+    std::vector<unsigned char> image;
+    if (!slurpFile(path, image))
+        return false;
+    return parseTraceImage(image.data(), image.size(), out,
+                           expected_hash);
+}
+
 } // anonymous namespace
 
 uint64_t
@@ -217,96 +318,84 @@ traceChecksum(const unsigned char *data, size_t size, uint64_t h)
 }
 
 bool
-writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
+parseTraceHeader(const unsigned char *data, size_t size,
+                 TraceFileHeader &out, uint64_t expected_hash)
 {
-    // chaos hook: model a full disk before any bytes land
-    if (fault::spillFault(fault::Kind::Enospc, path))
+    if (size < kTraceHeaderBytes || std::memcmp(data, kMagic, 4) != 0)
         return false;
-    const std::string tmp = tempName(path);
-    bool ok = false;
-    {
-        FilePtr f(std::fopen(tmp.c_str(), "wb"));
-        if (!f)
+    if (loadField<uint32_t>(data + 4) != kTraceFormatVersion)
+        return false;
+    out.configHash = loadField<uint64_t>(data + 8);
+    out.count = loadField<uint64_t>(data + 16);
+    out.checksum = loadField<uint64_t>(data + 24);
+    const uint32_t nstreams = loadField<uint32_t>(data + 32);
+    // a stale trace from an incompatible generator must not replay
+    if (expected_hash != 0 && out.configHash != expected_hash)
+        return false;
+    if (nstreams == 0 || nstreams > kMaxStreams)
+        return false;
+    out.payloadOffset = tracePayloadOffset(nstreams);
+    if (size < out.payloadOffset)
+        return false;
+    // corrupt counts must not drive reserve() or out-of-bounds views:
+    // the sections must sum to the total, and the payload must hold
+    // exactly that many records
+    out.streamCounts.assign(nstreams, 0);
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < nstreams; ++i) {
+        out.streamCounts[i] =
+            loadField<uint64_t>(data + kTraceHeaderBytes + 8 * i);
+        if (out.streamCounts[i] > out.count)
             return false;
-
-        ok = writeHeader(f.get(), config_hash, t.size());
-
-        uint64_t checksum = traceChecksum(nullptr, 0);
-        for (const auto &a : t) {
-            if (!ok)
-                break;
-            PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
-                           static_cast<uint8_t>(a.isWrite),
-                           static_cast<uint8_t>(a.isKernel)};
-            checksum = traceChecksum(
-                reinterpret_cast<const unsigned char *>(&p), sizeof(p),
-                checksum);
-            ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
-        }
-        ok = ok && patchChecksum(f.get(), checksum);
+        total += out.streamCounts[i];
     }
-    return commitOrDiscard(tmp, path, ok);
+    if (total != out.count)
+        return false;
+    if (out.count != (size - out.payloadOffset) / sizeof(MemAccess) ||
+        (size - out.payloadOffset) % sizeof(MemAccess) != 0)
+        return false;
+    return true;
 }
 
 bool
-writeTrace(InterleavedView &view, const std::string &path,
-           uint64_t config_hash)
+writeTrace(const Trace &t, const std::string &path, uint64_t config_hash)
 {
-    if (fault::spillFault(fault::Kind::Enospc, path))
-        return false;
-    const std::string tmp = tempName(path);
-    bool ok = false;
-    {
-        FilePtr f(std::fopen(tmp.c_str(), "wb"));
-        if (!f)
-            return false;
+    // single-section file, records verbatim (exact round trip)
+    return writeSections({&t}, path, config_hash, false);
+}
 
-        ok = writeHeader(f.get(), config_hash, view.size());
-
-        uint64_t checksum = traceChecksum(nullptr, 0);
-        MemAccess a;
-        while (ok && view.next(a)) {
-            PackedAccess p{a.pc, a.addr, a.cpu, a.ninst, a.dep, a.size,
-                           static_cast<uint8_t>(a.isWrite),
-                           static_cast<uint8_t>(a.isKernel)};
-            checksum = traceChecksum(
-                reinterpret_cast<const unsigned char *>(&p), sizeof(p),
-                checksum);
-            ok = std::fwrite(&p, sizeof(p), 1, f.get()) == 1;
-        }
-        ok = ok && patchChecksum(f.get(), checksum);
-    }
-    return commitOrDiscard(tmp, path, ok);
+bool
+writeTraceStreams(const std::vector<Trace> &streams,
+                  const std::string &path, uint64_t config_hash)
+{
+    std::vector<const Trace *> ptrs;
+    ptrs.reserve(streams.size());
+    for (const auto &t : streams)
+        ptrs.push_back(&t);
+    return writeSections(ptrs, path, config_hash, true);
 }
 
 bool
 readTrace(const std::string &path, Trace &out, uint64_t expected_hash)
 {
-    // prefer the mmap view; fall back to buffered stdio only when the
-    // file cannot be mapped at all
-    bool usedMap = false;
-    const bool ok = readTraceMapped(path, out, expected_hash, usedMap);
-    if (usedMap || ok)
-        return ok;
+    std::vector<Trace> sections;
+    if (!readSections(path, sections, expected_hash))
+        return false;
+    out.clear();
+    size_t total = 0;
+    for (const auto &s : sections)
+        total += s.size();
+    out.reserve(total);
+    for (const auto &s : sections)
+        out.insert(out.end(), s.begin(), s.end());
+    return true;
+}
 
-    // stdio fallback: slurp the image and run the one decoder, so
-    // both paths validate and decode the format identically
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        return false;
-    if (std::fseek(f.get(), 0, SEEK_END) != 0)
-        return false;
-    const long fileSize = std::ftell(f.get());
-    if (fileSize < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0)
-        return false;
-    std::vector<unsigned char> image(static_cast<size_t>(fileSize));
-    if (!image.empty() &&
-        std::fread(image.data(), 1, image.size(), f.get()) !=
-            image.size()) {
-        return false;
-    }
-    return parseTraceImage(image.data(), image.size(), out,
-                           expected_hash);
+bool
+readTraceStreams(const std::string &path, std::vector<Trace> &out,
+                 uint64_t expected_hash)
+{
+    return readSections(path, out, expected_hash);
 }
 
 } // namespace stems::trace

@@ -15,6 +15,14 @@
  * replay — the TraceCache then regenerates the trace instead of
  * silently replaying corrupted references, which would break the
  * byte-identity of dispatched reports.
+ *
+ * Format v4 lays the payload out as per-stream sections (one
+ * contiguous record run per CPU, preceded by a section-count table)
+ * and keeps the payload 8-byte aligned. That is what makes zero-copy
+ * replay possible: trace::MappedTrace points StreamViews straight
+ * into the mapped sections (records are byte-identical to MemAccess),
+ * so consumption needs no demerge pass and no materialised copy.
+ * Single-trace files are simply one-section files.
  */
 
 #ifndef STEMS_TRACE_IO_HH
@@ -23,28 +31,60 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "trace/access.hh"
-#include "trace/interleaver.hh"
 
 namespace stems::trace {
 
 /** Current .stmt container format version. */
-constexpr uint32_t kTraceFormatVersion = 3;
+constexpr uint32_t kTraceFormatVersion = 4;
 
-/** .stmt header size: magic, version, generator hash, count, checksum. */
+/**
+ * Fixed .stmt header prefix: magic "STMT", version, generator hash,
+ * total record count, payload checksum, stream count, padding. The
+ * per-stream count table (nstreams × u64) follows, then the payload.
+ */
 constexpr size_t kTraceHeaderBytes =
-    4 + sizeof(uint32_t) + 3 * sizeof(uint64_t);
+    4 + sizeof(uint32_t) + 3 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+
+/** Byte offset of the first record for an @p nstreams-section file. */
+constexpr size_t
+tracePayloadOffset(uint32_t nstreams)
+{
+    return kTraceHeaderBytes + size_t{nstreams} * sizeof(uint64_t);
+}
 
 /** The payload checksum (FNV-1a 64 over the record bytes). */
 uint64_t traceChecksum(const unsigned char *data, size_t size,
                        uint64_t h = 0xcbf29ce484222325ULL);
 
+/** Parsed and size-validated .stmt header (checksum NOT yet checked). */
+struct TraceFileHeader
+{
+    uint64_t configHash = 0;
+    uint64_t count = 0;          //!< total records across sections
+    uint64_t checksum = 0;       //!< stored payload checksum
+    std::vector<uint64_t> streamCounts;
+    size_t payloadOffset = 0;
+};
+
 /**
- * Write @p t to @p path in the native STEMS binary format
- * (magic "STMT", version, generator-config hash, count, packed
- * records). The file is written to a temp name and renamed into place
- * atomically, so concurrent readers never observe a torn file.
+ * Parse the header and section table out of the first
+ * min(size, bytes available) bytes of a .stmt image and validate
+ * everything except the payload checksum: magic, version, generator
+ * hash (when @p expected_hash is nonzero), a sane stream count, and
+ * that the section counts sum to the total which in turn matches the
+ * file size exactly. @p size must be the full file size.
+ */
+bool parseTraceHeader(const unsigned char *data, size_t size,
+                      TraceFileHeader &out, uint64_t expected_hash);
+
+/**
+ * Write @p t to @p path in the native STEMS binary format as a
+ * single-section v4 file, records verbatim. The file is written to a
+ * temp name and renamed into place atomically, so concurrent readers
+ * never observe a torn file.
  *
  * @param config_hash caller-defined fingerprint of whatever produced
  *                    the trace (see study::TraceCache); 0 if unused
@@ -54,31 +94,31 @@ bool writeTrace(const Trace &t, const std::string &path,
                 uint64_t config_hash = 0);
 
 /**
- * Stream an interleaved view straight to disk in the same format,
- * without materialising the merged trace. The view is consumed.
+ * Write per-CPU @p streams as one section each (the spill form the
+ * TraceCache records and MappedTrace replays zero-copy). Each
+ * record's cpu field is rewritten to its stream index on the way out —
+ * the canonical stream identity every consumer re-stamps anyway — so
+ * replayed and freshly-generated runs observe identical bytes.
  */
-bool writeTrace(InterleavedView &view, const std::string &path,
-                uint64_t config_hash = 0);
+bool writeTraceStreams(const std::vector<Trace> &streams,
+                       const std::string &path, uint64_t config_hash = 0);
 
 /**
- * Read a trace previously written by writeTrace().
- *
- * The fast path maps the file read-only (MAP_PRIVATE) and parses
- * records straight out of the page cache, so replay keeps no second
- * buffered copy of the spill file resident and concurrent readers
- * (dispatch workers sharing a spill dir) share the mapped pages.
- * When the file cannot be mapped the buffered stdio path is used;
- * results are identical.
- *
- * @param path          file to read
- * @param out           receives the trace on success
- * @param expected_hash when nonzero, the stored generator-config hash
- *                      must match or the file is rejected
- * @return true on success (magic/version/hash/count/checksum all
- *         validated).
+ * Read a trace previously written by writeTrace(); multi-section
+ * files come back concatenated in section order. Magic, version,
+ * hash, section table and checksum are all validated.
  */
 bool readTrace(const std::string &path, Trace &out,
                uint64_t expected_hash = 0);
+
+/**
+ * Read a v4 file's sections into per-stream vectors: the materialised
+ * replay fallback used when mapping is unavailable or disabled
+ * (STEMS_NO_MMAP=1). Validation is identical to readTrace.
+ */
+bool readTraceStreams(const std::string &path,
+                      std::vector<Trace> &out,
+                      uint64_t expected_hash = 0);
 
 } // namespace stems::trace
 

@@ -22,6 +22,7 @@
 #include "study/l1study.hh"
 #include "workloads/graph.hh"
 #include "study/suite.hh"
+#include "trace/interleaver.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
 
@@ -518,10 +519,15 @@ TEST(TraceCache, RejectsStaleSpillAndRegenerates)
     const trace::Trace &regenerated = reader.get("graph", p);
     EXPECT_TRUE(live == regenerated);
 
-    // ... and the rewritten spill now carries the correct hash again
-    trace::Trace replay;
-    EXPECT_TRUE(trace::readTrace(file, replay,
-                                 study::generatorConfigHash("graph", p)));
+    // ... and the rewritten spill now carries the correct hash again;
+    // v4 spills hold per-stream sections, so the merged trace is
+    // recovered through the canonical interleave
+    std::vector<trace::Trace> sections;
+    EXPECT_TRUE(
+        trace::readTraceStreams(file, sections,
+                                study::generatorConfigHash("graph", p)));
+    const trace::Trace replay =
+        trace::canonicalInterleaver(p.seed).merge(sections);
     EXPECT_TRUE(live == replay);
     std::filesystem::remove_all(dir);
 }
