@@ -19,6 +19,7 @@
 #include "dispatch/wire.hh"
 #include "driver/costmodel.hh"
 #include "driver/executor.hh"
+#include "driver/report.hh"
 #include "obs/counters.hh"
 #include "obs/histogram.hh"
 #include "obs/obs.hh"
@@ -225,6 +226,7 @@ Coordinator::run(const ProgressFn &progress)
     init.oracleRegionSizes = spec.oracleRegionSizes;
     init.trace = cfg.trace;
     init.heartbeatMs = cfg.heartbeatMs;
+    init.pipeline = cfg.pipeline;
     const std::string initFrame = encodeInit(init);
 
     // schedule=cost queues cells longest-estimated-first (LPT);
@@ -378,6 +380,13 @@ Coordinator::run(const ProgressFn &progress)
         const int cell = pending.front();
         pending.pop_front();
         dispatchCell(w, cell);
+        // lookahead pipelining: hint the queue head so the worker
+        // warms its trace while the just-assigned cell simulates.
+        // Advisory only — a lost hint is silently absorbed (a dead
+        // worker surfaces on the next real write)
+        if (cfg.pipeline && w.alive && !pending.empty())
+            writeFrame(w.proc.toWorker,
+                       encodePrefetch(cells_[pending.front()]));
     };
 
     // drain every complete frame buffered for one worker
@@ -851,6 +860,60 @@ workerSummary(const std::vector<WorkerStats> &stats, double wallMs)
     return os.str();
 }
 
+std::string
+telemetryJson(double wallMs, const std::vector<WorkerStats> &workers)
+{
+    auto counters = obs::snapshotCounters();
+    for (const auto &ws : workers)
+        for (const auto &[name, count] : ws.counters)
+            for (auto &[localName, total] : counters)
+                if (localName == name)
+                    total += count;
+
+    driver::JsonWriter j;
+    j.beginObject();
+    j.key("telemetry").beginObject();
+    j.key("schema").value(uint64_t{2});
+    j.key("wall_ms").value(wallMs);
+    j.key("peak_rss_kb").value(obs::peakRssKb());
+    j.key("counters").beginObject();
+    for (const auto &[name, count] : counters)
+        j.key(name).value(count);
+    j.endObject();
+    // schema 2: log2-bucketed latency distributions (bucket index is
+    // bit_width of the µs sample; sparse — zero buckets omitted)
+    j.key("histograms").beginObject();
+    for (const auto &h : obs::snapshotHistograms()) {
+        j.key(h.name).beginObject();
+        j.key("count").value(h.count);
+        j.key("sum_us").value(h.sum);
+        j.key("buckets").beginObject();
+        for (const auto &[idx, n] : h.buckets)
+            j.key(std::to_string(idx)).value(n);
+        j.endObject();
+        j.endObject();
+    }
+    j.endObject();
+    j.key("workers").beginArray();
+    for (const auto &ws : workers) {
+        j.beginObject();
+        j.key("pid").value(static_cast<uint64_t>(ws.pid));
+        j.key("cells").value(ws.cellsDone);
+        j.key("busy_ms").value(ws.busyMs);
+        j.key("lost").value(ws.lost);
+        j.key("peak_rss_kb").value(ws.rssKb);
+        j.key("phases").beginObject();
+        for (const auto &[name, ms] : ws.phaseMs)
+            j.key(name).value(ms);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    j.endObject();
+    return j.str() + "\n";
+}
+
 std::vector<CellResult>
 runDispatched(const driver::ExperimentSpec &spec,
               const ProgressFn &progress,
@@ -864,6 +927,7 @@ runDispatched(const driver::ExperimentSpec &spec,
     cfg.heartbeatMs = spec.dispatchHeartbeatMs;
     cfg.backoffMs = spec.dispatchBackoffMs;
     cfg.speculate = spec.dispatchSpeculate;
+    cfg.pipeline = spec.dispatchPipeline;
     Coordinator coord(spec, cfg);
     auto results = coord.run(progress);
     if (statsOut)

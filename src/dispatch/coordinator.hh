@@ -103,6 +103,15 @@ struct DispatchConfig
      * one speculative copy per cell.
      */
     bool speculate = false;
+
+    /**
+     * Worker-side lookahead pipelining (protocol v6): after assigning
+     * a cell, send the queue head as an advisory "prefetch" frame so
+     * the worker warms the next trace while the current cell
+     * simulates. Purely a latency optimization — results and report
+     * bytes are identical either way.
+     */
+    bool pipeline = false;
 };
 
 /**
@@ -176,6 +185,16 @@ class Coordinator
 
 /** This binary's path (for spawning `stems worker` from itself). */
 std::string selfExePath();
+
+/**
+ * The end-of-run telemetry document (schema 2): wall time, the
+ * process counter registry (with any worker snapshots folded in by
+ * name), latency histograms and peak RSS. Shared by `stems run`
+ * (--telemetry-out) and the serve daemon's shutdown dump so both
+ * artifacts parse identically.
+ */
+std::string telemetryJson(double wallMs,
+                          const std::vector<WorkerStats> &workers);
 
 /**
  * Convenience wrapper for the CLI: dispatch @p spec across

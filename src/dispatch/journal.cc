@@ -11,9 +11,13 @@
 #include <stdexcept>
 #include <unistd.h>
 
+#include <memory>
+
 #include "dispatch/wire.hh"
+#include "driver/options.hh"
 #include "driver/report.hh"
 #include "fault/fault.hh"
+#include "serve/transport.hh"
 #include "obs/counters.hh"
 #include "obs/histogram.hh"
 #include "obs/obs.hh"
@@ -325,7 +329,7 @@ runSpec(const driver::ExperimentSpec &spec, const ProgressFn &progress,
 
     std::vector<CellResult> ran;
     if (runNeeded) {
-        if (spec.dispatch > 0) {
+        if (spec.dispatch > 0 || !spec.dispatchWorkers.empty()) {
             DispatchConfig dcfg;
             dcfg.workers = spec.dispatch;
             dcfg.timeoutMs = spec.dispatchTimeoutMs;
@@ -334,8 +338,26 @@ runSpec(const driver::ExperimentSpec &spec, const ProgressFn &progress,
             dcfg.heartbeatMs = spec.dispatchHeartbeatMs;
             dcfg.backoffMs = spec.dispatchBackoffMs;
             dcfg.speculate = spec.dispatchSpeculate;
+            dcfg.pipeline = spec.dispatchPipeline;
             dcfg.workerExe = spec.dispatchWorkerExe;
-            Coordinator coord(subSpec, dcfg);
+            // workers= swaps the pipe transport for sockets; the
+            // dispatch bytes on the wire are identical either way
+            std::unique_ptr<Transport> transport;
+            if (!spec.dispatchWorkers.empty()) {
+                serve::SocketTransport::Config scfg;
+                scfg.endpoints =
+                    driver::splitList(spec.dispatchWorkers);
+                scfg.spawnCmd = spec.dispatchSpawnCmd;
+                transport = std::make_unique<serve::SocketTransport>(
+                    std::move(scfg));
+                if (dcfg.workers == 0)
+                    dcfg.workers = static_cast<uint32_t>(
+                        driver::splitList(spec.dispatchWorkers)
+                            .size());
+            }
+            if (dcfg.workers == 0)
+                dcfg.workers = 1;
+            Coordinator coord(subSpec, dcfg, std::move(transport));
             ran = coord.run(journaled);
             if (statsOut)
                 *statsOut = coord.workerStats();

@@ -226,6 +226,7 @@ encodeInit(const WorkerInit &init)
     j.endArray();
     j.key("trace").value(init.trace);
     j.key("heartbeat_ms").value(uint64_t{init.heartbeatMs});
+    j.key("pipeline").value(init.pipeline);
     j.endObject();
     return j.str();
 }
@@ -244,11 +245,13 @@ decodeInit(const JsonValue &msg)
     for (const auto &s : msg.at("oracle_regions").items)
         init.oracleRegionSizes.push_back(
             static_cast<uint32_t>(s.asU64()));
-    // v4/v5 fields; optional so readers stay tolerant
+    // v4/v5/v6 fields; optional so readers stay tolerant
     if (const JsonValue *trace = msg.find("trace"))
         init.trace = trace->asBool();
     if (const JsonValue *hb = msg.find("heartbeat_ms"))
         init.heartbeatMs = static_cast<uint32_t>(hb->asU64());
+    if (const JsonValue *pl = msg.find("pipeline"))
+        init.pipeline = pl->asBool();
     return init;
 }
 
@@ -263,16 +266,14 @@ encodeReady(int pid)
     return j.str();
 }
 
-std::string
-encodeCellJob(const driver::RunCell &cell, uint32_t attempt)
+namespace {
+
+/** The "cell" object shared by cell jobs and prefetch hints; its
+ *  encoding doubles as the journal's spec fingerprint input and must
+ *  not change across retries or message types. */
+void
+writeCellObject(JsonWriter &j, const driver::RunCell &cell)
 {
-    JsonWriter j;
-    j.beginObject();
-    j.key("type").value("cell");
-    // attempt is a sibling of "cell": the cell object's encoding
-    // doubles as the journal's spec fingerprint input and must not
-    // change across retries
-    j.key("attempt").value(uint64_t{attempt});
     j.key("cell").beginObject();
     j.key("id").value(uint64_t{cell.id});
     j.key("workload").value(cell.workload);
@@ -297,6 +298,31 @@ encodeCellJob(const driver::RunCell &cell, uint32_t attempt)
     j.key("timing_only").value(cell.timingOnly);
     j.key("density").value(uint64_t{cell.densityRegion});
     j.endObject();
+}
+
+} // anonymous namespace
+
+std::string
+encodeCellJob(const driver::RunCell &cell, uint32_t attempt)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("cell");
+    // attempt is a sibling of "cell" so fingerprints stay
+    // attempt-independent
+    j.key("attempt").value(uint64_t{attempt});
+    writeCellObject(j, cell);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+encodePrefetch(const driver::RunCell &cell)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.key("type").value("prefetch");
+    writeCellObject(j, cell);
     j.endObject();
     return j.str();
 }

@@ -225,7 +225,8 @@ hitRates(const JsonValue &counters)
 
 /** Busy lanes for the utilization timeline and straggler table:
  *  dispatch_cell spans (one lane per worker pid) when the run was
- *  dispatched, else the runner threads' cell spans (lane per tid). */
+ *  dispatched, else the runner threads' cell spans (lane per tid),
+ *  else a daemon's serve_cell/steal spans (lane per fleet thread). */
 struct Lane
 {
     std::string label;
@@ -237,12 +238,13 @@ std::vector<Lane>
 busyLanes(const Trace &t)
 {
     std::map<std::string, Lane> acc;
-    bool dispatched = false;
-    for (const Ev &e : t.spans)
-        if (e.name == "dispatch_cell") {
+    bool dispatched = false, runner = false;
+    for (const Ev &e : t.spans) {
+        if (e.name == "dispatch_cell")
             dispatched = true;
-            break;
-        }
+        else if (e.name == "cell")
+            runner = true;
+    }
     for (const Ev &e : t.spans) {
         std::string key;
         if (dispatched) {
@@ -251,7 +253,8 @@ busyLanes(const Trace &t)
             const std::string *pid = e.arg("pid");
             key = "pid " + (pid ? *pid : std::to_string(e.pid));
         } else {
-            if (e.name != "cell")
+            if (runner ? e.name != "cell"
+                       : e.name != "serve_cell" && e.name != "steal")
                 continue;
             const auto it = t.threadNames.find({e.pid, e.tid});
             key = it != t.threadNames.end()
@@ -267,6 +270,55 @@ busyLanes(const Trace &t)
     for (auto &[key, lane] : acc)
         lanes.push_back(std::move(lane));
     return lanes;
+}
+
+/** Per-request rollup of a `stems serve` trace: the request span
+ *  carries queue wait and cell counts; exec time is the sum of the
+ *  serve_cell/steal spans tagged with the same request id. */
+struct ServeRow
+{
+    uint64_t request = 0;
+    double queueMs = 0, wallMs = 0, execMs = 0;
+    uint64_t cells = 0, stolen = 0, replayed = 0;
+};
+
+std::vector<ServeRow>
+serveBreakdown(const Trace &t)
+{
+    std::map<uint64_t, ServeRow> acc;
+    for (const Ev &e : t.spans) {
+        if (e.name != "serve_request")
+            continue;
+        const std::string *id = e.arg("request");
+        if (!id)
+            continue;
+        ServeRow &r = acc[std::stoull(*id)];
+        r.request = std::stoull(*id);
+        r.wallMs += e.durUs / 1000.0;
+        if (const std::string *q = e.arg("queue_ms"))
+            r.queueMs += std::stod(*q);
+        auto count = [&e](const char *key) -> uint64_t {
+            const std::string *v = e.arg(key);
+            return v ? std::stoull(*v) : 0;
+        };
+        r.cells += count("cells");
+        r.stolen += count("stolen");
+        r.replayed += count("replayed");
+    }
+    for (const Ev &e : t.spans) {
+        if (e.name != "serve_cell" && e.name != "steal")
+            continue;
+        const std::string *id = e.arg("request");
+        if (!id)
+            continue;
+        const auto it = acc.find(std::stoull(*id));
+        if (it != acc.end())
+            it->second.execMs += e.durUs / 1000.0;
+    }
+    std::vector<ServeRow> rows;
+    for (auto &[id, r] : acc)
+        rows.push_back(r);
+    return rows;
 }
 
 std::vector<double>
@@ -352,6 +404,24 @@ emitTable(const Inputs &in, const AnalyzeOptions &opts)
                                              busyMs
                                                     : 0)});
         pt.print(os);
+
+        const auto serveRows = serveBreakdown(t);
+        if (!serveRows.empty()) {
+            os << "\n== serve requests == (queue wait vs "
+                  "execution)\n";
+            TablePrinter sv({"Request", "Queue ms", "Wall ms",
+                             "Exec ms", "Cells", "Stolen",
+                             "Replayed"});
+            for (const ServeRow &r : serveRows)
+                sv.addRow({std::to_string(r.request),
+                           TablePrinter::fixed(r.queueMs, 1),
+                           TablePrinter::fixed(r.wallMs, 1),
+                           TablePrinter::fixed(r.execMs, 1),
+                           std::to_string(r.cells),
+                           std::to_string(r.stolen),
+                           std::to_string(r.replayed)});
+            sv.print(os);
+        }
 
         // the chain nests (a dispatch_cell contains its worker's
         // spans), so coverage is the union of intervals, not the sum
@@ -491,7 +561,7 @@ emitJson(const Inputs &in, const AnalyzeOptions &opts)
     JsonWriter j;
     j.beginObject();
     j.key("analyze").beginObject();
-    j.key("schema").value(uint64_t{1});
+    j.key("schema").value(uint64_t{2});
 
     if (in.trace) {
         const Trace &t = *in.trace;
@@ -573,6 +643,24 @@ emitJson(const Inputs &in, const AnalyzeOptions &opts)
             j.endObject();
         }
         j.endArray();
+
+        // schema 2: present only for `stems serve` traces
+        const auto serveRows = serveBreakdown(t);
+        if (!serveRows.empty()) {
+            j.key("serve").beginArray();
+            for (const ServeRow &r : serveRows) {
+                j.beginObject();
+                j.key("request").value(r.request);
+                j.key("queue_ms").value(r.queueMs);
+                j.key("wall_ms").value(r.wallMs);
+                j.key("exec_ms").value(r.execMs);
+                j.key("cells").value(r.cells);
+                j.key("stolen").value(r.stolen);
+                j.key("replayed").value(r.replayed);
+                j.endObject();
+            }
+            j.endArray();
+        }
     }
 
     if (in.telemetry) {

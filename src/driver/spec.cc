@@ -406,6 +406,14 @@ parseSpec(const std::vector<std::string> &tokens)
             Options o{{key, value}};
             spec.dispatchSpeculate =
                 optBool(o, key, spec.dispatchSpeculate);
+        } else if (key == "workers") {
+            spec.dispatchWorkers = value;
+        } else if (key == "spawn-cmd") {
+            spec.dispatchSpawnCmd = value;
+        } else if (key == "dispatch-pipeline") {
+            Options o{{key, value}};
+            spec.dispatchPipeline =
+                optBool(o, key, spec.dispatchPipeline);
         } else if (key == "fault-plan") {
             (void)fault::parsePlan(value);  // fail early on bad input
             spec.faultPlan = value;
@@ -459,6 +467,11 @@ parseSpec(const std::vector<std::string> &tokens)
     if (spec.resume && spec.journalPath.empty())
         throw std::invalid_argument(
             "resume=1 needs a journal=FILE to splice results from");
+
+    if (!spec.dispatchSpawnCmd.empty() && spec.dispatchWorkers.empty())
+        throw std::invalid_argument(
+            "spawn-cmd= needs workers=ADDR,... to name the endpoints "
+            "it launches");
 
     return spec;
 }
@@ -602,6 +615,15 @@ specHelp()
         "  dispatch-speculate=0|1         re-dispatch tail stragglers\n"
         "                                 to idle workers (first result\n"
         "                                 wins)\n"
+        "  workers=ADDR,...               dispatch over sockets to these\n"
+        "                                 worker endpoints (unix:/path\n"
+        "                                 or host:port) instead of\n"
+        "                                 forked pipe workers\n"
+        "  spawn-cmd=CMD                  launch template run per worker\n"
+        "                                 ({addr} substituted; use exec)\n"
+        "  dispatch-pipeline=0|1          send lookahead prefetch hints\n"
+        "                                 so workers warm the next\n"
+        "                                 cell's trace while simulating\n"
         "  journal=FILE                   append each completed cell to\n"
         "                                 a crash-safe result journal\n"
         "  resume=0|1                     skip journaled cells, splice\n"

@@ -99,6 +99,23 @@ struct ExperimentSpec
     bool dispatchSpeculate = false;   //!< re-dispatch tail stragglers
     std::string dispatchWorkerExe;    //!< "" = this binary
 
+    /**
+     * Socket fleet (see serve/transport.hh): comma list of worker
+     * endpoints (`unix:/path` or `host:port`). When set, dispatch
+     * rides serve::SocketTransport instead of forked pipe workers;
+     * dispatch= defaults to the endpoint count.
+     */
+    std::string dispatchWorkers;
+
+    /**
+     * Launch template run (/bin/sh -c) once per spawned worker with
+     * `{addr}` replaced by its endpoint; "" = connect to listeners
+     * someone else started. Use `exec` so signals reach the worker.
+     */
+    std::string dispatchSpawnCmd;
+
+    bool dispatchPipeline = false;    //!< ship lookahead prefetch hints
+
     // fault tolerance (see dispatch/journal.hh, fault/fault.hh)
     std::string faultPlan;     //!< chaos plan ("" = none)
     std::string journalPath;   //!< crash-safe result journal ("" = off)

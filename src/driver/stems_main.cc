@@ -42,6 +42,9 @@
 #include "obs/histogram.hh"
 #include "obs/obs.hh"
 #include "obs/sampler.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/transport.hh"
 #include "study/suite.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
@@ -74,9 +77,24 @@ usage()
         "                               rates, worker utilization and\n"
         "                               stragglers from --trace-out /\n"
         "                               --telemetry-out artifacts\n"
-        "  stems worker                 serve dispatched cells on\n"
+        "  stems worker [--listen=ADDR [--once]]\n"
+        "                               serve dispatched cells on\n"
         "                               stdin/stdout (spawned by\n"
-        "                               stems run --dispatch=N)\n"
+        "                               stems run --dispatch=N), or on\n"
+        "                               a unix:/path or host:port\n"
+        "                               socket for workers= fleets\n"
+        "  stems serve listen=ADDR [fleet=N max-active=N max-queue=N\n"
+        "              journal-dir=DIR trace-dir=DIR steal=0|1\n"
+        "              pipeline=0|1 trace-out= telemetry-out= quiet=1]\n"
+        "                               persistent experiment service:\n"
+        "                               warm caches shared across\n"
+        "                               requests, admission queuing,\n"
+        "                               work stealing, per-request\n"
+        "                               journals for warm restart\n"
+        "  stems submit server=ADDR [key=value ...]\n"
+        "                               run a spec on a stems serve\n"
+        "                               daemon; reports byte-identical\n"
+        "                               to stems run on the same spec\n"
         "  stems help                   this text\n\n"
               << specHelp() <<
         "\nexamples:\n"
@@ -247,66 +265,6 @@ cmdBench(const std::vector<std::string> &args)
     return 0;
 }
 
-/**
- * The end-of-run telemetry dump: process counters (dispatch runs fold
- * each worker's latest snapshot on top of the coordinator's own), peak
- * RSS, wall time, and per-worker health stats.
- */
-std::string
-telemetryJson(double wallMs,
-              const std::vector<dispatch::WorkerStats> &workers)
-{
-    auto counters = obs::snapshotCounters();
-    for (const auto &ws : workers)
-        for (const auto &[name, count] : ws.counters)
-            for (auto &[localName, total] : counters)
-                if (localName == name)
-                    total += count;
-
-    JsonWriter j;
-    j.beginObject();
-    j.key("telemetry").beginObject();
-    j.key("schema").value(uint64_t{2});
-    j.key("wall_ms").value(wallMs);
-    j.key("peak_rss_kb").value(obs::peakRssKb());
-    j.key("counters").beginObject();
-    for (const auto &[name, count] : counters)
-        j.key(name).value(count);
-    j.endObject();
-    // schema 2: log2-bucketed latency distributions (bucket index is
-    // bit_width of the µs sample; sparse — zero buckets omitted)
-    j.key("histograms").beginObject();
-    for (const auto &h : obs::snapshotHistograms()) {
-        j.key(h.name).beginObject();
-        j.key("count").value(h.count);
-        j.key("sum_us").value(h.sum);
-        j.key("buckets").beginObject();
-        for (const auto &[idx, n] : h.buckets)
-            j.key(std::to_string(idx)).value(n);
-        j.endObject();
-        j.endObject();
-    }
-    j.endObject();
-    j.key("workers").beginArray();
-    for (const auto &ws : workers) {
-        j.beginObject();
-        j.key("pid").value(static_cast<uint64_t>(ws.pid));
-        j.key("cells").value(ws.cellsDone);
-        j.key("busy_ms").value(ws.busyMs);
-        j.key("lost").value(ws.lost);
-        j.key("peak_rss_kb").value(ws.rssKb);
-        j.key("phases").beginObject();
-        for (const auto &[name, ms] : ws.phaseMs)
-            j.key(name).value(ms);
-        j.endObject();
-        j.endObject();
-    }
-    j.endArray();
-    j.endObject();
-    j.endObject();
-    return j.str() + "\n";
-}
-
 int
 cmdRun(const std::vector<std::string> &args)
 {
@@ -443,7 +401,8 @@ cmdRun(const std::vector<std::string> &args)
     if (!spec.traceOut.empty())
         writeReport(spec.traceOut, obs::Recorder::get().chromeJson());
     if (spec.telemetry || !spec.telemetryOut.empty()) {
-        const std::string dump = telemetryJson(runWallMs, workerStats);
+        const std::string dump =
+            dispatch::telemetryJson(runWallMs, workerStats);
         if (!spec.telemetryOut.empty())
             writeReport(spec.telemetryOut, dump);
         if (spec.telemetry)
@@ -521,8 +480,25 @@ main(int argc, char **argv)
             return cmdMerge(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
-        if (cmd == "worker")
+        if (cmd == "worker") {
+            std::string listen;
+            bool once = false;
+            for (const auto &arg : args) {
+                if (arg.rfind("--listen=", 0) == 0)
+                    listen = arg.substr(9);
+                else if (arg.rfind("listen=", 0) == 0)
+                    listen = arg.substr(7);
+                else if (arg == "--once" || arg == "once=1")
+                    once = true;
+            }
+            if (!listen.empty())
+                return serve::runListenWorker(listen, once);
             return dispatch::runWorker(STDIN_FILENO, STDOUT_FILENO);
+        }
+        if (cmd == "serve")
+            return serve::cmdServe(args);
+        if (cmd == "submit")
+            return serve::cmdSubmit(args);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage();
         std::cerr << "stems: unknown command \"" << cmd

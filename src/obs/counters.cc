@@ -36,6 +36,13 @@ Counters::reset()
     traceBytesMapped = 0;
     tracePrefetchAhead = 0;
     streamStalls = 0;
+    serveRequestsAdmitted = 0;
+    serveRequestsQueued = 0;
+    serveRequestsRejected = 0;
+    serveCacheWarmHits = 0;
+    cellsStolen = 0;
+    socketBytesSent = 0;
+    socketBytesReceived = 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>>
@@ -68,6 +75,13 @@ snapshotCounters()
         {"trace_bytes_mapped", v(c.traceBytesMapped)},
         {"trace_prefetch_ahead", v(c.tracePrefetchAhead)},
         {"stream_stalls", v(c.streamStalls)},
+        {"serve_requests_admitted", v(c.serveRequestsAdmitted)},
+        {"serve_requests_queued", v(c.serveRequestsQueued)},
+        {"serve_requests_rejected", v(c.serveRequestsRejected)},
+        {"serve_cache_warm_hits", v(c.serveCacheWarmHits)},
+        {"cells_stolen", v(c.cellsStolen)},
+        {"socket_bytes_sent", v(c.socketBytesSent)},
+        {"socket_bytes_received", v(c.socketBytesReceived)},
     };
 }
 

@@ -53,6 +53,16 @@ struct Counters
     std::atomic<uint64_t> traceBytesMapped{0};
     std::atomic<uint64_t> tracePrefetchAhead{0};
     std::atomic<uint64_t> streamStalls{0};
+    // experiment-service families (PR 10): admission-queue outcomes,
+    // warm-cache reuse across requests, work stealing and the socket
+    // control channel
+    std::atomic<uint64_t> serveRequestsAdmitted{0};
+    std::atomic<uint64_t> serveRequestsQueued{0};
+    std::atomic<uint64_t> serveRequestsRejected{0};
+    std::atomic<uint64_t> serveCacheWarmHits{0};
+    std::atomic<uint64_t> cellsStolen{0};
+    std::atomic<uint64_t> socketBytesSent{0};
+    std::atomic<uint64_t> socketBytesReceived{0};
 
     static Counters &get();
 

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Request/response messages between `stems submit` and the serve
+ * daemon, riding the same length-prefixed JSON framing as the
+ * dispatch wire (after the hello handshake in serve/socket.hh):
+ *
+ *   client -> daemon:  submit        (the spec's raw key=value tokens)
+ *   daemon -> client:  admitted      (request id; queueing may follow)
+ *                      report        (the run's sink texts, verbatim)
+ *                   |  rejected      (admission queue full + reason)
+ *                   |  error         (bad spec / shutdown)
+ *
+ * The report carries the exact bytes `stems run` would have written
+ * to each requested sink (json/csv/table) — the client writes them
+ * out verbatim, so byte-identity survives the transport.
+ */
+
+#ifndef STEMS_SERVE_PROTO_HH
+#define STEMS_SERVE_PROTO_HH
+
+#include <string>
+#include <vector>
+
+#include "dispatch/json.hh"
+#include "serve/service.hh"
+
+namespace stems::serve {
+
+std::string encodeSubmit(const std::vector<std::string> &tokens);
+std::vector<std::string> decodeSubmit(const dispatch::JsonValue &msg);
+
+std::string encodeAdmitted(uint64_t id);
+
+std::string encodeRejected(const std::string &reason);
+
+std::string encodeReport(const ExperimentService::Outcome &outcome);
+
+/**
+ * Decode any daemon response frame (admitted/report/rejected/error)
+ * into an Outcome. "admitted" only fills id — the caller keeps
+ * waiting for the terminal frame.
+ */
+ExperimentService::Outcome decodeResponse(
+    const dispatch::JsonValue &msg);
+
+} // namespace stems::serve
+
+#endif // STEMS_SERVE_PROTO_HH

@@ -1,0 +1,493 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "dispatch/journal.hh"
+#include "driver/costmodel.hh"
+#include "driver/report.hh"
+#include "obs/counters.hh"
+#include "obs/obs.hh"
+
+namespace stems::serve {
+
+namespace fs = std::filesystem;
+
+/** One submission's full lifetime: queued → active → done. */
+struct ExperimentService::Request
+{
+    uint64_t id = 0;
+    driver::ExperimentSpec spec;
+    std::vector<driver::RunCell> cells;
+    std::vector<size_t> order;    //!< schedule order (spec-driven)
+    size_t nextSlot = 0;          //!< first unclaimed schedule slot
+    std::vector<driver::CellResult> results;  //!< by expansion index
+    std::vector<char> claimed;    //!< by expansion index
+    std::vector<char> completed;
+    std::vector<char> stolenOnce; //!< at most one duplicate per cell
+    size_t done = 0;
+    uint64_t stolenCells = 0;
+    driver::CellExecutor *executor = nullptr;
+
+    dispatch::RunJournal journal;
+    std::mutex journalMu;         //!< serializes appends off the lock
+    std::string journalFile;
+    uint64_t replayed = 0;
+
+    bool activeNow = false;
+    uint64_t enqueuedNs = 0;
+    uint64_t activatedNs = 0;
+    double queueMs = 0;
+    std::string failure;          //!< "service stopped" style abort
+};
+
+ExperimentService::ExperimentService(Config config)
+    : cfg(std::move(config))
+{
+    if (cfg.traceDir.empty()) {
+        // one shared spill dir for every executor: a workload's trace
+        // is generated once per daemon lifetime, not once per request
+        std::string tmpl = fs::temp_directory_path() /
+                           "stems-serve-XXXXXX";
+        if (::mkdtemp(tmpl.data()) != nullptr) {
+            ownedTraceDir = tmpl;
+            cfg.traceDir = tmpl;
+        }
+    }
+    if (!cfg.journalDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(cfg.journalDir, ec);
+    }
+
+    uint32_t n = cfg.fleet;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    cfg.fleet = n;
+    for (uint32_t k = 0; k < n; ++k)
+        fleet.emplace_back([this, k] { fleetLoop(k); });
+    if (cfg.pipeline)
+        prefetcher = std::thread([this] { prefetchLoop(); });
+}
+
+ExperimentService::~ExperimentService()
+{
+    stop();
+    if (!ownedTraceDir.empty()) {
+        std::error_code ec;
+        fs::remove_all(ownedTraceDir, ec);
+    }
+}
+
+size_t
+ExperimentService::activeRequests() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return active.size();
+}
+
+driver::CellExecutor &
+ExperimentService::executorLocked(const driver::ExperimentSpec &spec)
+{
+    driver::CellExecutor::Config ecfg = driver::executorConfig(spec);
+    ecfg.traceDir = cfg.traceDir;
+    std::string key;
+    for (uint32_t s : ecfg.oracleRegionSizes) {
+        key += std::to_string(s);
+        key += ',';
+    }
+    auto it = executors.find(key);
+    if (it == executors.end())
+        it = executors
+                 .emplace(key, std::make_unique<driver::CellExecutor>(
+                                   std::move(ecfg)))
+                 .first;
+    return *it->second;
+}
+
+void
+ExperimentService::activateLocked()
+{
+    while (!stopping && !queued.empty() &&
+           active.size() < cfg.maxActive) {
+        std::shared_ptr<Request> req = queued.front();
+        queued.pop_front();
+        req->activeNow = true;
+        req->activatedNs = obs::monotonicNs();
+        req->queueMs =
+            static_cast<double>(req->activatedNs - req->enqueuedNs) /
+            1e6;
+        obs::count(&obs::Counters::serveRequestsAdmitted);
+
+        // warm restart: splice this spec's surviving journal before
+        // any cell is claimed (resume-style open creates the file
+        // fresh when there is nothing to replay)
+        if (!cfg.journalDir.empty()) {
+            const uint64_t fp = dispatch::specFingerprint(req->cells);
+            char hex[24];
+            std::snprintf(hex, sizeof(hex), "%016llx",
+                          static_cast<unsigned long long>(fp));
+            req->journalFile =
+                cfg.journalDir + "/req-" + hex + ".journal";
+            try {
+                req->journal.open(req->journalFile, fp,
+                                  req->cells.size(), true);
+            } catch (const std::exception &e) {
+                std::cerr << "stems serve: journal disabled for "
+                             "request "
+                          << req->id << ": " << e.what() << "\n";
+            }
+            for (size_t i = 0; i < req->cells.size(); ++i) {
+                const auto it =
+                    req->journal.replayed().find(req->cells[i].id);
+                if (it == req->journal.replayed().end())
+                    continue;
+                driver::CellResult r;
+                r.cell = req->cells[i];
+                r.metrics = it->second.metrics;
+                r.telemetry = it->second.telemetry;
+                req->results[i] = std::move(r);
+                req->claimed[i] = 1;
+                req->completed[i] = 1;
+                ++req->done;
+                ++req->replayed;
+            }
+        }
+
+        // warm-cache visibility: cells whose trace is already built
+        // (a prior request generated or mapped it) are warm hits
+        for (size_t i = 0; i < req->cells.size(); ++i)
+            if (!req->completed[i] &&
+                req->executor->prepared(req->cells[i]))
+                obs::count(&obs::Counters::serveCacheWarmHits);
+
+        active.push_back(std::move(req));
+    }
+}
+
+bool
+ExperimentService::claimableLocked() const
+{
+    for (const auto &req : active) {
+        size_t slot = req->nextSlot;
+        while (slot < req->order.size() &&
+               req->claimed[req->order[slot]])
+            ++slot;
+        if (slot < req->order.size())
+            return true;
+    }
+    if (cfg.steal)
+        for (const auto &req : active)
+            for (size_t i = 0; i < req->cells.size(); ++i)
+                if (req->claimed[i] && !req->completed[i] &&
+                    !req->stolenOnce[i])
+                    return true;
+    return false;
+}
+
+void
+ExperimentService::fleetLoop(uint32_t index)
+{
+    obs::setThreadName("serve-" + std::to_string(index));
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        workCv.wait(lk, [this] {
+            return stopping || claimableLocked();
+        });
+        if (stopping)
+            return;
+
+        // claim the first unclaimed cell (schedule order) of the
+        // earliest-admitted active request
+        std::shared_ptr<Request> req;
+        size_t idx = 0;
+        bool isStolen = false;
+        for (const auto &r : active) {
+            while (r->nextSlot < r->order.size() &&
+                   r->claimed[r->order[r->nextSlot]])
+                ++r->nextSlot;
+            if (r->nextSlot < r->order.size()) {
+                req = r;
+                idx = r->order[r->nextSlot];
+                ++r->nextSlot;
+                break;
+            }
+        }
+        if (!req && cfg.steal) {
+            // nothing unclaimed anywhere: duplicate a straggler from
+            // the in-flight request with the most work remaining
+            // (its tail is the service's critical path)
+            std::shared_ptr<Request> victim;
+            size_t remaining = 0;
+            for (const auto &r : active) {
+                const size_t rem = r->cells.size() - r->done;
+                bool stealable = false;
+                for (size_t i = 0; i < r->cells.size(); ++i)
+                    if (r->claimed[i] && !r->completed[i] &&
+                        !r->stolenOnce[i]) {
+                        stealable = true;
+                        break;
+                    }
+                if (stealable && rem > remaining) {
+                    victim = r;
+                    remaining = rem;
+                }
+            }
+            if (victim) {
+                for (size_t k = 0; k < victim->order.size(); ++k) {
+                    const size_t i = victim->order[k];
+                    if (victim->claimed[i] && !victim->completed[i] &&
+                        !victim->stolenOnce[i]) {
+                        req = victim;
+                        idx = i;
+                        isStolen = true;
+                        victim->stolenOnce[i] = 1;
+                        ++victim->stolenCells;
+                        obs::count(&obs::Counters::cellsStolen);
+                        break;
+                    }
+                }
+            }
+        }
+        if (!req)
+            continue;  // raced another thread; re-evaluate
+        if (!isStolen)
+            req->claimed[idx] = 1;
+
+        // pipeline hint: the request's next unclaimed cell warms in
+        // the background while this one simulates
+        if (cfg.pipeline) {
+            size_t slot = req->nextSlot;
+            while (slot < req->order.size() &&
+                   req->claimed[req->order[slot]])
+                ++slot;
+            if (slot < req->order.size()) {
+                std::lock_guard<std::mutex> plk(prefetchMu);
+                if (prefetchQueue.size() < 8)
+                    prefetchQueue.emplace_back(
+                        req->executor, req->cells[req->order[slot]]);
+                prefetchCv.notify_one();
+            }
+        }
+
+        lk.unlock();
+        driver::CellResult result;
+        {
+            const driver::RunCell &cell = req->cells[idx];
+            obs::Span span(
+                isStolen ? "steal" : "serve_cell",
+                {{"request", std::to_string(req->id)},
+                 {"cell", std::to_string(cell.id)},
+                 {"workload", cell.workload},
+                 {"engine", cell.engine.kind}});
+            result = req->executor->execute(cell);
+        }
+        lk.lock();
+
+        // first result wins — the executor is deterministic, so when
+        // a stolen copy loses the race nothing observable changes
+        if (!req->completed[idx]) {
+            req->completed[idx] = 1;
+            req->results[idx] = std::move(result);
+            const bool needAppend = req->journal.isOpen();
+            if (needAppend) {
+                // append outside the service lock; completed slots
+                // are never rewritten, so reading results[idx]
+                // unlocked is safe
+                lk.unlock();
+                {
+                    std::lock_guard<std::mutex> jlk(req->journalMu);
+                    req->journal.append(req->results[idx]);
+                }
+                lk.lock();
+            }
+            ++req->done;
+            if (req->done == req->cells.size())
+                stateCv.notify_all();
+            workCv.notify_all();  // the steal frontier moved
+        }
+    }
+}
+
+void
+ExperimentService::prefetchLoop()
+{
+    obs::setThreadName("serve-prefetch");
+    std::unique_lock<std::mutex> lk(prefetchMu);
+    for (;;) {
+        prefetchCv.wait(lk, [this] {
+            return stopping || !prefetchQueue.empty();
+        });
+        if (stopping && prefetchQueue.empty())
+            return;
+        auto [executor, cell] = std::move(prefetchQueue.front());
+        prefetchQueue.pop_front();
+        lk.unlock();
+        executor->prefetch(cell);
+        lk.lock();
+        if (stopping)
+            return;
+    }
+}
+
+ExperimentService::Outcome
+ExperimentService::submit(
+    const std::vector<std::string> &tokens,
+    const std::function<void(uint64_t)> &onAdmitted)
+{
+    Outcome out;
+
+    std::shared_ptr<Request> req = std::make_shared<Request>();
+    try {
+        req->spec = driver::parseSpec(tokens);
+        // mirror cmdRun's defaulting so report bytes cannot depend
+        // on which side applied it
+        if (req->spec.jsonPath.empty() && req->spec.csvPath.empty() &&
+            !req->spec.table)
+            req->spec.jsonPath = "-";
+        req->cells = driver::selectedCells(req->spec);
+        req->order = driver::scheduleOrder(req->spec, req->cells);
+    } catch (const std::exception &e) {
+        out.status = Outcome::Status::Error;
+        out.reason = e.what();
+        return out;
+    }
+    if (req->cells.empty()) {
+        out.status = Outcome::Status::Error;
+        out.reason = "spec selects no cells";
+        return out;
+    }
+    req->results.resize(req->cells.size());
+    req->claimed.assign(req->cells.size(), 0);
+    req->completed.assign(req->cells.size(), 0);
+    req->stolenOnce.assign(req->cells.size(), 0);
+
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        if (stopping) {
+            out.status = Outcome::Status::Error;
+            out.reason = "service stopped";
+            return out;
+        }
+        if (active.size() >= cfg.maxActive &&
+            queued.size() >= cfg.maxQueued) {
+            obs::count(&obs::Counters::serveRequestsRejected);
+            out.status = Outcome::Status::Rejected;
+            out.reason = "admission queue full (" +
+                         std::to_string(active.size()) + " active, " +
+                         std::to_string(queued.size()) +
+                         " queued; max-active=" +
+                         std::to_string(cfg.maxActive) +
+                         " max-queue=" +
+                         std::to_string(cfg.maxQueued) + ")";
+            return out;
+        }
+        req->id = ++nextId;
+        req->executor = &executorLocked(req->spec);
+        req->enqueuedNs = obs::monotonicNs();
+        if (active.size() >= cfg.maxActive)
+            obs::count(&obs::Counters::serveRequestsQueued);
+        queued.push_back(req);
+        activateLocked();
+        workCv.notify_all();
+        stateCv.wait(lk, [&] {
+            return req->activeNow || !req->failure.empty();
+        });
+        if (onAdmitted && req->failure.empty()) {
+            lk.unlock();
+            onAdmitted(req->id);
+            lk.lock();
+        }
+        stateCv.wait(lk, [&] {
+            return req->done == req->cells.size() ||
+                   !req->failure.empty();
+        });
+        if (!req->failure.empty()) {
+            out.status = Outcome::Status::Error;
+            out.reason = req->failure;
+            out.id = req->id;
+            return out;
+        }
+        active.erase(
+            std::remove(active.begin(), active.end(), req),
+            active.end());
+        activateLocked();
+        workCv.notify_all();
+    }
+
+    // the request span covers activation → completion; queue_ms is
+    // the admission wait (stems analyze attributes both)
+    if (obs::Recorder::get().enabled()) {
+        obs::Event e;
+        e.name = "serve_request";
+        e.phase = 'X';
+        e.tsNs = req->activatedNs;
+        e.durNs = obs::monotonicNs() - req->activatedNs;
+        e.args = {{"request", std::to_string(req->id)},
+                  {"queue_ms", std::to_string(req->queueMs)},
+                  {"cells", std::to_string(req->cells.size())},
+                  {"stolen", std::to_string(req->stolenCells)},
+                  {"replayed", std::to_string(req->replayed)}};
+        obs::Recorder::get().record(std::move(e));
+    }
+
+    // the report is durable once built; drop the journal so a future
+    // identical submission starts clean
+    req->journal.close();
+    if (!req->journalFile.empty()) {
+        std::error_code ec;
+        fs::remove(req->journalFile, ec);
+    }
+
+    out.status = Outcome::Status::Done;
+    out.id = req->id;
+    out.replayed = req->replayed;
+    out.stolen = req->stolenCells;
+    for (const auto &r : req->results)
+        if (!r.error.empty())
+            ++out.failed;
+    // the same sinks stems run would write, built from the same spec
+    // and the same ordered results — byte-identity by construction
+    if (!req->spec.jsonPath.empty())
+        out.json = driver::toJson(req->spec, req->results);
+    if (!req->spec.csvPath.empty())
+        out.csv = driver::toCsv(req->spec, req->results);
+    if (req->spec.table)
+        out.table = driver::toTable(req->spec, req->results);
+    return out;
+}
+
+void
+ExperimentService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopping)
+            return;
+        stopping = true;
+        for (const auto &req : queued)
+            req->failure = "service stopped";
+        for (const auto &req : active)
+            req->failure = "service stopped";
+        queued.clear();
+    }
+    workCv.notify_all();
+    stateCv.notify_all();
+    {
+        std::lock_guard<std::mutex> plk(prefetchMu);
+        prefetchCv.notify_all();
+    }
+    for (auto &t : fleet)
+        t.join();
+    fleet.clear();
+    if (prefetcher.joinable())
+        prefetcher.join();
+}
+
+} // namespace stems::serve

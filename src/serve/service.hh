@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ExperimentService: the long-lived heart of `stems serve`. One
+ * process-resident fleet of executor threads serves spec submissions
+ * for as long as the daemon lives, with everything a batch run would
+ * have to rebuild kept warm between requests:
+ *
+ *  - Shared executors. Requests with the same oracle-region config
+ *    share one driver::CellExecutor — its TraceCache, baseline memos
+ *    and timing memos survive across requests, so resubmitting a spec
+ *    (or submitting a sibling that shares workloads) skips trace
+ *    generation and baseline passes entirely. Warm reuse is visible
+ *    as serve_cache_warm_hits (cells whose trace was already
+ *    prepared at admission time). All executors share one spill dir.
+ *
+ *  - Admission queuing. At most maxActive requests execute at once;
+ *    up to maxQueued more wait FIFO; beyond that submissions are
+ *    rejected immediately with a reason (bounded backlog — a burst
+ *    degrades to fast rejections, never to an unbounded queue).
+ *    Within a request cells run in driver::scheduleOrder (FIFO or
+ *    schedule=cost LPT ordering from the spec).
+ *
+ *  - Work stealing. An idle fleet thread with no unclaimed cell
+ *    duplicates a claimed-but-unfinished cell from the in-flight
+ *    request with the most work remaining (first result wins, at
+ *    most one copy per cell) — the serve-side analogue of
+ *    dispatch-speculate, reusing the executor's determinism: both
+ *    copies compute identical results, so report bytes cannot depend
+ *    on who wins.
+ *
+ *  - Per-request journals. With journalDir set, each request appends
+ *    to a crash-safe journal named by its spec fingerprint; a killed
+ *    daemon warm-restarts by replaying completed cells through the
+ *    existing resume splice when the same spec is resubmitted. The
+ *    journal is deleted once its report has been built.
+ *
+ *  - Pipelining. A background thread warms the next scheduled cell's
+ *    trace (CellExecutor::prefetch) while fleet threads simulate,
+ *    mirroring the runner's stream=1 discipline.
+ *
+ * Reports are built with the same driver::toJson/toCsv/toTable the
+ * CLI uses, on the spec parsed from the submitted tokens — so a
+ * report fetched through `stems submit` is byte-identical to
+ * `stems run` on the same spec, whatever mix of stealing, warm
+ * caches and journal replay produced the results.
+ *
+ * Execution-policy keys in a submitted spec (dispatch=, workers=,
+ * journal=, fault-plan=, stream=, threads=) are ignored: the daemon
+ * owns its fleet shape and durability. Output-path keys are honoured
+ * client-side.
+ */
+
+#ifndef STEMS_SERVE_SERVICE_HH
+#define STEMS_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/executor.hh"
+#include "driver/spec.hh"
+
+namespace stems::serve {
+
+class ExperimentService
+{
+  public:
+    struct Config
+    {
+        uint32_t fleet = 0;      //!< executor threads (0 = all cores)
+        uint32_t maxActive = 2;  //!< concurrently executing requests
+        uint32_t maxQueued = 8;  //!< waiting requests before rejection
+        std::string journalDir;  //!< per-request journals ("" = off)
+        std::string traceDir;    //!< shared spill dir ("" = temp dir)
+        bool steal = true;       //!< idle-thread cell duplication
+        bool pipeline = true;    //!< background trace prefetch
+    };
+
+    /** One submission's outcome, shipped back over the wire. */
+    struct Outcome
+    {
+        enum class Status
+        {
+            Done,      //!< report built (individual cells may error)
+            Rejected,  //!< admission queue full — reason says so
+            Error,     //!< bad spec or service shutdown
+            Admitted   //!< wire-only interim ack (id assigned)
+        };
+        Status status = Status::Error;
+        std::string reason;  //!< rejection/error detail
+        std::string json;    //!< report texts ("" = sink not requested)
+        std::string csv;
+        std::string table;
+        uint32_t failed = 0;     //!< cells that ended with an error
+        uint64_t replayed = 0;   //!< cells spliced from a journal
+        uint64_t stolen = 0;     //!< cells that ran as stolen copies
+        uint64_t id = 0;         //!< request id (admission order)
+    };
+
+    explicit ExperimentService(Config config);
+    ~ExperimentService();
+
+    /**
+     * Submit one experiment (the raw key=value tokens of a spec) and
+     * block until its report is built, it is rejected, or the
+     * service stops. Safe to call from many threads — that IS the
+     * multi-client case.
+     * @param onAdmitted invoked (on this thread, outside the service
+     *        lock) with the request id once it leaves the queue and
+     *        starts executing — the daemon's "admitted" ack
+     */
+    Outcome submit(const std::vector<std::string> &tokens,
+                   const std::function<void(uint64_t)> &onAdmitted =
+                       {});
+
+    /** Requests currently executing (tests poll this). */
+    size_t activeRequests() const;
+
+    /**
+     * Stop the fleet. Queued and in-flight requests fail with
+     * "service stopped"; their journals survive for warm restart.
+     */
+    void stop();
+
+  private:
+    struct Request;
+
+    driver::CellExecutor &executorLocked(
+        const driver::ExperimentSpec &spec);
+    void activateLocked();
+    bool claimableLocked() const;
+    void fleetLoop(uint32_t index);
+    void prefetchLoop();
+
+    Config cfg;
+    std::string ownedTraceDir;  //!< temp spill dir we created
+
+    mutable std::mutex mu;
+    std::condition_variable workCv;   //!< fleet: work may exist
+    std::condition_variable stateCv;  //!< submitters: request state
+    /** Atomic: the prefetch loop reads it under its own mutex. */
+    std::atomic<bool> stopping{false};
+    uint64_t nextId = 0;
+    std::deque<std::shared_ptr<Request>> queued;
+    std::vector<std::shared_ptr<Request>> active;
+    /** Executors keyed by oracle-region config, never evicted. */
+    std::map<std::string, std::unique_ptr<driver::CellExecutor>>
+        executors;
+
+    std::mutex prefetchMu;
+    std::condition_variable prefetchCv;
+    std::deque<std::pair<driver::CellExecutor *, driver::RunCell>>
+        prefetchQueue;
+
+    std::vector<std::thread> fleet;
+    std::thread prefetcher;
+};
+
+} // namespace stems::serve
+
+#endif // STEMS_SERVE_SERVICE_HH

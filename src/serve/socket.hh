@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Socket plumbing for the experiment service: Unix-domain and TCP
+ * endpoints, counted framed IO on the dispatch wire format, and the
+ * versioned hello handshake every serve-layer connection opens with.
+ *
+ * Endpoint syntax (everywhere an address is accepted):
+ *   unix:/path/to.sock   Unix-domain stream socket
+ *   host:port            TCP (resolved with getaddrinfo)
+ *
+ * Handshake: the connecting side writes a hello frame first —
+ * `{"type":"hello","protocol":N,"role":"...","pid":P}` — and the
+ * accepting side validates it before anything else rides the
+ * connection: the protocol number must match dispatch::
+ * kProtocolVersion exactly, the role must be the expected one, and
+ * the frame must fit kHelloMaxBytes (a hostile length prefix cannot
+ * make the acceptor buffer an arbitrary frame before version
+ * agreement). On success the acceptor replies with its own hello;
+ * on any violation it sends a best-effort error frame and closes.
+ *
+ * All bytes moved here count into the socket_bytes_sent/received
+ * telemetry families (distinct from wire_bytes_*, which count the
+ * dispatch protocol regardless of transport).
+ */
+
+#ifndef STEMS_SERVE_SOCKET_HH
+#define STEMS_SERVE_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dispatch/wire.hh"
+
+namespace stems::serve {
+
+/** Hello frames larger than this are rejected before buffering. */
+constexpr size_t kHelloMaxBytes = 4096;
+
+/** A validated peer hello. */
+struct Hello
+{
+    uint32_t protocol = 0;
+    std::string role;
+    int64_t pid = 0;
+};
+
+/**
+ * Bind + listen on @p addr (`unix:/path` or `host:port`). A stale
+ * Unix socket path is unlinked first. Throws std::runtime_error.
+ */
+int listenOn(const std::string &addr);
+
+/** Blocking accept; returns -1 when the listener was closed. */
+int acceptOn(int listenFd);
+
+/**
+ * Connect to @p addr, retrying every ~50 ms until @p deadlineMs (a
+ * just-spawned listener needs a beat to bind). Throws on timeout.
+ */
+int connectTo(const std::string &addr, uint32_t deadlineMs = 5000);
+
+/** Write one frame; false when the peer is gone. Counts bytes. */
+bool sendFrame(int fd, const std::string &payload);
+
+/** Blocking read of the next frame; false on EOF. Counts bytes. */
+bool recvFrame(int fd, dispatch::FrameDecoder &decoder,
+               std::string &out);
+
+/** This side's hello frame payload. */
+std::string encodeHello(const std::string &role);
+
+/**
+ * Read and validate the peer's hello — the first frame on a fresh
+ * connection (pass the connection's decoder so trailing bytes are
+ * kept for later frames).
+ * @return false with @p err describing the violation: oversized
+ *         frame, corrupt prefix, unparsable JSON, wrong message
+ *         type, protocol mismatch, or unexpected role.
+ */
+bool readHello(int fd, dispatch::FrameDecoder &decoder,
+               const std::string &expectRole, Hello &out,
+               std::string &err);
+
+/** `{"type":"error","message":...}` (also the daemon's NACK). */
+std::string encodeError(const std::string &message);
+
+} // namespace stems::serve
+
+#endif // STEMS_SERVE_SOCKET_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SocketTransport: the machine-list worker launcher behind the
+ * dispatch::Transport seam. Where LocalProcessTransport forks
+ * `stems worker` with stdin/stdout pipes, this transport connects to
+ * worker endpoints (`workers=unix:/path,host:port,...`) that run
+ * `stems worker --listen=ADDR` — processes the coordinator did not
+ * fork — and hands the coordinator the same fd pair it gets from a
+ * pipe worker. The dispatch protocol bytes on the socket are
+ * identical to the pipe bytes; only the serve-layer hello handshake
+ * precedes them.
+ *
+ * An optional spawn-command template (`spawn-cmd=`) launches each
+ * worker on demand: the template runs under /bin/sh -c with `{addr}`
+ * replaced by the endpoint (e.g. `exec stems worker --listen={addr}`,
+ * or an ssh/container wrapper). The shell child's pid rides in
+ * WorkerProcess.pid so the coordinator's reap/respawn machinery —
+ * kill, waitpid, backoff, respawn budget — works unchanged; use
+ * `exec` in the template so the signal reaches the worker itself.
+ * Without a template pid stays -1: reap closes the socket (the
+ * listening worker sees EOF and recycles) and respawn reconnects.
+ *
+ * Endpoints are assigned round-robin across spawn() calls, so
+ * respawns rotate through the fleet and a dead endpoint does not
+ * capture every retry.
+ */
+
+#ifndef STEMS_SERVE_TRANSPORT_HH
+#define STEMS_SERVE_TRANSPORT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dispatch/coordinator.hh"
+
+namespace stems::serve {
+
+class SocketTransport : public dispatch::Transport
+{
+  public:
+    struct Config
+    {
+        std::vector<std::string> endpoints;  //!< unix:/p or host:port
+        std::string spawnCmd;     //!< "" = endpoints already listening
+        uint32_t connectTimeoutMs = 10000;
+    };
+
+    explicit SocketTransport(Config config);
+
+    dispatch::WorkerProcess spawn() override;
+
+  private:
+    Config cfg;
+    std::mutex mu;
+    size_t next = 0;  //!< round-robin endpoint cursor
+};
+
+/**
+ * `stems worker --listen=ADDR`: bind @p addr and serve dispatch
+ * sessions — accept, validate the coordinator's hello, then run the
+ * standard worker loop on the connection (each session on its own
+ * thread, so a respawning coordinator can reconnect while an old
+ * session drains). Returns only on listener failure, or after one
+ * session when @p once is set.
+ */
+int runListenWorker(const std::string &addr, bool once);
+
+} // namespace stems::serve
+
+#endif // STEMS_SERVE_TRANSPORT_HH

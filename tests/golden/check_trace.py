@@ -2,7 +2,7 @@
 """CI checker for stems observability artifacts.
 
 Usage: check_trace.py TRACE.json TELEMETRY.json [--dispatched]
-                      [--analyze=FILE] [--stats=FILE]
+                      [--serve] [--analyze=FILE] [--stats=FILE]
 
 Asserts the --trace-out file is a loadable Chrome trace-event document
 (the format Perfetto / chrome://tracing read) covering the span names
@@ -11,8 +11,11 @@ carries the counter registry with the counters a real run must bump,
 plus the schema-2 latency histograms.  With --dispatched,
 additionally requires the merged trace to span multiple processes
 (coordinator + workers) and wire traffic to have been counted.  With
---analyze=FILE, validates `stems analyze --format=json` output; with
---stats=FILE, validates a --stats-out JSONL time series.
+--serve, the artifacts come from a `stems serve` daemon: requires
+serve_request/serve_cell spans, socket-byte and admission counters,
+and the analyze "serve" per-request section.  With --analyze=FILE,
+validates `stems analyze --format=json` output; with --stats=FILE,
+validates a --stats-out JSONL time series.
 """
 
 import json
@@ -24,7 +27,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_trace(path, dispatched):
+def check_trace(path, dispatched, serve):
     with open(path) as f:
         doc = json.load(f)
 
@@ -61,6 +64,8 @@ def check_trace(path, dispatched):
     if dispatched:
         want |= {"dispatch_cell", "worker_cell", "worker_spawn",
                  "encode_cell", "decode_result"}
+    elif serve:
+        want |= {"serve_request", "serve_cell"}
     else:
         want |= {"cell"}
     missing = want - names
@@ -75,7 +80,7 @@ def check_trace(path, dispatched):
           f"{len(pids)} process(es), spans {sorted(names)}")
 
 
-def check_telemetry(path, dispatched):
+def check_telemetry(path, dispatched, serve):
     with open(path) as f:
         doc = json.load(f)
 
@@ -96,6 +101,10 @@ def check_telemetry(path, dispatched):
                         "cells_executed"]
     if dispatched:
         must_be_positive += ["wire_bytes_sent", "wire_bytes_received"]
+    if serve:
+        must_be_positive += ["serve_requests_admitted",
+                             "socket_bytes_sent",
+                             "socket_bytes_received"]
     for name in must_be_positive:
         if not c.get(name, 0) > 0:
             fail(f"{path}: counter {name} is {c.get(name)}")
@@ -135,15 +144,15 @@ def check_telemetry(path, dispatched):
           f"{len(workers or [])} worker(s)")
 
 
-def check_analyze(path):
+def check_analyze(path, serve):
     with open(path) as f:
         doc = json.load(f)
 
     a = doc.get("analyze")
     if not isinstance(a, dict):
         fail(f"{path}: no analyze object")
-    if a.get("schema") != 1:
-        fail(f"{path}: analyze schema != 1")
+    if a.get("schema") != 2:
+        fail(f"{path}: analyze schema != 2")
     for key in ("trace_extent_ms", "span_count", "phases",
                 "critical_path", "timeline", "hit_rates", "workers"):
         if key not in a:
@@ -166,6 +175,18 @@ def check_analyze(path):
     for ph in a["phases"]:
         if not ph.get("total_ms", 0) >= 0 or not ph.get("count", 0) > 0:
             fail(f"{path}: bad phase row {ph}")
+    if serve:
+        requests = a.get("serve")
+        if not isinstance(requests, list) or not requests:
+            fail(f"{path}: serve trace but no serve section")
+        for r in requests:
+            for key in ("request", "queue_ms", "wall_ms", "exec_ms",
+                        "cells", "stolen", "replayed"):
+                if key not in r:
+                    fail(f"{path}: serve row missing {key}: {r}")
+            if not r["cells"] > 0 or \
+                    not (r["exec_ms"] > 0 or r["replayed"] > 0):
+                fail(f"{path}: serve request did no work: {r}")
     print(f"check_trace: {path}: analyze ok "
           f"({a['span_count']} spans, "
           f"{len(a['critical_path'])}-step critical path)")
@@ -200,6 +221,7 @@ def check_stats(path):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     dispatched = "--dispatched" in sys.argv[1:]
+    serve = "--serve" in sys.argv[1:]
     analyze = stats = None
     for a in sys.argv[1:]:
         if a.startswith("--analyze="):
@@ -209,10 +231,10 @@ def main():
     if len(args) != 2:
         print(__doc__)
         sys.exit(2)
-    check_trace(args[0], dispatched)
-    check_telemetry(args[1], dispatched)
+    check_trace(args[0], dispatched, serve)
+    check_telemetry(args[1], dispatched, serve)
     if analyze:
-        check_analyze(analyze)
+        check_analyze(analyze, serve)
     if stats:
         check_stats(stats)
     print("check_trace: ok")

@@ -322,7 +322,7 @@ TEST(Analyze, JsonFormatHasAllSections)
         analyzeRun(kFixtureTrace, kFixtureTelemetry, opts);
     const dispatch::JsonValue doc = dispatch::parseJson(out);
     const dispatch::JsonValue &a = doc.at("analyze");
-    EXPECT_EQ(a.at("schema").asU64(), 1u);
+    EXPECT_EQ(a.at("schema").asU64(), 2u);
     EXPECT_EQ(a.at("span_count").asU64(), 7u);
     EXPECT_DOUBLE_EQ(a.at("wall_ms").asDouble(), 15.0);
     EXPECT_FALSE(a.at("phases").items.empty());
